@@ -1,0 +1,85 @@
+//! Thread-parallel batch alignment driver.
+//!
+//! Pairwise alignments are embarrassingly parallel (paper §VI-A: "alignment
+//! computations are independent of each other"); PASTIS runs OpenMP threads
+//! under each MPI rank for them. Here each simulated rank can fan its
+//! alignment batch out over OS threads the same way.
+
+/// Map `f` over `tasks` on up to `threads` OS threads, preserving order.
+///
+/// With `threads <= 1` (or a single-core host) this degrades to a plain
+/// sequential map with no spawn overhead.
+pub fn align_batch<T, R, F>(tasks: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.max(1).min(tasks.len().max(1));
+    if threads == 1 {
+        return tasks.iter().map(&f).collect();
+    }
+    let chunk = tasks.len().div_ceil(threads);
+    let mut out: Vec<Option<R>> = (0..tasks.len()).map(|_| None).collect();
+    let slots: Vec<&mut [Option<R>]> = out.chunks_mut(chunk).collect();
+    std::thread::scope(|scope| {
+        for (ti, slot) in slots.into_iter().enumerate() {
+            let f = &f;
+            let start = ti * chunk;
+            let task_slice = &tasks[start..(start + slot.len()).min(tasks.len())];
+            scope.spawn(move || {
+                for (s, t) in slot.iter_mut().zip(task_slice) {
+                    *s = Some(f(t));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|o| o.expect("all slots filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let tasks: Vec<u64> = (0..101).collect();
+        for threads in [1, 2, 4, 7] {
+            let got = align_batch(&tasks, threads, |&t| t * t);
+            let want: Vec<u64> = tasks.iter().map(|&t| t * t).collect();
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let got: Vec<u64> = align_batch(&Vec::<u64>::new(), 4, |&t| t);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_tasks() {
+        let got = align_batch(&[1u64, 2], 16, |&t| t + 1);
+        assert_eq!(got, vec![2, 3]);
+    }
+
+    #[test]
+    fn runs_real_alignments() {
+        use crate::{smith_waterman, AlignParams};
+        use seqstore::encode_seq;
+        let seqs: Vec<(Vec<u8>, Vec<u8>)> = (0..8)
+            .map(|i| {
+                let a = encode_seq(b"MKVLAWHERTYCC");
+                let mut b = a.clone();
+                b[i % a.len()] = (b[i % a.len()] + 1) % 20;
+                (a, b)
+            })
+            .collect();
+        let p = AlignParams::default();
+        let res = align_batch(&seqs, 3, |(a, b)| smith_waterman(a, b, &p));
+        assert_eq!(res.len(), 8);
+        for st in res {
+            assert!(st.matches >= 10);
+        }
+    }
+}

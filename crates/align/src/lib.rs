@@ -1,0 +1,44 @@
+//! `align` — protein alignment kernels (the SeqAn stand-in of the PASTIS
+//! reproduction, paper §IV-E).
+//!
+//! Provides the two alignment modes PASTIS offers — full local
+//! Smith–Waterman with affine gaps ([`smith_waterman`]) and gapped x-drop
+//! seed-and-extend ([`xdrop_align`]) — plus the ungapped diagonal extension
+//! used by the MMseqs2-like baseline, BLOSUM scoring matrices, alignment
+//! statistics (identity, coverage, normalized score) and a multi-threaded
+//! batch driver.
+
+mod batch;
+mod matrix;
+mod stats;
+mod sw;
+mod ungapped;
+mod xdrop;
+
+pub use batch::align_batch;
+pub use matrix::{ScoringMatrix, BLOSUM62};
+pub use stats::{AlignStats, SimilarityMeasure};
+pub use sw::smith_waterman;
+pub use ungapped::ungapped_xdrop;
+pub use xdrop::xdrop_align;
+
+/// Alignment parameters shared by all kernels. Defaults follow the paper's
+/// evaluation: BLOSUM62, gap opening 11, gap extension 1, x-drop 49 (§VI).
+#[derive(Debug, Clone, Copy)]
+pub struct AlignParams {
+    /// Cost charged when a gap is opened (first gap column costs
+    /// `gap_open + gap_extend`).
+    pub gap_open: i32,
+    /// Cost per gap column.
+    pub gap_extend: i32,
+    /// Score drop-off terminating x-drop extension.
+    pub xdrop: i32,
+    /// Substitution matrix.
+    pub matrix: &'static ScoringMatrix,
+}
+
+impl Default for AlignParams {
+    fn default() -> Self {
+        AlignParams { gap_open: 11, gap_extend: 1, xdrop: 49, matrix: &BLOSUM62 }
+    }
+}

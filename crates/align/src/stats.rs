@@ -1,0 +1,139 @@
+//! Alignment statistics and the similarity measures PASTIS supports for
+//! weighting similarity-graph edges (paper §VI-B): Average Nucleotide
+//! Identity (ANI — the paper's name for percent identity of the alignment)
+//! and Normalized raw alignment Score (NS).
+
+/// Outcome of a pairwise alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AlignStats {
+    /// Raw alignment score under the scoring scheme.
+    pub score: i32,
+    /// Number of alignment columns with identical residues.
+    pub matches: u32,
+    /// Total alignment columns (matches + mismatches + gap columns).
+    pub align_len: u32,
+    /// Aligned region on the first sequence: `[begin, end)`.
+    pub r_span: (u32, u32),
+    /// Aligned region on the second sequence: `[begin, end)`.
+    pub c_span: (u32, u32),
+    /// Length of the first sequence.
+    pub r_len: u32,
+    /// Length of the second sequence.
+    pub c_len: u32,
+}
+
+impl AlignStats {
+    /// Identity of the alignment in `[0, 1]` (the paper's "ANI").
+    pub fn ani(&self) -> f64 {
+        if self.align_len == 0 {
+            0.0
+        } else {
+            self.matches as f64 / self.align_len as f64
+        }
+    }
+
+    /// Coverage of the *shorter* sequence by its aligned span (the paper
+    /// filters pairs covering less than 70% of the shorter sequence, §IV-F).
+    pub fn coverage_short(&self) -> f64 {
+        let (span, len) = if self.r_len <= self.c_len {
+            (self.r_span.1 - self.r_span.0, self.r_len)
+        } else {
+            (self.c_span.1 - self.c_span.0, self.c_len)
+        };
+        if len == 0 {
+            0.0
+        } else {
+            span as f64 / len as f64
+        }
+    }
+
+    /// Raw score normalized by the shorter sequence length (the paper's
+    /// "NS" measure — cheaper than ANI because it needs no traceback).
+    pub fn normalized_score(&self) -> f64 {
+        let len = self.r_len.min(self.c_len);
+        if len == 0 {
+            0.0
+        } else {
+            self.score.max(0) as f64 / len as f64
+        }
+    }
+
+    /// Edge weight under the chosen similarity measure.
+    pub fn weight(&self, measure: SimilarityMeasure) -> f64 {
+        match measure {
+            SimilarityMeasure::Ani => self.ani(),
+            SimilarityMeasure::NormalizedScore => self.normalized_score(),
+        }
+    }
+
+    /// The paper's default similarity filter: ANI ≥ 30% and shorter-sequence
+    /// coverage ≥ 70% (§IV-F).
+    pub fn passes_filter(&self, min_ani: f64, min_coverage: f64) -> bool {
+        self.ani() >= min_ani && self.coverage_short() >= min_coverage
+    }
+}
+
+/// Edge-weighting schemes for the similarity graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimilarityMeasure {
+    /// Alignment identity (requires traceback).
+    Ani,
+    /// Score over shorter-sequence length (no traceback needed).
+    NormalizedScore,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> AlignStats {
+        AlignStats {
+            score: 50,
+            matches: 40,
+            align_len: 50,
+            r_span: (0, 45),
+            c_span: (10, 60),
+            r_len: 50,
+            c_len: 100,
+        }
+    }
+
+    #[test]
+    fn ani_is_matches_over_columns() {
+        assert!((stats().ani() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_uses_shorter_sequence() {
+        // Shorter is r (50); span 45.
+        assert!((stats().coverage_short() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_score_uses_shorter_length() {
+        assert!((stats().normalized_score() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn filter_thresholds() {
+        let s = stats();
+        assert!(s.passes_filter(0.3, 0.7));
+        assert!(!s.passes_filter(0.85, 0.7));
+        assert!(!s.passes_filter(0.3, 0.95));
+    }
+
+    #[test]
+    fn empty_alignment_is_safe() {
+        let z = AlignStats::default();
+        assert_eq!(z.ani(), 0.0);
+        assert_eq!(z.coverage_short(), 0.0);
+        assert_eq!(z.normalized_score(), 0.0);
+    }
+
+    #[test]
+    fn negative_score_clamps_ns() {
+        let mut s = stats();
+        s.score = -5;
+        assert_eq!(s.normalized_score(), 0.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Ungapped x-drop extension along a diagonal — the cheap scoring pass the
+//! MMseqs2-like baseline runs on every double-diagonal candidate before
+//! deciding whether to pay for a gapped alignment (paper §III).
+
+use crate::stats::AlignStats;
+use crate::AlignParams;
+
+/// Extend a seed match at `r_pos`/`c_pos` of length `k` along its diagonal
+/// in both directions, stopping when the running score falls more than
+/// `params.xdrop` below the best seen. No gaps are considered.
+pub fn ungapped_xdrop(r: &[u8], c: &[u8], r_pos: u32, c_pos: u32, k: usize, params: &AlignParams) -> AlignStats {
+    let (r_pos, c_pos) = (r_pos as usize, c_pos as usize);
+    assert!(r_pos + k <= r.len() && c_pos + k <= c.len(), "seed outside sequence");
+    let seed_score: i32 = (0..k).map(|t| params.matrix.score(r[r_pos + t], c[c_pos + t])).sum();
+
+    // Right extension.
+    let mut best = seed_score;
+    let mut right = 0usize;
+    {
+        let mut run = seed_score;
+        let (mut i, mut j) = (r_pos + k, c_pos + k);
+        let mut steps = 0usize;
+        while i < r.len() && j < c.len() {
+            run += params.matrix.score(r[i], c[j]);
+            steps += 1;
+            if run > best {
+                best = run;
+                right = steps;
+            }
+            if run < best - params.xdrop {
+                break;
+            }
+            i += 1;
+            j += 1;
+        }
+    }
+    // Left extension.
+    let mut left = 0usize;
+    {
+        let mut run = best;
+        let mut best_left = best;
+        let (mut i, mut j) = (r_pos, c_pos);
+        let mut steps = 0usize;
+        while i > 0 && j > 0 {
+            i -= 1;
+            j -= 1;
+            run += params.matrix.score(r[i], c[j]);
+            steps += 1;
+            if run > best_left {
+                best_left = run;
+                left = steps;
+            }
+            if run < best_left - params.xdrop {
+                break;
+            }
+        }
+        best = best_left;
+    }
+
+    // Work accounting: one add/compare per diagonal step, ~2 ns.
+    pcomm::work::record((left + k + right) as u64, 2);
+
+    let r0 = (r_pos - left) as u32;
+    let c0 = (c_pos - left) as u32;
+    let r1 = (r_pos + k + right) as u32;
+    let c1 = (c_pos + k + right) as u32;
+    let score = best;
+    let matches = (r0..r1)
+        .zip(c0..c1)
+        .filter(|&(i, j)| r[i as usize] == c[j as usize])
+        .count() as u32;
+    AlignStats {
+        score,
+        matches,
+        align_len: r1 - r0,
+        r_span: (r0, r1),
+        c_span: (c0, c1),
+        r_len: r.len() as u32,
+        c_len: c.len() as u32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqstore::encode_seq;
+
+    fn p() -> AlignParams {
+        AlignParams::default()
+    }
+
+    #[test]
+    fn identical_extends_both_ways() {
+        let s = encode_seq(b"MKVLAWHERTY");
+        let st = ungapped_xdrop(&s, &s, 4, 4, 3, &p());
+        assert_eq!(st.r_span, (0, 11));
+        assert_eq!(st.matches, 11);
+        assert_eq!(st.align_len, 11);
+    }
+
+    #[test]
+    fn stops_at_strong_mismatch_run() {
+        let a = encode_seq(b"MKVLAWWWWWWWWWW");
+        let b = encode_seq(b"MKVLAPPPPPPPPPP");
+        let mut pr = p();
+        pr.xdrop = 5;
+        let st = ungapped_xdrop(&a, &b, 0, 0, 5, &pr);
+        assert_eq!(st.r_span.0, 0);
+        assert!(st.r_span.1 <= 8, "stopped at {}", st.r_span.1);
+        assert_eq!(st.matches, 5);
+    }
+
+    #[test]
+    fn offset_diagonal() {
+        // Same word at different offsets: spans track each sequence.
+        let a = encode_seq(b"CCMKVLAW");
+        let b = encode_seq(b"MKVLAW");
+        let st = ungapped_xdrop(&a, &b, 2, 0, 4, &p());
+        assert_eq!(st.r_span, (2, 8));
+        assert_eq!(st.c_span, (0, 6));
+        assert_eq!(st.matches, 6);
+    }
+
+    #[test]
+    fn score_is_sum_of_span() {
+        let a = encode_seq(b"MKVLAW");
+        let b = encode_seq(b"MKVIAW");
+        let st = ungapped_xdrop(&a, &b, 0, 0, 3, &p());
+        let want: i32 = (st.r_span.0..st.r_span.1)
+            .zip(st.c_span.0..st.c_span.1)
+            .map(|(i, j)| p().matrix.score(a[i as usize], b[j as usize]))
+            .sum();
+        assert_eq!(st.score, want);
+    }
+
+    #[test]
+    fn never_shrinks_below_seed() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..40 {
+            let m = rng.random_range(8..40);
+            let a: Vec<u8> = (0..m).map(|_| rng.random_range(0..24u8)).collect();
+            let b: Vec<u8> = (0..m).map(|_| rng.random_range(0..24u8)).collect();
+            let pos = rng.random_range(0..m - 6) as u32;
+            let st = ungapped_xdrop(&a, &b, pos, pos, 6, &p());
+            assert!(st.r_span.0 <= pos && st.r_span.1 >= pos + 6);
+            assert_eq!(st.r_span.1 - st.r_span.0, st.c_span.1 - st.c_span.0);
+        }
+    }
+}

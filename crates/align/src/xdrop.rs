@@ -1,0 +1,407 @@
+//! Gapped x-drop seed-and-extend alignment (Altschul et al. 1997; the XD
+//! mode of PASTIS, paper §IV-E).
+//!
+//! The alignment is anchored on a shared k-mer: the seed is scored exactly,
+//! then extended with affine-gap DP in both directions. Rows maintain a
+//! *live window* of cells whose score stays within `xdrop` of the best seen;
+//! cells outside are abandoned, which is what makes XD substantially
+//! cheaper than full Smith–Waterman on unrelated pairs.
+
+use crate::stats::AlignStats;
+use crate::AlignParams;
+
+const NEG_INF: i32 = i32::MIN / 4;
+
+// Traceback byte layout (per live cell).
+const H_SRC_MASK: u8 = 0b11; // 0 origin/dead, 1 diag, 2 E, 3 F
+const H_DIAG: u8 = 1;
+const H_FROM_E: u8 = 2;
+const H_FROM_F: u8 = 3;
+const E_EXTEND: u8 = 1 << 2;
+const F_EXTEND: u8 = 1 << 3;
+
+/// Result of a one-directional gapped extension from the origin.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Extension {
+    score: i32,
+    /// Consumed prefix lengths of the two sequences.
+    a_end: usize,
+    b_end: usize,
+    matches: u32,
+    align_len: u32,
+}
+
+/// One row of the banded DP: scores and traceback for `[lo, lo+len)`.
+struct Row {
+    lo: usize,
+    h: Vec<i32>,
+    f: Vec<i32>,
+}
+
+impl Row {
+    #[inline]
+    fn h_at(&self, j: usize) -> i32 {
+        if j >= self.lo && j < self.lo + self.h.len() {
+            self.h[j - self.lo]
+        } else {
+            NEG_INF
+        }
+    }
+
+    #[inline]
+    fn f_at(&self, j: usize) -> i32 {
+        if j >= self.lo && j < self.lo + self.f.len() {
+            self.f[j - self.lo]
+        } else {
+            NEG_INF
+        }
+    }
+}
+
+/// Extend an alignment from `(0, 0)` over prefixes of `a` and `b`,
+/// abandoning cells scoring below `best − xdrop`.
+fn extend_gapped(a: &[u8], b: &[u8], params: &AlignParams) -> Extension {
+    let open = params.gap_open + params.gap_extend;
+    let ext = params.gap_extend;
+    let x = params.xdrop;
+    let (m, n) = (a.len(), b.len());
+
+    let mut best = 0i32;
+    let mut best_pos = (0usize, 0usize);
+    let mut cells: u64 = 0; // work accounting: DP cells actually computed
+
+    // dirs[i] = (lo, bytes) for row i's live window.
+    let mut dirs: Vec<(usize, Vec<u8>)> = Vec::with_capacity(m + 1);
+
+    // Row 0: leading gap in `a`.
+    let mut row = Row { lo: 0, h: vec![0], f: vec![NEG_INF] };
+    let mut dir0 = vec![0u8];
+    for j in 1..=n {
+        let h = -open - (j as i32 - 1) * ext;
+        if h < best - x {
+            break;
+        }
+        row.h.push(h);
+        row.f.push(NEG_INF);
+        dir0.push(H_FROM_E | if j > 1 { E_EXTEND } else { 0 });
+        if h > best {
+            best = h;
+            best_pos = (0, j);
+        }
+    }
+    dirs.push((0, dir0));
+
+    // Recycled row buffers: the retired row's storage becomes the next
+    // row's, so the hot loop allocates only the per-row traceback bytes.
+    let mut spare_h: Vec<i32> = Vec::new();
+    let mut spare_f: Vec<i32> = Vec::new();
+
+    for i in 1..=m {
+        let prev = row;
+        // The row can start one left of the previous window (F/diag reach)
+        // and extend right indefinitely through E runs.
+        let start = prev.lo;
+        let mut lo = usize::MAX;
+        let mut h_new: Vec<i32> = std::mem::take(&mut spare_h);
+        h_new.clear();
+        h_new.reserve(prev.h.len() + 2);
+        let mut f_new: Vec<i32> = std::mem::take(&mut spare_f);
+        f_new.clear();
+        f_new.reserve(prev.h.len() + 2);
+        let mut dir_new: Vec<u8> = Vec::with_capacity(prev.h.len() + 2);
+        let mut e = NEG_INF;
+        let prev_hi = prev.lo + prev.h.len(); // exclusive
+        let mut j = start;
+        while j <= n {
+            cells += 1;
+            // E from the left neighbour of this row.
+            let (h_left, e_left) = if j == 0 || lo == usize::MAX || j - 1 < lo {
+                (NEG_INF, NEG_INF)
+            } else {
+                (h_new[j - 1 - lo], e)
+            };
+            let mut dir = 0u8;
+            let e_open = h_left.saturating_sub(open);
+            let e_ext = e_left.saturating_sub(ext);
+            e = if e_ext > e_open {
+                dir |= E_EXTEND;
+                e_ext
+            } else {
+                e_open
+            };
+            // F from the previous row, same column.
+            let f_open = prev.h_at(j).saturating_sub(open);
+            let f_ext = prev.f_at(j).saturating_sub(ext);
+            let f = if f_ext > f_open {
+                dir |= F_EXTEND;
+                f_ext
+            } else {
+                f_open
+            };
+            // Diagonal.
+            let diag = if j >= 1 {
+                let d = prev.h_at(j - 1);
+                if d <= NEG_INF / 2 {
+                    NEG_INF
+                } else {
+                    d + params.matrix.score(a[i - 1], b[j - 1])
+                }
+            } else {
+                NEG_INF
+            };
+            let mut h = NEG_INF;
+            let mut src = 0u8;
+            if diag > h {
+                h = diag;
+                src = H_DIAG;
+            }
+            if e > h {
+                h = e;
+                src = H_FROM_E;
+            }
+            if f > h {
+                h = f;
+                src = H_FROM_F;
+            }
+            let live = h >= best - x && h > NEG_INF / 2;
+            if live {
+                if lo == usize::MAX {
+                    lo = j;
+                }
+                h_new.push(h);
+                f_new.push(f);
+                dir_new.push(dir | src);
+                if h > best {
+                    best = h;
+                    best_pos = (i, j);
+                }
+            } else if lo != usize::MAX {
+                // Window already open: a dead cell ends it once we are past
+                // the reach of the previous row (no F/diag can revive us and
+                // E is dead too).
+                if j >= prev_hi && e < best - x {
+                    break;
+                }
+                h_new.push(NEG_INF);
+                f_new.push(NEG_INF);
+                dir_new.push(0);
+            } else if j >= prev_hi {
+                // Never opened and nothing can open it any more.
+                break;
+            }
+            j += 1;
+        }
+        if lo == usize::MAX {
+            break; // row fully dead — extension terminated
+        }
+        // Trim trailing dead cells.
+        while h_new.last() == Some(&NEG_INF) {
+            h_new.pop();
+            f_new.pop();
+            dir_new.pop();
+        }
+        // Retire the previous row's buffers for reuse.
+        spare_h = prev.h;
+        spare_f = prev.f;
+        row = Row { lo, h: h_new, f: f_new };
+        dirs.push((lo, dir_new));
+        if row.h.is_empty() {
+            break;
+        }
+    }
+
+    // The x-drop band is what makes XD cheap: charge only computed cells
+    // (~3 ns each — the banded bookkeeping costs a little over plain SW).
+    pcomm::work::record(cells + n as u64 + 1, 3);
+
+    // Traceback from best_pos.
+    let (mut i, mut j) = best_pos;
+    let mut matches = 0u32;
+    let mut align_len = 0u32;
+    enum State {
+        H,
+        E,
+        F,
+    }
+    let mut state = State::H;
+    while i > 0 || j > 0 {
+        let (lo, row_dirs) = &dirs[i];
+        debug_assert!(j >= *lo && j - lo < row_dirs.len(), "traceback left the live band");
+        let dir = row_dirs[j - lo];
+        match state {
+            State::H => match dir & H_SRC_MASK {
+                H_DIAG => {
+                    align_len += 1;
+                    if a[i - 1] == b[j - 1] {
+                        matches += 1;
+                    }
+                    i -= 1;
+                    j -= 1;
+                }
+                H_FROM_E => state = State::E,
+                H_FROM_F => state = State::F,
+                _ => unreachable!("dead cell on the optimal path"),
+            },
+            State::E => {
+                align_len += 1;
+                if dir & E_EXTEND == 0 {
+                    state = State::H;
+                }
+                j -= 1;
+            }
+            State::F => {
+                align_len += 1;
+                if dir & F_EXTEND == 0 {
+                    state = State::H;
+                }
+                i -= 1;
+            }
+        }
+    }
+    Extension { score: best, a_end: best_pos.0, b_end: best_pos.1, matches, align_len }
+}
+
+/// Seed-and-extend alignment of `r` and `c` anchored on a shared k-mer at
+/// `r_pos`/`c_pos` (paper §IV-E): the seed region is scored exactly and the
+/// alignment is extended with gapped x-drop in both directions.
+pub fn xdrop_align(r: &[u8], c: &[u8], r_pos: u32, c_pos: u32, k: usize, params: &AlignParams) -> AlignStats {
+    let (r_pos, c_pos) = (r_pos as usize, c_pos as usize);
+    assert!(r_pos + k <= r.len() && c_pos + k <= c.len(), "seed outside sequence");
+    // Seed score: the anchor k-mers may differ under substitute k-mer
+    // matching, so score the actual residues pairwise.
+    let mut seed_score = 0i32;
+    let mut seed_matches = 0u32;
+    for t in 0..k {
+        seed_score += params.matrix.score(r[r_pos + t], c[c_pos + t]);
+        if r[r_pos + t] == c[c_pos + t] {
+            seed_matches += 1;
+        }
+    }
+    // Right extension over the suffixes past the seed.
+    let right = extend_gapped(&r[r_pos + k..], &c[c_pos + k..], params);
+    // Left extension over the reversed prefixes before the seed.
+    let rev_r: Vec<u8> = r[..r_pos].iter().rev().copied().collect();
+    let rev_c: Vec<u8> = c[..c_pos].iter().rev().copied().collect();
+    let left = extend_gapped(&rev_r, &rev_c, params);
+
+    AlignStats {
+        score: seed_score + left.score + right.score,
+        matches: seed_matches + left.matches + right.matches,
+        align_len: k as u32 + left.align_len + right.align_len,
+        r_span: ((r_pos - left.a_end) as u32, (r_pos + k + right.a_end) as u32),
+        c_span: ((c_pos - left.b_end) as u32, (c_pos + k + right.b_end) as u32),
+        r_len: r.len() as u32,
+        c_len: c.len() as u32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sw::smith_waterman;
+    use seqstore::encode_seq;
+
+    fn params() -> AlignParams {
+        AlignParams::default()
+    }
+
+    #[test]
+    fn identical_sequences_extend_fully() {
+        let s = encode_seq(b"MKVLAWHERTYCCDDEE");
+        let st = xdrop_align(&s, &s, 5, 5, 3, &params());
+        assert_eq!(st.matches as usize, s.len());
+        assert_eq!(st.align_len as usize, s.len());
+        assert_eq!(st.r_span, (0, s.len() as u32));
+        assert_eq!(st.c_span, (0, s.len() as u32));
+        let sw = smith_waterman(&s, &s, &params());
+        assert_eq!(st.score, sw.score);
+    }
+
+    #[test]
+    fn seed_at_sequence_edges() {
+        let s = encode_seq(b"MKVLAW");
+        let st0 = xdrop_align(&s, &s, 0, 0, 3, &params());
+        assert_eq!(st0.matches, 6);
+        let st_end = xdrop_align(&s, &s, 3, 3, 3, &params());
+        assert_eq!(st_end.matches, 6);
+    }
+
+    #[test]
+    fn mismatch_tail_is_dropped() {
+        // Shared prefix, then unrelated tails: extension must stop early.
+        let a = encode_seq(b"MKVLAWHERTYWWWWWWWW");
+        let b = encode_seq(b"MKVLAWHERTYAAAAAAAA");
+        let st = xdrop_align(&a, &b, 0, 0, 6, &params());
+        assert_eq!(st.matches, 11);
+        assert!(st.r_span.1 <= 12);
+    }
+
+    #[test]
+    fn extension_crosses_single_gap() {
+        let a = encode_seq(b"MKVLAWHERTYDDDD");
+        let b = encode_seq(b"MKVLAWCCCHERTYDDDD");
+        // Seed on the common prefix.
+        let st = xdrop_align(&a, &b, 0, 0, 6, &params());
+        assert_eq!(st.matches, 15);
+        assert_eq!(st.align_len, 18);
+        let swr = smith_waterman(&a, &b, &params());
+        assert_eq!(st.score, swr.score);
+    }
+
+    #[test]
+    fn matches_smith_waterman_on_homologs() {
+        // When the pair is genuinely similar end to end, XD from a correct
+        // seed finds the same alignment as SW.
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..20 {
+            let len = rng.random_range(30..80);
+            let a: Vec<u8> = (0..len).map(|_| rng.random_range(0..20u8)).collect();
+            // 10% point mutations.
+            let b: Vec<u8> = a
+                .iter()
+                .map(|&x| if rng.random::<f64>() < 0.1 { rng.random_range(0..20u8) } else { x })
+                .collect();
+            // Find a shared 6-mer to seed from.
+            let seed = (0..len - 6).find(|&i| a[i..i + 6] == b[i..i + 6]);
+            let Some(seed) = seed else { continue };
+            let st = xdrop_align(&a, &b, seed as u32, seed as u32, 6, &params());
+            let swr = smith_waterman(&a, &b, &params());
+            assert!(st.score <= swr.score, "xdrop cannot beat SW");
+            assert!(st.score >= swr.score - 10, "xd={} sw={}", st.score, swr.score);
+        }
+    }
+
+    #[test]
+    fn spans_contain_seed() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..30 {
+            let m = rng.random_range(10..50);
+            let n = rng.random_range(10..50);
+            let a: Vec<u8> = (0..m).map(|_| rng.random_range(0..24u8)).collect();
+            let b: Vec<u8> = (0..n).map(|_| rng.random_range(0..24u8)).collect();
+            let rp = rng.random_range(0..m - 6) as u32;
+            let cp = rng.random_range(0..n - 6) as u32;
+            let st = xdrop_align(&a, &b, rp, cp, 6, &params());
+            assert!(st.r_span.0 <= rp && st.r_span.1 >= rp + 6);
+            assert!(st.c_span.0 <= cp && st.c_span.1 >= cp + 6);
+            assert!(st.matches <= st.align_len);
+        }
+    }
+
+    #[test]
+    fn xdrop_zero_stops_at_first_drop() {
+        let mut p = params();
+        p.xdrop = 0;
+        let a = encode_seq(b"WWWWAW");
+        let b = encode_seq(b"WWWWWW");
+        let st = xdrop_align(&a, &b, 0, 0, 4, &p);
+        // Extension right hits A/W (−3 < best − 0) and stops immediately,
+        // so the final W match is never reached.
+        assert_eq!(st.matches, 4);
+        // A generous x-drop crosses the mismatch and recovers the last W.
+        let st49 = xdrop_align(&a, &b, 0, 0, 4, &AlignParams::default());
+        assert_eq!(st49.matches, 5);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests of the alignment kernels: score bounds, symmetry,
+//! statistics consistency, and the SW ≥ XD dominance relation.
+
+use align::{smith_waterman, ungapped_xdrop, xdrop_align, AlignParams};
+use proptest::prelude::*;
+
+fn seq_strategy(max: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..20, 0..max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn sw_score_nonnegative_and_stats_consistent(a in seq_strategy(80), b in seq_strategy(80)) {
+        let st = smith_waterman(&a, &b, &AlignParams::default());
+        prop_assert!(st.score >= 0);
+        prop_assert!(st.matches <= st.align_len);
+        prop_assert!(st.r_span.0 <= st.r_span.1);
+        prop_assert!(st.c_span.0 <= st.c_span.1);
+        prop_assert!(st.r_span.1 as usize <= a.len());
+        prop_assert!(st.c_span.1 as usize <= b.len());
+        let (sr, sc) = (st.r_span.1 - st.r_span.0, st.c_span.1 - st.c_span.0);
+        prop_assert!(st.align_len >= sr.max(sc));
+        prop_assert!(st.align_len <= sr + sc);
+        prop_assert!((0.0..=1.0).contains(&st.ani()));
+        prop_assert!((0.0..=1.0).contains(&st.coverage_short()) || st.coverage_short() == 0.0);
+    }
+
+    #[test]
+    fn sw_score_is_symmetric(a in seq_strategy(60), b in seq_strategy(60)) {
+        // Only the optimal score is symmetric: when several alignments tie,
+        // the deterministic tie-break may pick different paths for (a,b)
+        // and (b,a), so spans/matches can legitimately differ.
+        let p = AlignParams::default();
+        let ab = smith_waterman(&a, &b, &p);
+        let ba = smith_waterman(&b, &a, &p);
+        prop_assert_eq!(ab.score, ba.score);
+    }
+
+    #[test]
+    fn sw_self_alignment_is_perfect(a in proptest::collection::vec(0u8..20, 1..80)) {
+        let st = smith_waterman(&a, &a, &AlignParams::default());
+        prop_assert_eq!(st.matches as usize, a.len());
+        prop_assert_eq!(st.align_len as usize, a.len());
+        prop_assert!((st.ani() - 1.0).abs() < 1e-12);
+        prop_assert!((st.coverage_short() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn xdrop_never_beats_sw(
+        a in proptest::collection::vec(0u8..20, 10..60),
+        b in proptest::collection::vec(0u8..20, 10..60),
+        rp in 0u32..4,
+        cp in 0u32..4,
+    ) {
+        let p = AlignParams::default();
+        let k = 4;
+        let sw = smith_waterman(&a, &b, &p);
+        let xd = xdrop_align(&a, &b, rp, cp, k, &p);
+        // XD is anchored on a (possibly bad) seed: it can never exceed the
+        // optimum local alignment score.
+        prop_assert!(xd.score <= sw.score, "xd {} > sw {}", xd.score, sw.score);
+        prop_assert!(xd.matches <= xd.align_len);
+        // Seed contained in reported spans.
+        prop_assert!(xd.r_span.0 <= rp && rp + k as u32 <= xd.r_span.1);
+        prop_assert!(xd.c_span.0 <= cp && cp + k as u32 <= xd.c_span.1);
+    }
+
+    #[test]
+    fn ungapped_never_beats_gapped_xdrop(
+        a in proptest::collection::vec(0u8..20, 10..60),
+        b in proptest::collection::vec(0u8..20, 10..60),
+        pos in 0u32..4,
+    ) {
+        let p = AlignParams::default();
+        let ug = ungapped_xdrop(&a, &b, pos, pos, 4, &p);
+        let xd = xdrop_align(&a, &b, pos, pos, 4, &p);
+        // Gapped extension explores a superset of the ungapped diagonal.
+        prop_assert!(xd.score >= ug.score, "xd {} < ungapped {}", xd.score, ug.score);
+        prop_assert_eq!(ug.r_span.1 - ug.r_span.0, ug.c_span.1 - ug.c_span.0);
+    }
+
+    #[test]
+    fn xdrop_score_monotone_in_x(
+        a in proptest::collection::vec(0u8..20, 12..50),
+        b in proptest::collection::vec(0u8..20, 12..50),
+    ) {
+        let lo = AlignParams { xdrop: 5, ..Default::default() };
+        let hi = AlignParams { xdrop: 100, ..Default::default() };
+        let s_lo = xdrop_align(&a, &b, 0, 0, 4, &lo).score;
+        let s_hi = xdrop_align(&a, &b, 0, 0, 4, &hi).score;
+        // A wider band can only find an equal or better extension.
+        prop_assert!(s_hi >= s_lo, "hi {} < lo {}", s_hi, s_lo);
+    }
+}

@@ -1,0 +1,17 @@
+//! `baselines` — reimplementations of the comparator tools of the paper's
+//! evaluation (§III, §VI): a MMseqs2-like many-against-many searcher (with
+//! its similar-k-mer double-diagonal prefilter and the single-writer output
+//! stage that limits its scaling) and a LAST-like suffix-array searcher
+//! with adaptive seeds.
+//!
+//! Both produce similarity-graph edges in the same `(gid_low, gid_high,
+//! weight)` format as PASTIS, so precision/recall and runtime comparisons
+//! are apples-to-apples.
+
+mod last;
+mod mmseqs;
+mod suffix;
+
+pub use last::{last_like, LastParams};
+pub use mmseqs::{mmseqs_like, mmseqs_like_distributed, MmseqsParams, MmseqsRun};
+pub use suffix::SuffixArray;

@@ -1,0 +1,170 @@
+//! Suffix array over a concatenated sequence collection, built by prefix
+//! doubling (O(n log² n)) — the index structure behind the LAST-like
+//! baseline's adaptive seeds.
+
+/// A suffix array over the concatenation of a set of sequences, separated
+/// by a sentinel so matches never cross sequence boundaries.
+pub struct SuffixArray {
+    /// Concatenated text: `seq0 SEP seq1 SEP …` (SEP = 0xFF).
+    text: Vec<u8>,
+    /// Sorted suffix start offsets.
+    sa: Vec<u32>,
+    /// `owner[t]` = sequence index owning text offset `t` (SEP owns none).
+    owner: Vec<u32>,
+    /// Start offset of each sequence in `text`.
+    starts: Vec<u32>,
+}
+
+const SEP: u8 = 0xFF;
+
+impl SuffixArray {
+    /// Build over encoded sequences (base indices < 24, so the sentinel
+    /// never collides).
+    pub fn build(seqs: &[&[u8]]) -> SuffixArray {
+        let total: usize = seqs.iter().map(|s| s.len() + 1).sum();
+        let mut text = Vec::with_capacity(total);
+        let mut owner = Vec::with_capacity(total);
+        let mut starts = Vec::with_capacity(seqs.len());
+        for (i, s) in seqs.iter().enumerate() {
+            starts.push(text.len() as u32);
+            debug_assert!(s.iter().all(|&b| b != SEP));
+            text.extend_from_slice(s);
+            owner.extend(std::iter::repeat_n(i as u32, s.len()));
+            text.push(SEP);
+            owner.push(u32::MAX);
+        }
+        let sa = build_sa(&text);
+        SuffixArray { text, sa, owner, starts }
+    }
+
+    /// The suffix offsets in sorted order.
+    pub fn suffixes(&self) -> &[u32] {
+        &self.sa
+    }
+
+    /// Number of occurrences of `pattern` and the SA range containing them.
+    pub fn range(&self, pattern: &[u8]) -> (usize, usize) {
+        // Work accounting: two binary searches with pattern comparisons.
+        pcomm::work::record(pattern.len() as u64 * 2 * (1 + self.sa.len().max(1).ilog2() as u64), 2);
+        let lo = self.sa.partition_point(|&s| self.suffix(s) < pattern);
+        let hi = self.sa[lo..].partition_point(|&s| self.suffix(s).starts_with(pattern)) + lo;
+        (lo, hi)
+    }
+
+    /// Occurrences of `pattern` as `(sequence index, offset in sequence)`.
+    pub fn locate(&self, pattern: &[u8]) -> Vec<(u32, u32)> {
+        let (lo, hi) = self.range(pattern);
+        let mut out: Vec<(u32, u32)> = self.sa[lo..hi]
+            .iter()
+            .map(|&s| {
+                let seq = self.owner[s as usize];
+                debug_assert_ne!(seq, u32::MAX, "pattern matched a separator");
+                (seq, s - self.starts[seq as usize])
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[inline]
+    fn suffix(&self, s: u32) -> &[u8] {
+        &self.text[s as usize..]
+    }
+}
+
+/// Prefix-doubling suffix array construction.
+fn build_sa(text: &[u8]) -> Vec<u32> {
+    let n = text.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Work accounting: prefix doubling is ~log n sorts of n suffixes.
+    pcomm::work::record((n as u64) * (64 - (n as u64).leading_zeros() as u64), 30);
+    let mut sa: Vec<u32> = (0..n as u32).collect();
+    let mut rank: Vec<u32> = text.iter().map(|&b| b as u32).collect();
+    let mut tmp = vec![0u32; n];
+    let mut len = 1usize;
+    loop {
+        let key = |i: u32| -> (u32, i64) {
+            let second = if (i as usize) + len < n { rank[i as usize + len] as i64 } else { -1 };
+            (rank[i as usize], second)
+        };
+        sa.sort_unstable_by_key(|&i| key(i));
+        tmp[sa[0] as usize] = 0;
+        for w in 1..n {
+            let inc = (key(sa[w]) != key(sa[w - 1])) as u32;
+            tmp[sa[w] as usize] = tmp[sa[w - 1] as usize] + inc;
+        }
+        rank.copy_from_slice(&tmp);
+        if rank[sa[n - 1] as usize] as usize == n - 1 {
+            break;
+        }
+        len *= 2;
+    }
+    sa
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqstore::encode_seq;
+
+    #[test]
+    fn sa_sorts_suffixes() {
+        let text = b"banana".to_vec();
+        let sa = build_sa(&text);
+        let mut suffixes: Vec<&[u8]> = (0..text.len()).map(|i| &text[i..]).collect();
+        suffixes.sort();
+        let got: Vec<&[u8]> = sa.iter().map(|&i| &text[i as usize..]).collect();
+        assert_eq!(got, suffixes);
+    }
+
+    #[test]
+    fn sa_random_texts_match_naive() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..20 {
+            let n = rng.random_range(1..200);
+            let text: Vec<u8> = (0..n).map(|_| rng.random_range(0..4u8)).collect();
+            let sa = build_sa(&text);
+            let mut naive: Vec<u32> = (0..n as u32).collect();
+            naive.sort_by_key(|&i| &text[i as usize..]);
+            assert_eq!(sa, naive);
+        }
+    }
+
+    #[test]
+    fn locate_finds_all_occurrences() {
+        let a = encode_seq(b"MKVLAWMKV");
+        let b = encode_seq(b"AWMKVHH");
+        let sa = SuffixArray::build(&[&a, &b]);
+        let hits = sa.locate(&encode_seq(b"MKV"));
+        assert_eq!(hits, vec![(0, 0), (0, 6), (1, 2)]);
+    }
+
+    #[test]
+    fn matches_do_not_cross_boundaries() {
+        // "AW" at the end of seq0 + "MK" at the start of seq1 must not form
+        // a cross-boundary "AWMK" match.
+        let a = encode_seq(b"CCAW");
+        let b = encode_seq(b"MKCC");
+        let sa = SuffixArray::build(&[&a, &b]);
+        assert!(sa.locate(&encode_seq(b"AWMK")).is_empty());
+        assert_eq!(sa.locate(&encode_seq(b"AW")), vec![(0, 2)]);
+    }
+
+    #[test]
+    fn missing_pattern() {
+        let a = encode_seq(b"MKVLAW");
+        let sa = SuffixArray::build(&[&a]);
+        assert!(sa.locate(&encode_seq(b"YYY")).is_empty());
+        let (lo, hi) = sa.range(&encode_seq(b"YYY"));
+        assert_eq!(lo, hi);
+    }
+
+    #[test]
+    fn empty_collection() {
+        let sa = SuffixArray::build(&[]);
+        assert!(sa.locate(&encode_seq(b"A")).is_empty());
+    }
+}

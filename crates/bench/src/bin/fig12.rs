@@ -1,0 +1,66 @@
+//! Figure 12: runtime of PASTIS variants (SW/XD × s0/s25 × ±CK) versus
+//! node count, on two dataset sizes.
+//!
+//! Paper setup: Metaclust50-0.5M and -1M, nodes {1,4,16,64,256} (Haswell).
+//! Here: 0.5k/1k-sequence stand-ins (1000× scale-down, see EXPERIMENTS.md),
+//! the same node counts simulated as threads, runtimes modeled with the
+//! postal cost model. Expected shapes: s25 ≫ s0 (more alignments), SW ≫ XD,
+//! CK well below non-CK, and all variants scaling with p.
+//!
+//! `SCALE=<f64>` multiplies dataset sizes (default 1).
+
+use align::SimilarityMeasure;
+use pastis::{AlignMode, PastisParams};
+use pastis_bench::{fmt_secs, metaclust_dataset, modeled_total_secs, run_on, FIG12_NODES};
+use pcomm::CostModel;
+
+fn variants() -> Vec<PastisParams> {
+    let mut out = Vec::new();
+    for mode in [AlignMode::SmithWaterman, AlignMode::XDrop] {
+        for subs in [0usize, 25] {
+            for ck in [false, true] {
+                out.push(PastisParams {
+                    k: 5,
+                    substitutes: subs,
+                    mode,
+                    // Paper: CK threshold 1 for exact, 3 for substitute k-mers.
+                    common_kmer_threshold: if !ck {
+                        0
+                    } else if subs == 0 {
+                        1
+                    } else {
+                        3
+                    },
+                    measure: SimilarityMeasure::Ani,
+                    ..Default::default()
+                });
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let scale: f64 = std::env::var("SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let model = CostModel::default();
+    for (name, kseqs, seed) in [("metaclust50-0.5k", 0.5 * scale, 50u64), ("metaclust50-1k", 1.0 * scale, 51)] {
+        let fasta = metaclust_dataset(kseqs, seed);
+        println!("\n== Figure 12 — {name} (stand-in for {}M) ==", if kseqs < 0.75 * scale { "0.5" } else { "1" });
+        print!("{:<22}", "variant \\ nodes");
+        for p in FIG12_NODES {
+            print!("{p:>10}");
+        }
+        println!();
+        for params in variants() {
+            print!("{:<22}", params.variant_name());
+            for p in FIG12_NODES {
+                let runs = run_on(&fasta, p, &params);
+                let t = modeled_total_secs(&runs, &model);
+                print!("{:>10}", fmt_secs(t));
+            }
+            println!();
+        }
+    }
+    println!("\nPaper shapes to check: substitute k-mers cost more than exact;");
+    println!("XD beats SW; CK variants are fastest; all scale with node count.");
+}

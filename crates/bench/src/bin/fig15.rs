@@ -1,0 +1,43 @@
+//! Figure 15: percentage of time in each sparse component versus node
+//! count, for s ∈ {0, 10, 25, 50} (alignment excluded).
+//!
+//! Paper shapes: `wait` (sequence exchange) is a large share at small p and
+//! with exact k-mers; with substitutes, `form S` and the SpGEMMs dominate;
+//! SpGEMM's share grows with p (it scales worst).
+//!
+//! `SCALE=<f64>` multiplies dataset size (default 1).
+
+use pastis::{AlignMode, PastisParams};
+use pastis_bench::{component_modeled, critical_timings, metaclust_dataset, run_on};
+use pcomm::CostModel;
+
+const NODES: [usize; 3] = [4, 16, 64];
+
+fn main() {
+    let scale: f64 = std::env::var("SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let model = CostModel::default();
+    let fasta = metaclust_dataset(2.5 * scale, 52);
+    println!("== Figure 15 — component time %, metaclust50-2.5k stand-in ==");
+    for subs in [0usize, 10, 25, 50] {
+        println!("\n-- subs = {subs} --");
+        let params = PastisParams { k: 5, substitutes: subs, mode: AlignMode::None, ..Default::default() };
+        print!("{:<10}", "p");
+        for label in ["fasta", "form A", "tr. A", "form S", "AS", "(AS)AT", "sym.", "wait"] {
+            print!("{label:>9}");
+        }
+        println!();
+        for p in NODES {
+            let runs = run_on(&fasta, p, &params);
+            let crit = critical_timings(&runs);
+            let comps = component_modeled(&crit, &model);
+            let total: f64 = comps.iter().map(|&(_, s)| s).sum();
+            print!("{p:<10}");
+            for &(_, s) in &comps {
+                print!("{:>8.0}%", if total > 0.0 { 100.0 * s / total } else { 0.0 });
+            }
+            println!();
+        }
+    }
+    println!("\nPaper shapes: 'wait' shrinks as s grows (other components swell");
+    println!("while the exchange volume is constant); SpGEMM % grows with p.");
+}

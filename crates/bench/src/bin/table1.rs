@@ -1,0 +1,71 @@
+//! Table I: percentage of time PASTIS spends in pairwise alignment, per
+//! scheme and node count, on two dataset sizes.
+//!
+//! Paper shapes: SW has much higher alignment share than XD; CK slashes
+//! the share; the share grows with dataset size (alignments grow
+//! quadratically, sparse stages roughly linearly).
+//!
+//! `SCALE=<f64>` multiplies dataset sizes (default 1).
+
+use align::SimilarityMeasure;
+use pastis::{AlignMode, PastisParams};
+use pastis_bench::{critical_timings, metaclust_dataset, run_on};
+use pcomm::CostModel;
+
+const NODES: [usize; 5] = [1, 4, 16, 64, 256];
+
+fn schemes() -> Vec<PastisParams> {
+    let mut out = Vec::new();
+    for (mode, subs, ck) in [
+        (AlignMode::SmithWaterman, 0, false),
+        (AlignMode::SmithWaterman, 25, false),
+        (AlignMode::XDrop, 0, false),
+        (AlignMode::XDrop, 25, false),
+        (AlignMode::SmithWaterman, 0, true),
+        (AlignMode::SmithWaterman, 25, true),
+        (AlignMode::XDrop, 0, true),
+        (AlignMode::XDrop, 25, true),
+    ] {
+        out.push(PastisParams {
+            k: 5,
+            substitutes: subs,
+            mode,
+            common_kmer_threshold: if !ck {
+                0
+            } else if subs == 0 {
+                1
+            } else {
+                3
+            },
+            measure: SimilarityMeasure::Ani,
+            ..Default::default()
+        });
+    }
+    out
+}
+
+fn main() {
+    let scale: f64 = std::env::var("SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let model = CostModel::default();
+    println!("== Table I — alignment time percentage in PASTIS ==");
+    for (name, kseqs, seed) in [("metaclust50-0.5k", 0.5 * scale, 50u64), ("metaclust50-1k", 1.0 * scale, 51)] {
+        let fasta = metaclust_dataset(kseqs, seed);
+        println!("\n-- {name} --");
+        print!("{:<22}", "scheme \\ nodes");
+        for p in NODES {
+            print!("{p:>8}");
+        }
+        println!();
+        for params in schemes() {
+            print!("{:<22}", params.variant_name());
+            for p in NODES {
+                let runs = run_on(&fasta, p, &params);
+                let frac = critical_timings(&runs).align_fraction_modeled(&model);
+                print!("{:>7.0}%", frac * 100.0);
+            }
+            println!();
+        }
+    }
+    println!("\nPaper shapes: SW ≫ XD in alignment share; CK drops the share");
+    println!("dramatically (e.g. XD-s25-CK ~10%); share grows with dataset size.");
+}

@@ -1,0 +1,49 @@
+//! Quantitative claims from the paper's §VI-A prose:
+//!
+//! 1. "the number of alignments performed with exact k-mers is 399 million
+//!    whereas with 25 substitute k-mers it is 3.5 billion — a factor of
+//!    8.7× in the number of alignments" (Metaclust50-0.5M).
+//! 2. "the number of nonzeros in the output matrix increases roughly by a
+//!    factor of four when we double the number of sequences" (weak
+//!    scaling).
+//!
+//! `SCALE=<f64>` multiplies dataset sizes (default 1).
+
+use pastis::{AlignMode, PastisParams};
+use pastis_bench::{metaclust_dataset, run_on};
+
+fn main() {
+    let scale: f64 = std::env::var("SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0);
+
+    // 1. Alignment blow-up from substitute k-mers.
+    let fasta = metaclust_dataset(0.5 * scale, 50);
+    let mut alignments = Vec::new();
+    for subs in [0usize, 25] {
+        let params = PastisParams { k: 5, substitutes: subs, ..Default::default() };
+        let runs = run_on(&fasta, 4, &params);
+        alignments.push(runs[0].counters.alignments_global);
+    }
+    println!("== §VI-A text stats ==");
+    println!(
+        "alignments (0.5k stand-in): exact = {}, s25 = {}, ratio = {:.1}x  (paper: 399M vs 3.5B, 8.7x)",
+        alignments[0],
+        alignments[1],
+        alignments[1] as f64 / alignments[0].max(1) as f64
+    );
+
+    // 2. Quadratic nnz(B) growth with dataset size (s = 25 in the paper).
+    println!("\nnnz(B) growth, s = 25 (paper: 10.9/43.3/172.3 billion — ~4x per 2x):");
+    let mut prev: Option<u64> = None;
+    for (kseqs, seed) in [(1.25 * scale, 53u64), (2.5 * scale, 54), (5.0 * scale, 55)] {
+        let fasta = metaclust_dataset(kseqs, seed);
+        let params = PastisParams { k: 5, substitutes: 25, mode: AlignMode::None, ..Default::default() };
+        let runs = run_on(&fasta, 4, &params);
+        let nnz = runs[0].counters.nnz_b;
+        match prev {
+            None => println!("  {kseqs:>5}k seqs: nnz(B) = {nnz}"),
+            Some(p) => println!("  {kseqs:>5}k seqs: nnz(B) = {nnz}  (x{:.2} over previous)", nnz as f64 / p as f64),
+        }
+        prev = Some(nnz);
+    }
+    println!("\nExpected shape: ratios near 4x per doubling (§VI-A weak scaling).");
+}

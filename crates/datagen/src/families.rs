@@ -1,0 +1,289 @@
+//! SCOPe-like labeled families: one random ancestor per family, members
+//! derived by BLOSUM-biased point mutation plus occasional short indels.
+
+use align::BLOSUM62;
+use rand::prelude::*;
+use seqstore::FastaRecord;
+
+use crate::proteins::{random_protein, sample_residue};
+
+/// Substitute `from` with a residue sampled ∝ 2^(BLOSUM62 score), i.e.
+/// evolution-plausible replacements dominate — the same bias substitute
+/// k-mers are designed to capture (paper §IV-B).
+fn biased_substitution(from: u8, rng: &mut impl Rng) -> u8 {
+    // Weights over the 20 standard residues excluding `from`.
+    let mut weights = [0f64; 20];
+    let mut total = 0f64;
+    for (t, w) in weights.iter_mut().enumerate() {
+        if t as u8 != from {
+            *w = (BLOSUM62.score(from, t as u8) as f64 / 2.0).exp2();
+            total += *w;
+        }
+    }
+    let mut pick = rng.random::<f64>() * total;
+    for (t, &w) in weights.iter().enumerate() {
+        pick -= w;
+        if pick <= 0.0 && t as u8 != from {
+            return t as u8;
+        }
+    }
+    // Floating-point tail: fall back to the last non-`from` residue.
+    if from == 19 {
+        18
+    } else {
+        19
+    }
+}
+
+/// Mutate a sequence: per-residue substitution at `rate`, plus with
+/// probability `rate` one short indel (1–5 residues inserted or deleted).
+pub(crate) fn mutate(seq: &[u8], rate: f64, rng: &mut impl Rng) -> Vec<u8> {
+    let mut out: Vec<u8> = seq
+        .iter()
+        .map(|&b| if rng.random::<f64>() < rate { biased_substitution(b, rng) } else { b })
+        .collect();
+    if rng.random::<f64>() < rate && out.len() > 10 {
+        let ilen = rng.random_range(1..=5usize);
+        let pos = rng.random_range(0..out.len() - ilen);
+        if rng.random::<bool>() {
+            let insert: Vec<u8> = (0..ilen).map(|_| sample_residue(rng)).collect();
+            out.splice(pos..pos, insert);
+        } else {
+            out.drain(pos..pos + ilen);
+        }
+    }
+    out
+}
+
+/// Configuration for [`scope_like`].
+#[derive(Debug, Clone)]
+pub struct ScopeConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of families (SCOPe has 4,899; scale down proportionally).
+    pub families: usize,
+    /// Members per family, inclusive range (family sizes vary widely).
+    pub members_range: (usize, usize),
+    /// Ancestor length range.
+    pub len_range: (usize, usize),
+    /// Per-member divergence range: each member mutates its ancestor at a
+    /// rate drawn uniformly from this interval. Remote homologs (high end)
+    /// are what substitute k-mers exist to recover.
+    pub divergence: (f64, f64),
+    /// Probability that a domain of a family ancestor is drawn from a pool
+    /// shared across families (0 disables domain architecture entirely and
+    /// ancestors are plain random proteins). Shared domains create partial
+    /// cross-family similarity — the false-positive links that make real
+    /// SCOPe precision < 1 and clustering non-trivial.
+    pub shared_domain_fraction: f64,
+}
+
+impl Default for ScopeConfig {
+    fn default() -> Self {
+        ScopeConfig {
+            seed: 42,
+            families: 50,
+            members_range: (3, 16),
+            len_range: (80, 250),
+            divergence: (0.05, 0.35),
+            shared_domain_fraction: 0.0,
+        }
+    }
+}
+
+/// A labeled dataset: records plus, per record, its ground-truth family.
+#[derive(Debug, Clone)]
+pub struct LabeledDataset {
+    /// Sequence records in global id order.
+    pub records: Vec<FastaRecord>,
+    /// `labels[i]` is the family of `records[i]`.
+    pub labels: Vec<usize>,
+}
+
+impl LabeledDataset {
+    /// Number of sequences.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no sequences were generated.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of distinct families.
+    pub fn family_count(&self) -> usize {
+        self.labels.iter().copied().max().map_or(0, |m| m + 1)
+    }
+}
+
+/// Generate a SCOPe-like labeled family dataset. Members are shuffled so
+/// family ids do not correlate with sequence ids (as in a real database).
+pub fn scope_like(cfg: &ScopeConfig) -> LabeledDataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Pool of domains families may share (only used when
+    // shared_domain_fraction > 0).
+    let pool: Vec<Vec<u8>> = (0..(cfg.families / 3).max(4))
+        .map(|_| {
+            let len = rng.random_range(30..=80);
+            random_protein(&mut rng, len)
+        })
+        .collect();
+    let mut entries: Vec<(usize, Vec<u8>)> = Vec::new();
+    for fam in 0..cfg.families {
+        let ancestor = if cfg.shared_domain_fraction > 0.0 {
+            // Domain architecture: 2–4 domains, some from the shared pool.
+            let ndom = rng.random_range(2..=4);
+            let mut a = Vec::new();
+            for _ in 0..ndom {
+                if rng.random::<f64>() < cfg.shared_domain_fraction {
+                    a.extend_from_slice(pool.choose(&mut rng).unwrap());
+                } else {
+                    let len = rng.random_range(30..=80);
+                    a.extend(random_protein(&mut rng, len));
+                }
+            }
+            a
+        } else {
+            let len = rng.random_range(cfg.len_range.0..=cfg.len_range.1);
+            random_protein(&mut rng, len)
+        };
+        let members = rng.random_range(cfg.members_range.0..=cfg.members_range.1);
+        for _ in 0..members {
+            let rate = rng.random_range(cfg.divergence.0..cfg.divergence.1.max(cfg.divergence.0 + 1e-9));
+            entries.push((fam, mutate(&ancestor, rate, &mut rng)));
+        }
+    }
+    entries.shuffle(&mut rng);
+    let mut records = Vec::with_capacity(entries.len());
+    let mut labels = Vec::with_capacity(entries.len());
+    for (i, (fam, data)) in entries.into_iter().enumerate() {
+        records.push(FastaRecord { name: format!("fam{fam}_seq{i}"), residues: seqstore::decode_seq(&data) });
+        labels.push(fam);
+    }
+    LabeledDataset { records, labels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use align::{smith_waterman, AlignParams};
+    use seqstore::encode_seq;
+
+    #[test]
+    fn deterministic() {
+        let cfg = ScopeConfig { families: 5, ..Default::default() };
+        let a = scope_like(&cfg);
+        let b = scope_like(&cfg);
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn family_count_and_sizes() {
+        let cfg = ScopeConfig { families: 8, members_range: (2, 4), ..Default::default() };
+        let d = scope_like(&cfg);
+        assert_eq!(d.family_count(), 8);
+        for fam in 0..8 {
+            let size = d.labels.iter().filter(|&&l| l == fam).count();
+            assert!((2..=4).contains(&size), "family {fam} has {size}");
+        }
+    }
+
+    #[test]
+    fn family_members_are_similar_nonmembers_are_not() {
+        let cfg = ScopeConfig {
+            seed: 5,
+            families: 4,
+            members_range: (3, 3),
+            len_range: (100, 140),
+            divergence: (0.02, 0.10),
+            shared_domain_fraction: 0.0,
+        };
+        let d = scope_like(&cfg);
+        let p = AlignParams::default();
+        let enc: Vec<Vec<u8>> = d.records.iter().map(|r| encode_seq(&r.residues)).collect();
+        let mut intra = Vec::new();
+        let mut inter = Vec::new();
+        for i in 0..enc.len() {
+            for j in i + 1..enc.len() {
+                let st = smith_waterman(&enc[i], &enc[j], &p);
+                if d.labels[i] == d.labels[j] {
+                    intra.push(st.ani());
+                } else {
+                    inter.push(st.ani());
+                }
+            }
+        }
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(avg(&intra) > 0.7, "intra-family identity too low: {}", avg(&intra));
+        assert!(avg(&inter) < 0.5, "inter-family identity too high: {}", avg(&inter));
+    }
+
+    #[test]
+    fn biased_substitution_prefers_conservative_changes() {
+        use seqstore::aa_index;
+        let mut rng = StdRng::seed_from_u64(6);
+        let ile = aa_index(b'I').unwrap();
+        let mut counts = [0usize; 20];
+        for _ in 0..20_000 {
+            counts[biased_substitution(ile, &mut rng) as usize] += 1;
+        }
+        assert_eq!(counts[ile as usize], 0, "never substitutes with itself");
+        // I's best partner is V (score 3, weight 2^1.5); W (−3, weight
+        // 2^−1.5) is 8× less likely in expectation.
+        let v = counts[aa_index(b'V').unwrap() as usize];
+        let w = counts[aa_index(b'W').unwrap() as usize];
+        assert!(v > 5 * w, "V={v} W={w}");
+    }
+
+    #[test]
+    fn shared_domains_create_cross_family_similarity() {
+        let cfg = ScopeConfig {
+            seed: 9,
+            families: 6,
+            members_range: (2, 3),
+            divergence: (0.02, 0.05),
+            shared_domain_fraction: 0.9,
+            ..Default::default()
+        };
+        let d = scope_like(&cfg);
+        // With 90% shared domains, some cross-family pair must share a
+        // long exact substring (a barely mutated domain).
+        let enc: Vec<Vec<u8>> = d.records.iter().map(|r| encode_seq(&r.residues)).collect();
+        let p = AlignParams::default();
+        let mut best_cross = 0;
+        for i in 0..enc.len() {
+            for j in i + 1..enc.len() {
+                if d.labels[i] != d.labels[j] {
+                    let st = smith_waterman(&enc[i], &enc[j], &p);
+                    best_cross = best_cross.max(st.matches);
+                }
+            }
+        }
+        assert!(best_cross >= 20, "no shared-domain signal: best {best_cross}");
+    }
+
+    #[test]
+    fn zero_shared_fraction_uses_len_range() {
+        let cfg = ScopeConfig {
+            seed: 10,
+            families: 4,
+            members_range: (2, 2),
+            len_range: (100, 110),
+            divergence: (0.0, 0.01),
+            shared_domain_fraction: 0.0,
+        };
+        let d = scope_like(&cfg);
+        for r in &d.records {
+            assert!((95..=120).contains(&r.residues.len()), "{}", r.residues.len());
+        }
+    }
+
+    #[test]
+    fn mutate_rate_zero_is_identity() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = random_protein(&mut rng, 100);
+        assert_eq!(mutate(&s, 0.0, &mut rng), s);
+    }
+}

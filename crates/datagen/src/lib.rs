@@ -1,0 +1,22 @@
+//! `datagen` — synthetic protein datasets standing in for the paper's
+//! evaluation data.
+//!
+//! The paper evaluates on Metaclust50 subsets (runtime/scaling) and on the
+//! curated SCOPe set with 4,899 known families (precision/recall). Neither
+//! is redistributable at reproduction scale, so this crate generates:
+//!
+//! - [`metaclust_like`]: unlabeled protein sets with natural amino-acid
+//!   frequencies, lengths in a configurable range (the paper notes protein
+//!   lengths of 100–1000), and a configurable fraction of mutated family
+//!   members — enough shared k-mer structure that the overlap matrix `B`
+//!   grows quadratically in sequence count, as observed in §VI-A.
+//! - [`scope_like`]: labeled family sets (ancestor + BLOSUM-biased point
+//!   mutations and indels per member) for precision/recall experiments.
+//!
+//! All generation is seeded and deterministic.
+
+mod families;
+mod proteins;
+
+pub use families::{scope_like, LabeledDataset, ScopeConfig};
+pub use proteins::{metaclust_like, random_protein, MetaclustConfig};

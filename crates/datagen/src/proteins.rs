@@ -1,0 +1,140 @@
+//! Random protein generation with natural residue frequencies, and the
+//! Metaclust-like unlabeled datasets used for runtime/scaling experiments.
+
+use rand::prelude::*;
+use seqstore::FastaRecord;
+
+/// Background amino-acid frequencies (UniProt averages, per mille) in
+/// `ARNDCQEGHILKMFPSTWYV` order; ambiguity codes are not generated.
+const AA_FREQ: [u32; 20] = [
+    83, 55, 40, 54, 14, 39, 68, 71, 23, 60, 97, 58, 24, 39, 47, 66, 53, 11, 29, 69,
+];
+
+/// Sample one residue (base index 0..20) from the background distribution.
+pub(crate) fn sample_residue(rng: &mut impl Rng) -> u8 {
+    let total: u32 = AA_FREQ.iter().sum();
+    let mut t = rng.random_range(0..total);
+    for (i, &f) in AA_FREQ.iter().enumerate() {
+        if t < f {
+            return i as u8;
+        }
+        t -= f;
+    }
+    unreachable!()
+}
+
+/// A random protein of the given length (base indices).
+pub fn random_protein(rng: &mut impl Rng, len: usize) -> Vec<u8> {
+    (0..len).map(|_| sample_residue(rng)).collect()
+}
+
+/// Configuration for [`metaclust_like`].
+#[derive(Debug, Clone)]
+pub struct MetaclustConfig {
+    /// RNG seed; same seed + same `n` → identical dataset.
+    pub seed: u64,
+    /// Sequence length range `[min, max]` (paper: proteins are ~100–1000;
+    /// scale down for single-machine experiments).
+    pub len_range: (usize, usize),
+    /// Fraction of sequences that are mutated copies of earlier sequences
+    /// (drives the quadratic growth of shared-k-mer pairs the paper sees).
+    pub related_fraction: f64,
+    /// Per-residue substitution probability applied to related copies.
+    pub mutation_rate: f64,
+}
+
+impl Default for MetaclustConfig {
+    fn default() -> Self {
+        MetaclustConfig { seed: 42, len_range: (100, 1000), related_fraction: 0.3, mutation_rate: 0.1 }
+    }
+}
+
+/// Generate `n` unlabeled protein records. A `related_fraction` of them are
+/// point-mutated copies of uniformly chosen predecessors, giving the set a
+/// realistic mix of homologous pairs and singletons.
+pub fn metaclust_like(n: usize, cfg: &MetaclustConfig) -> Vec<FastaRecord> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut encoded: Vec<Vec<u8>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let seq = if i > 0 && rng.random::<f64>() < cfg.related_fraction {
+            let src = rng.random_range(0..i);
+            crate::families::mutate(&encoded[src], cfg.mutation_rate, &mut rng)
+        } else {
+            let len = rng.random_range(cfg.len_range.0..=cfg.len_range.1);
+            random_protein(&mut rng, len)
+        };
+        encoded.push(seq);
+    }
+    encoded
+        .into_iter()
+        .enumerate()
+        .map(|(i, data)| FastaRecord { name: format!("mc{i}"), residues: seqstore::decode_seq(&data) })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let cfg = MetaclustConfig { seed: 7, len_range: (50, 100), ..Default::default() };
+        let a = metaclust_like(20, &cfg);
+        let b = metaclust_like(20, &cfg);
+        assert_eq!(a, b);
+        let cfg2 = MetaclustConfig { seed: 8, ..cfg };
+        let c = metaclust_like(20, &cfg2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn lengths_in_range() {
+        let cfg = MetaclustConfig { seed: 1, len_range: (60, 80), related_fraction: 0.0, ..Default::default() };
+        for r in metaclust_like(50, &cfg) {
+            assert!((60..=80).contains(&r.residues.len()), "{}", r.residues.len());
+        }
+    }
+
+    #[test]
+    fn residues_are_standard() {
+        let cfg = MetaclustConfig { seed: 2, len_range: (50, 60), ..Default::default() };
+        for r in metaclust_like(30, &cfg) {
+            for &b in &r.residues {
+                let idx = seqstore::aa_index(b).unwrap();
+                assert!(idx < 20, "non-standard residue {}", b as char);
+            }
+        }
+    }
+
+    #[test]
+    fn frequency_shape_roughly_natural() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let seq = random_protein(&mut rng, 200_000);
+        let mut counts = [0usize; 20];
+        for &b in &seq {
+            counts[b as usize] += 1;
+        }
+        // L (index 10) is the most common residue; W (17) the rarest.
+        let lmax = counts.iter().enumerate().max_by_key(|&(_, c)| c).unwrap().0;
+        let lmin = counts.iter().enumerate().min_by_key(|&(_, c)| c).unwrap().0;
+        assert_eq!(lmax, 10);
+        assert_eq!(lmin, 17);
+    }
+
+    #[test]
+    fn related_fraction_creates_similar_pairs() {
+        let cfg = MetaclustConfig {
+            seed: 4,
+            len_range: (80, 120),
+            related_fraction: 1.0,
+            mutation_rate: 0.02,
+        };
+        let recs = metaclust_like(5, &cfg);
+        // With relatedness 1.0 every sequence after the first is a mutated
+        // copy; successive lengths stay similar (indels are bounded).
+        for r in &recs[1..] {
+            let d = r.residues.len().abs_diff(recs[0].residues.len());
+            assert!(d < 40, "length drift {d}");
+        }
+    }
+}

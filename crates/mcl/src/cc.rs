@@ -1,0 +1,107 @@
+//! Union-find and connected components of an undirected edge list.
+
+/// Disjoint-set forest with union by rank and path halving.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n).collect(), rank: vec![0; n] }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merge the sets of `a` and `b`; returns false if already joined.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+}
+
+/// Component labels (0-based, dense, ordered by smallest member) for `n`
+/// vertices under the given undirected edges. This is Table II's
+/// "connected components as protein families".
+pub fn connected_components(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Vec<usize> {
+    let mut uf = UnionFind::new(n);
+    for (a, b) in edges {
+        uf.union(a, b);
+    }
+    let mut label = vec![usize::MAX; n];
+    let mut next = 0;
+    for v in 0..n {
+        let r = uf.find(v);
+        if label[r] == usize::MAX {
+            label[r] = next;
+            next += 1;
+        }
+        label[v] = label[r];
+    }
+    label
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_without_edges() {
+        let l = connected_components(4, Vec::new());
+        assert_eq!(l, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn chain_merges() {
+        let l = connected_components(5, vec![(0, 1), (1, 2), (3, 4)]);
+        assert_eq!(l[0], l[1]);
+        assert_eq!(l[1], l[2]);
+        assert_eq!(l[3], l[4]);
+        assert_ne!(l[0], l[3]);
+    }
+
+    #[test]
+    fn labels_are_dense_and_start_at_zero() {
+        let l = connected_components(6, vec![(4, 5)]);
+        let mut sorted = l.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn duplicate_and_self_edges() {
+        let l = connected_components(3, vec![(0, 0), (0, 1), (1, 0), (0, 1)]);
+        assert_eq!(l[0], l[1]);
+        assert_ne!(l[0], l[2]);
+    }
+
+    #[test]
+    fn union_returns_whether_merged() {
+        let mut uf = UnionFind::new(3);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.union(1, 2));
+        assert_eq!(uf.find(0), uf.find(2));
+    }
+}

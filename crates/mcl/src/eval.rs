@@ -1,0 +1,94 @@
+//! Weighted precision and recall for protein clustering (Bernardes et al.
+//! 2015, the metric the paper reports in Fig. 17 and Table II).
+//!
+//! With contingency counts `n(c, f) = |cluster c ∩ family f|` over `N`
+//! sequences:
+//!
+//! - weighted precision `P = Σ_c max_f n(c, f) / N` — a cluster mixing
+//!   several families only credits its dominant one (penalizing merges);
+//! - weighted recall `R = Σ_f max_c n(c, f) / N` — a family split across
+//!   clusters only credits its largest piece (penalizing splits).
+
+use std::collections::HashMap;
+
+/// Compute `(precision, recall)` of `clusters` against ground-truth
+/// `families`. Both are dense per-sequence labels of equal length.
+pub fn weighted_precision_recall(clusters: &[usize], families: &[usize]) -> (f64, f64) {
+    assert_eq!(clusters.len(), families.len(), "label vectors must align");
+    let n = clusters.len();
+    if n == 0 {
+        return (0.0, 0.0);
+    }
+    let mut contingency: HashMap<(usize, usize), usize> = HashMap::new();
+    for (&c, &f) in clusters.iter().zip(families) {
+        *contingency.entry((c, f)).or_insert(0) += 1;
+    }
+    let mut best_in_cluster: HashMap<usize, usize> = HashMap::new();
+    let mut best_in_family: HashMap<usize, usize> = HashMap::new();
+    for (&(c, f), &cnt) in &contingency {
+        let bc = best_in_cluster.entry(c).or_insert(0);
+        *bc = (*bc).max(cnt);
+        let bf = best_in_family.entry(f).or_insert(0);
+        *bf = (*bf).max(cnt);
+    }
+    let p = best_in_cluster.values().sum::<usize>() as f64 / n as f64;
+    let r = best_in_family.values().sum::<usize>() as f64 / n as f64;
+    (p, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clustering() {
+        let fam = vec![0, 0, 1, 1, 2];
+        let (p, r) = weighted_precision_recall(&fam, &fam);
+        assert_eq!((p, r), (1.0, 1.0));
+    }
+
+    #[test]
+    fn everything_in_one_cluster() {
+        // Full recall (no family split), poor precision (families merged).
+        let clusters = vec![0; 6];
+        let families = vec![0, 0, 1, 1, 2, 2];
+        let (p, r) = weighted_precision_recall(&clusters, &families);
+        assert!((r - 1.0).abs() < 1e-12);
+        assert!((p - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_singletons() {
+        // Full precision (pure clusters), poor recall (families shattered).
+        let clusters = vec![0, 1, 2, 3, 4, 5];
+        let families = vec![0, 0, 0, 1, 1, 1];
+        let (p, r) = weighted_precision_recall(&clusters, &families);
+        assert!((p - 1.0).abs() < 1e-12);
+        assert!((r - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_cluster_credits_majority() {
+        // Cluster 0 = {f0, f0, f1}: contributes 2. Cluster 1 = {f1}: 1.
+        let clusters = vec![0, 0, 0, 1];
+        let families = vec![0, 0, 1, 1];
+        let (p, r) = weighted_precision_recall(&clusters, &families);
+        assert!((p - 3.0 / 4.0).abs() < 1e-12);
+        // f0's best piece 2, f1's best piece 1 → R = 3/4.
+        assert!((r - 3.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(weighted_precision_recall(&[], &[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn label_ids_need_not_be_dense() {
+        let clusters = vec![100, 100, 7];
+        let families = vec![9, 9, 9];
+        let (p, r) = weighted_precision_recall(&clusters, &families);
+        assert!((p - 1.0).abs() < 1e-12);
+        assert!((r - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,22 @@
+//! `mcl` — downstream protein-family discovery on the similarity graph.
+//!
+//! The paper clusters PASTIS's protein similarity graph with HipMCL (a
+//! distributed Markov Clustering implementation) and evaluates clusters
+//! against SCOPe ground-truth families with weighted precision/recall
+//! (paper §VI-B). This crate provides the shared-memory equivalents:
+//!
+//! - [`markov_cluster`]: MCL — expansion (matrix square), inflation
+//!   (Hadamard power + column renormalization), pruning, convergence by
+//!   column chaos; clusters read off the limit matrix.
+//! - [`connected_components`]: the cheap alternative of Table II.
+//! - [`weighted_precision_recall`]: the clustering quality metrics.
+
+mod cc;
+mod dist;
+mod eval;
+mod markov;
+
+pub use cc::{connected_components, UnionFind};
+pub use dist::markov_cluster_dist;
+pub use eval::weighted_precision_recall;
+pub use markov::{markov_cluster, MclParams};

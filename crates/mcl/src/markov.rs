@@ -1,0 +1,208 @@
+//! Markov Clustering (van Dongen 2000) — the algorithm behind HipMCL,
+//! which the paper uses to turn similarity graphs into protein families.
+//!
+//! Alternates *expansion* (squaring the column-stochastic matrix — flow
+//! spreads along paths) and *inflation* (entry-wise power + column
+//! renormalization — strong flow is rewarded), pruning tiny entries for
+//! sparsity, until the matrix converges; clusters are the connected
+//! components of the limit matrix.
+
+use sparse::Csc;
+
+use crate::cc::connected_components;
+
+/// MCL hyper-parameters. Defaults match common MCL/HipMCL usage.
+#[derive(Debug, Clone, Copy)]
+pub struct MclParams {
+    /// Inflation exponent (r > 1; higher → finer clusters). MCL's default 2.
+    pub inflation: f64,
+    /// Entries below this are pruned after each iteration (HipMCL's
+    /// "cutoff"; keeps the iterates sparse).
+    pub prune_threshold: f64,
+    /// Keep at most this many entries per column after pruning (0 = all).
+    pub max_per_column: usize,
+    /// Iteration cap.
+    pub max_iter: usize,
+    /// Convergence threshold on the chaos measure.
+    pub chaos_eps: f64,
+}
+
+impl Default for MclParams {
+    fn default() -> Self {
+        MclParams { inflation: 2.0, prune_threshold: 1e-4, max_per_column: 64, max_iter: 100, chaos_eps: 1e-6 }
+    }
+}
+
+/// Cluster `n` vertices from weighted undirected edges `(i, j, w)` with
+/// `w > 0`. Returns dense cluster labels. Self-loops are added (standard
+/// MCL practice) so singletons and attractors behave.
+pub fn markov_cluster(n: usize, edges: &[(usize, usize, f64)], params: &MclParams) -> Vec<usize> {
+    if n == 0 {
+        return Vec::new();
+    }
+    // Build the symmetric adjacency with unit self-loops.
+    let mut triples: Vec<(usize, usize, f64)> = Vec::with_capacity(edges.len() * 2 + n);
+    for &(i, j, w) in edges {
+        assert!(w >= 0.0, "negative edge weight");
+        if i == j {
+            continue;
+        }
+        triples.push((i, j, w));
+        triples.push((j, i, w));
+    }
+    for v in 0..n {
+        triples.push((v, v, 1.0));
+    }
+    let mut m = Csc::from_triples(n, n, triples, |a, b| *a += b);
+    normalize_columns(&mut m);
+
+    for _ in 0..params.max_iter {
+        // Expansion.
+        let mut next = m.matmul(&m);
+        // Inflation.
+        for c in 0..n {
+            for v in next.col_vals_mut(c) {
+                *v = v.powf(params.inflation);
+            }
+        }
+        // Prune tiny entries (keep top `max_per_column` when configured).
+        next.retain(|_, _, &v| v >= params.prune_threshold);
+        if params.max_per_column > 0 {
+            prune_topk(&mut next, params.max_per_column);
+        }
+        normalize_columns(&mut next);
+        let chaos = chaos(&next);
+        m = next;
+        if chaos < params.chaos_eps {
+            break;
+        }
+    }
+
+    // Clusters = connected components over the limit matrix support.
+    let mut edges_out = Vec::new();
+    for (r, c, &v) in m.iter() {
+        if v > 0.0 && r != c {
+            edges_out.push((r, c));
+        }
+    }
+    connected_components(n, edges_out)
+}
+
+fn normalize_columns(m: &mut Csc<f64>) {
+    for c in 0..m.ncols() {
+        let sum: f64 = m.col(c).1.iter().sum();
+        if sum > 0.0 {
+            for v in m.col_vals_mut(c) {
+                *v /= sum;
+            }
+        }
+    }
+}
+
+/// Keep the `k` largest entries of each column.
+fn prune_topk(m: &mut Csc<f64>, k: usize) {
+    let mut thresholds = vec![0.0f64; m.ncols()];
+    #[allow(clippy::needless_range_loop)] // c is a column id used for access too
+    for c in 0..m.ncols() {
+        let vals = m.col(c).1;
+        if vals.len() > k {
+            let mut sorted: Vec<f64> = vals.to_vec();
+            sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            thresholds[c] = sorted[k - 1];
+        }
+    }
+    m.retain(|_, c, &v| v >= thresholds[c]);
+}
+
+/// Chaos: max over columns of (max entry − sum of squared entries). Zero
+/// exactly when every column is an indicator vector (doubly idempotent).
+fn chaos(m: &Csc<f64>) -> f64 {
+    let mut worst: f64 = 0.0;
+    for c in 0..m.ncols() {
+        let vals = m.col(c).1;
+        if vals.is_empty() {
+            continue;
+        }
+        let mx = vals.iter().cloned().fold(f64::MIN, f64::max);
+        let ss: f64 = vals.iter().map(|v| v * v).sum();
+        worst = worst.max(mx - ss);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_same_cluster(labels: &[usize], group: &[usize]) {
+        for w in group.windows(2) {
+            assert_eq!(labels[w[0]], labels[w[1]], "{w:?} split in {labels:?}");
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert!(markov_cluster(0, &[], &MclParams::default()).is_empty());
+        let l = markov_cluster(3, &[], &MclParams::default());
+        assert_eq!(l, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn two_cliques_with_weak_bridge() {
+        // 0-1-2 clique, 3-4-5 clique, weak 2-3 bridge: MCL cuts the bridge.
+        let strong = 1.0;
+        let weak = 0.05;
+        let edges = vec![
+            (0, 1, strong),
+            (1, 2, strong),
+            (0, 2, strong),
+            (3, 4, strong),
+            (4, 5, strong),
+            (3, 5, strong),
+            (2, 3, weak),
+        ];
+        let l = markov_cluster(6, &edges, &MclParams::default());
+        assert_same_cluster(&l, &[0, 1, 2]);
+        assert_same_cluster(&l, &[3, 4, 5]);
+        assert_ne!(l[0], l[3], "bridge not cut: {l:?}");
+    }
+
+    #[test]
+    fn single_clique_stays_together() {
+        let mut edges = Vec::new();
+        for i in 0..5 {
+            for j in i + 1..5 {
+                edges.push((i, j, 1.0));
+            }
+        }
+        let l = markov_cluster(5, &edges, &MclParams::default());
+        assert_same_cluster(&l, &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn disconnected_components_never_merge() {
+        let edges = vec![(0, 1, 1.0), (2, 3, 1.0)];
+        let l = markov_cluster(4, &edges, &MclParams::default());
+        assert_eq!(l[0], l[1]);
+        assert_eq!(l[2], l[3]);
+        assert_ne!(l[0], l[2]);
+    }
+
+    #[test]
+    fn higher_inflation_gives_finer_or_equal_clustering() {
+        // A 4-cycle: low inflation may keep it whole, high splits it.
+        let edges = vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0), (0, 2, 0.3), (1, 3, 0.3)];
+        let coarse = markov_cluster(4, &edges, &MclParams { inflation: 1.3, ..Default::default() });
+        let fine = markov_cluster(4, &edges, &MclParams { inflation: 6.0, ..Default::default() });
+        let count = |l: &[usize]| l.iter().collect::<std::collections::HashSet<_>>().len();
+        assert!(count(&fine) >= count(&coarse), "fine={fine:?} coarse={coarse:?}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let edges = vec![(0, 1, 0.9), (1, 2, 0.8), (3, 4, 0.7), (2, 3, 0.1)];
+        let a = markov_cluster(5, &edges, &MclParams::default());
+        let b = markov_cluster(5, &edges, &MclParams::default());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,76 @@
+//! Property-based tests: clustering metrics stay in range, connected
+//! components are a true equivalence relation, and MCL never merges
+//! disconnected vertices.
+
+use mcl::{connected_components, markov_cluster, weighted_precision_recall, MclParams};
+use proptest::prelude::*;
+
+fn edges_strategy(n: usize, max_edges: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
+    proptest::collection::vec((0..n, 0..n), 0..max_edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cc_is_equivalence_with_edges_respected(edges in edges_strategy(30, 60)) {
+        let labels = connected_components(30, edges.clone());
+        prop_assert_eq!(labels.len(), 30);
+        for (a, b) in edges {
+            prop_assert_eq!(labels[a], labels[b]);
+        }
+        // Labels dense from 0.
+        let mut distinct: Vec<usize> = labels.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let want: Vec<usize> = (0..distinct.len()).collect();
+        prop_assert_eq!(distinct, want);
+    }
+
+    #[test]
+    fn precision_recall_in_unit_interval(
+        clusters in proptest::collection::vec(0usize..8, 1..60),
+        seed in 0u64..1000,
+    ) {
+        // Families: deterministic scramble of the cluster labels.
+        let families: Vec<usize> =
+            clusters.iter().enumerate().map(|(i, &c)| (c * 7 + i * seed as usize) % 5).collect();
+        let (p, r) = weighted_precision_recall(&clusters, &families);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!((0.0..=1.0).contains(&r));
+        // Perfect self-comparison.
+        let (ps, rs) = weighted_precision_recall(&clusters, &clusters);
+        prop_assert_eq!((ps, rs), (1.0, 1.0));
+    }
+
+    #[test]
+    fn refining_clusters_trades_recall_for_precision(
+        families in proptest::collection::vec(0usize..4, 2..40),
+    ) {
+        // Singleton clustering has precision 1; one-big-cluster has recall 1.
+        let n = families.len();
+        let singletons: Vec<usize> = (0..n).collect();
+        let lumped = vec![0usize; n];
+        let (p1, _r1) = weighted_precision_recall(&singletons, &families);
+        let (_p2, r2) = weighted_precision_recall(&lumped, &families);
+        prop_assert_eq!(p1, 1.0);
+        prop_assert_eq!(r2, 1.0);
+    }
+
+    #[test]
+    fn mcl_respects_connectivity(edges in edges_strategy(20, 30)) {
+        let weighted: Vec<(usize, usize, f64)> =
+            edges.iter().map(|&(a, b)| (a, b, 1.0)).collect();
+        let labels = markov_cluster(20, &weighted, &MclParams::default());
+        let cc = connected_components(20, edges);
+        // MCL clusters are a refinement of connected components: same MCL
+        // cluster ⇒ same component.
+        for i in 0..20 {
+            for j in 0..20 {
+                if labels[i] == labels[j] {
+                    prop_assert_eq!(cc[i], cc[j], "MCL merged across components: {} {}", i, j);
+                }
+            }
+        }
+    }
+}

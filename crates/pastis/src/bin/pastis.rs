@@ -1,0 +1,140 @@
+//! `pastis` — command-line entry point: build a protein similarity graph
+//! from a FASTA file on a simulated process grid.
+//!
+//! ```text
+//! pastis --input proteins.fasta [--output psg.tsv] [--ranks 4] [--k 6]
+//!        [--subs 25] [--mode xd|sw] [--ck N] [--measure ani|ns]
+//!        [--min-ani 0.3] [--min-cov 0.7] [--max-kmer-freq N] [--threads N] [--reduced]
+//! ```
+//!
+//! Output: one `name_i <TAB> name_j <TAB> weight` line per similarity edge
+//! (to stdout when `--output` is omitted). The edge set is independent of
+//! `--ranks`.
+
+use std::io::Write as _;
+use std::process::exit;
+
+use align::SimilarityMeasure;
+use pastis::{run_pipeline, AlignMode, PastisParams};
+use pcomm::World;
+
+struct Cli {
+    input: String,
+    output: Option<String>,
+    ranks: usize,
+    params: PastisParams,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pastis --input <fasta> [--output <tsv>] [--ranks N] [--k N] \
+         [--subs N] [--mode xd|sw] [--ck N] [--measure ani|ns] [--min-ani F] \
+         [--min-cov F] [--max-kmer-freq N] [--threads N] [--reduced] [--quiet]"
+    );
+    exit(2);
+}
+
+fn parse_cli() -> Cli {
+    let mut args = std::env::args().skip(1);
+    let mut input = None;
+    let mut output = None;
+    let mut ranks = 1usize;
+    let mut quiet = false;
+    let mut params = PastisParams::default();
+    while let Some(flag) = args.next() {
+        let mut val = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--input" => input = Some(val()),
+            "--output" => output = Some(val()),
+            "--ranks" => ranks = val().parse().unwrap_or_else(|_| usage()),
+            "--k" => params.k = val().parse().unwrap_or_else(|_| usage()),
+            "--subs" => params.substitutes = val().parse().unwrap_or_else(|_| usage()),
+            "--mode" => {
+                params.mode = match val().as_str() {
+                    "xd" => AlignMode::XDrop,
+                    "sw" => AlignMode::SmithWaterman,
+                    "none" => AlignMode::None,
+                    _ => usage(),
+                }
+            }
+            "--ck" => params.common_kmer_threshold = val().parse().unwrap_or_else(|_| usage()),
+            "--measure" => {
+                params.measure = match val().as_str() {
+                    "ani" => SimilarityMeasure::Ani,
+                    "ns" => SimilarityMeasure::NormalizedScore,
+                    _ => usage(),
+                }
+            }
+            "--min-ani" => params.min_ani = val().parse().unwrap_or_else(|_| usage()),
+            "--min-cov" => params.min_coverage = val().parse().unwrap_or_else(|_| usage()),
+            "--max-kmer-freq" => {
+                params.max_kmer_frequency = Some(val().parse().unwrap_or_else(|_| usage()))
+            }
+            "--threads" => params.threads = val().parse().unwrap_or_else(|_| usage()),
+            "--reduced" => params.reduced_alphabet = true,
+            "--quiet" => quiet = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+        }
+    }
+    let input = input.unwrap_or_else(|| usage());
+    let q = (ranks as f64).sqrt().round() as usize;
+    if q * q != ranks {
+        eprintln!("--ranks must be a perfect square (got {ranks})");
+        exit(2);
+    }
+    Cli { input, output, ranks, params, quiet }
+}
+
+fn main() {
+    let cli = parse_cli();
+    let fasta = match std::fs::read(&cli.input) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", cli.input);
+            exit(1);
+        }
+    };
+    // Names for the report (records are numbered in file order, matching
+    // the pipeline's global ids).
+    let names: Vec<String> = seqstore::parse_fasta(&fasta).into_iter().map(|r| r.name).collect();
+
+    let params = cli.params.clone();
+    let runs = World::run(cli.ranks, |comm| run_pipeline(&comm, &fasta, &params));
+
+    let mut edges: Vec<(u64, u64, f64)> = runs.iter().flat_map(|r| r.edges.clone()).collect();
+    edges.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+    if !cli.quiet {
+        let c = &runs[0].counters;
+        eprintln!(
+            "pastis: {} ({} ranks): {} sequences, nnz(A)={}, nnz(B)={}, {} alignments, {} edges",
+            cli.params.variant_name(),
+            cli.ranks,
+            c.n_seqs,
+            c.nnz_a,
+            c.nnz_b,
+            c.alignments_global,
+            edges.len()
+        );
+    }
+
+    let mut out: Box<dyn std::io::Write> = match &cli.output {
+        Some(path) => match std::fs::File::create(path) {
+            Ok(f) => Box::new(std::io::BufWriter::new(f)),
+            Err(e) => {
+                eprintln!("cannot create {path}: {e}");
+                exit(1);
+            }
+        },
+        None => Box::new(std::io::BufWriter::new(std::io::stdout())),
+    };
+    for (i, j, w) in edges {
+        writeln!(out, "{}\t{}\t{w:.4}", names[i as usize], names[j as usize]).expect("write failed");
+    }
+    out.flush().expect("flush failed");
+}

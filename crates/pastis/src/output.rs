@@ -1,0 +1,85 @@
+//! Parallel similarity-graph output.
+//!
+//! The paper attributes MMseqs2's scaling ceiling to gathering all results
+//! to a single writer process, "which is handled in parallel in PASTIS"
+//! (§VI-A). Accordingly, every rank writes its own shard of the PSG —
+//! `<stem>.rank<r>.tsv` — with no communication at all; the shards together
+//! hold each unordered pair exactly once (the triangular ownership rule
+//! guarantees disjointness).
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use pcomm::Comm;
+
+/// Write this rank's edges to `<stem>.rank<R>.tsv` (tab-separated
+/// `gid_low gid_high weight`). Returns the path written. Purely local —
+/// the paper's parallel-output answer to the single-writer bottleneck.
+pub fn write_psg_shard(
+    comm: &Comm,
+    stem: &Path,
+    edges: &[(u64, u64, f64)],
+) -> std::io::Result<PathBuf> {
+    let path = shard_path(stem, comm.rank());
+    let file = std::fs::File::create(&path)?;
+    let mut out = std::io::BufWriter::new(file);
+    for &(a, b, w) in edges {
+        writeln!(out, "{a}\t{b}\t{w:.6}")?;
+    }
+    out.flush()?;
+    Ok(path)
+}
+
+/// Path of rank `rank`'s shard for `stem`.
+pub fn shard_path(stem: &Path, rank: usize) -> PathBuf {
+    let mut name = stem.file_name().map(|s| s.to_os_string()).unwrap_or_default();
+    name.push(format!(".rank{rank}.tsv"));
+    stem.with_file_name(name)
+}
+
+/// Read back the shards of a `p`-rank run and return the merged, sorted
+/// edge list (for tests and downstream single-node tools).
+pub fn read_psg_shards(stem: &Path, p: usize) -> std::io::Result<Vec<(u64, u64, f64)>> {
+    let mut edges = Vec::new();
+    for rank in 0..p {
+        let text = std::fs::read_to_string(shard_path(stem, rank))?;
+        for line in text.lines() {
+            let mut it = line.split('\t');
+            let a = it.next().and_then(|s| s.parse().ok());
+            let b = it.next().and_then(|s| s.parse().ok());
+            let w = it.next().and_then(|s| s.parse().ok());
+            match (a, b, w) {
+                (Some(a), Some(b), Some(w)) => edges.push((a, b, w)),
+                _ => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("malformed PSG line: {line:?}"),
+                    ))
+                }
+            }
+        }
+    }
+    edges.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    Ok(edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_path_format() {
+        let p = shard_path(Path::new("/tmp/out/psg"), 3);
+        assert_eq!(p, Path::new("/tmp/out/psg.rank3.tsv"));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        let dir = std::env::temp_dir().join("pastis_psg_test_bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let stem = dir.join("psg");
+        std::fs::write(shard_path(&stem, 0), "1\t2\n").unwrap();
+        assert!(read_psg_shards(&stem, 1).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

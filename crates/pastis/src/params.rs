@@ -1,0 +1,117 @@
+//! Pipeline configuration.
+
+use align::{AlignParams, SimilarityMeasure};
+use sparse::SpGemmStrategy;
+
+/// Alignment mode for candidate pairs (paper §IV-E).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlignMode {
+    /// Gapped x-drop seed-and-extend from the stored shared seeds — the
+    /// fast mode (`PASTIS-XD`).
+    XDrop,
+    /// Full local Smith–Waterman, seeds only used for candidate detection
+    /// (`PASTIS-SW`).
+    SmithWaterman,
+    /// Skip alignment entirely — used by the paper's scaling experiments,
+    /// which time only the sparse stages (§VI-A "Strong and Weak Scaling").
+    None,
+}
+
+/// Full PASTIS configuration. Defaults mirror the paper's evaluation
+/// settings (§VI): k = 6, BLOSUM62 with gap 11/1, x-drop 49, ANI ≥ 30%,
+/// shorter-sequence coverage ≥ 70%.
+#[derive(Debug, Clone)]
+pub struct PastisParams {
+    /// K-mer length.
+    pub k: usize,
+    /// Substitute k-mers per k-mer (`m`); 0 disables the `S` matrix
+    /// (`s0` in the paper's variant names).
+    pub substitutes: usize,
+    /// Alignment mode.
+    pub mode: AlignMode,
+    /// Common-k-mer threshold: drop pairs sharing ≤ this many (substitute)
+    /// k-mers before alignment (`CK` variants; paper uses 1 for exact and
+    /// 3 for substitute k-mers).
+    pub common_kmer_threshold: u32,
+    /// Seed in the Murphy-10 reduced amino acid alphabet instead of the
+    /// full 24-letter one (DIAMOND's sensitivity trick, paper §III):
+    /// diverged homologs share more seeds at the cost of more candidates.
+    /// Alignment always runs in the full alphabet. Incompatible with
+    /// substitute k-mers (the expense table is 24-letter).
+    pub reduced_alphabet: bool,
+    /// Drop k-mers occurring in more than this many sequences before the
+    /// overlap products (the pre-processing k-mer elimination the paper
+    /// lists as future work in §VII; real-world repeats and low-complexity
+    /// regions otherwise inflate `B` quadratically). `None` keeps all.
+    pub max_kmer_frequency: Option<u32>,
+    /// Similarity measure used as edge weight (ANI or NS, §VI-B).
+    pub measure: SimilarityMeasure,
+    /// Minimum alignment identity (applied only under ANI).
+    pub min_ani: f64,
+    /// Minimum shorter-sequence coverage (applied only under ANI).
+    pub min_coverage: f64,
+    /// Kernel parameters (matrix, gaps, x-drop).
+    pub align: AlignParams,
+    /// Local SpGEMM accumulation strategy.
+    pub spgemm: SpGemmStrategy,
+    /// OS threads per rank for the alignment batch (OpenMP stand-in).
+    pub threads: usize,
+}
+
+impl Default for PastisParams {
+    fn default() -> Self {
+        PastisParams {
+            k: 6,
+            substitutes: 0,
+            mode: AlignMode::XDrop,
+            common_kmer_threshold: 0,
+            reduced_alphabet: false,
+            max_kmer_frequency: None,
+            measure: SimilarityMeasure::Ani,
+            min_ani: 0.30,
+            min_coverage: 0.70,
+            align: AlignParams::default(),
+            spgemm: SpGemmStrategy::Hybrid,
+            threads: 1,
+        }
+    }
+}
+
+impl PastisParams {
+    /// The paper's variant naming, e.g. `PASTIS-XD-s25-CK`.
+    pub fn variant_name(&self) -> String {
+        let mode = match self.mode {
+            AlignMode::XDrop => "XD",
+            AlignMode::SmithWaterman => "SW",
+            AlignMode::None => "NOALIGN",
+        };
+        let ck = if self.common_kmer_threshold > 0 { "-CK" } else { "" };
+        format!("PASTIS-{mode}-s{}{ck}", self.substitutes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let p = PastisParams::default();
+        assert_eq!(p.k, 6);
+        assert_eq!(p.align.gap_open, 11);
+        assert_eq!(p.align.gap_extend, 1);
+        assert_eq!(p.align.xdrop, 49);
+        assert_eq!(p.min_ani, 0.30);
+        assert_eq!(p.min_coverage, 0.70);
+    }
+
+    #[test]
+    fn variant_names() {
+        let mut p = PastisParams::default();
+        assert_eq!(p.variant_name(), "PASTIS-XD-s0");
+        p.mode = AlignMode::SmithWaterman;
+        p.substitutes = 25;
+        p.common_kmer_threshold = 3;
+        assert_eq!(p.variant_name(), "PASTIS-SW-s25-CK");
+    }
+}

@@ -1,0 +1,447 @@
+//! The distributed PASTIS pipeline (paper Fig. 1, §V), instrumented with
+//! the per-component timers of the paper's dissection analysis (Fig. 15–16:
+//! `fasta`, `form A`, `tr. A`, `form S`, `AS`, `(AS)Aᵀ`, `symmetricize`,
+//! `wait`) plus the alignment stage of Table I.
+
+use std::rc::Rc;
+use std::time::Instant;
+
+use align::{align_batch, smith_waterman, xdrop_align, AlignStats, SimilarityMeasure};
+use pcomm::{Comm, CommStats, Grid};
+use seqstore::DistSeqStore;
+use sparse::DistMat;
+use subkmer::ExpenseTable;
+
+use crate::matrices::{build_a_triples, build_s_dist, distinct_kmers, kmer_space};
+use crate::params::{AlignMode, PastisParams};
+use crate::seedpair::SeedPair;
+use crate::semirings::{AsSemiring, ExactSemiring, SubSemiring};
+
+/// Wall-clock seconds and communication delta of one pipeline stage on this
+/// rank. Feed the per-rank maxima into [`pcomm::CostModel`] to model large
+/// node counts.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageMeasure {
+    /// Wall-clock seconds spent in the stage (compute + any embedded
+    /// communication). Contaminated by scheduling when ranks are
+    /// oversubscribed on few cores — prefer `work_ns` for scaling studies.
+    pub secs: f64,
+    /// Deterministic estimated-nanosecond work executed by this rank during
+    /// the stage (see [`pcomm::work`]); immune to oversubscription.
+    pub work_ns: u64,
+    /// Communication issued during the stage.
+    pub comm: CommStats,
+}
+
+impl StageMeasure {
+    /// Critical-path combination across ranks.
+    pub fn max(self, rhs: StageMeasure) -> StageMeasure {
+        StageMeasure {
+            secs: self.secs.max(rhs.secs),
+            work_ns: self.work_ns.max(rhs.work_ns),
+            comm: self.comm.max(rhs.comm),
+        }
+    }
+
+    /// Modeled stage seconds under a postal cost model: deterministic work
+    /// plus α·messages + β·bytes.
+    pub fn modeled_secs(&self, model: &pcomm::CostModel) -> f64 {
+        model.stage_seconds(pcomm::StageCost {
+            compute_secs: self.work_ns as f64 * 1e-9,
+            comm: self.comm,
+        })
+    }
+}
+
+/// Per-component timings, named after the paper's dissection plots.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Timings {
+    /// Reading/parsing FASTA data and global numbering.
+    pub fasta: StageMeasure,
+    /// Forming the distributed `A` matrix.
+    pub form_a: StageMeasure,
+    /// Computing `Aᵀ`.
+    pub tr_a: StageMeasure,
+    /// Forming the substitution matrix `S` (zero when `substitutes == 0`).
+    pub form_s: StageMeasure,
+    /// The `A·S` SpGEMM (zero when `substitutes == 0`).
+    pub a_s: StageMeasure,
+    /// The overlap SpGEMM `A·Aᵀ` or `(AS)·Aᵀ`.
+    pub spgemm_b: StageMeasure,
+    /// Symmetrizing `B` (substitute path only).
+    pub symmetricize: StageMeasure,
+    /// Waiting on the background sequence exchange (§V-C).
+    pub wait: StageMeasure,
+    /// Pairwise alignment and filtering.
+    pub align: StageMeasure,
+    /// Whole pipeline.
+    pub total: f64,
+}
+
+impl Timings {
+    /// Sparse-stage seconds (everything except alignment), the quantity the
+    /// paper's scaling studies report.
+    pub fn sparse_secs(&self) -> f64 {
+        self.fasta.secs
+            + self.form_a.secs
+            + self.tr_a.secs
+            + self.form_s.secs
+            + self.a_s.secs
+            + self.spgemm_b.secs
+            + self.symmetricize.secs
+            + self.wait.secs
+    }
+
+    /// Alignment share of total time (Table I).
+    pub fn align_fraction(&self) -> f64 {
+        if self.total <= 0.0 {
+            0.0
+        } else {
+            self.align.secs / self.total
+        }
+    }
+
+    /// `(label, seconds)` rows in the paper's component order.
+    pub fn component_rows(&self) -> Vec<(&'static str, f64)> {
+        self.components().iter().map(|&(l, m)| (l, m.secs)).collect()
+    }
+
+    /// The sparse components with full measurements, in the paper's order
+    /// (Fig. 15–16 labels).
+    pub fn components(&self) -> [(&'static str, StageMeasure); 8] {
+        [
+            ("fasta", self.fasta),
+            ("form A", self.form_a),
+            ("tr. A", self.tr_a),
+            ("form S", self.form_s),
+            ("AS", self.a_s),
+            ("(AS)AT", self.spgemm_b),
+            ("sym.", self.symmetricize),
+            ("wait", self.wait),
+        ]
+    }
+
+    /// Modeled seconds of the sparse stages under a postal cost model.
+    pub fn sparse_modeled_secs(&self, model: &pcomm::CostModel) -> f64 {
+        self.components().iter().map(|(_, m)| m.modeled_secs(model)).sum()
+    }
+
+    /// Modeled seconds of the whole pipeline (sparse + alignment).
+    pub fn total_modeled_secs(&self, model: &pcomm::CostModel) -> f64 {
+        self.sparse_modeled_secs(model) + self.align.modeled_secs(model)
+    }
+
+    /// Modeled alignment share of total time (Table I, oversubscription-
+    /// immune).
+    pub fn align_fraction_modeled(&self, model: &pcomm::CostModel) -> f64 {
+        let total = self.total_modeled_secs(model);
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.align.modeled_secs(model) / total
+        }
+    }
+}
+
+/// Aggregate pipeline statistics (identical on every rank for the
+/// collective fields).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Counters {
+    /// Total sequences.
+    pub n_seqs: u64,
+    /// Nonzeros of `A`.
+    pub nnz_a: u64,
+    /// Nonzeros of `S` (0 without substitutes).
+    pub nnz_s: u64,
+    /// Nonzeros of `B` (global, both triangles).
+    pub nnz_b: u64,
+    /// Candidate pairs owned by this rank (upper-triangle ownership rule).
+    pub candidates_local: u64,
+    /// Alignments this rank performed (after the CK threshold).
+    pub alignments_local: u64,
+    /// Total alignments across ranks.
+    pub alignments_global: u64,
+    /// Total surviving edges across ranks.
+    pub edges_global: u64,
+}
+
+/// Result of one rank's participation in the pipeline.
+#[derive(Debug, Clone)]
+pub struct PastisRun {
+    /// This rank's share of the similarity graph: `(gid_low, gid_high,
+    /// weight)` with `gid_low < gid_high`, each global pair reported by
+    /// exactly one rank.
+    pub edges: Vec<(u64, u64, f64)>,
+    /// Per-component timings on this rank.
+    pub timings: Timings,
+    /// Pipeline statistics.
+    pub counters: Counters,
+}
+
+fn measure<R>(comm: &Comm, f: impl FnOnce() -> R) -> (R, StageMeasure) {
+    let before = comm.stats();
+    let work_before = pcomm::work::counter();
+    let t = Instant::now();
+    let out = f();
+    let secs = t.elapsed().as_secs_f64();
+    let work_ns = pcomm::work::counter() - work_before;
+    (out, StageMeasure { secs, work_ns, comm: comm.stats() - before })
+}
+
+/// Run the full PASTIS pipeline on this rank. Collective over `comm`, whose
+/// size must be a perfect square. The resulting edge set is independent of
+/// the rank count (paper §V: "connections found in the PSG are oblivious to
+/// the number of processes").
+pub fn run_pipeline(comm: &Comm, fasta: &[u8], params: &PastisParams) -> PastisRun {
+    assert!(params.k >= 1 && params.k <= 13);
+    assert!(
+        !(params.reduced_alphabet && params.substitutes > 0),
+        "reduced-alphabet seeding and substitute k-mers are mutually exclusive"
+    );
+    let t_total = Instant::now();
+    let grid = Rc::new(Grid::new(comm));
+    let q = grid.q() as u64;
+    let mut timings = Timings::default();
+    let mut counters = Counters::default();
+
+    // 1. Parse my byte-balanced FASTA chunk; number sequences globally.
+    let (mut store, m) = measure(comm, || DistSeqStore::from_fasta(comm, fasta));
+    timings.fasta = m;
+    let n = store.len();
+    counters.n_seqs = n;
+
+    // 2. Kick off the background sequence exchange for my B-block's row and
+    //    column ranges (paper Fig. 10: overlapped with all matrix work).
+    let row_range = (grid.myrow() as u64 * n / q, (grid.myrow() as u64 + 1) * n / q);
+    let col_range = (grid.mycol() as u64 * n / q, (grid.mycol() as u64 + 1) * n / q);
+    let exchange = store.start_exchange(&grid, row_range, col_range);
+
+    // 3. Form A (|seqs| × 24^k, positions as values), optionally dropping
+    //    k-mers that occur in too many sequences (§VII future work: k-mer
+    //    pre-analysis; repeats otherwise inflate B quadratically).
+    let space = kmer_space(params.k);
+    let (a_mat, m) = measure(comm, || {
+        let triples = build_a_triples(store.owned(), params.k, params.reduced_alphabet);
+        let mut a = DistMat::from_triples(Rc::clone(&grid), n, space, triples, |a, b| *a = (*a).min(b));
+        if let Some(limit) = params.max_kmer_frequency {
+            prune_frequent_kmers(&grid, &mut a, limit);
+        }
+        a
+    });
+    timings.form_a = m;
+
+    // 4. Aᵀ.
+    let (a_t, m) = measure(comm, || a_mat.transpose());
+    timings.tr_a = m;
+
+    // 5. Overlap matrix B.
+    let b_mat: DistMat<SeedPair> = if params.substitutes > 0 {
+        let (s_mat, m) = measure(comm, || {
+            let table = ExpenseTable::new(params.align.matrix);
+            let local_kmers = distinct_kmers(store.owned(), params.k);
+            build_s_dist(Rc::clone(&grid), &local_kmers, params.k, &table, params.substitutes)
+        });
+        timings.form_s = m;
+        counters.nnz_s = s_mat.nnz();
+
+        let (as_mat, m) = measure(comm, || a_mat.spgemm(&s_mat, &AsSemiring, params.spgemm));
+        timings.a_s = m;
+
+        let (b0, m) = measure(comm, || as_mat.spgemm(&a_t, &SubSemiring, params.spgemm));
+        timings.spgemm_b = m;
+
+        // Substitute matching is directional (row side substituted, column
+        // side exact), so B must be symmetrized (paper Fig. 15 "sym.").
+        let (b1, m) = measure(comm, || {
+            let swapped = b0.transpose().map(|_, _, v| v.swapped());
+            b0.elementwise_add(&swapped, |acc, v| acc.merge_symmetric(v))
+        });
+        timings.symmetricize = m;
+        b1
+    } else {
+        let (b0, m) = measure(comm, || a_mat.spgemm(&a_t, &ExactSemiring, params.spgemm));
+        timings.spgemm_b = m;
+        b0
+    };
+    counters.nnz_a = a_mat.nnz();
+    counters.nnz_b = b_mat.nnz();
+
+    // 6. Fence the sequence exchange (MPI_Waitall, paper Fig. 10).
+    let (_, m) = measure(comm, || store.finish_exchange(exchange));
+    timings.wait = m;
+
+    // 7. Alignment with the triangular block-ownership rule (paper §V-D,
+    //    Fig. 11): within my block I align my local upper triangle; local
+    //    diagonals belong to on-or-above-diagonal ranks.
+    let (edges, m) = measure(comm, || {
+        align_owned_pairs(&b_mat, &store, params, &grid, row_range, col_range, &mut counters)
+    });
+    timings.align = m;
+
+    counters.alignments_global = comm.allreduce(counters.alignments_local, |a, b| a + b);
+    counters.edges_global = comm.allreduce(edges.len() as u64, |a, b| a + b);
+    timings.total = t_total.elapsed().as_secs_f64();
+
+    PastisRun { edges, timings, counters }
+}
+
+/// Drop columns of `A` (k-mers) whose global occurrence count exceeds
+/// `limit`. A k-mer column is spread over the ranks of one grid column, so
+/// global counts are assembled with an allgather along the column
+/// subcommunicator. Collective.
+fn prune_frequent_kmers(grid: &Grid, a: &mut DistMat<u32>, limit: u32) {
+    use std::collections::HashMap;
+    let local: Vec<(u64, u32)> = {
+        let mut counts: HashMap<u64, u32> = HashMap::new();
+        for (_, c, _) in a.iter_local() {
+            *counts.entry(c).or_insert(0) += 1;
+        }
+        let mut v: Vec<(u64, u32)> = counts.into_iter().collect();
+        v.sort_unstable();
+        v
+    };
+    let all = grid.col_comm().allgather(local);
+    let mut global: HashMap<u64, u32> = HashMap::new();
+    for (c, n) in all.into_iter().flatten() {
+        *global.entry(c).or_insert(0) += n;
+    }
+    a.retain(|_, c, _| global.get(&c).copied().unwrap_or(0) <= limit);
+}
+
+/// Alignment task ownership for a local block entry.
+#[inline]
+fn owns_pair(li: u64, lj: u64, myrow: usize, mycol: usize) -> bool {
+    li < lj || (li == lj && myrow <= mycol)
+}
+
+fn align_owned_pairs(
+    b_mat: &DistMat<SeedPair>,
+    store: &DistSeqStore,
+    params: &PastisParams,
+    grid: &Grid,
+    row_range: (u64, u64),
+    col_range: (u64, u64),
+    counters: &mut Counters,
+) -> Vec<(u64, u64, f64)> {
+    let (myrow, mycol) = (grid.myrow(), grid.mycol());
+    let mut tasks: Vec<(u64, u64, SeedPair)> = Vec::new();
+    for (gi, gj, pair) in b_mat.iter_local() {
+        if gi == gj {
+            continue; // self-overlap
+        }
+        let (li, lj) = (gi - row_range.0, gj - col_range.0);
+        if !owns_pair(li, lj, myrow, mycol) {
+            continue;
+        }
+        counters.candidates_local += 1;
+        if pair.count <= params.common_kmer_threshold {
+            continue; // CK threshold: too few shared k-mers to bother
+        }
+        tasks.push((gi, gj, *pair));
+    }
+    counters.alignments_local = match params.mode {
+        AlignMode::None => 0,
+        _ => tasks.len() as u64,
+    };
+
+    let k = params.k;
+    let ap = params.align;
+    let mode = params.mode;
+    let stats: Vec<Option<AlignStats>> = align_batch(&tasks, params.threads, |&(gi, gj, pair)| {
+        match mode {
+            AlignMode::None => None,
+            AlignMode::SmithWaterman => {
+                let r = &store.row_seq(gi).expect("row sequence prefetched").data;
+                let c = &store.col_seq(gj).expect("col sequence prefetched").data;
+                Some(smith_waterman(r, c, &ap))
+            }
+            AlignMode::XDrop => {
+                let r = &store.row_seq(gi).expect("row sequence prefetched").data;
+                let c = &store.col_seq(gj).expect("col sequence prefetched").data;
+                // Extend from each stored seed; keep the best score
+                // (paper §IV-E).
+                pair.seeds()
+                    .iter()
+                    .filter(|&&(rp, cp)| rp as usize + k <= r.len() && cp as usize + k <= c.len())
+                    .map(|&(rp, cp)| xdrop_align(r, c, rp, cp, k, &ap))
+                    .max_by_key(|st| st.score)
+            }
+        }
+    });
+
+    let mut edges = Vec::new();
+    for ((gi, gj, pair), st) in tasks.into_iter().zip(stats) {
+        let (lo, hi) = if gi < gj { (gi, gj) } else { (gj, gi) };
+        match params.mode {
+            AlignMode::None => {
+                // Scaling runs: candidate pairs weighted by shared k-mers.
+                edges.push((lo, hi, pair.count as f64));
+            }
+            _ => {
+                let Some(st) = st else { continue };
+                match params.measure {
+                    SimilarityMeasure::Ani => {
+                        if st.passes_filter(params.min_ani, params.min_coverage) {
+                            edges.push((lo, hi, st.ani()));
+                        }
+                    }
+                    SimilarityMeasure::NormalizedScore => {
+                        // The paper applies no cut-off under NS (§VI-B).
+                        if st.score > 0 {
+                            edges.push((lo, hi, st.normalized_score()));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ownership_rule_is_a_partition() {
+        // For every grid size and pair (i, j), exactly one rank owns the
+        // pair — the §V-D claim.
+        let n = 23u64;
+        for q in [1usize, 2, 3, 4] {
+            let ranges: Vec<(u64, u64)> =
+                (0..q).map(|i| (i as u64 * n / q as u64, (i as u64 + 1) * n / q as u64)).collect();
+            for i in 0..n {
+                for j in 0..n {
+                    if i == j {
+                        continue;
+                    }
+                    let mut owners = 0;
+                    for r in 0..q {
+                        for c in 0..q {
+                            let (r0, r1) = ranges[r];
+                            let (c0, c1) = ranges[c];
+                            // Entry (i,j) of symmetric B exists in block
+                            // (r,c) iff i ∈ rows, j ∈ cols.
+                            if i >= r0 && i < r1 && j >= c0 && j < c1 && owns_pair(i - r0, j - c0, r, c) {
+                                owners += 1;
+                            }
+                        }
+                    }
+                    // B symmetric: (i,j) and (j,i) both exist; exactly one
+                    // of the two entries may be owned.
+                    let mut owners_t = 0;
+                    for r in 0..q {
+                        for c in 0..q {
+                            let (r0, r1) = ranges[r];
+                            let (c0, c1) = ranges[c];
+                            if j >= r0 && j < r1 && i >= c0 && i < c1 && owns_pair(j - r0, i - c0, r, c) {
+                                owners_t += 1;
+                            }
+                        }
+                    }
+                    assert_eq!(owners + owners_t, 1, "pair ({i},{j}) q={q}: {owners}+{owners_t}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Value types carried through the sparse matrix products (paper Fig. 3).
+
+use pcomm::Payload;
+
+/// Value of `A·S`: for a (sequence, substitute-k-mer) pair, the starting
+/// position of the *closest* original k-mer of that sequence, plus its
+/// substitution distance (paper §IV-C: "if d_ps ≤ d_qs we would store the
+/// position of k_p as the starting position of k_s").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubPos {
+    /// Starting position of the closest original k-mer in the sequence.
+    pub pos: u32,
+    /// Substitution distance between that k-mer and the substitute.
+    pub dist: u32,
+}
+
+impl Payload for SubPos {
+    fn payload_bytes(&self) -> usize {
+        8
+    }
+}
+
+/// Value of the overlap matrix `B`: the number of shared (substitute)
+/// k-mers of the pair plus up to two shared seed locations (paper Fig. 3:
+/// "a maximum of two shared k-mer locations per sequence pair are kept").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SeedPair {
+    /// Count of shared (substitute) k-mers.
+    pub count: u32,
+    /// Stored seeds `(position in row sequence, position in col sequence)`.
+    seeds: [(u32, u32); 2],
+    nseeds: u8,
+}
+
+impl SeedPair {
+    /// A single shared seed.
+    pub fn single(rpos: u32, cpos: u32) -> SeedPair {
+        SeedPair { count: 1, seeds: [(rpos, cpos), (0, 0)], nseeds: 1 }
+    }
+
+    /// The stored seeds (at most two).
+    pub fn seeds(&self) -> &[(u32, u32)] {
+        &self.seeds[..self.nseeds as usize]
+    }
+
+    /// Fold another contribution into this pair: counts add, and up to two
+    /// *distinct* seed locations are retained (first-come order, which the
+    /// deterministic semiring fold makes reproducible).
+    pub fn merge(&mut self, other: SeedPair) {
+        self.count += other.count;
+        for &s in other.seeds() {
+            if (self.nseeds as usize) < 2 && !self.seeds().contains(&s) {
+                self.seeds[self.nseeds as usize] = s;
+                self.nseeds += 1;
+            }
+        }
+    }
+
+    /// Merge used during symmetrization: the transposed direction found the
+    /// same pair independently, so take the max count rather than the sum
+    /// (avoiding double-counting the shared k-mers).
+    pub fn merge_symmetric(&mut self, other: SeedPair) {
+        self.count = self.count.max(other.count);
+        for &s in other.seeds() {
+            if (self.nseeds as usize) < 2 && !self.seeds().contains(&s) {
+                self.seeds[self.nseeds as usize] = s;
+                self.nseeds += 1;
+            }
+        }
+    }
+
+    /// Swap seed orientation (row↔column), used when folding in the
+    /// transposed matrix during symmetrization.
+    pub fn swapped(&self) -> SeedPair {
+        let mut out = *self;
+        for s in out.seeds.iter_mut() {
+            *s = (s.1, s.0);
+        }
+        out
+    }
+}
+
+impl Payload for SeedPair {
+    fn payload_bytes(&self) -> usize {
+        4 + 8 * self.nseeds as usize + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_and_merge_counts() {
+        let mut a = SeedPair::single(3, 7);
+        a.merge(SeedPair::single(10, 14));
+        assert_eq!(a.count, 2);
+        assert_eq!(a.seeds(), &[(3, 7), (10, 14)]);
+    }
+
+    #[test]
+    fn keeps_at_most_two_seeds() {
+        let mut a = SeedPair::single(1, 1);
+        a.merge(SeedPair::single(2, 2));
+        a.merge(SeedPair::single(3, 3));
+        assert_eq!(a.count, 3);
+        assert_eq!(a.seeds().len(), 2);
+        assert_eq!(a.seeds(), &[(1, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn duplicate_seed_not_stored_twice() {
+        let mut a = SeedPair::single(5, 5);
+        a.merge(SeedPair::single(5, 5));
+        assert_eq!(a.count, 2);
+        assert_eq!(a.seeds(), &[(5, 5)]);
+    }
+
+    #[test]
+    fn symmetric_merge_takes_max_count() {
+        let mut a = SeedPair::single(1, 2);
+        a.merge(SeedPair::single(3, 4)); // count 2
+        let mut b = SeedPair::single(2, 1);
+        b.merge(SeedPair::single(9, 9));
+        b.merge(SeedPair::single(8, 8)); // count 3
+        a.merge_symmetric(b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.seeds().len(), 2);
+    }
+
+    #[test]
+    fn swapped_flips_orientation() {
+        let mut a = SeedPair::single(1, 2);
+        a.merge(SeedPair::single(3, 4));
+        let s = a.swapped();
+        assert_eq!(s.seeds(), &[(2, 1), (4, 3)]);
+        assert_eq!(s.count, a.count);
+    }
+}

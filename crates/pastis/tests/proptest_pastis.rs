@@ -1,0 +1,83 @@
+//! Property-based tests of the PASTIS value types and semirings: the
+//! SeedPair fold is associative (so any SpGEMM accumulation order yields
+//! the same pair summary), and the AS "closest k-mer" fold is a proper
+//! commutative minimum.
+
+use pastis::{AsSemiring, ExactSemiring, SeedPair, SubPos};
+use proptest::prelude::*;
+use sparse::Semiring;
+
+fn seedpair_strategy() -> impl Strategy<Value = SeedPair> {
+    proptest::collection::vec((0u32..50, 0u32..50), 1..5).prop_map(|seeds| {
+        let mut p = SeedPair::single(seeds[0].0, seeds[0].1);
+        for &(a, b) in &seeds[1..] {
+            p.merge(SeedPair::single(a, b));
+        }
+        p
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn seedpair_merge_is_associative(
+        a in seedpair_strategy(),
+        b in seedpair_strategy(),
+        c in seedpair_strategy(),
+    ) {
+        let mut left = a.clone();
+        left.merge(b.clone());
+        left.merge(c.clone());
+        let mut bc = b.clone();
+        bc.merge(c.clone());
+        let mut right = a.clone();
+        right.merge(bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn seedpair_invariants(pairs in proptest::collection::vec((0u32..30, 0u32..30), 1..20)) {
+        let sr = ExactSemiring;
+        let mut acc = sr.multiply(&pairs[0].0, &pairs[0].1).unwrap();
+        for &(a, b) in &pairs[1..] {
+            sr.add(&mut acc, sr.multiply(&a, &b).unwrap());
+        }
+        prop_assert_eq!(acc.count as usize, pairs.len());
+        prop_assert!(acc.seeds().len() <= 2);
+        prop_assert!(!acc.seeds().is_empty());
+        // Stored seeds are among the contributed ones.
+        for s in acc.seeds() {
+            prop_assert!(pairs.contains(s));
+        }
+        // First contribution's seed is always retained (first-come rule).
+        prop_assert_eq!(acc.seeds()[0], pairs[0]);
+    }
+
+    #[test]
+    fn subpos_fold_is_commutative_min(
+        items in proptest::collection::vec((0u32..100, 0u32..40), 1..15),
+    ) {
+        let sr = AsSemiring;
+        let fold = |order: &[(u32, u32)]| {
+            let mut acc = SubPos { pos: order[0].0, dist: order[0].1 };
+            for &(p, d) in &order[1..] {
+                sr.add(&mut acc, SubPos { pos: p, dist: d });
+            }
+            acc
+        };
+        let forward = fold(&items);
+        let mut rev = items.clone();
+        rev.reverse();
+        let backward = fold(&rev);
+        prop_assert_eq!(forward, backward);
+        // It is the (dist, pos)-minimum of the contributions.
+        let want = items.iter().map(|&(p, d)| (d, p)).min().unwrap();
+        prop_assert_eq!((forward.dist, forward.pos), want);
+    }
+
+    #[test]
+    fn swapped_is_involution(a in seedpair_strategy()) {
+        prop_assert_eq!(a.swapped().swapped(), a);
+    }
+}

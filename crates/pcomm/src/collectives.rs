@@ -1,0 +1,147 @@
+//! Collective operations, implemented over point-to-point messages so that
+//! their communication volume is metered realistically.
+//!
+//! All collectives must be called by every rank of the communicator in the
+//! same order (standard MPI contract); a per-communicator sequence number
+//! gives each collective call its own reserved tag so that back-to-back
+//! collectives cannot interfere.
+
+use crate::comm::Comm;
+use crate::payload::Payload;
+use crate::MAX_USER_TAG;
+
+impl Comm {
+    fn coll_tag(&self) -> u64 {
+        let seq = self.coll_seq.get();
+        self.coll_seq.set(seq + 1);
+        MAX_USER_TAG + seq
+    }
+
+    /// Block until every rank of this communicator has entered the barrier.
+    pub fn barrier(&self) {
+        self.reduce_with_tag(0, 0u8, |_, _| 0);
+        let _ = self.bcast(0, if self.rank() == 0 { Some(0u8) } else { None });
+    }
+
+    /// Binomial-tree broadcast from `root`. Ranks other than `root` pass
+    /// `None` and receive the broadcast value.
+    pub fn bcast<T: Payload + Clone>(&self, root: usize, value: Option<T>) -> T {
+        let tag = self.coll_tag();
+        let p = self.size();
+        let vr = (self.rank() + p - root) % p; // virtual rank with root at 0
+        let val = if vr == 0 {
+            value.expect("root must supply the broadcast value")
+        } else {
+            // Receive from the parent: vr with its highest set bit cleared.
+            let high = usize::BITS - 1 - vr.leading_zeros();
+            let parent_vr = vr ^ (1usize << high);
+            let parent = (parent_vr + root) % p;
+            self.recv_raw::<T>(parent, tag)
+        };
+        // Forward to children vr | 2^d for every d above my highest set bit.
+        let mut d = if vr == 0 { 0 } else { (usize::BITS - vr.leading_zeros()) as usize };
+        while (1usize << d) < p {
+            let child_vr = vr | (1 << d);
+            if child_vr < p {
+                let child = (child_vr + root) % p;
+                self.send_raw(child, tag, val.clone());
+            }
+            d += 1;
+        }
+        val
+    }
+
+    fn reduce_with_tag<T: Payload>(&self, root: usize, value: T, op: impl Fn(T, T) -> T) -> Option<T> {
+        let tag = self.coll_tag();
+        let p = self.size();
+        let vr = (self.rank() + p - root) % p;
+        let mut acc = value;
+        let mut d = 0;
+        while (1usize << d) < p {
+            let bit = 1usize << d;
+            if vr & bit != 0 {
+                // My subtree is complete; hand it to the parent and stop.
+                let parent = ((vr & !bit) + root) % p;
+                self.send_raw(parent, tag, acc);
+                return None;
+            }
+            let child_vr = vr | bit;
+            if child_vr < p {
+                let child = (child_vr + root) % p;
+                let other = self.recv_raw::<T>(child, tag);
+                acc = op(acc, other);
+            }
+            d += 1;
+        }
+        Some(acc)
+    }
+
+    /// Binomial-tree reduction to `root`; returns `Some(total)` on the root
+    /// and `None` elsewhere. `op` must be associative (the combine order is
+    /// deterministic for a given communicator size, so results reproduce).
+    pub fn reduce<T: Payload>(&self, root: usize, value: T, op: impl Fn(T, T) -> T) -> Option<T> {
+        self.reduce_with_tag(root, value, op)
+    }
+
+    /// Reduction whose result every rank receives.
+    pub fn allreduce<T: Payload + Clone>(&self, value: T, op: impl Fn(T, T) -> T) -> T {
+        let total = self.reduce(0, value, op);
+        self.bcast(0, total)
+    }
+
+    /// Gather one value per rank to `root` (rank order). Linear algorithm:
+    /// the root inherently receives `p-1` messages.
+    pub fn gather<T: Payload>(&self, root: usize, value: T) -> Option<Vec<T>> {
+        let tag = self.coll_tag();
+        if self.rank() == root {
+            let mut out: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
+            out[root] = Some(value);
+            #[allow(clippy::needless_range_loop)] // src is a rank id, not just an index
+            for src in 0..self.size() {
+                if src != root {
+                    out[src] = Some(self.recv_raw::<T>(src, tag));
+                }
+            }
+            Some(out.into_iter().map(Option::unwrap).collect())
+        } else {
+            self.send_raw(root, tag, value);
+            None
+        }
+    }
+
+    /// Gather one value per rank onto every rank (gather + broadcast).
+    pub fn allgather<T: Payload + Clone>(&self, value: T) -> Vec<T> {
+        let gathered = self.gather(0, value);
+        self.bcast(0, gathered)
+    }
+
+    /// Personalized all-to-all: `parts[d]` is sent to rank `d`; the result's
+    /// element `s` is the part rank `s` addressed to me. This is the shuffle
+    /// primitive behind distributed triple redistribution.
+    pub fn alltoallv<T: Payload>(&self, parts: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        assert_eq!(parts.len(), self.size(), "need one part per destination rank");
+        let tag = self.coll_tag();
+        for (dst, part) in parts.into_iter().enumerate() {
+            self.send_raw(dst, tag, part);
+        }
+        (0..self.size()).map(|src| self.recv_raw::<Vec<T>>(src, tag)).collect()
+    }
+
+    /// Exclusive prefix "sum" over ranks: rank `i` receives
+    /// `op(v_0, ..., v_{i-1})`; rank 0 receives `None`. Used to number
+    /// globally the sequences each rank parsed from its FASTA chunk.
+    pub fn exscan<T: Payload + Clone>(&self, value: T, op: impl Fn(T, T) -> T) -> Option<T> {
+        let tag = self.coll_tag();
+        let me = self.rank();
+        let p = self.size();
+        let prefix: Option<T> = if me == 0 { None } else { Some(self.recv_raw::<T>(me - 1, tag)) };
+        if me + 1 < p {
+            let next = match prefix.clone() {
+                None => value,
+                Some(pre) => op(pre, value),
+            };
+            self.send_raw(me + 1, tag, next);
+        }
+        prefix
+    }
+}

@@ -1,0 +1,258 @@
+//! Communicators: point-to-point messaging and communicator splitting.
+
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, VecDeque};
+use std::marker::PhantomData;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel::Receiver;
+
+use crate::payload::Payload;
+use crate::stats::{CommStats, LiveStats};
+use crate::world::{Packet, WorldShared};
+use crate::MAX_USER_TAG;
+
+/// Per-thread rank context: mailbox, out-of-order stash and counters.
+/// (communicator id, source world rank, tag) → queued (payload, bytes).
+type Stash = HashMap<(u64, usize, u64), VecDeque<(Box<dyn Any + Send>, usize)>>;
+
+pub(crate) struct RankCtx {
+    pub(crate) world: Arc<WorldShared>,
+    pub(crate) world_rank: usize,
+    pub(crate) rx: Receiver<Packet>,
+    /// Messages that arrived before a matching `recv` was posted.
+    stash: RefCell<Stash>,
+    pub(crate) stats: LiveStats,
+}
+
+impl RankCtx {
+    pub(crate) fn new(world: Arc<WorldShared>, world_rank: usize, rx: Receiver<Packet>) -> Self {
+        RankCtx { world, world_rank, rx, stash: RefCell::new(HashMap::new()), stats: LiveStats::default() }
+    }
+}
+
+/// A communicator: a group of ranks that can exchange messages.
+///
+/// `Comm` is cheap to clone; clones share the rank context and collective
+/// sequence counters, so a clone may be stored inside long-lived structures
+/// (e.g. a distributed matrix) and used interchangeably with the original.
+/// `Comm` is not `Send`: it belongs to the thread of its rank.
+pub struct Comm {
+    ctx: Rc<RankCtx>,
+    /// World ranks of the members of this communicator, in rank order.
+    group: Arc<Vec<usize>>,
+    /// My rank within `group`.
+    my: usize,
+    /// Identifier separating traffic of different communicators.
+    id: u64,
+    /// Sequence number for collective operations (shared among clones so the
+    /// reserved tags stay in sync across all copies held by this rank).
+    pub(crate) coll_seq: Rc<Cell<u64>>,
+    /// Sequence number for subcommunicator creation.
+    split_seq: Rc<Cell<u64>>,
+}
+
+impl Clone for Comm {
+    fn clone(&self) -> Self {
+        Comm {
+            ctx: Rc::clone(&self.ctx),
+            group: Arc::clone(&self.group),
+            my: self.my,
+            id: self.id,
+            coll_seq: Rc::clone(&self.coll_seq),
+            split_seq: Rc::clone(&self.split_seq),
+        }
+    }
+}
+
+fn mix(mut h: u64, v: u64) -> u64 {
+    // SplitMix64-style mixing for communicator id derivation.
+    h ^= v.wrapping_add(0x9e37_79b9_7f4a_7c15).wrapping_add(h << 6).wrapping_add(h >> 2);
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^ (h >> 31)
+}
+
+impl Comm {
+    pub(crate) fn world(ctx: Rc<RankCtx>, size: usize) -> Comm {
+        let me = ctx.world_rank;
+        Comm {
+            ctx,
+            group: Arc::new((0..size).collect()),
+            my: me,
+            id: 0,
+            coll_seq: Rc::new(Cell::new(0)),
+            split_seq: Rc::new(Cell::new(0)),
+        }
+    }
+
+    /// My rank within this communicator.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.my
+    }
+
+    /// Number of ranks in this communicator.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.group.len()
+    }
+
+    /// My rank in the world communicator.
+    #[inline]
+    pub fn world_rank(&self) -> usize {
+        self.ctx.world_rank
+    }
+
+    /// Snapshot of this rank's cumulative communication counters (world-wide,
+    /// not per-communicator).
+    pub fn stats(&self) -> CommStats {
+        self.ctx.stats.snapshot()
+    }
+
+    /// Blocking typed send. `dst` and `tag` address the message; the value is
+    /// moved into the destination rank's mailbox immediately (the transport
+    /// is buffered, so sends never deadlock).
+    pub fn send<T: Payload>(&self, dst: usize, tag: u64, value: T) {
+        assert!(tag < MAX_USER_TAG, "tag {tag} is reserved for collectives");
+        self.send_raw(dst, tag, value);
+    }
+
+    pub(crate) fn send_raw<T: Payload>(&self, dst: usize, tag: u64, value: T) {
+        let bytes = value.payload_bytes();
+        self.ctx.stats.on_send(bytes);
+        let pkt = Packet {
+            comm: self.id,
+            src: self.ctx.world_rank,
+            tag,
+            bytes,
+            payload: Box::new(value),
+        };
+        self.ctx.world.senders[self.group[dst]]
+            .send(pkt)
+            .expect("destination rank has exited");
+    }
+
+    /// Blocking typed receive matching `(src, tag)` on this communicator.
+    ///
+    /// # Panics
+    /// Panics if the matching message has a different payload type.
+    pub fn recv<T: Payload>(&self, src: usize, tag: u64) -> T {
+        assert!(tag < MAX_USER_TAG, "tag {tag} is reserved for collectives");
+        self.recv_raw(src, tag)
+    }
+
+    pub(crate) fn recv_raw<T: Payload>(&self, src: usize, tag: u64) -> T {
+        let key = (self.id, self.group[src], tag);
+        if let Some(q) = self.ctx.stash.borrow_mut().get_mut(&key) {
+            if let Some((payload, bytes)) = q.pop_front() {
+                self.ctx.stats.on_recv(bytes);
+                return *payload.downcast::<T>().expect("payload type mismatch");
+            }
+        }
+        let start = Instant::now();
+        loop {
+            let pkt = self.ctx.rx.recv().expect("world shut down while receiving");
+            if (pkt.comm, pkt.src, pkt.tag) == key {
+                self.ctx.stats.on_wait(start.elapsed().as_nanos() as u64);
+                self.ctx.stats.on_recv(pkt.bytes);
+                return *pkt.payload.downcast::<T>().expect("payload type mismatch");
+            }
+            self.ctx
+                .stash
+                .borrow_mut()
+                .entry((pkt.comm, pkt.src, pkt.tag))
+                .or_default()
+                .push_back((pkt.payload, pkt.bytes));
+        }
+    }
+
+    /// Non-blocking send. The buffered transport makes every send
+    /// asynchronous, so this is an alias of [`Comm::send`] kept for symmetry
+    /// with the MPI calls PASTIS issues (`MPI_Isend`).
+    pub fn isend<T: Payload>(&self, dst: usize, tag: u64, value: T) {
+        self.send(dst, tag, value);
+    }
+
+    /// Post a non-blocking receive; completion happens at
+    /// [`RecvFuture::wait`] or [`Comm::waitall`].
+    pub fn irecv<T: Payload>(&self, src: usize, tag: u64) -> RecvFuture<T> {
+        assert!(tag < MAX_USER_TAG, "tag {tag} is reserved for collectives");
+        RecvFuture { comm: self.clone(), src, tag, _t: PhantomData }
+    }
+
+    /// Complete a set of posted receives, returning payloads in post order.
+    /// This is the `MPI_Waitall` fence PASTIS uses after computing B to
+    /// guarantee remote sequences have arrived (§V-C).
+    pub fn waitall<T: Payload>(&self, futures: Vec<RecvFuture<T>>) -> Vec<T> {
+        futures.into_iter().map(RecvFuture::wait).collect()
+    }
+
+    /// Create a subcommunicator from a list of member ranks (indices in
+    /// *this* communicator, strictly increasing). Collective: every rank of
+    /// `self` must call it with the same member list. Returns `None` on ranks
+    /// not in `members`.
+    pub fn subcomm(&self, members: &[usize]) -> Option<Comm> {
+        let seq = self.split_seq.get();
+        self.split_seq.set(seq + 1);
+        debug_assert!(members.windows(2).all(|w| w[0] < w[1]), "members must be strictly increasing");
+        let my = members.iter().position(|&m| m == self.my)?;
+        let group: Vec<usize> = members.iter().map(|&m| self.group[m]).collect();
+        let id = mix(mix(self.id, seq), group[0] as u64 ^ (group.len() as u64) << 32);
+        Some(Comm {
+            ctx: Rc::clone(&self.ctx),
+            group: Arc::new(group),
+            my,
+            id,
+            coll_seq: Rc::new(Cell::new(0)),
+            split_seq: Rc::new(Cell::new(0)),
+        })
+    }
+
+    /// MPI-style `comm_split`: ranks with the same `color` end up in the same
+    /// subcommunicator, ordered by `(key, rank)`. Collective over `self`.
+    pub fn split(&self, color: u64, key: u64) -> Comm {
+        let triples = self.allgather((color, key, self.my as u64));
+        let mut members: Vec<usize> = triples
+            .iter()
+            .filter(|&&(c, _, _)| c == color)
+            .map(|&(_, _, r)| r as usize)
+            .collect();
+        // Order by key, then original rank, then renumber as group indices.
+        members.sort_by_key(|&r| {
+            let k = triples.iter().find(|&&(_, _, rr)| rr as usize == r).unwrap().1;
+            (k, r)
+        });
+        // subcomm requires strictly increasing member indices; reorder via a
+        // rank permutation is not needed by our users, so assert sortedness.
+        let mut sorted = members.clone();
+        sorted.sort_unstable();
+        // Keep split_seq consistent across colors: every rank made the same
+        // number of subcomm calls regardless of its color.
+        let sub = self.subcomm(&sorted).expect("self must be a member of its own color group");
+        debug_assert_eq!(sorted, members, "split with non-monotone keys is not supported");
+        sub
+    }
+}
+
+/// Handle for a posted non-blocking receive.
+pub struct RecvFuture<T: Payload> {
+    comm: Comm,
+    src: usize,
+    tag: u64,
+    _t: PhantomData<T>,
+}
+
+impl<T: Payload> RecvFuture<T> {
+    /// Block until the matching message arrives and return its payload.
+    pub fn wait(self) -> T {
+        self.comm.recv_raw(self.src, self.tag)
+    }
+
+    /// Source rank this receive was posted against.
+    pub fn source(&self) -> usize {
+        self.src
+    }
+}

@@ -1,0 +1,98 @@
+//! Analytic α-β cost model used to project measured work and communication
+//! onto node counts larger than the host can run.
+//!
+//! The reproduction runs ranks as threads on one machine, so wall-clock time
+//! at large `p` is not directly measurable. Instead each pipeline stage
+//! records, per rank, the compute time it spent and the communication it
+//! issued; the model then charges
+//!
+//! ```text
+//! T_stage = max_rank(compute)/speedup + α·max_rank(msgs) + β·max_rank(bytes)
+//! ```
+//!
+//! which is the standard postal model used to reason about algorithms like
+//! 2D SUMMA. Defaults are calibrated to a Cray-XC40-class interconnect
+//! (~1 µs latency, ~8 GB/s effective per-node bandwidth) to match the
+//! machine the paper evaluated on.
+
+use crate::stats::CommStats;
+
+/// Postal-model parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Seconds of latency per message.
+    pub alpha: f64,
+    /// Seconds per byte moved.
+    pub beta: f64,
+    /// Factor by which real parallel hardware outruns this host's serialized
+    /// thread execution for compute (1.0 = take measured thread time as-is).
+    pub compute_scale: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel { alpha: 1.0e-6, beta: 1.0 / 8.0e9, compute_scale: 1.0 }
+    }
+}
+
+/// Per-stage, per-rank measurement: compute seconds plus the stage's
+/// communication counter delta.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageCost {
+    /// Seconds of pure computation on the critical (max) rank.
+    pub compute_secs: f64,
+    /// Communication issued by the critical rank during the stage.
+    pub comm: CommStats,
+}
+
+impl StageCost {
+    /// Critical path across ranks: element-wise max.
+    pub fn max(self, rhs: StageCost) -> StageCost {
+        StageCost { compute_secs: self.compute_secs.max(rhs.compute_secs), comm: self.comm.max(rhs.comm) }
+    }
+
+    /// Aggregate across ranks (useful for total volume reporting).
+    pub fn sum(self, rhs: StageCost) -> StageCost {
+        StageCost { compute_secs: self.compute_secs + rhs.compute_secs, comm: self.comm.sum(rhs.comm) }
+    }
+}
+
+impl CostModel {
+    /// Modeled wall-clock seconds for a stage whose critical-rank
+    /// measurements are `stage`.
+    pub fn stage_seconds(&self, stage: StageCost) -> f64 {
+        let msgs = stage.comm.msgs_sent.max(stage.comm.msgs_recv) as f64;
+        let bytes = stage.comm.bytes_sent.max(stage.comm.bytes_recv) as f64;
+        stage.compute_secs / self.compute_scale + self.alpha * msgs + self.beta * bytes
+    }
+
+    /// Modeled seconds for a sequence of stages executed back to back.
+    pub fn total_seconds(&self, stages: &[StageCost]) -> f64 {
+        stages.iter().map(|&s| self.stage_seconds(s)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_seconds_combines_terms() {
+        let m = CostModel { alpha: 1e-6, beta: 1e-9, compute_scale: 2.0 };
+        let s = StageCost {
+            compute_secs: 4.0,
+            comm: CommStats { bytes_sent: 1_000_000, bytes_recv: 0, msgs_sent: 10, msgs_recv: 0, wait_nanos: 0 },
+        };
+        let t = m.stage_seconds(s);
+        assert!((t - (2.0 + 10.0 * 1e-6 + 1e-3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_takes_critical_path() {
+        let a = StageCost { compute_secs: 1.0, comm: CommStats { bytes_sent: 5, ..Default::default() } };
+        let b = StageCost { compute_secs: 3.0, comm: CommStats { bytes_sent: 2, ..Default::default() } };
+        let m = a.max(b);
+        assert_eq!(m.compute_secs, 3.0);
+        assert_eq!(m.comm.bytes_sent, 5);
+    }
+}

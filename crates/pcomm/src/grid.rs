@@ -1,0 +1,100 @@
+//! 2D process grids with row/column subcommunicators, as used by the 2D
+//! Sparse SUMMA algorithm in CombBLAS (paper §II-A, §V-A).
+
+use crate::comm::Comm;
+
+/// A √p × √p arrangement of the ranks of a communicator.
+///
+/// Ranks are laid out row-major: grid position `(r, c)` is rank `r·q + c`.
+/// Row and column subcommunicators support the broadcasts of SUMMA and the
+/// triangular exchange used to symmetrize the similarity matrix.
+pub struct Grid {
+    world: Comm,
+    q: usize,
+    row: Comm,
+    col: Comm,
+}
+
+impl Grid {
+    /// Build a grid over all ranks of `comm`. Collective.
+    ///
+    /// # Panics
+    /// Panics unless `comm.size()` is a perfect square — the same requirement
+    /// PASTIS imposes on its process count (§V).
+    pub fn new(comm: &Comm) -> Grid {
+        let p = comm.size();
+        let q = (p as f64).sqrt().round() as usize;
+        assert_eq!(q * q, p, "grid requires a perfect square rank count, got {p}");
+        let me = comm.rank();
+        let (myrow, mycol) = (me / q, me % q);
+        // Subcommunicator creation is collective: every rank must perform the
+        // same sequence of calls, so all ranks iterate over all rows/columns.
+        let mut row = None;
+        for r in 0..q {
+            let members: Vec<usize> = (0..q).map(|c| r * q + c).collect();
+            if let Some(c) = comm.subcomm(&members) {
+                debug_assert_eq!(r, myrow);
+                row = Some(c);
+            }
+        }
+        let mut col = None;
+        for c in 0..q {
+            let members: Vec<usize> = (0..q).map(|r| r * q + c).collect();
+            if let Some(cm) = comm.subcomm(&members) {
+                debug_assert_eq!(c, mycol);
+                col = Some(cm);
+            }
+        }
+        Grid { world: comm.clone(), q, row: row.unwrap(), col: col.unwrap() }
+    }
+
+    /// Side length of the grid (√p).
+    #[inline]
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// My row index.
+    #[inline]
+    pub fn myrow(&self) -> usize {
+        self.world.rank() / self.q
+    }
+
+    /// My column index.
+    #[inline]
+    pub fn mycol(&self) -> usize {
+        self.world.rank() % self.q
+    }
+
+    /// Rank (in the underlying communicator) of grid position `(r, c)`.
+    #[inline]
+    pub fn rank_of(&self, r: usize, c: usize) -> usize {
+        debug_assert!(r < self.q && c < self.q);
+        r * self.q + c
+    }
+
+    /// The communicator the grid was built over.
+    #[inline]
+    pub fn world(&self) -> &Comm {
+        &self.world
+    }
+
+    /// Subcommunicator of my grid row (rank within it = my column index).
+    #[inline]
+    pub fn row_comm(&self) -> &Comm {
+        &self.row
+    }
+
+    /// Subcommunicator of my grid column (rank within it = my row index).
+    #[inline]
+    pub fn col_comm(&self) -> &Comm {
+        &self.col
+    }
+
+    /// Rank holding the transpose-partner block of mine (`(c, r)` for my
+    /// `(r, c)`), used when symmetrizing distributed matrices.
+    #[inline]
+    pub fn transpose_partner(&self) -> usize {
+        self.rank_of(self.mycol(), self.myrow())
+    }
+}

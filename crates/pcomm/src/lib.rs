@@ -1,0 +1,45 @@
+//! `pcomm` — an MPI-like message-passing runtime for simulating distributed
+//! memory programs on a single machine.
+//!
+//! Each *rank* is an OS thread; point-to-point messages travel over lock-free
+//! channels and every operation is metered (bytes, message counts) so that
+//! communication volume can be fed into an analytic cost model.
+//!
+//! The API mirrors the subset of MPI that PASTIS uses through CombBLAS and
+//! directly: blocking send/recv, non-blocking recv futures with `waitall`
+//! (used for the background sequence exchange of PASTIS §V-C), and the
+//! collectives required by 2D Sparse SUMMA (row/column broadcasts), input
+//! partitioning (exclusive scan) and triple shuffling (`alltoallv`).
+//!
+//! # Example
+//!
+//! ```
+//! use pcomm::World;
+//!
+//! // Four ranks cooperatively compute the sum 0+1+2+3.
+//! let results = World::run(4, |comm| {
+//!     let me = comm.rank() as u64;
+//!     comm.allreduce(me, |a, b| a + b)
+//! });
+//! assert_eq!(results, vec![6, 6, 6, 6]);
+//! ```
+
+mod collectives;
+mod comm;
+mod cost;
+mod grid;
+mod payload;
+mod stats;
+pub mod work;
+mod world;
+
+pub use comm::{Comm, RecvFuture};
+pub use cost::{CostModel, StageCost};
+pub use grid::Grid;
+pub use payload::Payload;
+pub use stats::CommStats;
+pub use world::World;
+
+/// Tags below this bound are available to users; larger values are reserved
+/// for collectives.
+pub const MAX_USER_TAG: u64 = 1 << 30;

@@ -1,0 +1,130 @@
+//! Per-rank communication accounting.
+
+use std::cell::Cell;
+use std::ops::Sub;
+
+/// Snapshot of one rank's communication counters.
+///
+/// Counters only ever grow; subtract two snapshots to get the traffic of a
+/// pipeline stage. Collective operations are accounted by the point-to-point
+/// messages of their implementation, so the numbers reflect the actual
+/// algorithmic volume (e.g. a broadcast over a binomial tree).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Total bytes this rank pushed into other ranks' mailboxes.
+    pub bytes_sent: u64,
+    /// Total bytes this rank consumed from its mailbox.
+    pub bytes_recv: u64,
+    /// Number of point-to-point messages sent.
+    pub msgs_sent: u64,
+    /// Number of point-to-point messages received.
+    pub msgs_recv: u64,
+    /// Nanoseconds spent blocked waiting for messages to arrive.
+    pub wait_nanos: u64,
+}
+
+impl Sub for CommStats {
+    type Output = CommStats;
+
+    fn sub(self, rhs: CommStats) -> CommStats {
+        CommStats {
+            bytes_sent: self.bytes_sent - rhs.bytes_sent,
+            bytes_recv: self.bytes_recv - rhs.bytes_recv,
+            msgs_sent: self.msgs_sent - rhs.msgs_sent,
+            msgs_recv: self.msgs_recv - rhs.msgs_recv,
+            wait_nanos: self.wait_nanos - rhs.wait_nanos,
+        }
+    }
+}
+
+impl CommStats {
+    /// Element-wise max, used to find the critical-path rank of a stage.
+    pub fn max(self, rhs: CommStats) -> CommStats {
+        CommStats {
+            bytes_sent: self.bytes_sent.max(rhs.bytes_sent),
+            bytes_recv: self.bytes_recv.max(rhs.bytes_recv),
+            msgs_sent: self.msgs_sent.max(rhs.msgs_sent),
+            msgs_recv: self.msgs_recv.max(rhs.msgs_recv),
+            wait_nanos: self.wait_nanos.max(rhs.wait_nanos),
+        }
+    }
+
+    /// Element-wise sum, used for aggregate volume across ranks.
+    pub fn sum(self, rhs: CommStats) -> CommStats {
+        CommStats {
+            bytes_sent: self.bytes_sent + rhs.bytes_sent,
+            bytes_recv: self.bytes_recv + rhs.bytes_recv,
+            msgs_sent: self.msgs_sent + rhs.msgs_sent,
+            msgs_recv: self.msgs_recv + rhs.msgs_recv,
+            wait_nanos: self.wait_nanos + rhs.wait_nanos,
+        }
+    }
+}
+
+/// Live counters owned by a single rank (never shared across threads).
+#[derive(Default)]
+pub(crate) struct LiveStats {
+    pub bytes_sent: Cell<u64>,
+    pub bytes_recv: Cell<u64>,
+    pub msgs_sent: Cell<u64>,
+    pub msgs_recv: Cell<u64>,
+    pub wait_nanos: Cell<u64>,
+}
+
+impl LiveStats {
+    pub fn snapshot(&self) -> CommStats {
+        CommStats {
+            bytes_sent: self.bytes_sent.get(),
+            bytes_recv: self.bytes_recv.get(),
+            msgs_sent: self.msgs_sent.get(),
+            msgs_recv: self.msgs_recv.get(),
+            wait_nanos: self.wait_nanos.get(),
+        }
+    }
+
+    pub fn on_send(&self, bytes: usize) {
+        self.bytes_sent.set(self.bytes_sent.get() + bytes as u64);
+        self.msgs_sent.set(self.msgs_sent.get() + 1);
+    }
+
+    pub fn on_recv(&self, bytes: usize) {
+        self.bytes_recv.set(self.bytes_recv.get() + bytes as u64);
+        self.msgs_recv.set(self.msgs_recv.get() + 1);
+    }
+
+    pub fn on_wait(&self, nanos: u64) {
+        self.wait_nanos.set(self.wait_nanos.get() + nanos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_diff() {
+        let live = LiveStats::default();
+        live.on_send(100);
+        let a = live.snapshot();
+        live.on_send(50);
+        live.on_recv(10);
+        let b = live.snapshot();
+        let d = b - a;
+        assert_eq!(d.bytes_sent, 50);
+        assert_eq!(d.msgs_sent, 1);
+        assert_eq!(d.bytes_recv, 10);
+        assert_eq!(d.msgs_recv, 1);
+    }
+
+    #[test]
+    fn max_and_sum() {
+        let a = CommStats { bytes_sent: 5, bytes_recv: 20, msgs_sent: 1, msgs_recv: 2, wait_nanos: 7 };
+        let b = CommStats { bytes_sent: 9, bytes_recv: 3, msgs_sent: 4, msgs_recv: 1, wait_nanos: 2 };
+        let m = a.max(b);
+        assert_eq!(m.bytes_sent, 9);
+        assert_eq!(m.bytes_recv, 20);
+        let s = a.sum(b);
+        assert_eq!(s.bytes_sent, 14);
+        assert_eq!(s.msgs_recv, 3);
+    }
+}

@@ -1,0 +1,55 @@
+//! Deterministic per-rank work accounting.
+//!
+//! Ranks are threads on a (possibly single-core) host, so per-stage *wall
+//! clock* is contaminated by scheduling when ranks are oversubscribed.
+//! Compute kernels instead report their work here as **estimated
+//! nanoseconds** (operation count × a documented per-op constant); the
+//! counter is thread-local, so each rank accumulates exactly the work it
+//! executed regardless of scheduling. Stage deltas feed
+//! [`crate::CostModel`], giving scaling curves that reflect the algorithm
+//! rather than the host's core count.
+//!
+//! The counter is deterministic for deterministic inputs: two runs of the
+//! same pipeline report identical work.
+
+use std::cell::Cell;
+
+thread_local! {
+    static WORK_NS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Record `ops` operations at `ns_per_op` estimated nanoseconds each.
+#[inline]
+pub fn record(ops: u64, ns_per_op: u64) {
+    WORK_NS.with(|w| w.set(w.get() + ops * ns_per_op));
+}
+
+/// Cumulative estimated nanoseconds of work on this thread.
+#[inline]
+pub fn counter() -> u64 {
+    WORK_NS.with(Cell::get)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_on_this_thread() {
+        let base = counter();
+        record(10, 3);
+        record(1, 7);
+        assert_eq!(counter() - base, 37);
+    }
+
+    #[test]
+    fn threads_have_independent_counters() {
+        let base = counter();
+        std::thread::spawn(|| {
+            record(1000, 1000);
+        })
+        .join()
+        .unwrap();
+        assert_eq!(counter(), base);
+    }
+}

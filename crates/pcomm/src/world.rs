@@ -1,0 +1,72 @@
+//! World construction: spawn one thread per rank and run a closure on each.
+
+use std::any::Any;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Sender};
+
+use crate::comm::{Comm, RankCtx};
+
+/// A message in flight between two ranks.
+pub(crate) struct Packet {
+    pub comm: u64,
+    /// Source *world* rank.
+    pub src: usize,
+    pub tag: u64,
+    pub bytes: usize,
+    pub payload: Box<dyn Any + Send>,
+}
+
+pub(crate) struct WorldShared {
+    pub senders: Vec<Sender<Packet>>,
+}
+
+/// Entry point of the runtime.
+pub struct World;
+
+/// Stack size for rank threads; generous to accommodate deep DP recursion in
+/// user code.
+const RANK_STACK: usize = 8 << 20;
+
+impl World {
+    /// Run `f` on `p` ranks, each on its own OS thread, and return the per
+    /// rank results in rank order.
+    ///
+    /// Panics in any rank propagate to the caller after all threads have been
+    /// joined or abandoned.
+    pub fn run<R, F>(p: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Comm) -> R + Sync,
+    {
+        assert!(p > 0, "world must have at least one rank");
+        let (senders, receivers): (Vec<_>, Vec<_>) = (0..p).map(|_| unbounded::<Packet>()).unzip();
+        let shared = Arc::new(WorldShared { senders });
+        let f = &f;
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p);
+            for (rank, rx) in receivers.into_iter().enumerate() {
+                let shared = Arc::clone(&shared);
+                let handle = std::thread::Builder::new()
+                    .name(format!("rank-{rank}"))
+                    .stack_size(RANK_STACK)
+                    .spawn_scoped(scope, move || {
+                        let ctx = Rc::new(RankCtx::new(shared, rank, rx));
+                        let comm = Comm::world(ctx, p);
+                        f(comm)
+                    })
+                    .expect("failed to spawn rank thread");
+                handles.push(handle);
+            }
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    Err(e) => std::panic::resume_unwind(e),
+                })
+                .collect()
+        })
+    }
+}

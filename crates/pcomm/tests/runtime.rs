@@ -1,0 +1,260 @@
+//! Integration tests for the pcomm runtime: point-to-point semantics,
+//! collectives, subcommunicators and grids.
+
+use pcomm::{Grid, World};
+
+#[test]
+fn single_rank_world() {
+    let r = World::run(1, |comm| {
+        assert_eq!(comm.rank(), 0);
+        assert_eq!(comm.size(), 1);
+        comm.allreduce(41u64, |a, b| a + b) + 1
+    });
+    assert_eq!(r, vec![42]);
+}
+
+#[test]
+fn ping_pong() {
+    let r = World::run(2, |comm| {
+        if comm.rank() == 0 {
+            comm.send(1, 7, vec![1u32, 2, 3]);
+            comm.recv::<u64>(1, 8)
+        } else {
+            let v = comm.recv::<Vec<u32>>(0, 7);
+            let s = v.iter().map(|&x| x as u64).sum::<u64>();
+            comm.send(0, 8, s);
+            s
+        }
+    });
+    assert_eq!(r, vec![6, 6]);
+}
+
+#[test]
+fn out_of_order_tags_are_matched() {
+    let r = World::run(2, |comm| {
+        if comm.rank() == 0 {
+            comm.send(1, 1, 100u32);
+            comm.send(1, 2, 200u32);
+            0
+        } else {
+            // Receive in the opposite order of sending.
+            let b = comm.recv::<u32>(0, 2);
+            let a = comm.recv::<u32>(0, 1);
+            (a + b) as i32
+        }
+    });
+    assert_eq!(r[1], 300);
+}
+
+#[test]
+fn self_send() {
+    let r = World::run(1, |comm| {
+        comm.send(0, 3, 99u8);
+        comm.recv::<u8>(0, 3)
+    });
+    assert_eq!(r, vec![99]);
+}
+
+#[test]
+fn irecv_waitall_preserves_post_order() {
+    let r = World::run(3, |comm| {
+        let me = comm.rank();
+        for dst in 0..3 {
+            comm.isend(dst, 5, me as u64);
+        }
+        let futs = (0..3).map(|src| comm.irecv::<u64>(src, 5)).collect();
+        comm.waitall(futs)
+    });
+    for got in r {
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+}
+
+#[test]
+fn bcast_from_each_root() {
+    for p in [1, 2, 3, 4, 5, 8, 9] {
+        for root in 0..p {
+            let r = World::run(p, |comm| {
+                let v = if comm.rank() == root { Some(vec![root as u64, 77]) } else { None };
+                comm.bcast(root, v)
+            });
+            for got in r {
+                assert_eq!(got, vec![root as u64, 77]);
+            }
+        }
+    }
+}
+
+#[test]
+fn reduce_and_allreduce() {
+    for p in [1, 2, 3, 5, 8, 9, 16] {
+        let r = World::run(p, |comm| {
+            let me = comm.rank() as u64;
+            let total = comm.reduce(0, me, |a, b| a + b);
+            if comm.rank() == 0 {
+                assert_eq!(total, Some((p as u64) * (p as u64 - 1) / 2));
+            } else {
+                assert_eq!(total, None);
+            }
+            comm.allreduce(me + 1, |a, b| a.max(b))
+        });
+        for got in r {
+            assert_eq!(got, p as u64);
+        }
+    }
+}
+
+#[test]
+fn gather_and_allgather() {
+    let r = World::run(4, |comm| {
+        let g = comm.gather(2, comm.rank() as u32);
+        if comm.rank() == 2 {
+            assert_eq!(g, Some(vec![0, 1, 2, 3]));
+        } else {
+            assert_eq!(g, None);
+        }
+        comm.allgather((comm.rank() as u64) * 10)
+    });
+    for got in r {
+        assert_eq!(got, vec![0, 10, 20, 30]);
+    }
+}
+
+#[test]
+fn alltoallv_routes_parts() {
+    let p = 4;
+    let r = World::run(p, |comm| {
+        let me = comm.rank();
+        // Send to rank d a vector [me, d] repeated (me+d) times.
+        let parts: Vec<Vec<(u64, u64)>> =
+            (0..p).map(|d| vec![(me as u64, d as u64); me + d]).collect();
+        comm.alltoallv(parts)
+    });
+    for (me, got) in r.into_iter().enumerate() {
+        for (src, part) in got.into_iter().enumerate() {
+            assert_eq!(part.len(), src + me);
+            for (s, d) in part {
+                assert_eq!((s, d), (src as u64, me as u64));
+            }
+        }
+    }
+}
+
+#[test]
+fn exscan_prefix_sums() {
+    let r = World::run(5, |comm| comm.exscan(comm.rank() as u64 + 1, |a, b| a + b));
+    assert_eq!(r, vec![None, Some(1), Some(3), Some(6), Some(10)]);
+}
+
+#[test]
+fn barrier_does_not_deadlock_and_orders() {
+    // Run a few rounds of barrier interleaved with traffic.
+    let r = World::run(6, |comm| {
+        let mut acc = 0u64;
+        for round in 0..5u64 {
+            acc = comm.allreduce(acc + round, |a, b| a.max(b));
+            comm.barrier();
+        }
+        acc
+    });
+    let expect = r[0];
+    for got in r {
+        assert_eq!(got, expect);
+    }
+}
+
+#[test]
+fn split_by_parity() {
+    let r = World::run(6, |comm| {
+        let color = (comm.rank() % 2) as u64;
+        let sub = comm.split(color, comm.rank() as u64);
+        // Sum of ranks' world ids within the subgroup.
+        sub.allreduce(comm.rank() as u64, |a, b| a + b)
+    });
+    assert_eq!(r, vec![6, 9, 6, 9, 6, 9]); // evens: 0+2+4, odds: 1+3+5
+}
+
+#[test]
+fn subcomm_traffic_is_isolated() {
+    let r = World::run(4, |comm| {
+        let sub = comm.subcomm(&[0, 1, 2, 3]).unwrap();
+        // Same (src, tag) on parent and child must not cross.
+        if comm.rank() == 0 {
+            comm.send(1, 9, 111u64);
+            sub.send(1, 9, 222u64);
+            0
+        } else if comm.rank() == 1 {
+            let b = sub.recv::<u64>(0, 9);
+            let a = comm.recv::<u64>(0, 9);
+            assert_eq!((a, b), (111, 222));
+            1
+        } else {
+            comm.rank() as u64
+        }
+    });
+    assert_eq!(r[1], 1);
+}
+
+#[test]
+fn grid_row_col_comms() {
+    let r = World::run(9, |comm| {
+        let grid = Grid::new(&comm);
+        assert_eq!(grid.q(), 3);
+        let row_sum = grid.row_comm().allreduce(comm.rank() as u64, |a, b| a + b);
+        let col_sum = grid.col_comm().allreduce(comm.rank() as u64, |a, b| a + b);
+        (grid.myrow(), grid.mycol(), row_sum, col_sum)
+    });
+    for (rank, (mr, mc, rs, cs)) in r.into_iter().enumerate() {
+        assert_eq!(mr, rank / 3);
+        assert_eq!(mc, rank % 3);
+        // Row r holds ranks {3r, 3r+1, 3r+2}.
+        assert_eq!(rs, (3 * mr as u64) * 3 + 3);
+        // Column c holds ranks {c, c+3, c+6}.
+        assert_eq!(cs, (mc as u64) * 3 + 9);
+    }
+}
+
+#[test]
+fn grid_transpose_partner() {
+    let r = World::run(4, |comm| {
+        let grid = Grid::new(&comm);
+        grid.transpose_partner()
+    });
+    assert_eq!(r, vec![0, 2, 1, 3]);
+}
+
+#[test]
+fn stats_account_bytes_and_messages() {
+    let r = World::run(2, |comm| {
+        let before = comm.stats();
+        if comm.rank() == 0 {
+            comm.send(1, 1, vec![0u8; 100]);
+        } else {
+            let v = comm.recv::<Vec<u8>>(0, 1);
+            assert_eq!(v.len(), 100);
+        }
+        comm.stats() - before
+    });
+    assert_eq!(r[0].bytes_sent, 108); // 100 payload + 8 length header
+    assert_eq!(r[0].msgs_sent, 1);
+    assert_eq!(r[1].bytes_recv, 108);
+    assert_eq!(r[1].msgs_recv, 1);
+}
+
+#[test]
+fn results_returned_in_rank_order() {
+    let r = World::run(7, |comm| comm.rank() * 2);
+    assert_eq!(r, vec![0, 2, 4, 6, 8, 10, 12]);
+}
+
+#[test]
+fn large_world_smoke() {
+    // 25 ranks oversubscribed on few cores must still complete.
+    let r = World::run(25, |comm| {
+        let g = Grid::new(&comm);
+        g.row_comm().allreduce(1u64, |a, b| a + b) + g.col_comm().allreduce(1u64, |a, b| a + b)
+    });
+    for got in r {
+        assert_eq!(got, 10);
+    }
+}

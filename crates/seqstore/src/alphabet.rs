@@ -1,0 +1,109 @@
+//! The 24-letter protein alphabet used by PASTIS (paper §V-B):
+//! `ARNDCQEGHILKMFPSTWYVBZX*` — the 20 standard amino acids plus the
+//! ambiguity codes B and Z, the unknown X, and the stop/gap `*`.
+
+/// Alphabet in index order; `ALPHABET[i]` is the letter of base index `i`.
+pub const ALPHABET: &[u8; 24] = b"ARNDCQEGHILKMFPSTWYVBZX*";
+
+/// Alphabet size (|Σ| = 24).
+pub const SIGMA: usize = 24;
+
+const INVALID: u8 = u8::MAX;
+
+const fn build_lookup() -> [u8; 256] {
+    let mut t = [INVALID; 256];
+    let mut i = 0;
+    while i < 24 {
+        let c = ALPHABET[i];
+        t[c as usize] = i as u8;
+        // Accept lowercase too.
+        if c.is_ascii_uppercase() {
+            t[(c + 32) as usize] = i as u8;
+        }
+        i += 1;
+    }
+    // Common aliases folded onto the unknown base, as search tools do.
+    t[b'U' as usize] = 4; // selenocysteine → C
+    t[b'u' as usize] = 4;
+    t[b'O' as usize] = 11; // pyrrolysine → K
+    t[b'o' as usize] = 11;
+    t[b'J' as usize] = 10; // I-or-L ambiguity → L
+    t[b'j' as usize] = 10;
+    t
+}
+
+static LOOKUP: [u8; 256] = build_lookup();
+
+/// Base index (0..24) of an ASCII amino acid letter, or `None` for
+/// characters outside the alphabet.
+#[inline]
+pub fn aa_index(letter: u8) -> Option<u8> {
+    let v = LOOKUP[letter as usize];
+    (v != INVALID).then_some(v)
+}
+
+/// ASCII letter of a base index.
+///
+/// # Panics
+/// Panics if `index >= 24`.
+#[inline]
+pub fn aa_letter(index: u8) -> u8 {
+    ALPHABET[index as usize]
+}
+
+/// Encode an ASCII protein string into base indices, mapping any unknown
+/// character to X (index 22).
+pub fn encode_seq(ascii: &[u8]) -> Vec<u8> {
+    ascii.iter().map(|&c| aa_index(c).unwrap_or(22)).collect()
+}
+
+/// Decode base indices back into ASCII letters.
+pub fn decode_seq(indices: &[u8]) -> Vec<u8> {
+    indices.iter().map(|&i| aa_letter(i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_indices() {
+        // §V-B: RCQ = 1·24² + 4·24 + 5 under this alphabet.
+        assert_eq!(aa_index(b'R'), Some(1));
+        assert_eq!(aa_index(b'C'), Some(4));
+        assert_eq!(aa_index(b'Q'), Some(5));
+    }
+
+    #[test]
+    fn roundtrip_all_letters() {
+        for i in 0..24u8 {
+            assert_eq!(aa_index(aa_letter(i)), Some(i));
+        }
+    }
+
+    #[test]
+    fn lowercase_accepted() {
+        assert_eq!(aa_index(b'a'), Some(0));
+        assert_eq!(aa_index(b'v'), Some(19));
+    }
+
+    #[test]
+    fn invalid_rejected() {
+        assert_eq!(aa_index(b'1'), None);
+        assert_eq!(aa_index(b' '), None);
+        assert_eq!(aa_index(b'-'), None);
+    }
+
+    #[test]
+    fn aliases_fold() {
+        assert_eq!(aa_index(b'U'), aa_index(b'C'));
+        assert_eq!(aa_index(b'O'), aa_index(b'K'));
+        assert_eq!(aa_index(b'J'), aa_index(b'L'));
+    }
+
+    #[test]
+    fn encode_maps_unknown_to_x() {
+        assert_eq!(encode_seq(b"A?C"), vec![0, 22, 4]);
+        assert_eq!(decode_seq(&encode_seq(b"ARNDX*")), b"ARNDX*".to_vec());
+    }
+}

@@ -1,0 +1,69 @@
+//! Property-based tests: FASTA partitioning is an exact cover, k-mer ids
+//! round-trip, and the alphabet encodes losslessly.
+
+use proptest::prelude::*;
+use seqstore::{
+    decode_seq, encode_seq, kmer_id, kmer_unpack, kmers_of, parse_fasta, partition_fasta,
+    write_fasta, FastaRecord, ALPHABET,
+};
+
+fn record_strategy() -> impl Strategy<Value = FastaRecord> {
+    (
+        "[a-zA-Z0-9_]{1,12}",
+        proptest::collection::vec(0usize..20, 1..300),
+    )
+        .prop_map(|(name, idx)| FastaRecord {
+            name,
+            residues: idx.into_iter().map(|i| ALPHABET[i]).collect(),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fasta_roundtrip(records in proptest::collection::vec(record_strategy(), 0..20)) {
+        let bytes = write_fasta(&records);
+        prop_assert_eq!(parse_fasta(&bytes), records);
+    }
+
+    #[test]
+    fn partition_is_exact_cover(
+        records in proptest::collection::vec(record_strategy(), 0..20),
+        p in 1usize..17,
+    ) {
+        let bytes = write_fasta(&records);
+        let mut merged = Vec::new();
+        for r in 0..p {
+            merged.extend(partition_fasta(&bytes, r, p));
+        }
+        prop_assert_eq!(merged, parse_fasta(&bytes));
+    }
+
+    #[test]
+    fn kmer_id_roundtrip(bases in proptest::collection::vec(0u8..24, 1..10)) {
+        let id = kmer_id(&bases);
+        prop_assert_eq!(kmer_unpack(id, bases.len()), bases);
+    }
+
+    #[test]
+    fn rolling_kmers_match_direct(
+        seq in proptest::collection::vec(0u8..24, 0..200),
+        k in 1usize..8,
+    ) {
+        let got: Vec<(u64, u32)> = kmers_of(&seq, k).collect();
+        if seq.len() < k {
+            prop_assert!(got.is_empty());
+        } else {
+            let want: Vec<(u64, u32)> =
+                (0..=seq.len() - k).map(|i| (kmer_id(&seq[i..i + k]), i as u32)).collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn alphabet_roundtrip(idx in proptest::collection::vec(0u8..24, 0..100)) {
+        let ascii = decode_seq(&idx);
+        prop_assert_eq!(encode_seq(&ascii), idx);
+    }
+}

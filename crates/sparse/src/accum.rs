@@ -1,0 +1,149 @@
+//! Open-addressing hash accumulator used by the hash variant of local
+//! SpGEMM. Keys are local row indices (`u32`); values are semiring partial
+//! sums. Linear probing over a power-of-two table keeps the inner loop free
+//! of hasher state and allocation.
+
+const EMPTY: u32 = u32::MAX;
+
+/// A reusable scatter/gather accumulator for one output column.
+pub struct HashAccumulator<C> {
+    keys: Vec<u32>,
+    vals: Vec<Option<C>>,
+    mask: usize,
+    len: usize,
+}
+
+#[inline]
+fn hash32(x: u32) -> usize {
+    // Fibonacci hashing; good spread for sequential row ids.
+    (x.wrapping_mul(2654435769)) as usize
+}
+
+impl<C> HashAccumulator<C> {
+    /// Create an accumulator able to hold at least `capacity` distinct keys.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = (capacity.max(4) * 2).next_power_of_two();
+        HashAccumulator { keys: vec![EMPTY; cap], vals: (0..cap).map(|_| None).collect(), mask: cap - 1, len: 0 }
+    }
+
+    /// Number of distinct keys currently stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no keys are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert `contrib` for `key`, folding with `add` on collision.
+    pub fn upsert(&mut self, key: u32, contrib: C, add: impl Fn(&mut C, C)) {
+        debug_assert_ne!(key, EMPTY, "row id u32::MAX is reserved");
+        if (self.len + 1) * 2 > self.keys.len() {
+            self.grow();
+        }
+        let mut i = hash32(key) & self.mask;
+        loop {
+            if self.keys[i] == key {
+                add(self.vals[i].as_mut().unwrap(), contrib);
+                return;
+            }
+            if self.keys[i] == EMPTY {
+                self.keys[i] = key;
+                self.vals[i] = Some(contrib);
+                self.len += 1;
+                return;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_cap = self.keys.len() * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; new_cap]);
+        let old_vals = std::mem::replace(&mut self.vals, (0..new_cap).map(|_| None).collect());
+        self.mask = new_cap - 1;
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if k != EMPTY {
+                let mut i = hash32(k) & self.mask;
+                while self.keys[i] != EMPTY {
+                    i = (i + 1) & self.mask;
+                }
+                self.keys[i] = k;
+                self.vals[i] = v;
+            }
+        }
+    }
+
+    /// Drain all `(key, value)` pairs sorted by key, leaving the accumulator
+    /// empty and ready for the next column.
+    pub fn drain_sorted(&mut self, out: &mut Vec<(u32, C)>) {
+        let start = out.len();
+        for i in 0..self.keys.len() {
+            if self.keys[i] != EMPTY {
+                out.push((self.keys[i], self.vals[i].take().unwrap()));
+                self.keys[i] = EMPTY;
+            }
+        }
+        self.len = 0;
+        out[start..].sort_unstable_by_key(|&(k, _)| k);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upsert_and_drain() {
+        let mut acc = HashAccumulator::with_capacity(2);
+        acc.upsert(5, 1.0, |a, b| *a += b);
+        acc.upsert(3, 2.0, |a, b| *a += b);
+        acc.upsert(5, 4.0, |a, b| *a += b);
+        assert_eq!(acc.len(), 2);
+        let mut out = Vec::new();
+        acc.drain_sorted(&mut out);
+        assert_eq!(out, vec![(3, 2.0), (5, 5.0)]);
+        assert!(acc.is_empty());
+    }
+
+    #[test]
+    fn reuse_after_drain() {
+        let mut acc = HashAccumulator::with_capacity(4);
+        acc.upsert(1, 10u64, |a, b| *a += b);
+        let mut out = Vec::new();
+        acc.drain_sorted(&mut out);
+        acc.upsert(2, 20u64, |a, b| *a += b);
+        out.clear();
+        acc.drain_sorted(&mut out);
+        assert_eq!(out, vec![(2, 20)]);
+    }
+
+    #[test]
+    fn growth_preserves_entries() {
+        let mut acc = HashAccumulator::with_capacity(2);
+        for k in 0..1000u32 {
+            acc.upsert(k * 7 % 997, k as u64, |a, b| *a += b);
+        }
+        let mut out = Vec::new();
+        acc.drain_sorted(&mut out);
+        // 1000 inserts mod 997 → 997 distinct keys (keys 0,7,14 hit twice... compute via set)
+        let distinct: std::collections::HashSet<u32> = (0..1000u32).map(|k| k * 7 % 997).collect();
+        assert_eq!(out.len(), distinct.len());
+        let total: u64 = out.iter().map(|&(_, v)| v).sum();
+        assert_eq!(total, (0..1000u64).sum::<u64>());
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn colliding_keys_probe_linearly() {
+        // Keys equal mod table size collide; ensure all are kept.
+        let mut acc = HashAccumulator::with_capacity(8);
+        for k in [0u32, 16, 32, 48, 64] {
+            acc.upsert(k, 1u32, |a, b| *a += b);
+        }
+        assert_eq!(acc.len(), 5);
+    }
+}

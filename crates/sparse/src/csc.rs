@@ -1,0 +1,226 @@
+//! Plain compressed sparse column storage for shared-memory algorithms
+//! (Markov clustering, connected components, small dense-ish graphs).
+
+/// A CSC sparse matrix with `usize` indices, suitable when the column count
+/// is comparable to the nonzero count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csc<V> {
+    nrows: usize,
+    ncols: usize,
+    colptr: Vec<usize>,
+    rowidx: Vec<usize>,
+    vals: Vec<V>,
+}
+
+impl<V> Csc<V> {
+    /// An empty `nrows × ncols` matrix.
+    pub fn empty(nrows: usize, ncols: usize) -> Self {
+        Csc { nrows, ncols, colptr: vec![0; ncols + 1], rowidx: Vec::new(), vals: Vec::new() }
+    }
+
+    /// Build from `(row, col, value)` triples; duplicates combined with `add`.
+    pub fn from_triples(
+        nrows: usize,
+        ncols: usize,
+        mut triples: Vec<(usize, usize, V)>,
+        add: impl Fn(&mut V, V),
+    ) -> Self {
+        triples.sort_by_key(|&(r, c, _)| (c, r));
+        let mut colptr = vec![0usize; ncols + 1];
+        let mut rowidx = Vec::with_capacity(triples.len());
+        let mut vals: Vec<V> = Vec::with_capacity(triples.len());
+        let mut last: Option<(usize, usize)> = None;
+        for (r, c, v) in triples {
+            assert!(r < nrows && c < ncols, "triple ({r},{c}) out of bounds {nrows}x{ncols}");
+            if last == Some((r, c)) {
+                add(vals.last_mut().unwrap(), v);
+                continue;
+            }
+            colptr[c + 1] += 1;
+            rowidx.push(r);
+            vals.push(v);
+            last = Some((r, c));
+        }
+        for c in 0..ncols {
+            colptr[c + 1] += colptr[c];
+        }
+        Csc { nrows, ncols, colptr, rowidx, vals }
+    }
+
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.rowidx.len()
+    }
+
+    /// `(rows, values)` of column `c`.
+    #[inline]
+    pub fn col(&self, c: usize) -> (&[usize], &[V]) {
+        let (s, e) = (self.colptr[c], self.colptr[c + 1]);
+        (&self.rowidx[s..e], &self.vals[s..e])
+    }
+
+    /// Mutable values of column `c` (structure fixed).
+    #[inline]
+    pub fn col_vals_mut(&mut self, c: usize) -> &mut [V] {
+        let (s, e) = (self.colptr[c], self.colptr[c + 1]);
+        &mut self.vals[s..e]
+    }
+
+    /// Iterate `(row, col, &value)` in column-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, &V)> + '_ {
+        (0..self.ncols).flat_map(move |c| {
+            let (rows, vals) = self.col(c);
+            rows.iter().zip(vals.iter()).map(move |(&r, v)| (r, c, v))
+        })
+    }
+
+    /// Consume into triples.
+    pub fn into_triples(self) -> Vec<(usize, usize, V)> {
+        let mut cols = Vec::with_capacity(self.vals.len());
+        for c in 0..self.ncols {
+            for _ in self.colptr[c]..self.colptr[c + 1] {
+                cols.push(c);
+            }
+        }
+        self.rowidx.into_iter().zip(cols).zip(self.vals).map(|((r, c), v)| (r, c, v)).collect()
+    }
+
+    /// Keep only entries where `keep` is true.
+    pub fn retain(&mut self, keep: impl Fn(usize, usize, &V) -> bool) {
+        let mut colptr = vec![0usize; self.ncols + 1];
+        let mut rowidx = Vec::new();
+        let mut vals = Vec::new();
+        let old_vals = std::mem::take(&mut self.vals);
+        let mut it = self.rowidx.iter().zip(old_vals);
+        for c in 0..self.ncols {
+            for _ in self.colptr[c]..self.colptr[c + 1] {
+                let (&r, v) = it.next().unwrap();
+                if keep(r, c, &v) {
+                    rowidx.push(r);
+                    vals.push(v);
+                    colptr[c + 1] += 1;
+                }
+            }
+        }
+        for c in 0..self.ncols {
+            colptr[c + 1] += colptr[c];
+        }
+        self.colptr = colptr;
+        self.rowidx = rowidx;
+        self.vals = vals;
+    }
+
+    /// Transpose.
+    pub fn transpose(self) -> Csc<V> {
+        let (nrows, ncols) = (self.nrows, self.ncols);
+        let triples = self.into_triples().into_iter().map(|(r, c, v)| (c, r, v)).collect();
+        Csc::from_triples(ncols, nrows, triples, |_, _| unreachable!("transpose has no duplicates"))
+    }
+}
+
+impl Csc<f64> {
+    /// C = A·B over the arithmetic semiring (hash accumulation per column).
+    pub fn matmul(&self, b: &Csc<f64>) -> Csc<f64> {
+        assert_eq!(self.ncols, b.nrows, "dimension mismatch");
+        let mut triples: Vec<(usize, usize, f64)> = Vec::new();
+        let mut acc: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+        for c in 0..b.ncols {
+            acc.clear();
+            let (brows, bvals) = b.col(c);
+            for (&t, &bv) in brows.iter().zip(bvals) {
+                let (arows, avals) = self.col(t);
+                for (&r, &av) in arows.iter().zip(avals) {
+                    *acc.entry(r).or_insert(0.0) += av * bv;
+                }
+            }
+            for (&r, &v) in acc.iter() {
+                triples.push((r, c, v));
+            }
+        }
+        Csc::from_triples(self.nrows, b.ncols, triples, |_, _| unreachable!())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eye(n: usize) -> Csc<f64> {
+        Csc::from_triples(n, n, (0..n).map(|i| (i, i, 1.0)).collect(), |a, b| *a += b)
+    }
+
+    #[test]
+    fn construction_and_lookup() {
+        let m = Csc::from_triples(3, 3, vec![(0, 0, 1.0), (2, 0, 2.0), (1, 2, 3.0)], |a, b| *a += b);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.col(0).0, &[0, 2]);
+        assert_eq!(m.col(1).0.len(), 0);
+        assert_eq!(m.col(2).1, &[3.0]);
+    }
+
+    #[test]
+    fn duplicate_combination() {
+        let m = Csc::from_triples(2, 2, vec![(0, 1, 1.0), (0, 1, 4.0)], |a, b| *a += b);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.col(1).1, &[5.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Csc::from_triples(3, 3, vec![(0, 1, 2.0), (2, 2, 5.0)], |x, y| *x += y);
+        let c = a.matmul(&eye(3));
+        let mut t = c.into_triples();
+        t.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert_eq!(t, vec![(0, 1, 2.0), (2, 2, 5.0)]);
+    }
+
+    #[test]
+    fn matmul_small_dense() {
+        // A = [[1,2],[3,4]], B = [[5,6],[7,8]] => AB = [[19,22],[43,50]]
+        let a = Csc::from_triples(2, 2, vec![(0, 0, 1.0), (0, 1, 2.0), (1, 0, 3.0), (1, 1, 4.0)], |x, y| *x += y);
+        let b = Csc::from_triples(2, 2, vec![(0, 0, 5.0), (0, 1, 6.0), (1, 0, 7.0), (1, 1, 8.0)], |x, y| *x += y);
+        let c = a.matmul(&b);
+        let mut t = c.into_triples();
+        t.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert_eq!(t, vec![(0, 0, 19.0), (0, 1, 22.0), (1, 0, 43.0), (1, 1, 50.0)]);
+    }
+
+    #[test]
+    fn retain_and_transpose() {
+        let mut m = Csc::from_triples(2, 3, vec![(0, 0, 1.0), (1, 1, -2.0), (0, 2, 3.0)], |x, y| *x += y);
+        m.retain(|_, _, &v| v > 0.0);
+        assert_eq!(m.nnz(), 2);
+        let t = m.transpose();
+        assert_eq!(t.nrows(), 3);
+        assert_eq!(t.ncols(), 2);
+        assert_eq!(t.col(0).0, &[0, 2]);
+    }
+
+    #[test]
+    fn iter_column_major() {
+        let m = Csc::from_triples(2, 2, vec![(1, 0, 1.0), (0, 1, 2.0)], |x, y| *x += y);
+        let got: Vec<_> = m.iter().map(|(r, c, &v)| (r, c, v)).collect();
+        assert_eq!(got, vec![(1, 0, 1.0), (0, 1, 2.0)]);
+    }
+
+    #[test]
+    fn col_vals_mut_in_place() {
+        let mut m = eye(3);
+        for c in 0..3 {
+            for v in m.col_vals_mut(c) {
+                *v *= 2.0;
+            }
+        }
+        assert_eq!(m.col(1).1, &[2.0]);
+    }
+}

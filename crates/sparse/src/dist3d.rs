@@ -1,0 +1,142 @@
+//! 3D (split-inner-dimension) SpGEMM — the third decomposition axis the
+//! paper notes CombBLAS and CTF both support (§II-A).
+//!
+//! With `p = L·q²` ranks arranged as `L` layers of `q×q` grids, the inner
+//! dimension is sliced into `L` slabs: layer `l` owns `A(:, slab_l)` and
+//! `B(slab_l, :)` and runs an ordinary 2D Sparse SUMMA on its slice, giving
+//! a *partial* `C`. Partials are then folded along the "fiber"
+//! subcommunicators (the ranks sharing a grid position across layers) onto
+//! layer 0. Replicating the output assembly across fewer, fatter SUMMA
+//! stages trades memory for latency — the same trade 2.5D/3D dense
+//! algorithms make.
+
+use std::rc::Rc;
+
+use pcomm::{Comm, Grid, Payload};
+
+use crate::dist::{block_owner, DistMat};
+use crate::local_spgemm::SpGemmStrategy;
+use crate::semiring::Semiring;
+use crate::triple::Triple;
+
+/// The communicator layout of a 3D multiply: `layers` layer grids and the
+/// fiber communicator connecting this rank to its peers in other layers.
+pub struct Grid3D {
+    /// Number of layers (L).
+    layers: usize,
+    /// My layer index.
+    my_layer: usize,
+    /// The q×q grid of my layer.
+    grid: Rc<Grid>,
+    /// Ranks sharing my grid position across layers (size L).
+    fiber: Comm,
+}
+
+impl Grid3D {
+    /// Build over all ranks of `comm`: requires `comm.size() == layers·q²`.
+    /// Collective.
+    pub fn new(comm: &Comm, layers: usize) -> Grid3D {
+        let p = comm.size();
+        assert!(layers >= 1 && p % layers == 0, "size {p} not divisible into {layers} layers");
+        let per_layer = p / layers;
+        let q = (per_layer as f64).sqrt().round() as usize;
+        assert_eq!(q * q, per_layer, "layer size {per_layer} is not a perfect square");
+        let my_layer = comm.rank() / per_layer;
+        // Layer subcommunicators (collective: everyone iterates all layers).
+        let mut layer_comm = None;
+        for l in 0..layers {
+            let members: Vec<usize> = (l * per_layer..(l + 1) * per_layer).collect();
+            if let Some(c) = comm.subcomm(&members) {
+                debug_assert_eq!(l, my_layer);
+                layer_comm = Some(c);
+            }
+        }
+        // Fiber subcommunicators: one per in-layer position.
+        let my_pos = comm.rank() % per_layer;
+        let mut fiber = None;
+        for pos in 0..per_layer {
+            let members: Vec<usize> = (0..layers).map(|l| l * per_layer + pos).collect();
+            if let Some(c) = comm.subcomm(&members) {
+                debug_assert_eq!(pos, my_pos);
+                fiber = Some(c);
+            }
+        }
+        let grid = Rc::new(Grid::new(&layer_comm.expect("member of own layer")));
+        Grid3D { layers, my_layer, grid, fiber: fiber.expect("member of own fiber") }
+    }
+
+    /// Number of layers.
+    pub fn layers(&self) -> usize {
+        self.layers
+    }
+
+    /// My layer index.
+    pub fn my_layer(&self) -> usize {
+        self.my_layer
+    }
+
+    /// My layer's 2D grid.
+    pub fn grid(&self) -> &Rc<Grid> {
+        &self.grid
+    }
+}
+
+/// 3D SpGEMM from globally-indexed triples scattered over all ranks.
+/// Returns the product as a `DistMat` on layer 0's grid (`Some` there,
+/// `None` on other layers). Collective over the whole 3D arrangement.
+///
+/// Input triples must be duplicate-free (one value per coordinate across
+/// all ranks); the output fold uses `sr.add` in ascending inner-dimension
+/// order, bit-identical to the 2D [`DistMat::spgemm`] result.
+pub fn spgemm_3d<SR>(
+    g3: &Grid3D,
+    dims: (u64, u64, u64), // (m, k, n)
+    a_triples: Vec<Triple<SR::A>>,
+    b_triples: Vec<Triple<SR::B>>,
+    sr: &SR,
+    strategy: SpGemmStrategy,
+) -> Option<DistMat<SR::C>>
+where
+    SR: Semiring,
+    SR::A: Payload + Clone,
+    SR::B: Payload + Clone,
+    SR::C: Payload + Clone,
+{
+    let (m, k, n) = dims;
+    let layers = g3.layers;
+    // Route each A triple to the layer owning its inner-dimension slab,
+    // keeping global indices (each layer's slice is simply sparser outside
+    // its slab, so dimensions stay (m, k) / (k, n)).
+    let route = |col: u64| block_owner(k, layers, col);
+    // The fiber communicator connects identical grid positions across
+    // layers, so slab exchange = alltoallv on the fiber.
+    let mut a_parts: Vec<Vec<Triple<SR::A>>> = (0..layers).map(|_| Vec::new()).collect();
+    for (r, c, v) in a_triples {
+        a_parts[route(c)].push((r, c, v));
+    }
+    let a_mine: Vec<Triple<SR::A>> = g3.fiber.alltoallv(a_parts).into_iter().flatten().collect();
+    let mut b_parts: Vec<Vec<Triple<SR::B>>> = (0..layers).map(|_| Vec::new()).collect();
+    for (r, c, v) in b_triples {
+        b_parts[route(r)].push((r, c, v));
+    }
+    let b_mine: Vec<Triple<SR::B>> = g3.fiber.alltoallv(b_parts).into_iter().flatten().collect();
+
+    // Per-layer 2D SUMMA over the slab slice.
+    let a_l = DistMat::from_triples(Rc::clone(&g3.grid), m, k, a_mine, |_, _| {
+        unreachable!("duplicate A coordinates within one slab")
+    });
+    let b_l = DistMat::from_triples(Rc::clone(&g3.grid), k, n, b_mine, |_, _| {
+        unreachable!("duplicate B coordinates within one slab")
+    });
+    let c_partial = a_l.spgemm(&b_l, sr, strategy);
+
+    // Fold partials across layers onto layer 0. Ascending layer order keeps
+    // the add fold deterministic (and equal to the 2D fold order, because
+    // slabs partition the inner dimension in ascending ranges).
+    let mine: Vec<Triple<SR::C>> = c_partial.iter_local().map(|(r, c, v)| (r, c, v.clone())).collect();
+    let gathered = g3.fiber.gather(0, mine);
+    gathered.map(|parts| {
+        let triples: Vec<Triple<SR::C>> = parts.into_iter().flatten().collect();
+        DistMat::from_triples(Rc::clone(&g3.grid), m, n, triples, |acc, v| sr.add(acc, v))
+    })
+}

@@ -1,0 +1,114 @@
+//! User-defined semirings for SpGEMM, the mechanism CombBLAS exposes and
+//! PASTIS overloads to carry seed positions through its matrix products
+//! (paper §II-A, Fig. 4).
+
+/// A semiring for `C = A ⊗ B`: `multiply` maps a pair of operands to an
+/// output contribution (or filters it out), `add` folds contributions that
+/// land on the same output coordinate.
+///
+/// `add` must be associative; the fold order is deterministic (ascending
+/// inner index), so even non-commutative folds reproduce across runs and
+/// process counts.
+pub trait Semiring {
+    /// Element type of the left matrix.
+    type A: Clone;
+    /// Element type of the right matrix.
+    type B: Clone;
+    /// Element type of the output matrix.
+    type C: Clone;
+
+    /// Combine one `A(i,t)` with one `B(t,j)`. Returning `None` drops the
+    /// contribution entirely (useful for filtered products).
+    fn multiply(&self, a: &Self::A, b: &Self::B) -> Option<Self::C>;
+
+    /// Fold `contrib` into `acc` (both address output coordinate `(i,j)`).
+    fn add(&self, acc: &mut Self::C, contrib: Self::C);
+}
+
+/// The ordinary `(+, ×)` semiring over `f64`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ArithmeticSemiring;
+
+impl Semiring for ArithmeticSemiring {
+    type A = f64;
+    type B = f64;
+    type C = f64;
+
+    #[inline]
+    fn multiply(&self, a: &f64, b: &f64) -> Option<f64> {
+        Some(a * b)
+    }
+
+    #[inline]
+    fn add(&self, acc: &mut f64, contrib: f64) {
+        *acc += contrib;
+    }
+}
+
+/// Boolean `(∨, ∧)` semiring — graph reachability / pattern products.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OrAndSemiring;
+
+impl Semiring for OrAndSemiring {
+    type A = bool;
+    type B = bool;
+    type C = bool;
+
+    #[inline]
+    fn multiply(&self, a: &bool, b: &bool) -> Option<bool> {
+        (*a && *b).then_some(true)
+    }
+
+    #[inline]
+    fn add(&self, acc: &mut bool, contrib: bool) {
+        *acc |= contrib;
+    }
+}
+
+/// `(max, +)` semiring over `i64` — longest-path style products.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaxPlusSemiring;
+
+impl Semiring for MaxPlusSemiring {
+    type A = i64;
+    type B = i64;
+    type C = i64;
+
+    #[inline]
+    fn multiply(&self, a: &i64, b: &i64) -> Option<i64> {
+        Some(a + b)
+    }
+
+    #[inline]
+    fn add(&self, acc: &mut i64, contrib: i64) {
+        *acc = (*acc).max(contrib);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let s = ArithmeticSemiring;
+        let mut acc = s.multiply(&2.0, &3.0).unwrap();
+        s.add(&mut acc, s.multiply(&4.0, &0.5).unwrap());
+        assert_eq!(acc, 8.0);
+    }
+
+    #[test]
+    fn orand_filters_false() {
+        let s = OrAndSemiring;
+        assert_eq!(s.multiply(&true, &false), None);
+        assert_eq!(s.multiply(&true, &true), Some(true));
+    }
+
+    #[test]
+    fn maxplus() {
+        let s = MaxPlusSemiring;
+        let mut acc = s.multiply(&1, &2).unwrap();
+        s.add(&mut acc, s.multiply(&5, &-1).unwrap());
+        assert_eq!(acc, 4);
+    }
+}

@@ -1,0 +1,104 @@
+//! 3D SpGEMM tests: agreement with the 2D algorithm and a dense reference
+//! across layer/grid combinations.
+
+use std::collections::HashSet;
+use std::rc::Rc;
+
+use pcomm::{Grid, World};
+use sparse::{spgemm_3d, ArithmeticSemiring, DistMat, Grid3D, SpGemmStrategy};
+
+fn random_unique_triples(seed: u64, m: u64, n: u64, nnz: usize) -> Vec<(u64, u64, f64)> {
+    use rand::prelude::*;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = HashSet::new();
+    let mut out = Vec::new();
+    while out.len() < nnz {
+        let (r, c) = (rng.random_range(0..m), rng.random_range(0..n));
+        if seen.insert((r, c)) {
+            out.push((r, c, rng.random_range(1..9) as f64));
+        }
+    }
+    out
+}
+
+fn my_share<T: Clone>(all: &[T], rank: usize, p: usize) -> Vec<T> {
+    all.iter().enumerate().filter(|(i, _)| i % p == rank).map(|(_, t)| t.clone()).collect()
+}
+
+fn reference_2d(
+    m: u64,
+    k: u64,
+    n: u64,
+    a: &[(u64, u64, f64)],
+    b: &[(u64, u64, f64)],
+) -> Vec<(u64, u64, f64)> {
+    World::run(1, |comm| {
+        let grid = Rc::new(Grid::new(&comm));
+        let da = DistMat::from_triples(Rc::clone(&grid), m, k, a.to_vec(), |_, _| unreachable!());
+        let db = DistMat::from_triples(Rc::clone(&grid), k, n, b.to_vec(), |_, _| unreachable!());
+        let c = da.spgemm(&db, &ArithmeticSemiring, SpGemmStrategy::Hybrid);
+        let mut t = c.gather_triples(0).unwrap();
+        t.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        t
+    })
+    .remove(0)
+}
+
+#[test]
+fn matches_2d_for_various_layer_counts() {
+    let (m, k, n) = (19u64, 31u64, 11u64);
+    let a = random_unique_triples(1, m, k, 90);
+    let b = random_unique_triples(2, k, n, 80);
+    let want = reference_2d(m, k, n, &a, &b);
+    // (layers, q): p = layers · q².
+    for (layers, q) in [(1usize, 2usize), (2, 1), (2, 2), (3, 1), (4, 2)] {
+        let p = layers * q * q;
+        let got = World::run(p, |comm| {
+            let g3 = Grid3D::new(&comm, layers);
+            assert_eq!(g3.layers(), layers);
+            let c = spgemm_3d(
+                &g3,
+                (m, k, n),
+                my_share(&a, comm.rank(), p),
+                my_share(&b, comm.rank(), p),
+                &ArithmeticSemiring,
+                SpGemmStrategy::Hybrid,
+            );
+            // Only layer 0 holds the product.
+            assert_eq!(c.is_some(), g3.my_layer() == 0);
+            c.map(|c| c.gather_triples(0))
+        });
+        // World rank 0 is grid rank 0 of layer 0.
+        let mut merged = got.into_iter().flatten().flatten().flatten().collect::<Vec<_>>();
+        merged.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert_eq!(merged, want, "layers={layers} q={q}");
+    }
+}
+
+#[test]
+fn single_layer_is_plain_summa() {
+    let (m, k, n) = (8u64, 8u64, 8u64);
+    let a = random_unique_triples(5, m, k, 30);
+    let b = random_unique_triples(6, k, n, 30);
+    let want = reference_2d(m, k, n, &a, &b);
+    let got = World::run(4, |comm| {
+        let g3 = Grid3D::new(&comm, 1);
+        spgemm_3d(&g3, (m, k, n), my_share(&a, comm.rank(), 4), my_share(&b, comm.rank(), 4), &ArithmeticSemiring, SpGemmStrategy::Hash)
+            .map(|c| c.gather_triples(0))
+    });
+    let mut merged: Vec<_> = got.into_iter().flatten().flatten().flatten().collect();
+    merged.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    assert_eq!(merged, want);
+}
+
+#[test]
+fn empty_operands_give_empty_product() {
+    let got = World::run(8, |comm| {
+        let g3 = Grid3D::new(&comm, 2);
+        spgemm_3d::<ArithmeticSemiring>(&g3, (5, 5, 5), Vec::new(), Vec::new(), &ArithmeticSemiring, SpGemmStrategy::Hybrid)
+            .map(|c| c.nnz_local())
+    });
+    // Layer-0 ranks report zero nonzeros; others report None.
+    assert_eq!(got.iter().filter(|o| o.is_some()).count(), 4);
+    assert!(got.into_iter().flatten().all(|n| n == 0));
+}

@@ -1,0 +1,23 @@
+//! `subkmer` — generation of the *m nearest substitute k-mers* of a k-mer
+//! under a substitution matrix (paper §IV-B, Algorithms 1–3).
+//!
+//! A substitute k-mer's distance to its seed is the total substitution
+//! *expense* (score lost versus an exact match). The m nearest are found
+//! with a best-first exploration in the spirit of Dijkstra's algorithm over
+//! the implicit substitution tree: a sorted per-base expense table provides
+//! children in increasing cost, and a min-max heap of size `m` maintains the
+//! current candidate frontier.
+//!
+//! The crate also builds the sparse substitution matrix `S` (k-mer →
+//! substitute k-mer, at most `m`+1 nonzeros per row including the identity)
+//! that PASTIS multiplies into `(A·S)·Aᵀ` (paper §IV-C).
+
+mod expense;
+mod find;
+mod minmax_heap;
+mod smatrix;
+
+pub use expense::ExpenseTable;
+pub use find::{find_sub_kmers, kmer_distance, SubKmer};
+pub use minmax_heap::MinMaxHeap;
+pub use smatrix::{build_s_triples, SubEntry};

@@ -1,0 +1,315 @@
+//! An interval min-max heap (Atkinson et al. 1986): a double-ended priority
+//! queue with O(1) access to both the minimum and the maximum and
+//! O(log n) insertion and extraction at either end.
+//!
+//! This is the `minmaxheap` of the paper's Algorithms 1–3: it holds the
+//! current m-nearest candidate set, confirming from the min end and
+//! evicting from the max end when a closer candidate arrives.
+//!
+//! Layout: a binary heap whose even levels (root = level 0) obey the min
+//! property and odd levels the max property — every node on a min level is
+//! ≤ all of its descendants; every node on a max level is ≥ all of its
+//! descendants.
+
+/// A double-ended priority queue over `Ord` items.
+#[derive(Debug, Clone, Default)]
+pub struct MinMaxHeap<T: Ord> {
+    data: Vec<T>,
+}
+
+#[inline]
+fn is_min_level(i: usize) -> bool {
+    // Level of node i is floor(log2(i+1)); even levels are min levels.
+    ((i + 1).ilog2()).is_multiple_of(2)
+}
+
+impl<T: Ord> MinMaxHeap<T> {
+    /// An empty heap.
+    pub fn new() -> Self {
+        MinMaxHeap { data: Vec::new() }
+    }
+
+    /// Number of items.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the heap holds nothing.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The smallest item, if any.
+    pub fn peek_min(&self) -> Option<&T> {
+        self.data.first()
+    }
+
+    /// The largest item, if any.
+    pub fn peek_max(&self) -> Option<&T> {
+        match self.data.len() {
+            0 => None,
+            1 => Some(&self.data[0]),
+            2 => Some(&self.data[1]),
+            _ => Some(if self.data[1] >= self.data[2] { &self.data[1] } else { &self.data[2] }),
+        }
+    }
+
+    fn max_index(&self) -> Option<usize> {
+        match self.data.len() {
+            0 => None,
+            1 => Some(0),
+            2 => Some(1),
+            _ => Some(if self.data[1] >= self.data[2] { 1 } else { 2 }),
+        }
+    }
+
+    /// Insert an item.
+    pub fn push(&mut self, item: T) {
+        self.data.push(item);
+        self.bubble_up(self.data.len() - 1);
+    }
+
+    /// Remove and return the smallest item.
+    pub fn pop_min(&mut self) -> Option<T> {
+        if self.data.is_empty() {
+            return None;
+        }
+        let last = self.data.len() - 1;
+        self.data.swap(0, last);
+        let out = self.data.pop();
+        if !self.data.is_empty() {
+            self.trickle_down(0);
+        }
+        out
+    }
+
+    /// Remove and return the largest item.
+    pub fn pop_max(&mut self) -> Option<T> {
+        let i = self.max_index()?;
+        let last = self.data.len() - 1;
+        self.data.swap(i, last);
+        let out = self.data.pop();
+        if i < self.data.len() {
+            self.trickle_down(i);
+        }
+        out
+    }
+
+    /// Drain ascending (for inspection; O(n log n)).
+    pub fn into_sorted_vec(mut self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.len());
+        while let Some(x) = self.pop_min() {
+            out.push(x);
+        }
+        out
+    }
+
+    fn bubble_up(&mut self, i: usize) {
+        if i == 0 {
+            return;
+        }
+        let parent = (i - 1) / 2;
+        if is_min_level(i) {
+            if self.data[i] > self.data[parent] {
+                self.data.swap(i, parent);
+                self.bubble_up_max(parent);
+            } else {
+                self.bubble_up_min(i);
+            }
+        } else if self.data[i] < self.data[parent] {
+            self.data.swap(i, parent);
+            self.bubble_up_min(parent);
+        } else {
+            self.bubble_up_max(i);
+        }
+    }
+
+    fn bubble_up_min(&mut self, mut i: usize) {
+        // Grandparent hops on min levels.
+        while i >= 3 {
+            let gp = ((i - 1) / 2 - 1) / 2;
+            if self.data[i] < self.data[gp] {
+                self.data.swap(i, gp);
+                i = gp;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn bubble_up_max(&mut self, mut i: usize) {
+        while i >= 3 {
+            let gp = ((i - 1) / 2 - 1) / 2;
+            if self.data[i] > self.data[gp] {
+                self.data.swap(i, gp);
+                i = gp;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Children and grandchildren of `i` that exist.
+    fn descendants(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        let c1 = 2 * i + 1;
+        let c2 = 2 * i + 2;
+        let gc = (2 * c1 + 1)..=(2 * c2 + 2);
+        [c1, c2].into_iter().chain(gc).filter(move |&d| d < self.data.len())
+    }
+
+    fn trickle_down(&mut self, i: usize) {
+        if is_min_level(i) {
+            self.trickle_down_min(i);
+        } else {
+            self.trickle_down_max(i);
+        }
+    }
+
+    fn trickle_down_min(&mut self, mut i: usize) {
+        loop {
+            let Some(m) = self.descendants(i).min_by(|&a, &b| self.data[a].cmp(&self.data[b])) else {
+                return;
+            };
+            let is_grandchild = m >= 4 * i + 3;
+            if self.data[m] < self.data[i] {
+                self.data.swap(i, m);
+                if is_grandchild {
+                    let parent = (m - 1) / 2;
+                    if self.data[m] > self.data[parent] {
+                        self.data.swap(m, parent);
+                    }
+                    i = m;
+                    continue;
+                }
+            }
+            return;
+        }
+    }
+
+    fn trickle_down_max(&mut self, mut i: usize) {
+        loop {
+            let Some(m) = self.descendants(i).max_by(|&a, &b| self.data[a].cmp(&self.data[b])) else {
+                return;
+            };
+            let is_grandchild = m >= 4 * i + 3;
+            if self.data[m] > self.data[i] {
+                self.data.swap(i, m);
+                if is_grandchild {
+                    let parent = (m - 1) / 2;
+                    if self.data[m] < self.data[parent] {
+                        self.data.swap(m, parent);
+                    }
+                    i = m;
+                    continue;
+                }
+            }
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn min_and_max_tracking() {
+        let mut h = MinMaxHeap::new();
+        for x in [5, 1, 9, 3, 7, 2, 8] {
+            h.push(x);
+        }
+        assert_eq!(h.peek_min(), Some(&1));
+        assert_eq!(h.peek_max(), Some(&9));
+        assert_eq!(h.pop_max(), Some(9));
+        assert_eq!(h.pop_min(), Some(1));
+        assert_eq!(h.peek_min(), Some(&2));
+        assert_eq!(h.peek_max(), Some(&8));
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let mut h: MinMaxHeap<i32> = MinMaxHeap::new();
+        assert!(h.is_empty());
+        assert_eq!(h.pop_min(), None);
+        assert_eq!(h.pop_max(), None);
+        h.push(42);
+        assert_eq!(h.peek_min(), Some(&42));
+        assert_eq!(h.peek_max(), Some(&42));
+        assert_eq!(h.pop_max(), Some(42));
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn two_elements() {
+        let mut h = MinMaxHeap::new();
+        h.push(2);
+        h.push(1);
+        assert_eq!(h.peek_min(), Some(&1));
+        assert_eq!(h.peek_max(), Some(&2));
+    }
+
+    #[test]
+    fn ascending_drain_matches_sort() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for n in [0usize, 1, 2, 3, 10, 100, 1000] {
+            let mut v: Vec<i64> = (0..n).map(|_| rng.random_range(-50..50)).collect();
+            let mut h = MinMaxHeap::new();
+            for &x in &v {
+                h.push(x);
+            }
+            let got = h.into_sorted_vec();
+            v.sort_unstable();
+            assert_eq!(got, v, "n={n}");
+        }
+    }
+
+    #[test]
+    fn randomized_mixed_ops_match_btreemultiset() {
+        use std::collections::BTreeMap;
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut h = MinMaxHeap::new();
+        let mut reference: BTreeMap<i32, usize> = BTreeMap::new();
+        for _ in 0..5000 {
+            match rng.random_range(0..4) {
+                0 | 1 => {
+                    let x = rng.random_range(-100..100);
+                    h.push(x);
+                    *reference.entry(x).or_insert(0) += 1;
+                }
+                2 => {
+                    let got = h.pop_min();
+                    let want = reference.iter().next().map(|(&k, _)| k);
+                    assert_eq!(got, want);
+                    if let Some(k) = want {
+                        let cnt = reference.get_mut(&k).unwrap();
+                        *cnt -= 1;
+                        if *cnt == 0 {
+                            reference.remove(&k);
+                        }
+                    }
+                }
+                _ => {
+                    let got = h.pop_max();
+                    let want = reference.iter().next_back().map(|(&k, _)| k);
+                    assert_eq!(got, want);
+                    if let Some(k) = want {
+                        let cnt = reference.get_mut(&k).unwrap();
+                        *cnt -= 1;
+                        if *cnt == 0 {
+                            reference.remove(&k);
+                        }
+                    }
+                }
+            }
+            let n = h.len();
+            assert_eq!(n, reference.values().sum::<usize>());
+            if n > 0 {
+                assert_eq!(h.peek_min(), reference.iter().next().map(|(k, _)| k));
+                assert_eq!(h.peek_max(), reference.iter().next_back().map(|(k, _)| k));
+            }
+        }
+    }
+}

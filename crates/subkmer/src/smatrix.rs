@@ -1,0 +1,77 @@
+//! Builder for the sparse substitution matrix `S` (paper §IV-C): rows and
+//! columns are the `24^k` k-mer id space, row `K` holds `K`'s m nearest
+//! substitute k-mers (plus the identity at distance 0) so that `(A·S)`
+//! expands each sequence's k-mer set without inflating `A` itself.
+
+use crate::expense::ExpenseTable;
+use crate::find::find_sub_kmers;
+use seqstore::kmer_unpack;
+
+/// A nonzero of `S`: distance of the substitute to its source k-mer.
+pub type SubEntry = u32;
+
+/// Triples `(kmer_id, substitute_kmer_id, distance)` for the distinct
+/// k-mers in `kmers`. Each row gets its `m` nearest substitutes plus the
+/// identity entry `(K, K, 0)` — exact sharing must keep matching under
+/// `(A·S)·Aᵀ`.
+///
+/// With `m == 0` only identity entries are produced, which makes
+/// `(A·S)·Aᵀ` coincide with `A·Aᵀ` (the paper's `s0` configuration).
+pub fn build_s_triples(kmers: &[u64], k: usize, table: &ExpenseTable, m: usize) -> Vec<(u64, u64, SubEntry)> {
+    let mut out = Vec::with_capacity(kmers.len() * (m + 1));
+    for &id in kmers {
+        out.push((id, id, 0));
+        if m > 0 {
+            let bases = kmer_unpack(id, k);
+            for sub in find_sub_kmers(&bases, table, m) {
+                out.push((id, sub.id, sub.dist));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use align::BLOSUM62;
+    use seqstore::{encode_seq, kmer_id};
+
+    #[test]
+    fn identity_always_present() {
+        let t = ExpenseTable::new(&BLOSUM62);
+        let kmers = vec![kmer_id(&encode_seq(b"AAC")), kmer_id(&encode_seq(b"WWW"))];
+        let triples = build_s_triples(&kmers, 3, &t, 0);
+        assert_eq!(triples.len(), 2);
+        for (r, c, d) in triples {
+            assert_eq!(r, c);
+            assert_eq!(d, 0);
+        }
+    }
+
+    #[test]
+    fn m_substitutes_per_row() {
+        let t = ExpenseTable::new(&BLOSUM62);
+        let kmers = vec![kmer_id(&encode_seq(b"AAC"))];
+        let triples = build_s_triples(&kmers, 3, &t, 25);
+        assert_eq!(triples.len(), 26);
+        // Row ids all equal the source k-mer; distances ascend after the
+        // identity entry.
+        assert!(triples.iter().all(|&(r, _, _)| r == kmers[0]));
+        let dists: Vec<u32> = triples.iter().map(|&(_, _, d)| d).collect();
+        assert_eq!(dists[0], 0);
+        assert!(dists[1..].windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn no_duplicate_columns_within_row() {
+        let t = ExpenseTable::new(&BLOSUM62);
+        let kmers = vec![kmer_id(&encode_seq(b"MKVLAW"))];
+        let triples = build_s_triples(&kmers, 6, &t, 50);
+        let mut cols: Vec<u64> = triples.iter().map(|&(_, c, _)| c).collect();
+        let n = cols.len();
+        cols.sort_unstable();
+        cols.dedup();
+        assert_eq!(cols.len(), n);
+    }
+}

@@ -1,0 +1,47 @@
+//! The full distributed stack in one program: PASTIS similarity graph →
+//! HipMCL-style *distributed* Markov clustering — both running on the same
+//! simulated process grid, as the paper's pipeline does at scale
+//! (similarity search on thousands of nodes, HipMCL downstream).
+//!
+//! ```text
+//! cargo run --release -p pastis --example distributed_clustering
+//! ```
+
+use std::rc::Rc;
+
+use datagen::{scope_like, ScopeConfig};
+use mcl::{markov_cluster_dist, weighted_precision_recall, MclParams};
+use pastis::{run_pipeline, PastisParams};
+use pcomm::{Grid, World};
+use seqstore::write_fasta;
+
+fn main() {
+    let data = scope_like(&ScopeConfig {
+        seed: 33,
+        families: 10,
+        members_range: (4, 8),
+        len_range: (80, 160),
+        divergence: (0.05, 0.30),
+        ..Default::default()
+    });
+    let fasta = write_fasta(&data.records);
+    let n = data.len() as u64;
+    println!("dataset: {} sequences, {} families", n, data.family_count());
+
+    let params = PastisParams { k: 5, substitutes: 10, ..Default::default() };
+    // One world: each rank computes its PSG shard, then all ranks cluster
+    // it cooperatively without ever centralizing the graph.
+    let labels = World::run(9, |comm| {
+        let run = run_pipeline(&comm, &fasta, &params);
+        let grid = Rc::new(Grid::new(&comm));
+        markov_cluster_dist(grid, n, run.edges, &MclParams { max_per_column: 0, ..Default::default() })
+    })
+    .remove(0);
+
+    let clusters = labels.iter().collect::<std::collections::HashSet<_>>().len();
+    let (p, r) = weighted_precision_recall(&labels, &data.labels);
+    println!("distributed MCL on a 3×3 grid: {clusters} clusters");
+    println!("weighted precision = {p:.3}, recall = {r:.3}");
+    println!("\n(The same grid ran seed discovery, SpGEMM, alignment and the");
+    println!("clustering — no single rank ever held the whole graph.)");
+}

@@ -1,0 +1,57 @@
+//! Protein family discovery end to end: labeled SCOPe-like families →
+//! PASTIS similarity graph → Markov clustering → weighted precision/recall
+//! (the paper's Fig. 17 measurement path).
+//!
+//! ```text
+//! cargo run --release -p pastis --example protein_families
+//! ```
+
+use datagen::{scope_like, ScopeConfig};
+use mcl::{connected_components, markov_cluster, weighted_precision_recall, MclParams};
+use pastis::{run_pipeline, PastisParams};
+use pcomm::World;
+use seqstore::write_fasta;
+
+fn main() {
+    // Strong divergence: remote homologs share few exact k-mers, which is
+    // the regime substitute k-mers exist for (paper §IV-B).
+    let data = scope_like(&ScopeConfig {
+        seed: 11,
+        families: 12,
+        members_range: (3, 8),
+        len_range: (80, 180),
+        divergence: (0.10, 0.40),
+        ..Default::default()
+    });
+    let fasta = write_fasta(&data.records);
+    println!(
+        "dataset: {} sequences in {} ground-truth families",
+        data.len(),
+        data.family_count()
+    );
+    println!("{:<14} {:>10} {:>10} {:>10} {:>10}", "variant", "edges", "P(mcl)", "R(mcl)", "P(cc)");
+
+    for substitutes in [0usize, 10, 25] {
+        let params = PastisParams { k: 5, substitutes, ..Default::default() };
+        let runs = World::run(4, |comm| run_pipeline(&comm, &fasta, &params));
+        let edges: Vec<(usize, usize, f64)> = runs
+            .iter()
+            .flat_map(|r| r.edges.iter().map(|&(a, b, w)| (a as usize, b as usize, w)))
+            .collect();
+
+        let clusters = markov_cluster(data.len(), &edges, &MclParams::default());
+        let (p_mcl, r_mcl) = weighted_precision_recall(&clusters, &data.labels);
+        let cc = connected_components(data.len(), edges.iter().map(|&(a, b, _)| (a, b)));
+        let (p_cc, _) = weighted_precision_recall(&cc, &data.labels);
+        println!(
+            "{:<14} {:>10} {:>10.3} {:>10.3} {:>10.3}",
+            params.variant_name(),
+            edges.len(),
+            p_mcl,
+            r_mcl,
+            p_cc
+        );
+    }
+    println!("\nExpected shape (paper Fig. 17 / Table II): substitutes raise recall,");
+    println!("cost some precision, and make clustering indispensable (P(cc) collapses).");
+}

@@ -1,0 +1,28 @@
+#!/usr/bin/env python3
+"""Splice harness outputs from results/ into EXPERIMENTS.md placeholders."""
+import os, re, sys
+root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+md = open(os.path.join(root, 'EXPERIMENTS.md')).read()
+mapping = {
+    'FIG12_OUTPUT': 'fig12.txt', 'FIG13_OUTPUT': 'fig13.txt',
+    'TABLE1_OUTPUT': 'table1.txt', 'FIG14_OUTPUT': 'fig14.txt',
+    'FIG15_OUTPUT': 'fig15.txt', 'FIG16_OUTPUT': 'fig16.txt',
+    'FIG17_OUTPUT': 'fig17.txt', 'TABLE2_OUTPUT': 'table2.txt',
+    'TEXTSTATS_OUTPUT': 'textstats.txt', 'ABLATION_OUTPUT': 'ablation.txt',
+}
+for tag, fname in mapping.items():
+    path = os.path.join(root, 'results', fname)
+    if not os.path.exists(path):
+        print(f'skip {tag}: {fname} missing'); continue
+    body = open(path).read().strip()
+    # strip cargo noise lines
+    body = '\n'.join(l for l in body.splitlines()
+                     if not l.startswith(('   Compiling', '    Finished', '     Running')))
+    block = f'```text\n{body}\n```'
+    placeholder = f'<!-- {tag} -->'
+    if placeholder in md:
+        md = md.replace(placeholder, block)
+        print(f'spliced {tag}')
+    else:
+        print(f'placeholder {tag} already filled')
+open(os.path.join(root, 'EXPERIMENTS.md'), 'w').write(md)

@@ -1,0 +1,122 @@
+//! Cross-tool integration: PASTIS vs the MMseqs2-like and LAST-like
+//! baselines on a labeled family dataset, through to Markov clustering and
+//! the weighted precision/recall metrics — the full Fig. 17 / Table II
+//! measurement path at test scale.
+
+use baselines::{last_like, mmseqs_like, LastParams, MmseqsParams};
+use datagen::{scope_like, ScopeConfig};
+use mcl::{connected_components, markov_cluster, weighted_precision_recall, MclParams};
+use pastis::{run_pipeline, PastisParams};
+use pcomm::World;
+use seqstore::write_fasta;
+
+fn dataset() -> datagen::LabeledDataset {
+    scope_like(&ScopeConfig {
+        seed: 77,
+        families: 6,
+        members_range: (3, 5),
+        len_range: (80, 140),
+        divergence: (0.03, 0.15),
+        ..Default::default()
+    })
+}
+
+fn pastis_edges(data: &datagen::LabeledDataset, substitutes: usize) -> Vec<(u64, u64, f64)> {
+    let fasta = write_fasta(&data.records);
+    let params = PastisParams { k: 4, substitutes, ..Default::default() };
+    let runs = World::run(4, |comm| run_pipeline(&comm, &fasta, &params));
+    runs.into_iter().flat_map(|r| r.edges).collect()
+}
+
+fn cluster_quality(n: usize, edges: &[(u64, u64, f64)], labels: &[usize]) -> (f64, f64) {
+    let e: Vec<(usize, usize, f64)> =
+        edges.iter().map(|&(a, b, w)| (a as usize, b as usize, w)).collect();
+    let clusters = markov_cluster(n, &e, &MclParams::default());
+    weighted_precision_recall(&clusters, labels)
+}
+
+#[test]
+fn all_three_tools_recover_families_via_mcl() {
+    let data = dataset();
+    let n = data.len();
+
+    let pastis = pastis_edges(&data, 0);
+    let mmseqs = mmseqs_like(&data.records, &MmseqsParams::default());
+    let last = last_like(&data.records, &LastParams { max_initial_matches: 300, ..Default::default() });
+
+    for (name, edges) in [("pastis", &pastis), ("mmseqs", &mmseqs), ("last", &last)] {
+        let (p, r) = cluster_quality(n, edges, &data.labels);
+        assert!(p > 0.7, "{name}: precision {p}");
+        assert!(r > 0.5, "{name}: recall {r}");
+    }
+}
+
+#[test]
+fn substitute_kmers_do_not_reduce_recall() {
+    // Fig. 17: more substitute k-mers buys recall (at some precision cost).
+    let data = dataset();
+    let n = data.len();
+    let (_, r0) = cluster_quality(n, &pastis_edges(&data, 0), &data.labels);
+    let (_, r25) = cluster_quality(n, &pastis_edges(&data, 10), &data.labels);
+    assert!(r25 >= r0 - 1e-9, "substitutes lowered recall: {r25} < {r0}");
+}
+
+#[test]
+fn connected_components_match_table2_shape() {
+    // Table II: with exact k-mers, plain connected components are a viable
+    // (high-precision) clustering; substitute k-mers without clustering
+    // collapse precision because components merge.
+    let data = dataset();
+    let n = data.len();
+    let cc_of = |edges: &[(u64, u64, f64)]| {
+        connected_components(n, edges.iter().map(|&(a, b, _)| (a as usize, b as usize)))
+    };
+    let exact = cc_of(&pastis_edges(&data, 0));
+    let subs = cc_of(&pastis_edges(&data, 10));
+    let (p_exact, _) = weighted_precision_recall(&exact, &data.labels);
+    let (p_subs, r_subs) = weighted_precision_recall(&subs, &data.labels);
+    let (_, r_exact) = weighted_precision_recall(&exact, &data.labels);
+    assert!(p_exact >= p_subs - 1e-9, "exact precision {p_exact} < substitute {p_subs}");
+    assert!(r_subs >= r_exact - 1e-9, "substitute recall {r_subs} < exact {r_exact}");
+}
+
+#[test]
+fn mcl_beats_or_matches_connected_components_on_precision() {
+    // §VI-B: "clustering is indispensable when substitute k-mers are used".
+    let data = dataset();
+    let n = data.len();
+    let edges = pastis_edges(&data, 10);
+    let e: Vec<(usize, usize, f64)> =
+        edges.iter().map(|&(a, b, w)| (a as usize, b as usize, w)).collect();
+    let mcl_labels = markov_cluster(n, &e, &MclParams::default());
+    let cc_labels = connected_components(n, e.iter().map(|&(a, b, _)| (a, b)));
+    let (p_mcl, _) = weighted_precision_recall(&mcl_labels, &data.labels);
+    let (p_cc, _) = weighted_precision_recall(&cc_labels, &data.labels);
+    assert!(p_mcl >= p_cc - 1e-9, "MCL precision {p_mcl} below CC {p_cc}");
+}
+
+#[test]
+fn tools_agree_on_strong_pairs() {
+    // High-identity pairs should be found by every tool.
+    let data = scope_like(&ScopeConfig {
+        seed: 78,
+        families: 3,
+        members_range: (3, 3),
+        len_range: (90, 130),
+        divergence: (0.01, 0.05),
+        ..Default::default()
+    });
+    let pastis: std::collections::HashSet<(u64, u64)> =
+        pastis_edges(&data, 0).iter().map(|&(a, b, _)| (a, b)).collect();
+    let mmseqs: std::collections::HashSet<(u64, u64)> = mmseqs_like(&data.records, &MmseqsParams::default())
+        .iter()
+        .map(|&(a, b, _)| (a, b))
+        .collect();
+    assert!(!pastis.is_empty());
+    let overlap = pastis.intersection(&mmseqs).count();
+    assert!(
+        overlap * 10 >= pastis.len() * 7,
+        "mmseqs-like found {overlap} of {} pastis pairs",
+        pastis.len()
+    );
+}
