@@ -2,13 +2,35 @@
 //!
 //! Pairwise alignments are embarrassingly parallel (paper §VI-A: "alignment
 //! computations are independent of each other"); PASTIS runs OpenMP threads
-//! under each MPI rank for them. Here each simulated rank can fan its
+//! under each MPI rank for them. Here each simulated rank fans its
 //! alignment batch out over OS threads the same way.
+//!
+//! Scheduling is work-stealing rather than static chunking: alignment cost
+//! scales with the *product* of sequence lengths, so a contiguous chunk of
+//! long pairs can make one thread the straggler for the whole batch.
+//! Workers instead draw tasks one at a time from a shared atomic cursor —
+//! a thread that lands short tasks simply comes back for more.
 
-/// Map `f` over `tasks` on up to `threads` OS threads, preserving order.
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Per-task output slots shared across worker threads. Each index is drawn
+/// exactly once from the batch cursor, so every cell is written by exactly
+/// one thread, and the scope join orders those writes before the read-back.
+struct Slots<'a, R>(&'a [UnsafeCell<Option<R>>]);
+
+// SAFETY: see `Slots` — all access to a given cell is by the single worker
+// that drew its index, and results are only read after the workers join.
+unsafe impl<R: Send> Sync for Slots<'_, R> {}
+
+/// Map `f` over `tasks` on up to `threads` OS threads, preserving input
+/// order in the output regardless of scheduling.
 ///
 /// With `threads <= 1` (or a single-core host) this degrades to a plain
-/// sequential map with no spawn overhead.
+/// sequential map with no spawn overhead. Kernel work recorded by workers
+/// (via `pcomm::work`) is summed and folded back into the calling thread's
+/// counter, so stage accounting stays deterministic and
+/// schedule-independent.
 pub fn align_batch<T, R, F>(tasks: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -19,22 +41,43 @@ where
     if threads == 1 {
         return tasks.iter().map(&f).collect();
     }
-    let chunk = tasks.len().div_ceil(threads);
-    let mut out: Vec<Option<R>> = (0..tasks.len()).map(|_| None).collect();
-    let slots: Vec<&mut [Option<R>]> = out.chunks_mut(chunk).collect();
-    std::thread::scope(|scope| {
-        for (ti, slot) in slots.into_iter().enumerate() {
-            let f = &f;
-            let start = ti * chunk;
-            let task_slice = &tasks[start..(start + slot.len()).min(tasks.len())];
-            scope.spawn(move || {
-                for (s, t) in slot.iter_mut().zip(task_slice) {
-                    *s = Some(f(t));
-                }
-            });
-        }
-    });
-    out.into_iter().map(|o| o.expect("all slots filled")).collect()
+    let cells: Vec<UnsafeCell<Option<R>>> = (0..tasks.len()).map(|_| UnsafeCell::new(None)).collect();
+    {
+        let slots = Slots(&cells);
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let slots = &slots;
+                    let cursor = &cursor;
+                    let f = &f;
+                    scope.spawn(move || {
+                        let work_before = pcomm::work::counter();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= tasks.len() {
+                                break;
+                            }
+                            // SAFETY: index i is drawn exactly once across
+                            // all workers (fetch_add), so this is the only
+                            // write to cell i.
+                            unsafe { *slots.0[i].get() = Some(f(&tasks[i])) };
+                        }
+                        pcomm::work::counter() - work_before
+                    })
+                })
+                .collect();
+            // Work lands on the workers' thread-local counters, which die
+            // with the scope; the sum is schedule-independent, so folding
+            // it into the caller keeps accounting deterministic.
+            let worker_ns: u64 = handles
+                .into_iter()
+                .map(|h| h.join().expect("alignment worker panicked"))
+                .sum();
+            pcomm::work::add_ns(worker_ns);
+        });
+    }
+    cells.into_iter().map(|c| c.into_inner().expect("all slots filled")).collect()
 }
 
 #[cfg(test)]
@@ -61,6 +104,30 @@ mod tests {
     fn more_threads_than_tasks() {
         let got = align_batch(&[1u64, 2], 16, |&t| t + 1);
         assert_eq!(got, vec![2, 3]);
+    }
+
+    #[test]
+    fn skewed_task_lengths_preserve_order() {
+        // Cost varies by orders of magnitude across the batch; under
+        // static chunking one thread would own nearly all heavy tasks,
+        // and a scheduler bug that returns results in completion order
+        // would scramble the output.
+        let tasks: Vec<u64> = (0..200).map(|i| if i % 17 == 0 { 50_000 } else { 10 }).collect();
+        let want: Vec<u64> = tasks.iter().map(|&n| (0..n).sum()).collect();
+        for threads in [2, 3, 5, 8] {
+            let got = align_batch(&tasks, threads, |&n| (0..n).sum::<u64>());
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn worker_kernel_work_folds_into_caller() {
+        let tasks: Vec<u64> = (0..50).collect();
+        for threads in [1, 4] {
+            let before = pcomm::work::counter();
+            align_batch(&tasks, threads, |_| pcomm::work::record(10, 1));
+            assert_eq!(pcomm::work::counter() - before, 500, "threads={threads}");
+        }
     }
 
     #[test]

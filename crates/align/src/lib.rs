@@ -2,25 +2,45 @@
 //! reproduction, paper §IV-E).
 //!
 //! Provides the two alignment modes PASTIS offers — full local
-//! Smith–Waterman with affine gaps ([`smith_waterman`]) and gapped x-drop
-//! seed-and-extend ([`xdrop_align`]) — plus the ungapped diagonal extension
-//! used by the MMseqs2-like baseline, BLOSUM scoring matrices, alignment
-//! statistics (identity, coverage, normalized score) and a multi-threaded
-//! batch driver.
+//! Smith–Waterman with affine gaps ([`smith_waterman`] and its
+//! lane-parallel equivalent [`striped_align`], selected via
+//! [`AlignEngine`]) and gapped x-drop seed-and-extend ([`xdrop_align`]) —
+//! plus the ungapped diagonal extension used by the MMseqs2-like baseline,
+//! BLOSUM scoring matrices, alignment statistics (identity, coverage,
+//! normalized score), reusable DP scratch arenas ([`AlignScratch`]) and a
+//! work-stealing multi-threaded batch driver ([`align_batch`]).
 
 mod batch;
 mod matrix;
+mod scratch;
 mod stats;
+mod striped;
 mod sw;
 mod ungapped;
 mod xdrop;
 
 pub use batch::align_batch;
 pub use matrix::{ScoringMatrix, BLOSUM62};
+pub use scratch::{with_scratch, AlignScratch};
 pub use stats::{AlignStats, SimilarityMeasure};
-pub use sw::smith_waterman;
+pub use striped::{striped_align, striped_align_with, striped_score, striped_score_with};
+pub use sw::{smith_waterman, smith_waterman_with};
 pub use ungapped::ungapped_xdrop;
-pub use xdrop::xdrop_align;
+pub use xdrop::{xdrop_align, xdrop_align_with};
+
+/// Which Smith–Waterman implementation [`local_align`] dispatches to. Both
+/// engines return bit-identical [`AlignStats`]; they differ only in speed
+/// and memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AlignEngine {
+    /// Reference scalar DP with full-matrix traceback (O(m·n) direction
+    /// bytes).
+    Scalar,
+    /// Lane-parallel striped kernel (Farrar) with an O(m)-memory score
+    /// pass and a banded traceback rerun. The default.
+    #[default]
+    Striped,
+}
 
 /// Alignment parameters shared by all kernels. Defaults follow the paper's
 /// evaluation: BLOSUM62, gap opening 11, gap extension 1, x-drop 49 (§VI).
@@ -35,10 +55,32 @@ pub struct AlignParams {
     pub xdrop: i32,
     /// Substitution matrix.
     pub matrix: &'static ScoringMatrix,
+    /// Smith–Waterman implementation used by [`local_align`].
+    pub engine: AlignEngine,
 }
 
 impl Default for AlignParams {
     fn default() -> Self {
-        AlignParams { gap_open: 11, gap_extend: 1, xdrop: 49, matrix: &BLOSUM62 }
+        AlignParams {
+            gap_open: 11,
+            gap_extend: 1,
+            xdrop: 49,
+            matrix: &BLOSUM62,
+            engine: AlignEngine::default(),
+        }
+    }
+}
+
+/// Full local alignment with the engine selected in `params`, using the
+/// calling thread's scratch arena.
+pub fn local_align(r: &[u8], c: &[u8], params: &AlignParams) -> AlignStats {
+    with_scratch(|s| local_align_with(r, c, params, s))
+}
+
+/// [`local_align`] with an explicit scratch arena.
+pub fn local_align_with(r: &[u8], c: &[u8], params: &AlignParams, scratch: &mut AlignScratch) -> AlignStats {
+    match params.engine {
+        AlignEngine::Scalar => smith_waterman_with(r, c, params, scratch),
+        AlignEngine::Striped => striped_align_with(r, c, params, scratch),
     }
 }

@@ -1,0 +1,77 @@
+//! Reusable DP buffers shared by all alignment kernels.
+//!
+//! Every kernel needs a handful of growable buffers (DP rows, direction
+//! bytes, query profiles). Allocating them per call dominates small
+//! alignments and fragments the heap in batch runs, so they live in an
+//! [`AlignScratch`] arena instead: buffers are cleared and refilled but
+//! never shrunk, so once the arena has seen the largest task of a batch,
+//! subsequent alignments perform no heap allocation at all. The public
+//! kernel entry points route through a thread-local arena (one per batch
+//! worker thread); callers that manage their own threads can pass an
+//! explicit arena to the `*_with` variants.
+
+use std::cell::RefCell;
+
+use crate::striped::{L16, L32};
+
+/// Buffers for one in-flight banded x-drop extension.
+#[derive(Default)]
+pub(crate) struct XdropScratch {
+    /// Current row's live-window scores.
+    pub(crate) row_h: Vec<i32>,
+    pub(crate) row_f: Vec<i32>,
+    /// Retired row buffers recycled into the next row.
+    pub(crate) spare_h: Vec<i32>,
+    pub(crate) spare_f: Vec<i32>,
+    /// All rows' traceback bytes, concatenated.
+    pub(crate) dir_flat: Vec<u8>,
+    /// Per-row `(lo, start, len)` slices into `dir_flat`.
+    pub(crate) dir_rows: Vec<(usize, usize, usize)>,
+}
+
+/// Arena of reusable buffers for the alignment kernels. See the module
+/// docs; construct with [`AlignScratch::new`] or use the thread-local via
+/// [`with_scratch`].
+#[derive(Default)]
+pub struct AlignScratch {
+    // Scalar Smith–Waterman rows (shared with the striped engine's
+    // traceback pass).
+    pub(crate) h_prev: Vec<i32>,
+    pub(crate) h_curr: Vec<i32>,
+    pub(crate) f_row: Vec<i32>,
+    /// Full-matrix direction bytes (scalar engine only).
+    pub(crate) dirs: Vec<u8>,
+    /// Banded direction bytes (striped engine's traceback pass).
+    pub(crate) band_dirs: Vec<u8>,
+    // Striped kernel state, i16 lanes.
+    pub(crate) prof16: Vec<[i16; L16]>,
+    pub(crate) h16_store: Vec<[i16; L16]>,
+    pub(crate) h16_load: Vec<[i16; L16]>,
+    pub(crate) e16: Vec<[i16; L16]>,
+    // Striped kernel state, i32 overflow-fallback lanes.
+    pub(crate) prof32: Vec<[i32; L32]>,
+    pub(crate) h32_store: Vec<[i32; L32]>,
+    pub(crate) h32_load: Vec<[i32; L32]>,
+    pub(crate) e32: Vec<[i32; L32]>,
+    // X-drop extension state.
+    pub(crate) xd: XdropScratch,
+    /// Reversed prefixes for the leftward x-drop extension.
+    pub(crate) rev_a: Vec<u8>,
+    pub(crate) rev_b: Vec<u8>,
+}
+
+impl AlignScratch {
+    pub fn new() -> Self {
+        AlignScratch::default()
+    }
+}
+
+thread_local! {
+    static TLS_SCRATCH: RefCell<AlignScratch> = RefCell::new(AlignScratch::new());
+}
+
+/// Run `f` with this thread's alignment scratch arena. The arena persists
+/// for the thread's lifetime, so repeated kernel calls reuse its buffers.
+pub fn with_scratch<R>(f: impl FnOnce(&mut AlignScratch) -> R) -> R {
+    TLS_SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}

@@ -1,0 +1,577 @@
+//! Lane-parallel ("striped") Smith–Waterman — the fast local-alignment
+//! engine (Farrar, *Bioinformatics* 2007).
+//!
+//! The query is laid out in `LANES` interleaved segments so the inner loop
+//! updates a whole lane vector of DP cells with straight-line arithmetic on
+//! `[i16; 8]` / `[i32; 4]` arrays; the loops are written so LLVM
+//! autovectorizes them on stable Rust (no intrinsics). Vertical gaps that
+//! cross segment boundaries are repaired by Farrar's lazy-F loop, extended
+//! here with the E update that keeps the recurrence *exactly* the textbook
+//! affine-gap SW (the common SWPS3-style shortcut forbids
+//! insertion-after-deletion and would diverge from the scalar reference).
+//!
+//! Scores run in saturating i16 lanes; negative saturation is harmless for
+//! local alignment (values below zero never decide a cell) and positive
+//! saturation is detected by headroom check, falling back to an i32-lane
+//! pass.
+//!
+//! Tracebacks use two passes: the striped pass is score-only at O(m)
+//! memory and finds the best end cell; a scalar pass then reruns the DP on
+//! the prefix rectangle at that cell, keeping direction bytes only inside
+//! a diagonal band around the end cell's diagonal (doubled until the
+//! optimal path fits). Both the end cell and every direction byte
+//! reproduce the scalar engine's choices, so the resulting [`AlignStats`]
+//! is bit-identical to [`crate::smith_waterman`] while traceback memory
+//! drops from O(m·n) to O(band·m).
+
+use seqstore::SIGMA;
+
+use crate::scratch::{with_scratch, AlignScratch};
+use crate::stats::AlignStats;
+use crate::sw::{E_EXTEND, F_EXTEND, H_DIAG, H_FROM_E, H_SRC_MASK, H_STOP, NEG_INF};
+use crate::AlignParams;
+
+/// Lane counts: 16 bytes of state per vector either way, mirroring one SSE
+/// register — wide enough for autovectorization, small enough to spill
+/// nowhere.
+pub(crate) const L16: usize = 8;
+pub(crate) const L32: usize = 4;
+
+const NEG16: i16 = i16::MIN / 2;
+const NEG32: i32 = i32::MIN / 4;
+
+/// Highest best-score the i16 kernel reports as exact: one matrix score of
+/// headroom below saturation, so any pass that could have clipped is redone
+/// in i32 lanes.
+const I16_SAFE: i32 = i16::MAX as i32 - 12;
+
+/// Initial traceback band half-width; doubled until the optimal path fits.
+const BAND_START: usize = 64;
+
+/// Move each lane's value to the next lane, filling lane 0 with `fill` —
+/// the striped layout's "previous query row" permutation.
+#[inline]
+fn shift_in<T: Copy, const L: usize>(v: [T; L], fill: T) -> [T; L] {
+    let mut out = [fill; L];
+    out[1..].copy_from_slice(&v[..L - 1]);
+    out
+}
+
+/// Smallest valid query index whose cell in the finished column equals
+/// `target`. Lane `l` covers the contiguous query block starting at
+/// `l·seg`, so a lane-major scan visits cells in ascending query order.
+#[inline]
+fn min_query_at<T: Copy + PartialEq, const L: usize>(
+    h_store: &[[T; L]],
+    target: T,
+    seg: usize,
+    m: usize,
+) -> Option<usize> {
+    for (l, base) in (0..L).map(|l| (l, l * seg)) {
+        if base >= m {
+            break;
+        }
+        for (s, col) in h_store.iter().enumerate().take(seg.min(m - base)) {
+            if col[l] == target {
+                return Some(base + s);
+            }
+        }
+    }
+    None
+}
+
+macro_rules! striped_kernel {
+    ($name:ident, $ty:ty, $lanes:expr, $neg:expr) => {
+        /// Score-only striped pass. Returns `(best, end_i, end_j)` with
+        /// 1-based inclusive ends chosen exactly as the scalar engine's
+        /// row-major argmax would, or `(0, 0, 0)` when nothing scores
+        /// positive.
+        fn $name(
+            r: &[u8],
+            c: &[u8],
+            params: &AlignParams,
+            prof: &mut Vec<[$ty; $lanes]>,
+            h_store: &mut Vec<[$ty; $lanes]>,
+            h_load: &mut Vec<[$ty; $lanes]>,
+            e_buf: &mut Vec<[$ty; $lanes]>,
+        ) -> (i32, usize, usize) {
+            const L: usize = $lanes;
+            const NEG: $ty = $neg;
+            let (m, n) = (r.len(), c.len());
+            debug_assert!(m > 0 && n > 0);
+            let seg = m.div_ceil(L);
+            let open = (params.gap_open + params.gap_extend) as $ty;
+            let ext = params.gap_extend as $ty;
+
+            // Striped query profile: prof[x·seg + s][l] = score(r[q], x)
+            // for q = l·seg + s. Padding rows (q ≥ m) score NEG, which
+            // keeps their H at or below every bound a valid cell sets, so
+            // they can never decide a column maximum.
+            prof.clear();
+            prof.resize(SIGMA * seg, [NEG; L]);
+            for s in 0..seg {
+                for l in 0..L {
+                    let q = l * seg + s;
+                    if q < m {
+                        let row = &params.matrix.scores[r[q] as usize];
+                        for (x, &sc) in row.iter().enumerate() {
+                            prof[x * seg + s][l] = sc as $ty;
+                        }
+                    }
+                }
+            }
+
+            h_store.clear();
+            h_store.resize(seg, [0; L]);
+            h_load.clear();
+            h_load.resize(seg, [0; L]);
+            e_buf.clear();
+            e_buf.resize(seg, [NEG; L]);
+
+            let mut best: $ty = 0;
+            let (mut best_i, mut best_j) = (0usize, 0usize);
+
+            for j in 0..n {
+                let pcol = &prof[c[j] as usize * seg..(c[j] as usize + 1) * seg];
+                std::mem::swap(h_store, h_load);
+                // v_h carries the diagonal source H(q−1, j−1): the previous
+                // column's last segment row shifted down one lane, with the
+                // local-alignment boundary H = 0 entering lane 0.
+                let mut v_h = shift_in(h_load[seg - 1], 0 as $ty);
+                let mut v_f = [NEG; L];
+                let mut v_cmax = [NEG; L];
+                // The lane dimension is the vector: each step below is a
+                // straight-line load → lane-wise op → store block over
+                // `[T; L]` values, the shape LLVM's SLP vectorizer turns
+                // into single vector instructions (paddsw/pmaxsw etc.).
+                for (((p, e), hs), hl) in pcol
+                    .iter()
+                    .zip(e_buf.iter_mut())
+                    .zip(h_store.iter_mut())
+                    .zip(h_load.iter())
+                {
+                    let p = *p;
+                    let mut e_v = *e;
+                    let mut h = [0 as $ty; L];
+                    for l in 0..L {
+                        h[l] = v_h[l].saturating_add(p[l]).max(e_v[l]).max(v_f[l]).max(0);
+                    }
+                    *hs = h;
+                    let mut ho = [0 as $ty; L];
+                    for l in 0..L {
+                        v_cmax[l] = v_cmax[l].max(h[l]);
+                        ho[l] = h[l].saturating_sub(open);
+                    }
+                    for l in 0..L {
+                        e_v[l] = e_v[l].saturating_sub(ext).max(ho[l]);
+                        v_f[l] = v_f[l].saturating_sub(ext).max(ho[l]);
+                    }
+                    *e = e_v;
+                    v_h = *hl;
+                }
+
+                // Lazy F: vertical gaps crossing segment boundaries
+                // re-enter shifted one lane and propagate until they can
+                // neither raise an H nor open a better gap downstream
+                // (Farrar's termination test). H corrections must also lift
+                // E for the next column — that is what keeps this the exact
+                // affine recurrence.
+                'lazy: for _wrap in 0..L {
+                    v_f = shift_in(v_f, NEG);
+                    for s in 0..seg {
+                        let mut h = h_store[s];
+                        let mut live = false;
+                        for l in 0..L {
+                            live |= v_f[l] > h[l].saturating_sub(open);
+                        }
+                        if !live {
+                            break 'lazy;
+                        }
+                        let mut e = e_buf[s];
+                        for l in 0..L {
+                            h[l] = h[l].max(v_f[l]);
+                            v_cmax[l] = v_cmax[l].max(h[l]);
+                            e[l] = e[l].max(h[l].saturating_sub(open));
+                            v_f[l] = v_f[l].saturating_sub(ext);
+                        }
+                        h_store[s] = h;
+                        e_buf[s] = e;
+                    }
+                }
+
+                let mut cmax = v_cmax[0];
+                for l in 1..L {
+                    if v_cmax[l] > cmax {
+                        cmax = v_cmax[l];
+                    }
+                }
+                // Reproduce the scalar row-major argmax (the first strictly
+                // improving cell = lexicographically smallest (i, j)
+                // attaining the maximum). Columns arrive in j order, so a
+                // strict improvement takes this column's smallest attaining
+                // row, and a tie relocates only if this column attains the
+                // best in a smaller row than recorded.
+                let cmax32 = cmax as i32;
+                if cmax > best {
+                    best = cmax;
+                    let q = min_query_at(h_store, cmax, seg, m)
+                        .expect("column max must come from a valid lane");
+                    best_i = q + 1;
+                    best_j = j + 1;
+                } else if cmax32 > 0 && cmax == best && best_i > 1 {
+                    if let Some(q) = min_query_at(h_store, cmax, seg, m) {
+                        if q + 1 < best_i {
+                            best_i = q + 1;
+                            best_j = j + 1;
+                        }
+                    }
+                }
+            }
+            (best as i32, best_i, best_j)
+        }
+    };
+}
+
+striped_kernel!(kernel_i16, i16, L16, NEG16);
+striped_kernel!(kernel_i32, i32, L32, NEG32);
+
+/// Striped best score and scalar-identical end cell (1-based inclusive),
+/// with automatic i16 → i32 overflow fallback.
+fn striped_end_with(r: &[u8], c: &[u8], params: &AlignParams, scratch: &mut AlignScratch) -> (i32, usize, usize) {
+    let (m, n) = (r.len(), c.len());
+    if m == 0 || n == 0 {
+        return (0, 0, 0);
+    }
+    pcomm::work::record((m * n) as u64, pcomm::work::SW_STRIPED_CELL_NS);
+    let (best, bi, bj) = kernel_i16(
+        r,
+        c,
+        params,
+        &mut scratch.prof16,
+        &mut scratch.h16_store,
+        &mut scratch.h16_load,
+        &mut scratch.e16,
+    );
+    if best < I16_SAFE {
+        return (best, bi, bj);
+    }
+    // The i16 lanes may have saturated; redo the whole pass in i32 lanes.
+    pcomm::work::record((m * n) as u64, pcomm::work::SW_STRIPED_CELL_NS);
+    kernel_i32(
+        r,
+        c,
+        params,
+        &mut scratch.prof32,
+        &mut scratch.h32_store,
+        &mut scratch.h32_load,
+        &mut scratch.e32,
+    )
+}
+
+/// Score-only striped local alignment: `(score, (r_end, c_end))` with
+/// exclusive span ends, identical to the span ends [`crate::smith_waterman`]
+/// reports. O(m) memory, no traceback.
+pub fn striped_score(r: &[u8], c: &[u8], params: &AlignParams) -> (i32, (u32, u32)) {
+    with_scratch(|s| striped_score_with(r, c, params, s))
+}
+
+/// [`striped_score`] with an explicit scratch arena.
+pub fn striped_score_with(
+    r: &[u8],
+    c: &[u8],
+    params: &AlignParams,
+    scratch: &mut AlignScratch,
+) -> (i32, (u32, u32)) {
+    let (best, bi, bj) = striped_end_with(r, c, params, scratch);
+    (best, (bi as u32, bj as u32))
+}
+
+/// Full local alignment on the striped engine. Returns [`AlignStats`]
+/// bit-identical to [`crate::smith_waterman`].
+pub fn striped_align(r: &[u8], c: &[u8], params: &AlignParams) -> AlignStats {
+    with_scratch(|s| striped_align_with(r, c, params, s))
+}
+
+/// [`striped_align`] with an explicit scratch arena.
+pub fn striped_align_with(r: &[u8], c: &[u8], params: &AlignParams, scratch: &mut AlignScratch) -> AlignStats {
+    let (m, n) = (r.len(), c.len());
+    let mut stats = AlignStats { r_len: m as u32, c_len: n as u32, ..Default::default() };
+    if m == 0 || n == 0 {
+        return stats;
+    }
+    let (best, bi, bj) = striped_end_with(r, c, params, scratch);
+    if best == 0 {
+        return stats;
+    }
+    stats.score = best;
+    // Second pass: scalar DP over the prefix rectangle ending at the best
+    // cell (the recurrence never looks right of or below it), keeping
+    // direction bytes only inside a diagonal band. Growing the band until
+    // the path fits makes the traceback identical to the full-matrix one.
+    let full = bi.max(bj) - 1;
+    let mut w = BAND_START.min(full).max(1);
+    loop {
+        pcomm::work::record((bi * bj) as u64, pcomm::work::SW_CELL_NS);
+        if banded_traceback(r, c, params, bi, bj, w, scratch, &mut stats) {
+            return stats;
+        }
+        debug_assert!(w < full, "full-width band cannot be escaped");
+        w = (w * 2).min(full.max(1));
+    }
+}
+
+/// Rerun the scalar recurrence over rows `1..=bi`, columns `1..=bj`,
+/// recording direction bytes only where `|(i − j) − (bi − bj)| ≤ w`, then
+/// trace back from `(bi, bj)` into `stats`. Returns `false` if the
+/// traceback left the band (caller retries with a wider one).
+#[allow(clippy::too_many_arguments)]
+fn banded_traceback(
+    r: &[u8],
+    c: &[u8],
+    params: &AlignParams,
+    bi: usize,
+    bj: usize,
+    w: usize,
+    scratch: &mut AlignScratch,
+    stats: &mut AlignStats,
+) -> bool {
+    let open = params.gap_open + params.gap_extend;
+    let ext = params.gap_extend;
+    let d0 = bi as isize - bj as isize;
+    let width = 2 * w + 1;
+
+    scratch.h_prev.clear();
+    scratch.h_prev.resize(bj + 1, 0);
+    scratch.h_curr.clear();
+    scratch.h_curr.resize(bj + 1, 0);
+    scratch.f_row.clear();
+    scratch.f_row.resize(bj + 1, NEG_INF);
+    scratch.band_dirs.clear();
+    scratch.band_dirs.resize(bi * width, 0);
+    let h_prev = &mut scratch.h_prev;
+    let h_curr = &mut scratch.h_curr;
+    let f_row = &mut scratch.f_row;
+    let band = &mut scratch.band_dirs;
+
+    for i in 1..=bi {
+        let mut e = NEG_INF;
+        h_curr[0] = 0;
+        let ri = r[i - 1];
+        let row_base = (i - 1) * width;
+        // In-band column window of this row: `[band_l, band_r)`. Cells
+        // outside it still run the full recurrence (exactness — E chains
+        // span whole rows) but skip direction recording, so the row loop
+        // stays branch-free per cell.
+        let jlo = i as isize - d0 - w as isize;
+        let band_l = jlo.clamp(1, bj as isize + 1) as usize;
+        let band_r = (jlo + width as isize).clamp(1, bj as isize + 1) as usize;
+        // Same recurrence and tie-break order as the scalar engine — the
+        // recorded direction bytes must be byte-identical.
+        macro_rules! dp_cell {
+            ($j:expr, $record:literal) => {{
+                let j = $j;
+                let mut dir = 0u8;
+                let e_open = h_curr[j - 1] - open;
+                let e_ext = e - ext;
+                e = if e_ext > e_open {
+                    dir |= E_EXTEND;
+                    e_ext
+                } else {
+                    e_open
+                };
+                let f_open = h_prev[j] - open;
+                let f_ext = f_row[j] - ext;
+                f_row[j] = if f_ext > f_open {
+                    dir |= F_EXTEND;
+                    f_ext
+                } else {
+                    f_open
+                };
+                let diag = h_prev[j - 1] + params.matrix.score(ri, c[j - 1]);
+                let mut h = 0i32;
+                let mut src = H_STOP;
+                if diag > h {
+                    h = diag;
+                    src = H_DIAG;
+                }
+                if e > h {
+                    h = e;
+                    src = H_FROM_E;
+                }
+                if f_row[j] > h {
+                    h = f_row[j];
+                    src = crate::sw::H_FROM_F;
+                }
+                h_curr[j] = h;
+                if $record {
+                    band[row_base + (j as isize - jlo) as usize] = dir | src;
+                }
+            }};
+        }
+        for j in 1..band_l {
+            dp_cell!(j, false);
+        }
+        for j in band_l..band_r {
+            dp_cell!(j, true);
+        }
+        for j in band_r..=bj {
+            dp_cell!(j, false);
+        }
+        std::mem::swap(h_prev, h_curr);
+    }
+    debug_assert_eq!(h_prev[bj], stats.score, "banded rerun disagrees with striped best");
+
+    // Traceback, identical to the scalar engine's but over the band; any
+    // access outside it aborts the attempt.
+    stats.matches = 0;
+    stats.align_len = 0;
+    let (mut i, mut j) = (bi, bj);
+    stats.r_span.1 = i as u32;
+    stats.c_span.1 = j as u32;
+    #[derive(PartialEq)]
+    enum State {
+        H,
+        E,
+        F,
+    }
+    let mut state = State::H;
+    loop {
+        let off = j as isize - i as isize + d0 + w as isize;
+        if off < 0 || off >= width as isize {
+            return false; // escaped the band
+        }
+        let dir = band[(i - 1) * width + off as usize];
+        match state {
+            State::H => match dir & H_SRC_MASK {
+                H_STOP => break,
+                H_DIAG => {
+                    stats.align_len += 1;
+                    if r[i - 1] == c[j - 1] {
+                        stats.matches += 1;
+                    }
+                    i -= 1;
+                    j -= 1;
+                    if i == 0 || j == 0 {
+                        break;
+                    }
+                }
+                H_FROM_E => state = State::E,
+                _ => state = State::F,
+            },
+            State::E => {
+                stats.align_len += 1;
+                let extended = dir & E_EXTEND != 0;
+                j -= 1;
+                if !extended {
+                    state = State::H;
+                }
+                if j == 0 {
+                    break;
+                }
+            }
+            State::F => {
+                stats.align_len += 1;
+                let extended = dir & F_EXTEND != 0;
+                i -= 1;
+                if !extended {
+                    state = State::H;
+                }
+                if i == 0 {
+                    break;
+                }
+            }
+        }
+    }
+    stats.r_span.0 = i as u32;
+    stats.c_span.0 = j as u32;
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sw::smith_waterman;
+    use seqstore::encode_seq;
+
+    #[test]
+    fn matches_scalar_on_fixed_cases() {
+        let cases: [(&[u8], &[u8]); 6] = [
+            (b"MKVLAWHERTYCC", b"MKVLAWHERTYCC"),
+            (b"MKVLAWHERTYDDDD", b"MKVLAWCCCHERTYDDDD"),
+            (b"CCCCWWWWHHHHGGGG", b"TTTTWWWWHHHHVVVV"),
+            (b"AAAAAAAA", b"WWWWWWWW"),
+            (b"A", b"A"),
+            (b"MKVLAWHERTYACDEFGHIKLMNPQRSTVWY", b"MKVIAWHETYACDEFGHLKLMNPQRSTVWY"),
+        ];
+        let p = AlignParams::default();
+        for (a, b) in cases {
+            let (ea, eb) = (encode_seq(a), encode_seq(b));
+            assert_eq!(striped_align(&ea, &eb, &p), smith_waterman(&ea, &eb, &p), "case {a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn matches_scalar_on_random_pairs() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut p = AlignParams::default();
+        for round in 0..60 {
+            // Vary gap costs to exercise tie-break and band behaviour.
+            p.gap_open = [11, 5, 0][round % 3];
+            p.gap_extend = [1, 2, 1][round % 3];
+            let m = rng.random_range(1..90);
+            let n = rng.random_range(1..90);
+            let a: Vec<u8> = (0..m).map(|_| rng.random_range(0..24u8)).collect();
+            let b: Vec<u8> = (0..n).map(|_| rng.random_range(0..24u8)).collect();
+            assert_eq!(striped_align(&a, &b, &p), smith_waterman(&a, &b, &p), "a={a:?} b={b:?}");
+        }
+    }
+
+    #[test]
+    fn score_only_matches_full() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(13);
+        let p = AlignParams::default();
+        for _ in 0..30 {
+            let m = rng.random_range(1..70);
+            let n = rng.random_range(1..70);
+            let a: Vec<u8> = (0..m).map(|_| rng.random_range(0..20u8)).collect();
+            let b: Vec<u8> = (0..n).map(|_| rng.random_range(0..20u8)).collect();
+            let st = smith_waterman(&a, &b, &p);
+            let (score, end) = striped_score(&a, &b, &p);
+            assert_eq!(score, st.score);
+            if st.score > 0 {
+                assert_eq!(end, (st.r_span.1, st.c_span.1));
+            }
+        }
+    }
+
+    #[test]
+    fn i16_overflow_falls_back_to_i32() {
+        // 3500 tryptophans self-aligned score 3500·11 = 38500 > i16::MAX,
+        // forcing the wide-lane rerun.
+        let s = vec![seqstore::encode_seq(b"W")[0]; 3500];
+        let p = AlignParams::default();
+        let (score, _) = striped_score(&s, &s, &p);
+        assert_eq!(score, 38500);
+        let st = striped_align(&s, &s, &p);
+        assert_eq!(st.score, 38500);
+        assert_eq!(st.matches, 3500);
+        assert_eq!(st.r_span, (0, 3500));
+    }
+
+    #[test]
+    fn long_gap_widens_band() {
+        // An alignment whose path wanders > BAND_START off the end-cell
+        // diagonal: identical flanks around a 200-residue insertion.
+        let flank_a = b"MKVLAWHERTYCDEFGHIKLMNPQRSTVWYAADDEEFFGGHH".repeat(4);
+        let mut a = encode_seq(&flank_a);
+        let mut b = a.clone();
+        let insert = vec![encode_seq(b"G")[0]; 200];
+        b.splice(b.len() / 2..b.len() / 2, insert);
+        a.extend_from_slice(&encode_seq(&flank_a));
+        b.extend_from_slice(&encode_seq(&flank_a));
+        let p = AlignParams::default();
+        assert_eq!(striped_align(&a, &b, &p), smith_waterman(&a, &b, &p));
+    }
+}

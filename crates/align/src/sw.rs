@@ -1,19 +1,21 @@
 //! Affine-gap Smith–Waterman local alignment with full traceback
 //! (Smith & Waterman 1981; the SW mode of PASTIS, paper §IV-E).
 
+use crate::scratch::{with_scratch, AlignScratch};
 use crate::stats::AlignStats;
 use crate::AlignParams;
 
-// Direction byte layout for traceback.
-const H_SRC_MASK: u8 = 0b11; // 0 stop, 1 diag, 2 E (gap in r), 3 F (gap in c)
-const H_STOP: u8 = 0;
-const H_DIAG: u8 = 1;
-const H_FROM_E: u8 = 2;
-const H_FROM_F: u8 = 3;
-const E_EXTEND: u8 = 1 << 2; // E came from E (else from H)
-const F_EXTEND: u8 = 1 << 3; // F came from F (else from H)
+// Direction byte layout for traceback (shared with the striped engine's
+// banded traceback pass, which must produce identical bytes).
+pub(crate) const H_SRC_MASK: u8 = 0b11; // 0 stop, 1 diag, 2 E (gap in r), 3 F (gap in c)
+pub(crate) const H_STOP: u8 = 0;
+pub(crate) const H_DIAG: u8 = 1;
+pub(crate) const H_FROM_E: u8 = 2;
+pub(crate) const H_FROM_F: u8 = 3;
+pub(crate) const E_EXTEND: u8 = 1 << 2; // E came from E (else from H)
+pub(crate) const F_EXTEND: u8 = 1 << 3; // F came from F (else from H)
 
-const NEG_INF: i32 = i32::MIN / 4;
+pub(crate) const NEG_INF: i32 = i32::MIN / 4;
 
 /// Local alignment of `r` against `c` (base-index sequences).
 ///
@@ -21,20 +23,39 @@ const NEG_INF: i32 = i32::MIN / 4;
 /// spans) is returned when nothing scores positive. Gap of length L costs
 /// `gap_open + L·gap_extend`.
 pub fn smith_waterman(r: &[u8], c: &[u8], params: &AlignParams) -> AlignStats {
+    with_scratch(|s| smith_waterman_with(r, c, params, s))
+}
+
+/// [`smith_waterman`] with an explicit scratch arena (no per-call heap
+/// allocation once the arena is warm).
+pub fn smith_waterman_with(
+    r: &[u8],
+    c: &[u8],
+    params: &AlignParams,
+    scratch: &mut AlignScratch,
+) -> AlignStats {
     let (m, n) = (r.len(), c.len());
     let mut stats = AlignStats { r_len: m as u32, c_len: n as u32, ..Default::default() };
     if m == 0 || n == 0 {
         return stats;
     }
-    // Work accounting: full m×n DP at ~2 ns per scalar cell.
-    pcomm::work::record((m * n) as u64, 2);
+    // Work accounting: full m×n DP.
+    pcomm::work::record((m * n) as u64, pcomm::work::SW_CELL_NS);
     let open = params.gap_open + params.gap_extend;
     let ext = params.gap_extend;
 
-    let mut h_prev = vec![0i32; n + 1];
-    let mut h_curr = vec![0i32; n + 1];
-    let mut f_row = vec![NEG_INF; n + 1];
-    let mut dirs = vec![0u8; m * n];
+    scratch.h_prev.clear();
+    scratch.h_prev.resize(n + 1, 0);
+    scratch.h_curr.clear();
+    scratch.h_curr.resize(n + 1, 0);
+    scratch.f_row.clear();
+    scratch.f_row.resize(n + 1, NEG_INF);
+    scratch.dirs.clear();
+    scratch.dirs.resize(m * n, 0);
+    let h_prev = &mut scratch.h_prev;
+    let h_curr = &mut scratch.h_curr;
+    let f_row = &mut scratch.f_row;
+    let dirs = &mut scratch.dirs;
 
     let mut best = 0i32;
     let mut best_cell = (0usize, 0usize); // (i, j), 1-based ends
@@ -87,7 +108,7 @@ pub fn smith_waterman(r: &[u8], c: &[u8], params: &AlignParams) -> AlignStats {
                 best_cell = (i, j);
             }
         }
-        std::mem::swap(&mut h_prev, &mut h_curr);
+        std::mem::swap(h_prev, h_curr);
     }
 
     if best == 0 {

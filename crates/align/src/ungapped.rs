@@ -57,8 +57,8 @@ pub fn ungapped_xdrop(r: &[u8], c: &[u8], r_pos: u32, c_pos: u32, k: usize, para
         best = best_left;
     }
 
-    // Work accounting: one add/compare per diagonal step, ~2 ns.
-    pcomm::work::record((left + k + right) as u64, 2);
+    // Work accounting: one add/compare per diagonal step.
+    pcomm::work::record((left + k + right) as u64, pcomm::work::UNGAPPED_STEP_NS);
 
     let r0 = (r_pos - left) as u32;
     let c0 = (c_pos - left) as u32;

@@ -7,6 +7,7 @@
 //! cells outside are abandoned, which is what makes XD substantially
 //! cheaper than full Smith–Waterman on unrelated pairs.
 
+use crate::scratch::{with_scratch, AlignScratch, XdropScratch};
 use crate::stats::AlignStats;
 use crate::AlignParams;
 
@@ -31,7 +32,9 @@ struct Extension {
     align_len: u32,
 }
 
-/// One row of the banded DP: scores and traceback for `[lo, lo+len)`.
+/// One row of the banded DP: scores for `[lo, lo+len)`. The backing
+/// buffers are borrowed from the scratch arena and returned when the
+/// extension finishes.
 struct Row {
     lo: usize,
     h: Vec<i32>,
@@ -59,8 +62,9 @@ impl Row {
 }
 
 /// Extend an alignment from `(0, 0)` over prefixes of `a` and `b`,
-/// abandoning cells scoring below `best − xdrop`.
-fn extend_gapped(a: &[u8], b: &[u8], params: &AlignParams) -> Extension {
+/// abandoning cells scoring below `best − xdrop`. All DP rows and
+/// traceback bytes live in the scratch arena.
+fn extend_gapped(a: &[u8], b: &[u8], params: &AlignParams, xd: &mut XdropScratch) -> Extension {
     let open = params.gap_open + params.gap_extend;
     let ext = params.gap_extend;
     let x = params.xdrop;
@@ -70,31 +74,39 @@ fn extend_gapped(a: &[u8], b: &[u8], params: &AlignParams) -> Extension {
     let mut best_pos = (0usize, 0usize);
     let mut cells: u64 = 0; // work accounting: DP cells actually computed
 
-    // dirs[i] = (lo, bytes) for row i's live window.
-    let mut dirs: Vec<(usize, Vec<u8>)> = Vec::with_capacity(m + 1);
+    // Per-row traceback bytes are concatenated into dir_flat;
+    // dir_rows[i] = (lo, start, len) locates row i's live window.
+    xd.dir_flat.clear();
+    xd.dir_rows.clear();
+
+    // Take the four row buffers out of the arena; every exit path below
+    // returns them, so the arena keeps its capacity across calls.
+    let mut row_h = std::mem::take(&mut xd.row_h);
+    let mut row_f = std::mem::take(&mut xd.row_f);
+    let mut spare_h = std::mem::take(&mut xd.spare_h);
+    let mut spare_f = std::mem::take(&mut xd.spare_f);
 
     // Row 0: leading gap in `a`.
-    let mut row = Row { lo: 0, h: vec![0], f: vec![NEG_INF] };
-    let mut dir0 = vec![0u8];
+    row_h.clear();
+    row_f.clear();
+    row_h.push(0);
+    row_f.push(NEG_INF);
+    xd.dir_flat.push(0u8);
     for j in 1..=n {
         let h = -open - (j as i32 - 1) * ext;
         if h < best - x {
             break;
         }
-        row.h.push(h);
-        row.f.push(NEG_INF);
-        dir0.push(H_FROM_E | if j > 1 { E_EXTEND } else { 0 });
+        row_h.push(h);
+        row_f.push(NEG_INF);
+        xd.dir_flat.push(H_FROM_E | if j > 1 { E_EXTEND } else { 0 });
         if h > best {
             best = h;
             best_pos = (0, j);
         }
     }
-    dirs.push((0, dir0));
-
-    // Recycled row buffers: the retired row's storage becomes the next
-    // row's, so the hot loop allocates only the per-row traceback bytes.
-    let mut spare_h: Vec<i32> = Vec::new();
-    let mut spare_f: Vec<i32> = Vec::new();
+    xd.dir_rows.push((0, 0, xd.dir_flat.len()));
+    let mut row = Row { lo: 0, h: row_h, f: row_f };
 
     for i in 1..=m {
         let prev = row;
@@ -102,13 +114,13 @@ fn extend_gapped(a: &[u8], b: &[u8], params: &AlignParams) -> Extension {
         // and extend right indefinitely through E runs.
         let start = prev.lo;
         let mut lo = usize::MAX;
-        let mut h_new: Vec<i32> = std::mem::take(&mut spare_h);
+        let mut h_new = spare_h;
         h_new.clear();
         h_new.reserve(prev.h.len() + 2);
-        let mut f_new: Vec<i32> = std::mem::take(&mut spare_f);
+        let mut f_new = spare_f;
         f_new.clear();
         f_new.reserve(prev.h.len() + 2);
-        let mut dir_new: Vec<u8> = Vec::with_capacity(prev.h.len() + 2);
+        let dir_start = xd.dir_flat.len();
         let mut e = NEG_INF;
         let prev_hi = prev.lo + prev.h.len(); // exclusive
         let mut j = start;
@@ -170,7 +182,7 @@ fn extend_gapped(a: &[u8], b: &[u8], params: &AlignParams) -> Extension {
                 }
                 h_new.push(h);
                 f_new.push(f);
-                dir_new.push(dir | src);
+                xd.dir_flat.push(dir | src);
                 if h > best {
                     best = h;
                     best_pos = (i, j);
@@ -184,7 +196,7 @@ fn extend_gapped(a: &[u8], b: &[u8], params: &AlignParams) -> Extension {
                 }
                 h_new.push(NEG_INF);
                 f_new.push(NEG_INF);
-                dir_new.push(0);
+                xd.dir_flat.push(0);
             } else if j >= prev_hi {
                 // Never opened and nothing can open it any more.
                 break;
@@ -192,27 +204,32 @@ fn extend_gapped(a: &[u8], b: &[u8], params: &AlignParams) -> Extension {
             j += 1;
         }
         if lo == usize::MAX {
-            break; // row fully dead — extension terminated
+            // Row fully dead — extension terminated. No traceback bytes
+            // were pushed for this row.
+            spare_h = h_new;
+            spare_f = f_new;
+            row = prev;
+            break;
         }
         // Trim trailing dead cells.
         while h_new.last() == Some(&NEG_INF) {
             h_new.pop();
             f_new.pop();
-            dir_new.pop();
+            xd.dir_flat.pop();
         }
         // Retire the previous row's buffers for reuse.
         spare_h = prev.h;
         spare_f = prev.f;
         row = Row { lo, h: h_new, f: f_new };
-        dirs.push((lo, dir_new));
+        xd.dir_rows.push((lo, dir_start, xd.dir_flat.len() - dir_start));
         if row.h.is_empty() {
             break;
         }
     }
 
     // The x-drop band is what makes XD cheap: charge only computed cells
-    // (~3 ns each — the banded bookkeeping costs a little over plain SW).
-    pcomm::work::record(cells + n as u64 + 1, 3);
+    // (the banded bookkeeping costs a little over plain SW).
+    pcomm::work::record(cells + n as u64 + 1, pcomm::work::XDROP_CELL_NS);
 
     // Traceback from best_pos.
     let (mut i, mut j) = best_pos;
@@ -225,9 +242,9 @@ fn extend_gapped(a: &[u8], b: &[u8], params: &AlignParams) -> Extension {
     }
     let mut state = State::H;
     while i > 0 || j > 0 {
-        let (lo, row_dirs) = &dirs[i];
-        debug_assert!(j >= *lo && j - lo < row_dirs.len(), "traceback left the live band");
-        let dir = row_dirs[j - lo];
+        let (lo, dir_start, len) = xd.dir_rows[i];
+        debug_assert!(j >= lo && j - lo < len, "traceback left the live band");
+        let dir = xd.dir_flat[dir_start + (j - lo)];
         match state {
             State::H => match dir & H_SRC_MASK {
                 H_DIAG => {
@@ -258,6 +275,12 @@ fn extend_gapped(a: &[u8], b: &[u8], params: &AlignParams) -> Extension {
             }
         }
     }
+
+    // Return the row buffers to the arena.
+    xd.row_h = row.h;
+    xd.row_f = row.f;
+    xd.spare_h = spare_h;
+    xd.spare_f = spare_f;
     Extension { score: best, a_end: best_pos.0, b_end: best_pos.1, matches, align_len }
 }
 
@@ -265,6 +288,20 @@ fn extend_gapped(a: &[u8], b: &[u8], params: &AlignParams) -> Extension {
 /// `r_pos`/`c_pos` (paper §IV-E): the seed region is scored exactly and the
 /// alignment is extended with gapped x-drop in both directions.
 pub fn xdrop_align(r: &[u8], c: &[u8], r_pos: u32, c_pos: u32, k: usize, params: &AlignParams) -> AlignStats {
+    with_scratch(|s| xdrop_align_with(r, c, r_pos, c_pos, k, params, s))
+}
+
+/// [`xdrop_align`] with an explicit scratch arena (no per-call heap
+/// allocation once the arena is warm).
+pub fn xdrop_align_with(
+    r: &[u8],
+    c: &[u8],
+    r_pos: u32,
+    c_pos: u32,
+    k: usize,
+    params: &AlignParams,
+    scratch: &mut AlignScratch,
+) -> AlignStats {
     let (r_pos, c_pos) = (r_pos as usize, c_pos as usize);
     assert!(r_pos + k <= r.len() && c_pos + k <= c.len(), "seed outside sequence");
     // Seed score: the anchor k-mers may differ under substitute k-mer
@@ -278,11 +315,13 @@ pub fn xdrop_align(r: &[u8], c: &[u8], r_pos: u32, c_pos: u32, k: usize, params:
         }
     }
     // Right extension over the suffixes past the seed.
-    let right = extend_gapped(&r[r_pos + k..], &c[c_pos + k..], params);
+    let right = extend_gapped(&r[r_pos + k..], &c[c_pos + k..], params, &mut scratch.xd);
     // Left extension over the reversed prefixes before the seed.
-    let rev_r: Vec<u8> = r[..r_pos].iter().rev().copied().collect();
-    let rev_c: Vec<u8> = c[..c_pos].iter().rev().copied().collect();
-    let left = extend_gapped(&rev_r, &rev_c, params);
+    scratch.rev_a.clear();
+    scratch.rev_a.extend(r[..r_pos].iter().rev());
+    scratch.rev_b.clear();
+    scratch.rev_b.extend(c[..c_pos].iter().rev());
+    let left = extend_gapped(&scratch.rev_a, &scratch.rev_b, params, &mut scratch.xd);
 
     AlignStats {
         score: seed_score + left.score + right.score,
@@ -403,5 +442,25 @@ mod tests {
         // A generous x-drop crosses the mismatch and recovers the last W.
         let st49 = xdrop_align(&a, &b, 0, 0, 4, &AlignParams::default());
         assert_eq!(st49.matches, 5);
+    }
+
+    #[test]
+    fn explicit_scratch_reuse_matches_fresh() {
+        // The same arena driven through many differently-shaped extensions
+        // must give the same answers as fresh state each time.
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(40);
+        let mut scratch = crate::AlignScratch::new();
+        for _ in 0..25 {
+            let m = rng.random_range(8..60);
+            let n = rng.random_range(8..60);
+            let a: Vec<u8> = (0..m).map(|_| rng.random_range(0..24u8)).collect();
+            let b: Vec<u8> = (0..n).map(|_| rng.random_range(0..24u8)).collect();
+            let rp = rng.random_range(0..m - 6) as u32;
+            let cp = rng.random_range(0..n - 6) as u32;
+            let reused = xdrop_align_with(&a, &b, rp, cp, 6, &params(), &mut scratch);
+            let fresh = xdrop_align_with(&a, &b, rp, cp, 6, &params(), &mut crate::AlignScratch::new());
+            assert_eq!(reused, fresh);
+        }
     }
 }

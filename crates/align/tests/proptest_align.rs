@@ -1,7 +1,10 @@
 //! Property-based tests of the alignment kernels: score bounds, symmetry,
-//! statistics consistency, and the SW ≥ XD dominance relation.
+//! statistics consistency, the SW ≥ XD dominance relation, and
+//! striped-engine ↔ scalar-engine bit-identity.
 
-use align::{smith_waterman, ungapped_xdrop, xdrop_align, AlignParams};
+use align::{
+    smith_waterman, striped_align, striped_score, ungapped_xdrop, xdrop_align, AlignParams,
+};
 use proptest::prelude::*;
 
 fn seq_strategy(max: usize) -> impl Strategy<Value = Vec<u8>> {
@@ -79,6 +82,50 @@ proptest! {
         // Gapped extension explores a superset of the ungapped diagonal.
         prop_assert!(xd.score >= ug.score, "xd {} < ungapped {}", xd.score, ug.score);
         prop_assert_eq!(ug.r_span.1 - ug.r_span.0, ug.c_span.1 - ug.c_span.0);
+    }
+
+    #[test]
+    fn striped_score_equals_scalar(
+        a in proptest::collection::vec(0u8..24, 1..120),
+        b in proptest::collection::vec(0u8..24, 1..120),
+    ) {
+        let p = AlignParams::default();
+        let sw = smith_waterman(&a, &b, &p);
+        let (score, end) = striped_score(&a, &b, &p);
+        prop_assert_eq!(score, sw.score);
+        if sw.score > 0 {
+            // Same argmax cell, not just the same score.
+            prop_assert_eq!(end, (sw.r_span.1, sw.c_span.1));
+        }
+    }
+
+    #[test]
+    fn striped_stats_bit_identical_to_scalar(
+        a in proptest::collection::vec(0u8..24, 1..120),
+        b in proptest::collection::vec(0u8..24, 1..120),
+        open in 0i32..14,
+        ext in 1i32..4,
+    ) {
+        // Full AlignStats equality (score, matches, align_len, spans) across
+        // varied gap penalties, which shift tie-breaks and band shapes.
+        let p = AlignParams { gap_open: open, gap_extend: ext, ..Default::default() };
+        prop_assert_eq!(striped_align(&a, &b, &p), smith_waterman(&a, &b, &p));
+    }
+
+    #[test]
+    fn striped_matches_scalar_on_homologous_pairs(
+        a in proptest::collection::vec(0u8..20, 40..160),
+        flips in proptest::collection::vec((0usize..160, 0u8..20), 0..12),
+    ) {
+        // High-identity pairs exercise long diagonal runs and the
+        // tie-relocation path more than uniform noise does.
+        let mut b = a.clone();
+        for &(pos, res) in &flips {
+            let at = pos % b.len();
+            b[at] = res;
+        }
+        let p = AlignParams::default();
+        prop_assert_eq!(striped_align(&a, &b, &p), smith_waterman(&a, &b, &p));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use align::{smith_waterman, ungapped_xdrop, xdrop_align, AlignParams, BLOSUM62};
+use align::{smith_waterman, striped_align, striped_score, ungapped_xdrop, xdrop_align, AlignParams, BLOSUM62};
 use baselines::SuffixArray;
 use datagen::random_protein;
 use rand::prelude::*;
@@ -33,6 +33,12 @@ fn bench_alignment(c: &mut Criterion) {
         let (a, b) = homologous_pair(len, 0.1, len as u64);
         g.bench_with_input(BenchmarkId::new("smith_waterman", len), &len, |bench, _| {
             bench.iter(|| black_box(smith_waterman(&a, &b, &p)));
+        });
+        g.bench_with_input(BenchmarkId::new("striped_align", len), &len, |bench, _| {
+            bench.iter(|| black_box(striped_align(&a, &b, &p)));
+        });
+        g.bench_with_input(BenchmarkId::new("striped_score", len), &len, |bench, _| {
+            bench.iter(|| black_box(striped_score(&a, &b, &p)));
         });
         // Seed at the first exact 6-mer match (position 0..len-6 scan).
         let seed = (0..len - 6).find(|&i| a[i..i + 6] == b[i..i + 6]).unwrap_or(0) as u32;

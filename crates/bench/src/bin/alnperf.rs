@@ -1,0 +1,180 @@
+//! alnperf — alignment-engine throughput (DP cells per second), scalar vs
+//! striped, on datagen sequence families.
+//!
+//! Every pair is aligned by both engines and the results are checked for
+//! bit-identity before timing, so the reported speedups compare equal
+//! work. Three entry points are timed per family:
+//!
+//! - `scalar`: [`align::smith_waterman`] (full traceback, O(m·n) dirs)
+//! - `striped`: [`align::striped_align`] (full traceback, bit-identical)
+//! - `striped_score`: [`align::striped_score`] (score + end cell only —
+//!   what score-threshold prefilters would use)
+//!
+//! Writes `BENCH_align.json` to the working directory (override with
+//! `OUT=<path>`); `SCALE=<f64>` multiplies pair counts.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use align::{smith_waterman, striped_align, striped_score, AlignParams};
+use datagen::random_protein;
+use rand::prelude::*;
+
+struct Family {
+    name: &'static str,
+    pairs: Vec<(Vec<u8>, Vec<u8>)>,
+}
+
+/// Pair of `len`-residue sequences at `rate` point-mutation distance
+/// (`rate >= 1.0` means unrelated).
+fn pair(rng: &mut StdRng, len: usize, rate: f64) -> (Vec<u8>, Vec<u8>) {
+    let a = random_protein(rng, len);
+    let b = if rate >= 1.0 {
+        random_protein(rng, len)
+    } else {
+        a.iter()
+            .map(|&x| if rng.random::<f64>() < rate { rng.random_range(0..20u8) } else { x })
+            .collect()
+    };
+    (a, b)
+}
+
+fn families(scale: f64) -> Vec<Family> {
+    let n = |base: usize| ((base as f64 * scale).round() as usize).max(2);
+    let mut rng = StdRng::seed_from_u64(2020);
+    let mut out = Vec::new();
+    for (name, len, rate, base) in [
+        ("homolog_150", 150usize, 0.12, 200usize),
+        ("homolog_400", 400, 0.12, 60),
+        ("distant_300", 300, 0.45, 80),
+        ("unrelated_300", 300, 1.0, 80),
+        ("mixed_metaclust", 0, 0.0, 0), // filled below
+    ] {
+        if name == "mixed_metaclust" {
+            // Length and relatedness mix akin to the metaclust-like
+            // datasets (lengths 100–300, 30% related).
+            let pairs = (0..n(150))
+                .map(|_| {
+                    let len = rng.random_range(100..300);
+                    let rate = if rng.random::<f64>() < 0.3 { 0.12 } else { 1.0 };
+                    pair(&mut rng, len, rate)
+                })
+                .collect();
+            out.push(Family { name, pairs });
+        } else {
+            let pairs = (0..n(base)).map(|_| pair(&mut rng, len, rate)).collect();
+            out.push(Family { name, pairs });
+        }
+    }
+    out
+}
+
+/// Best-of-`reps` wall-clock seconds for `f` over the whole batch.
+fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct Row {
+    name: &'static str,
+    pairs: usize,
+    cells: u64,
+    scalar_cups: f64,
+    striped_cups: f64,
+    striped_score_cups: f64,
+}
+
+fn main() {
+    let scale: f64 = std::env::var("SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let out_path = std::env::var("OUT").unwrap_or_else(|_| "BENCH_align.json".into());
+    let p = AlignParams::default();
+    let reps = 3;
+
+    let mut rows = Vec::new();
+    println!("== alignment engine throughput (cells/sec) ==");
+    println!(
+        "{:<18}{:>7}{:>14}{:>14}{:>14}{:>16}{:>9}",
+        "family", "pairs", "cells", "scalar", "striped", "striped_score", "speedup"
+    );
+    for fam in families(scale) {
+        let cells: u64 = fam.pairs.iter().map(|(a, b)| (a.len() * b.len()) as u64).sum();
+        // Correctness gate: both engines must agree on every pair.
+        for (a, b) in &fam.pairs {
+            let sw = smith_waterman(a, b, &p);
+            assert_eq!(striped_align(a, b, &p), sw, "engines disagree in {}", fam.name);
+            assert_eq!(striped_score(a, b, &p).0, sw.score);
+        }
+        let t_scalar = time_best(reps, || {
+            fam.pairs.iter().map(|(a, b)| smith_waterman(a, b, &p).score as i64).sum::<i64>()
+        });
+        let t_striped = time_best(reps, || {
+            fam.pairs.iter().map(|(a, b)| striped_align(a, b, &p).score as i64).sum::<i64>()
+        });
+        let t_score = time_best(reps, || {
+            fam.pairs.iter().map(|(a, b)| striped_score(a, b, &p).0 as i64).sum::<i64>()
+        });
+        let row = Row {
+            name: fam.name,
+            pairs: fam.pairs.len(),
+            cells,
+            scalar_cups: cells as f64 / t_scalar,
+            striped_cups: cells as f64 / t_striped,
+            striped_score_cups: cells as f64 / t_score,
+        };
+        println!(
+            "{:<18}{:>7}{:>14}{:>14.3e}{:>14.3e}{:>16.3e}{:>8.2}x",
+            row.name,
+            row.pairs,
+            row.cells,
+            row.scalar_cups,
+            row.striped_cups,
+            row.striped_score_cups,
+            row.striped_cups / row.scalar_cups
+        );
+        rows.push(row);
+    }
+
+    // Aggregate over all families: total cells / total best time per engine.
+    let total_cells: u64 = rows.iter().map(|r| r.cells).sum();
+    let agg = |f: fn(&Row) -> f64| {
+        let total_secs: f64 = rows.iter().map(|r| r.cells as f64 / f(r)).sum();
+        total_cells as f64 / total_secs
+    };
+    let (scalar, striped, score) =
+        (agg(|r| r.scalar_cups), agg(|r| r.striped_cups), agg(|r| r.striped_score_cups));
+    println!(
+        "\naggregate: scalar {scalar:.3e}  striped {striped:.3e} ({:.2}x)  striped_score {score:.3e} ({:.2}x)",
+        striped / scalar,
+        score / scalar
+    );
+
+    let mut json = String::from("{\n  \"bench\": \"align_engines\",\n  \"unit\": \"dp_cells_per_sec\",\n  \"families\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"pairs\": {}, \"cells\": {}, \"scalar\": {:.1}, \"striped\": {:.1}, \"striped_score\": {:.1}, \"speedup_striped\": {:.3}, \"speedup_striped_score\": {:.3}}}{}",
+            r.name,
+            r.pairs,
+            r.cells,
+            r.scalar_cups,
+            r.striped_cups,
+            r.striped_score_cups,
+            r.striped_cups / r.scalar_cups,
+            r.striped_score_cups / r.scalar_cups,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    let _ = write!(
+        json,
+        "  ],\n  \"aggregate\": {{\"scalar\": {scalar:.1}, \"striped\": {striped:.1}, \"striped_score\": {score:.1}, \"speedup_striped\": {:.3}, \"speedup_striped_score\": {:.3}}}\n}}\n",
+        striped / scalar,
+        score / scalar
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_align.json");
+    println!("wrote {out_path}");
+}

@@ -6,7 +6,7 @@
 use std::rc::Rc;
 use std::time::Instant;
 
-use align::{align_batch, smith_waterman, xdrop_align, AlignStats, SimilarityMeasure};
+use align::{align_batch, local_align, xdrop_align, AlignStats, SimilarityMeasure};
 use pcomm::{Comm, CommStats, Grid};
 use seqstore::DistSeqStore;
 use sparse::DistMat;
@@ -353,18 +353,40 @@ fn align_owned_pairs(
             AlignMode::SmithWaterman => {
                 let r = &store.row_seq(gi).expect("row sequence prefetched").data;
                 let c = &store.col_seq(gj).expect("col sequence prefetched").data;
-                Some(smith_waterman(r, c, &ap))
+                Some(local_align(r, c, &ap))
             }
             AlignMode::XDrop => {
                 let r = &store.row_seq(gi).expect("row sequence prefetched").data;
                 let c = &store.col_seq(gj).expect("col sequence prefetched").data;
-                // Extend from each stored seed; keep the best score
-                // (paper §IV-E).
-                pair.seeds()
-                    .iter()
-                    .filter(|&&(rp, cp)| rp as usize + k <= r.len() && cp as usize + k <= c.len())
-                    .map(|&(rp, cp)| xdrop_align(r, c, rp, cp, k, &ap))
-                    .max_by_key(|st| st.score)
+                // Extend from each stored seed, keeping the best score
+                // (paper §IV-E). Seeds on the same diagonal extend through
+                // the same band to the same optimum, so only the first
+                // seed per diagonal is extended.
+                let mut best: Option<AlignStats> = None;
+                let mut done_diags = [i64::MAX; 2];
+                let mut ndiags = 0;
+                for &(rp, cp) in pair.seeds() {
+                    if rp as usize + k > r.len() || cp as usize + k > c.len() {
+                        continue;
+                    }
+                    let diag = rp as i64 - cp as i64;
+                    if done_diags[..ndiags].contains(&diag) {
+                        continue;
+                    }
+                    done_diags[ndiags] = diag;
+                    ndiags += 1;
+                    let st = xdrop_align(r, c, rp, cp, k, &ap);
+                    // `>=` keeps the last maximum on ties, matching the
+                    // former max_by_key semantics.
+                    let better = match &best {
+                        None => true,
+                        Some(b) => st.score >= b.score,
+                    };
+                    if better {
+                        best = Some(st);
+                    }
+                }
+                best
             }
         }
     });

@@ -26,12 +26,12 @@ proptest! {
         b in seedpair_strategy(),
         c in seedpair_strategy(),
     ) {
-        let mut left = a.clone();
-        left.merge(b.clone());
-        left.merge(c.clone());
-        let mut bc = b.clone();
-        bc.merge(c.clone());
-        let mut right = a.clone();
+        let mut left = a;
+        left.merge(b);
+        left.merge(c);
+        let mut bc = b;
+        bc.merge(c);
+        let mut right = a;
         right.merge(bc);
         prop_assert_eq!(left, right);
     }

@@ -18,10 +18,28 @@ thread_local! {
     static WORK_NS: Cell<u64> = const { Cell::new(0) };
 }
 
+/// Per-cell cost of the scalar full-traceback Smith–Waterman DP.
+pub const SW_CELL_NS: u64 = 2;
+/// Per-cell cost of the lane-parallel (striped) Smith–Waterman score pass.
+pub const SW_STRIPED_CELL_NS: u64 = 1;
+/// Per-live-cell cost of the banded x-drop extension (extra bookkeeping
+/// over plain SW).
+pub const XDROP_CELL_NS: u64 = 3;
+/// Per-step cost of the ungapped diagonal extension.
+pub const UNGAPPED_STEP_NS: u64 = 2;
+
 /// Record `ops` operations at `ns_per_op` estimated nanoseconds each.
 #[inline]
 pub fn record(ops: u64, ns_per_op: u64) {
     WORK_NS.with(|w| w.set(w.get() + ops * ns_per_op));
+}
+
+/// Add already-estimated nanoseconds to this thread's counter. Batch
+/// drivers use this to fold the work their worker threads recorded back
+/// into the rank thread that owns the stage measurement.
+#[inline]
+pub fn add_ns(ns: u64) {
+    WORK_NS.with(|w| w.set(w.get() + ns));
 }
 
 /// Cumulative estimated nanoseconds of work on this thread.

@@ -60,8 +60,23 @@ impl<C> HashAccumulator<C> {
         }
     }
 
+    /// Ensure the table can take `additional` more distinct keys without
+    /// rehashing mid-stream. Callers that know a column's flop count use
+    /// this to pay for the table once up front instead of through a chain
+    /// of doubling rehashes.
+    pub fn reserve(&mut self, additional: usize) {
+        let need = ((self.len + additional).max(4) * 2).next_power_of_two();
+        if need > self.keys.len() {
+            self.resize_to(need);
+        }
+    }
+
     fn grow(&mut self) {
-        let new_cap = self.keys.len() * 2;
+        self.resize_to(self.keys.len() * 2);
+    }
+
+    fn resize_to(&mut self, new_cap: usize) {
+        debug_assert!(new_cap.is_power_of_two() && new_cap > self.keys.len());
         let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; new_cap]);
         let old_vals = std::mem::replace(&mut self.vals, (0..new_cap).map(|_| None).collect());
         self.mask = new_cap - 1;
@@ -135,6 +150,24 @@ mod tests {
         let total: u64 = out.iter().map(|&(_, v)| v).sum();
         assert_eq!(total, (0..1000u64).sum::<u64>());
         assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn reserve_prevents_mid_stream_growth() {
+        let mut acc = HashAccumulator::with_capacity(2);
+        acc.reserve(500);
+        let cap_after_reserve = acc.keys.len();
+        assert!(cap_after_reserve >= 1000);
+        for k in 0..500u32 {
+            acc.upsert(k, k as u64, |a, b| *a += b);
+        }
+        assert_eq!(acc.keys.len(), cap_after_reserve, "no rehash during inserts");
+        let mut out = Vec::new();
+        acc.drain_sorted(&mut out);
+        assert_eq!(out.len(), 500);
+        // reserve with room to spare is a no-op.
+        acc.reserve(10);
+        assert_eq!(acc.keys.len(), cap_after_reserve);
     }
 
     #[test]

@@ -37,7 +37,7 @@ impl Grid3D {
     /// Collective.
     pub fn new(comm: &Comm, layers: usize) -> Grid3D {
         let p = comm.size();
-        assert!(layers >= 1 && p % layers == 0, "size {p} not divisible into {layers} layers");
+        assert!(layers >= 1 && p.is_multiple_of(layers), "size {p} not divisible into {layers} layers");
         let per_layer = p / layers;
         let q = (per_layer as f64).sqrt().round() as usize;
         assert_eq!(q * q, per_layer, "layer size {per_layer} is not a perfect square");

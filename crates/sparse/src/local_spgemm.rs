@@ -66,6 +66,9 @@ pub fn local_spgemm<SR: Semiring>(
             SpGemmStrategy::Hybrid => lists.len() > 2 && flops > 16,
         };
         if use_hash {
+            // The column produces at most `flops` distinct rows; size the
+            // table for them up front so the accumulate loop never rehashes.
+            hash_acc.reserve(flops);
             for (arows, avals, bv) in &lists {
                 for (&r, av) in arows.iter().zip(avals.iter()) {
                     if let Some(c) = sr.multiply(av, bv) {

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus lint gate. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings
+echo "verify: OK"

@@ -1,0 +1,281 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the subset of proptest the workspace's property tests use: the
+//! [`proptest!`] macro, [`Strategy`] with `prop_map`/`prop_flat_map`, integer
+//! range strategies, tuple strategies, `collection::vec`, a minimal string
+//! strategy, and the `prop_assert*` macros. Cases are sampled from a
+//! deterministic RNG (seeded from the test name), so failures reproduce;
+//! there is **no shrinking** — a failing case panics with its inputs via the
+//! assertion message.
+
+use rand::prelude::*;
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Runner configuration: only the case count is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+pub mod strategy {
+    use super::*;
+    use std::ops::Range;
+
+    /// A recipe for generating values of `Value`.
+    pub trait Strategy {
+        type Value;
+
+        /// Sample one value (proptest's value-tree generation, without the
+        /// shrinking tree).
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+        fn generate(&self, rng: &mut StdRng) -> T::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            rng.random_range(self.clone())
+        }
+    }
+
+    /// String literals act as regex strategies in proptest. Supporting the
+    /// full regex language offline is out of scope: a literal of the form
+    /// `[class]{lo,hi}` yields strings over ASCII alphanumerics plus `_`
+    /// with a length drawn from `[lo, hi]` (the only shape the workspace
+    /// uses); anything else yields the literal itself.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut StdRng) -> String {
+            const CLASS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_";
+            let Some((lo, hi)) = parse_repeat_bounds(self) else {
+                return (*self).to_string();
+            };
+            let len = rng.random_range(lo..=hi);
+            (0..len).map(|_| *CLASS.choose(rng).unwrap() as char).collect()
+        }
+    }
+
+    fn parse_repeat_bounds(pat: &str) -> Option<(usize, usize)> {
+        let open = pat.rfind('{')?;
+        let close = pat.rfind('}')?;
+        let (lo, hi) = pat.get(open + 1..close)?.split_once(',')?;
+        Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::*;
+    use std::ops::Range;
+
+    /// `proptest::collection::vec`: a vector whose length is drawn from
+    /// `len` and whose elements come from `elem`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.random_range(self.len.clone());
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Deterministic per-test seed: FNV-1a of the test path, so each test gets
+/// an independent but reproducible stream.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// The test-suite macro: each `fn name(pat in strategy, ...) { body }` item
+/// becomes a `#[test]` running `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! __proptest_items {
+    ($cfg:expr;) => {};
+    ($cfg:expr; $(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let mut rng = <::rand::prelude::StdRng as ::rand::prelude::SeedableRng>::seed_from_u64(
+                $crate::seed_for(concat!(module_path!(), "::", stringify!($name))),
+            );
+            for _case in 0..cfg.cases {
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_items! { $cfg; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (u32, u32)> {
+        (0u32..10, 10u32..20)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples(v in crate::collection::vec(0u8..5, 1..10), (a, b) in pair()) {
+            prop_assert!(!v.is_empty() && v.len() < 10);
+            prop_assert!(v.iter().all(|&x| x < 5));
+            prop_assert!(a < 10 && (10..20).contains(&b));
+        }
+
+        #[test]
+        fn map_and_flat_map(x in (1usize..5).prop_flat_map(|n| crate::collection::vec(0u8..2, n..n + 1)).prop_map(|v| v.len())) {
+            prop_assert!((1..5).contains(&x));
+        }
+
+        #[test]
+        fn string_class(s in "[a-zA-Z0-9_]{1,12}") {
+            prop_assert!(!s.is_empty() && s.len() <= 12);
+            prop_assert!(s.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_'));
+        }
+    }
+
+    #[test]
+    fn deterministic_seed() {
+        assert_eq!(crate::seed_for("a::b"), crate::seed_for("a::b"));
+        assert_ne!(crate::seed_for("a::b"), crate::seed_for("a::c"));
+    }
+}
