@@ -13,6 +13,7 @@
 
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Per-task output slots shared across worker threads. Each index is drawn
 /// exactly once from the batch cursor, so every cell is written by exactly
@@ -38,10 +39,21 @@ where
     F: Fn(&T) -> R + Sync,
 {
     let threads = threads.max(1).min(tasks.len().max(1));
+    let _batch = obs::span!("align.batch", tasks = tasks.len());
+    obs::counter!("align.batch.tasks", tasks.len());
     if threads == 1 {
+        let _worker = obs::span!("align.worker");
         return tasks.iter().map(&f).collect();
     }
-    let cells: Vec<UnsafeCell<Option<R>>> = (0..tasks.len()).map(|_| UnsafeCell::new(None)).collect();
+    // Workers record onto their own thread-local recorders (sharing the
+    // caller's rank and epoch) so kernel metrics survive the scope; spans
+    // and metrics are folded back in worker order after the join, keeping
+    // the recorded structure independent of the steal schedule.
+    let tracing = obs::enabled();
+    let epoch = obs::epoch();
+    let rank = obs::rank().unwrap_or(0);
+    let cells: Vec<UnsafeCell<Option<R>>> =
+        (0..tasks.len()).map(|_| UnsafeCell::new(None)).collect();
     {
         let slots = Slots(&cells);
         let cursor = AtomicUsize::new(0);
@@ -52,7 +64,11 @@ where
                     let cursor = &cursor;
                     let f = &f;
                     scope.spawn(move || {
+                        let rec = tracing.then(|| obs::Recorder::install(rank));
+                        let start_ns = epoch.map(|e| e.elapsed().as_nanos() as u64).unwrap_or(0);
+                        let t0 = Instant::now();
                         let work_before = pcomm::work::counter();
+                        let mut done = 0u64;
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             if i >= tasks.len() {
@@ -62,22 +78,53 @@ where
                             // all workers (fetch_add), so this is the only
                             // write to cell i.
                             unsafe { *slots.0[i].get() = Some(f(&tasks[i])) };
+                            done += 1;
                         }
-                        pcomm::work::counter() - work_before
+                        let work_ns = pcomm::work::counter() - work_before;
+                        let dur_ns = t0.elapsed().as_nanos() as u64;
+                        let metrics = rec.map(|r| r.finish().metrics);
+                        (work_ns, done, start_ns, dur_ns, metrics)
                     })
                 })
                 .collect();
             // Work lands on the workers' thread-local counters, which die
             // with the scope; the sum is schedule-independent, so folding
             // it into the caller keeps accounting deterministic.
-            let worker_ns: u64 = handles
-                .into_iter()
-                .map(|h| h.join().expect("alignment worker panicked"))
-                .sum();
+            let mut worker_ns = 0u64;
+            // Tasks beyond an even static split are steals: work a thread
+            // picked up because another was busy with long alignments.
+            let fair = (tasks.len() as u64).div_ceil(threads as u64);
+            let mut steals = 0u64;
+            for (w, handle) in handles.into_iter().enumerate() {
+                let (work_ns, done, start_ns, dur_ns, metrics) =
+                    handle.join().expect("alignment worker panicked");
+                worker_ns += work_ns;
+                steals += done.saturating_sub(fair);
+                if tracing {
+                    obs::emit_span(
+                        "align.worker",
+                        (w + 1) as u16,
+                        start_ns,
+                        dur_ns,
+                        obs::CounterSet {
+                            work_ns,
+                            ..Default::default()
+                        },
+                        Some(("tasks", done as i64)),
+                    );
+                    if let Some(m) = &metrics {
+                        obs::absorb_metrics(m);
+                    }
+                }
+            }
+            obs::counter!("align.batch.steals", steals);
             pcomm::work::add_ns(worker_ns);
         });
     }
-    cells.into_iter().map(|c| c.into_inner().expect("all slots filled")).collect()
+    cells
+        .into_iter()
+        .map(|c| c.into_inner().expect("all slots filled"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -112,7 +159,9 @@ mod tests {
         // static chunking one thread would own nearly all heavy tasks,
         // and a scheduler bug that returns results in completion order
         // would scramble the output.
-        let tasks: Vec<u64> = (0..200).map(|i| if i % 17 == 0 { 50_000 } else { 10 }).collect();
+        let tasks: Vec<u64> = (0..200)
+            .map(|i| if i % 17 == 0 { 50_000 } else { 10 })
+            .collect();
         let want: Vec<u64> = tasks.iter().map(|&n| (0..n).sum()).collect();
         for threads in [2, 3, 5, 8] {
             let got = align_batch(&tasks, threads, |&n| (0..n).sum::<u64>());

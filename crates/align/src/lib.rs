@@ -74,11 +74,17 @@ impl Default for AlignParams {
 /// Full local alignment with the engine selected in `params`, using the
 /// calling thread's scratch arena.
 pub fn local_align(r: &[u8], c: &[u8], params: &AlignParams) -> AlignStats {
+    obs::hist!("align.dp_cells", r.len() * c.len());
     with_scratch(|s| local_align_with(r, c, params, s))
 }
 
 /// [`local_align`] with an explicit scratch arena.
-pub fn local_align_with(r: &[u8], c: &[u8], params: &AlignParams, scratch: &mut AlignScratch) -> AlignStats {
+pub fn local_align_with(
+    r: &[u8],
+    c: &[u8],
+    params: &AlignParams,
+    scratch: &mut AlignScratch,
+) -> AlignStats {
     match params.engine {
         AlignEngine::Scalar => smith_waterman_with(r, c, params, scratch),
         AlignEngine::Striped => striped_align_with(r, c, params, scratch),

@@ -89,7 +89,11 @@ mod tests {
 
     #[test]
     fn paper_fig6_examples() {
-        let (a, s, c) = (aa_index(b'A').unwrap(), aa_index(b'S').unwrap(), aa_index(b'C').unwrap());
+        let (a, s, c) = (
+            aa_index(b'A').unwrap(),
+            aa_index(b'S').unwrap(),
+            aa_index(b'C').unwrap(),
+        );
         // §IV-B: AAC exact match scores 4+4+9 = 17.
         assert_eq!(BLOSUM62.kmer_self_score(&encode_seq(b"AAC")), 17);
         // A→S is the cheapest substitution of A: SAC scores 1+4+9 = 14.

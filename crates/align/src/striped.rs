@@ -237,7 +237,12 @@ striped_kernel!(kernel_i32, i32, L32, NEG32);
 
 /// Striped best score and scalar-identical end cell (1-based inclusive),
 /// with automatic i16 → i32 overflow fallback.
-fn striped_end_with(r: &[u8], c: &[u8], params: &AlignParams, scratch: &mut AlignScratch) -> (i32, usize, usize) {
+fn striped_end_with(
+    r: &[u8],
+    c: &[u8],
+    params: &AlignParams,
+    scratch: &mut AlignScratch,
+) -> (i32, usize, usize) {
     let (m, n) = (r.len(), c.len());
     if m == 0 || n == 0 {
         return (0, 0, 0);
@@ -293,9 +298,18 @@ pub fn striped_align(r: &[u8], c: &[u8], params: &AlignParams) -> AlignStats {
 }
 
 /// [`striped_align`] with an explicit scratch arena.
-pub fn striped_align_with(r: &[u8], c: &[u8], params: &AlignParams, scratch: &mut AlignScratch) -> AlignStats {
+pub fn striped_align_with(
+    r: &[u8],
+    c: &[u8],
+    params: &AlignParams,
+    scratch: &mut AlignScratch,
+) -> AlignStats {
     let (m, n) = (r.len(), c.len());
-    let mut stats = AlignStats { r_len: m as u32, c_len: n as u32, ..Default::default() };
+    let mut stats = AlignStats {
+        r_len: m as u32,
+        c_len: n as u32,
+        ..Default::default()
+    };
     if m == 0 || n == 0 {
         return stats;
     }
@@ -419,7 +433,10 @@ fn banded_traceback(
         }
         std::mem::swap(h_prev, h_curr);
     }
-    debug_assert_eq!(h_prev[bj], stats.score, "banded rerun disagrees with striped best");
+    debug_assert_eq!(
+        h_prev[bj], stats.score,
+        "banded rerun disagrees with striped best"
+    );
 
     // Traceback, identical to the scalar engine's but over the band; any
     // access outside it aborts the attempt.
@@ -501,12 +518,19 @@ mod tests {
             (b"CCCCWWWWHHHHGGGG", b"TTTTWWWWHHHHVVVV"),
             (b"AAAAAAAA", b"WWWWWWWW"),
             (b"A", b"A"),
-            (b"MKVLAWHERTYACDEFGHIKLMNPQRSTVWY", b"MKVIAWHETYACDEFGHLKLMNPQRSTVWY"),
+            (
+                b"MKVLAWHERTYACDEFGHIKLMNPQRSTVWY",
+                b"MKVIAWHETYACDEFGHLKLMNPQRSTVWY",
+            ),
         ];
         let p = AlignParams::default();
         for (a, b) in cases {
             let (ea, eb) = (encode_seq(a), encode_seq(b));
-            assert_eq!(striped_align(&ea, &eb, &p), smith_waterman(&ea, &eb, &p), "case {a:?} vs {b:?}");
+            assert_eq!(
+                striped_align(&ea, &eb, &p),
+                smith_waterman(&ea, &eb, &p),
+                "case {a:?} vs {b:?}"
+            );
         }
     }
 
@@ -523,7 +547,11 @@ mod tests {
             let n = rng.random_range(1..90);
             let a: Vec<u8> = (0..m).map(|_| rng.random_range(0..24u8)).collect();
             let b: Vec<u8> = (0..n).map(|_| rng.random_range(0..24u8)).collect();
-            assert_eq!(striped_align(&a, &b, &p), smith_waterman(&a, &b, &p), "a={a:?} b={b:?}");
+            assert_eq!(
+                striped_align(&a, &b, &p),
+                smith_waterman(&a, &b, &p),
+                "a={a:?} b={b:?}"
+            );
         }
     }
 

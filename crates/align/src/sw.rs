@@ -35,7 +35,11 @@ pub fn smith_waterman_with(
     scratch: &mut AlignScratch,
 ) -> AlignStats {
     let (m, n) = (r.len(), c.len());
-    let mut stats = AlignStats { r_len: m as u32, c_len: n as u32, ..Default::default() };
+    let mut stats = AlignStats {
+        r_len: m as u32,
+        c_len: n as u32,
+        ..Default::default()
+    };
     if m == 0 || n == 0 {
         return stats;
     }

@@ -8,10 +8,22 @@ use crate::AlignParams;
 /// Extend a seed match at `r_pos`/`c_pos` of length `k` along its diagonal
 /// in both directions, stopping when the running score falls more than
 /// `params.xdrop` below the best seen. No gaps are considered.
-pub fn ungapped_xdrop(r: &[u8], c: &[u8], r_pos: u32, c_pos: u32, k: usize, params: &AlignParams) -> AlignStats {
+pub fn ungapped_xdrop(
+    r: &[u8],
+    c: &[u8],
+    r_pos: u32,
+    c_pos: u32,
+    k: usize,
+    params: &AlignParams,
+) -> AlignStats {
     let (r_pos, c_pos) = (r_pos as usize, c_pos as usize);
-    assert!(r_pos + k <= r.len() && c_pos + k <= c.len(), "seed outside sequence");
-    let seed_score: i32 = (0..k).map(|t| params.matrix.score(r[r_pos + t], c[c_pos + t])).sum();
+    assert!(
+        r_pos + k <= r.len() && c_pos + k <= c.len(),
+        "seed outside sequence"
+    );
+    let seed_score: i32 = (0..k)
+        .map(|t| params.matrix.score(r[r_pos + t], c[c_pos + t]))
+        .sum();
 
     // Right extension.
     let mut best = seed_score;

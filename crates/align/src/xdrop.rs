@@ -99,14 +99,19 @@ fn extend_gapped(a: &[u8], b: &[u8], params: &AlignParams, xd: &mut XdropScratch
         }
         row_h.push(h);
         row_f.push(NEG_INF);
-        xd.dir_flat.push(H_FROM_E | if j > 1 { E_EXTEND } else { 0 });
+        xd.dir_flat
+            .push(H_FROM_E | if j > 1 { E_EXTEND } else { 0 });
         if h > best {
             best = h;
             best_pos = (0, j);
         }
     }
     xd.dir_rows.push((0, 0, xd.dir_flat.len()));
-    let mut row = Row { lo: 0, h: row_h, f: row_f };
+    let mut row = Row {
+        lo: 0,
+        h: row_h,
+        f: row_f,
+    };
 
     for i in 1..=m {
         let prev = row;
@@ -220,8 +225,13 @@ fn extend_gapped(a: &[u8], b: &[u8], params: &AlignParams, xd: &mut XdropScratch
         // Retire the previous row's buffers for reuse.
         spare_h = prev.h;
         spare_f = prev.f;
-        row = Row { lo, h: h_new, f: f_new };
-        xd.dir_rows.push((lo, dir_start, xd.dir_flat.len() - dir_start));
+        row = Row {
+            lo,
+            h: h_new,
+            f: f_new,
+        };
+        xd.dir_rows
+            .push((lo, dir_start, xd.dir_flat.len() - dir_start));
         if row.h.is_empty() {
             break;
         }
@@ -230,6 +240,7 @@ fn extend_gapped(a: &[u8], b: &[u8], params: &AlignParams, xd: &mut XdropScratch
     // The x-drop band is what makes XD cheap: charge only computed cells
     // (the banded bookkeeping costs a little over plain SW).
     pcomm::work::record(cells + n as u64 + 1, pcomm::work::XDROP_CELL_NS);
+    obs::hist!("align.xdrop_cells", cells);
 
     // Traceback from best_pos.
     let (mut i, mut j) = best_pos;
@@ -281,13 +292,26 @@ fn extend_gapped(a: &[u8], b: &[u8], params: &AlignParams, xd: &mut XdropScratch
     xd.row_f = row.f;
     xd.spare_h = spare_h;
     xd.spare_f = spare_f;
-    Extension { score: best, a_end: best_pos.0, b_end: best_pos.1, matches, align_len }
+    Extension {
+        score: best,
+        a_end: best_pos.0,
+        b_end: best_pos.1,
+        matches,
+        align_len,
+    }
 }
 
 /// Seed-and-extend alignment of `r` and `c` anchored on a shared k-mer at
 /// `r_pos`/`c_pos` (paper §IV-E): the seed region is scored exactly and the
 /// alignment is extended with gapped x-drop in both directions.
-pub fn xdrop_align(r: &[u8], c: &[u8], r_pos: u32, c_pos: u32, k: usize, params: &AlignParams) -> AlignStats {
+pub fn xdrop_align(
+    r: &[u8],
+    c: &[u8],
+    r_pos: u32,
+    c_pos: u32,
+    k: usize,
+    params: &AlignParams,
+) -> AlignStats {
     with_scratch(|s| xdrop_align_with(r, c, r_pos, c_pos, k, params, s))
 }
 
@@ -303,7 +327,10 @@ pub fn xdrop_align_with(
     scratch: &mut AlignScratch,
 ) -> AlignStats {
     let (r_pos, c_pos) = (r_pos as usize, c_pos as usize);
-    assert!(r_pos + k <= r.len() && c_pos + k <= c.len(), "seed outside sequence");
+    assert!(
+        r_pos + k <= r.len() && c_pos + k <= c.len(),
+        "seed outside sequence"
+    );
     // Seed score: the anchor k-mers may differ under substitute k-mer
     // matching, so score the actual residues pairwise.
     let mut seed_score = 0i32;
@@ -327,8 +354,14 @@ pub fn xdrop_align_with(
         score: seed_score + left.score + right.score,
         matches: seed_matches + left.matches + right.matches,
         align_len: k as u32 + left.align_len + right.align_len,
-        r_span: ((r_pos - left.a_end) as u32, (r_pos + k + right.a_end) as u32),
-        c_span: ((c_pos - left.b_end) as u32, (c_pos + k + right.b_end) as u32),
+        r_span: (
+            (r_pos - left.a_end) as u32,
+            (r_pos + k + right.a_end) as u32,
+        ),
+        c_span: (
+            (c_pos - left.b_end) as u32,
+            (c_pos + k + right.b_end) as u32,
+        ),
         r_len: r.len() as u32,
         c_len: c.len() as u32,
     }
@@ -399,7 +432,13 @@ mod tests {
             // 10% point mutations.
             let b: Vec<u8> = a
                 .iter()
-                .map(|&x| if rng.random::<f64>() < 0.1 { rng.random_range(0..20u8) } else { x })
+                .map(|&x| {
+                    if rng.random::<f64>() < 0.1 {
+                        rng.random_range(0..20u8)
+                    } else {
+                        x
+                    }
+                })
                 .collect();
             // Find a shared 6-mer to seed from.
             let seed = (0..len - 6).find(|&i| a[i..i + 6] == b[i..i + 6]);
@@ -407,7 +446,12 @@ mod tests {
             let st = xdrop_align(&a, &b, seed as u32, seed as u32, 6, &params());
             let swr = smith_waterman(&a, &b, &params());
             assert!(st.score <= swr.score, "xdrop cannot beat SW");
-            assert!(st.score >= swr.score - 10, "xd={} sw={}", st.score, swr.score);
+            assert!(
+                st.score >= swr.score - 10,
+                "xd={} sw={}",
+                st.score,
+                swr.score
+            );
         }
     }
 
@@ -459,7 +503,15 @@ mod tests {
             let rp = rng.random_range(0..m - 6) as u32;
             let cp = rng.random_range(0..n - 6) as u32;
             let reused = xdrop_align_with(&a, &b, rp, cp, 6, &params(), &mut scratch);
-            let fresh = xdrop_align_with(&a, &b, rp, cp, 6, &params(), &mut crate::AlignScratch::new());
+            let fresh = xdrop_align_with(
+                &a,
+                &b,
+                rp,
+                cp,
+                6,
+                &params(),
+                &mut crate::AlignScratch::new(),
+            );
             assert_eq!(reused, fresh);
         }
     }

@@ -63,7 +63,10 @@ fn steady_state_batch_does_not_allocate_per_task() {
         // thread-spawn allocations).
         align_batch(tasks, 1, |(a, b)| {
             let st = local_align(a, b, &p);
-            let sc = AlignParams { engine: align::AlignEngine::Scalar, ..p };
+            let sc = AlignParams {
+                engine: align::AlignEngine::Scalar,
+                ..p
+            };
             let st2 = local_align(a, b, &sc);
             assert_eq!(st, st2);
             let xd = xdrop_align(a, b, 0, 0, 4, &p);

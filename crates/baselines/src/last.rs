@@ -50,7 +50,10 @@ impl Default for LastParams {
 /// All-vs-all LAST-like search; returns `(gid_low, gid_high, weight)`
 /// edges, each unordered pair once.
 pub fn last_like(records: &[FastaRecord], params: &LastParams) -> Vec<(u64, u64, f64)> {
-    let encoded: Vec<Vec<u8>> = records.iter().map(|r| seqstore::encode_seq(&r.residues)).collect();
+    let encoded: Vec<Vec<u8>> = records
+        .iter()
+        .map(|r| seqstore::encode_seq(&r.residues))
+        .collect();
     let refs: Vec<&[u8]> = encoded.iter().map(|v| v.as_slice()).collect();
     let sa = SuffixArray::build(&refs);
     let mut edges = Vec::new();
@@ -133,7 +136,11 @@ mod tests {
             .iter()
             .filter(|&&(a, b, _)| data.labels[a as usize] == data.labels[b as usize])
             .count();
-        assert!(intra * 3 >= edges.len() * 2, "intra {intra} of {}", edges.len());
+        assert!(
+            intra * 3 >= edges.len() * 2,
+            "intra {intra} of {}",
+            edges.len()
+        );
     }
 
     #[test]
@@ -159,8 +166,20 @@ mod tests {
     #[test]
     fn more_initial_matches_is_at_least_as_sensitive() {
         let data = family_data((0.05, 0.25));
-        let lo = last_like(&data.records, &LastParams { max_initial_matches: 5, ..Default::default() });
-        let hi = last_like(&data.records, &LastParams { max_initial_matches: 300, ..Default::default() });
+        let lo = last_like(
+            &data.records,
+            &LastParams {
+                max_initial_matches: 5,
+                ..Default::default()
+            },
+        );
+        let hi = last_like(
+            &data.records,
+            &LastParams {
+                max_initial_matches: 300,
+                ..Default::default()
+            },
+        );
         assert!(hi.len() >= lo.len(), "hi {} < lo {}", hi.len(), lo.len());
     }
 

@@ -75,7 +75,10 @@ pub struct MmseqsRun {
 /// All-vs-all search on one node: returns similarity edges
 /// `(gid_low, gid_high, weight)`, each pair once.
 pub fn mmseqs_like(records: &[FastaRecord], params: &MmseqsParams) -> Vec<(u64, u64, f64)> {
-    let encoded: Vec<Vec<u8>> = records.iter().map(|r| seqstore::encode_seq(&r.residues)).collect();
+    let encoded: Vec<Vec<u8>> = records
+        .iter()
+        .map(|r| seqstore::encode_seq(&r.residues))
+        .collect();
     let refs: Vec<&[u8]> = encoded.iter().map(|v| v.as_slice()).collect();
     let index = KmerIndex::build(&refs, params.k);
     let table = ExpenseTable::new(params.align.matrix);
@@ -96,7 +99,10 @@ pub fn mmseqs_like_distributed(
 ) -> MmseqsRun {
     use std::time::Instant;
     let t = Instant::now();
-    let encoded: Vec<Vec<u8>> = records.iter().map(|r| seqstore::encode_seq(&r.residues)).collect();
+    let encoded: Vec<Vec<u8>> = records
+        .iter()
+        .map(|r| seqstore::encode_seq(&r.residues))
+        .collect();
     let refs: Vec<&[u8]> = encoded.iter().map(|v| v.as_slice()).collect();
     let index = KmerIndex::build(&refs, params.k);
     let table = ExpenseTable::new(params.align.matrix);
@@ -126,7 +132,12 @@ pub fn mmseqs_like_distributed(
         std::hint::black_box(sink);
         postprocess_secs = t.elapsed().as_secs_f64();
     }
-    MmseqsRun { search_secs, postprocess_secs, alignments, edges }
+    MmseqsRun {
+        search_secs,
+        postprocess_secs,
+        alignments,
+        edges,
+    }
 }
 
 /// Prefilter + align one query against the index; returns #alignments.
@@ -254,7 +265,11 @@ mod tests {
             .iter()
             .filter(|&&(a, b, _)| data.labels[a as usize] == data.labels[b as usize])
             .count();
-        assert!(intra * 3 >= edges.len() * 2, "intra {intra} of {}", edges.len());
+        assert!(
+            intra * 3 >= edges.len() * 2,
+            "intra {intra} of {}",
+            edges.len()
+        );
     }
 
     #[test]
@@ -272,9 +287,26 @@ mod tests {
     #[test]
     fn higher_sensitivity_finds_superset_of_pairs() {
         let data = family_data();
-        let low = mmseqs_like(&data.records, &MmseqsParams { sensitivity: 1.0, ..Default::default() });
-        let high = mmseqs_like(&data.records, &MmseqsParams { sensitivity: 7.5, ..Default::default() });
-        assert!(high.len() >= low.len(), "high {} < low {}", high.len(), low.len());
+        let low = mmseqs_like(
+            &data.records,
+            &MmseqsParams {
+                sensitivity: 1.0,
+                ..Default::default()
+            },
+        );
+        let high = mmseqs_like(
+            &data.records,
+            &MmseqsParams {
+                sensitivity: 7.5,
+                ..Default::default()
+            },
+        );
+        assert!(
+            high.len() >= low.len(),
+            "high {} < low {}",
+            high.len(),
+            low.len()
+        );
     }
 
     #[test]
@@ -288,7 +320,9 @@ mod tests {
             e
         };
         for p in [1usize, 3, 4] {
-            let runs = World::run(p, |comm| mmseqs_like_distributed(&comm, &data.records, &params));
+            let runs = World::run(p, |comm| {
+                mmseqs_like_distributed(&comm, &data.records, &params)
+            });
             let mut got: Vec<(u64, u64, f64)> = runs.iter().flat_map(|r| r.edges.clone()).collect();
             got.sort_by(|a, b| a.partial_cmp(b).unwrap());
             assert_eq!(got, want, "p={p}");

@@ -34,7 +34,12 @@ impl SuffixArray {
             owner.push(u32::MAX);
         }
         let sa = build_sa(&text);
-        SuffixArray { text, sa, owner, starts }
+        SuffixArray {
+            text,
+            sa,
+            owner,
+            starts,
+        }
     }
 
     /// The suffix offsets in sorted order.
@@ -45,7 +50,10 @@ impl SuffixArray {
     /// Number of occurrences of `pattern` and the SA range containing them.
     pub fn range(&self, pattern: &[u8]) -> (usize, usize) {
         // Work accounting: two binary searches with pattern comparisons.
-        pcomm::work::record(pattern.len() as u64 * 2 * (1 + self.sa.len().max(1).ilog2() as u64), 2);
+        pcomm::work::record(
+            pattern.len() as u64 * 2 * (1 + self.sa.len().max(1).ilog2() as u64),
+            2,
+        );
         let lo = self.sa.partition_point(|&s| self.suffix(s) < pattern);
         let hi = self.sa[lo..].partition_point(|&s| self.suffix(s).starts_with(pattern)) + lo;
         (lo, hi)
@@ -86,7 +94,11 @@ fn build_sa(text: &[u8]) -> Vec<u32> {
     let mut len = 1usize;
     loop {
         let key = |i: u32| -> (u32, i64) {
-            let second = if (i as usize) + len < n { rank[i as usize + len] as i64 } else { -1 };
+            let second = if (i as usize) + len < n {
+                rank[i as usize + len] as i64
+            } else {
+                -1
+            };
             (rank[i as usize], second)
         };
         sa.sort_unstable_by_key(|&i| key(i));

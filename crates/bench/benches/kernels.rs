@@ -7,7 +7,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use align::{smith_waterman, striped_align, striped_score, ungapped_xdrop, xdrop_align, AlignParams, BLOSUM62};
+use align::{
+    smith_waterman, striped_align, striped_score, ungapped_xdrop, xdrop_align, AlignParams,
+    BLOSUM62,
+};
 use baselines::SuffixArray;
 use datagen::random_protein;
 use rand::prelude::*;
@@ -20,7 +23,13 @@ fn homologous_pair(len: usize, rate: f64, seed: u64) -> (Vec<u8>, Vec<u8>) {
     let a = random_protein(&mut rng, len);
     let b = a
         .iter()
-        .map(|&x| if rng.random::<f64>() < rate { rng.random_range(0..20u8) } else { x })
+        .map(|&x| {
+            if rng.random::<f64>() < rate {
+                rng.random_range(0..20u8)
+            } else {
+                x
+            }
+        })
         .collect();
     (a, b)
 }
@@ -41,7 +50,9 @@ fn bench_alignment(c: &mut Criterion) {
             bench.iter(|| black_box(striped_score(&a, &b, &p)));
         });
         // Seed at the first exact 6-mer match (position 0..len-6 scan).
-        let seed = (0..len - 6).find(|&i| a[i..i + 6] == b[i..i + 6]).unwrap_or(0) as u32;
+        let seed = (0..len - 6)
+            .find(|&i| a[i..i + 6] == b[i..i + 6])
+            .unwrap_or(0) as u32;
         g.bench_with_input(BenchmarkId::new("xdrop_homolog", len), &len, |bench, _| {
             bench.iter(|| black_box(xdrop_align(&a, &b, seed, seed, 6, &p)));
         });
@@ -51,9 +62,13 @@ fn bench_alignment(c: &mut Criterion) {
             let mut rng = StdRng::seed_from_u64(7 + len as u64);
             (random_protein(&mut rng, len), random_protein(&mut rng, len))
         };
-        g.bench_with_input(BenchmarkId::new("xdrop_unrelated", len), &len, |bench, _| {
-            bench.iter(|| black_box(xdrop_align(&u, &v, 0, 0, 6, &p)));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("xdrop_unrelated", len),
+            &len,
+            |bench, _| {
+                bench.iter(|| black_box(xdrop_align(&u, &v, 0, 0, 6, &p)));
+            },
+        );
         g.bench_with_input(BenchmarkId::new("ungapped", len), &len, |bench, _| {
             bench.iter(|| black_box(ungapped_xdrop(&a, &b, seed, seed, 6, &p)));
         });
@@ -64,7 +79,13 @@ fn bench_alignment(c: &mut Criterion) {
 fn random_dcsc(nrows: usize, ncols: u64, nnz: usize, seed: u64) -> Dcsc<f64> {
     let mut rng = StdRng::seed_from_u64(seed);
     let triples: Vec<(u32, u64, f64)> = (0..nnz)
-        .map(|_| (rng.random_range(0..nrows) as u32, rng.random_range(0..ncols), 1.0))
+        .map(|_| {
+            (
+                rng.random_range(0..nrows) as u32,
+                rng.random_range(0..ncols),
+                1.0,
+            )
+        })
         .collect();
     Dcsc::from_triples(nrows, ncols, triples, |a, b| *a += b)
 }

@@ -15,7 +15,10 @@ use sparse::SpGemmStrategy;
 use std::time::Instant;
 
 fn main() {
-    let scale: f64 = std::env::var("SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let scale: f64 = std::env::var("SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
     let fasta = metaclust_dataset(1.0 * scale, 51);
 
     println!("== Ablation 1 — local SpGEMM accumulator (B = A·Aᵀ, 1 rank, wall-clock) ==");
@@ -25,7 +28,12 @@ fn main() {
         ("heap", SpGemmStrategy::Heap),
         ("hybrid", SpGemmStrategy::Hybrid),
     ] {
-        let params = PastisParams { k: 5, mode: AlignMode::None, spgemm: strat, ..Default::default() };
+        let params = PastisParams {
+            k: 5,
+            mode: AlignMode::None,
+            spgemm: strat,
+            ..Default::default()
+        };
         let t = Instant::now();
         let runs = run_on(&fasta, 1, &params);
         let secs = t.elapsed().as_secs_f64();
@@ -34,7 +42,11 @@ fn main() {
 
     println!("\n== Ablation 2 — DCSC vs CSC for the A blocks (paper §IV-D) ==");
     println!("A is |seqs| × 24^k; with a 2D grid each block's column space is 24^k/√p.");
-    let params = PastisParams { k: 6, mode: AlignMode::None, ..Default::default() };
+    let params = PastisParams {
+        k: 6,
+        mode: AlignMode::None,
+        ..Default::default()
+    };
     let kspace = 24u64.pow(6);
     println!(
         "{:<8}{:>16}{:>16}{:>18}{:>14}",

@@ -33,7 +33,13 @@ fn pair(rng: &mut StdRng, len: usize, rate: f64) -> (Vec<u8>, Vec<u8>) {
         random_protein(rng, len)
     } else {
         a.iter()
-            .map(|&x| if rng.random::<f64>() < rate { rng.random_range(0..20u8) } else { x })
+            .map(|&x| {
+                if rng.random::<f64>() < rate {
+                    rng.random_range(0..20u8)
+                } else {
+                    x
+                }
+            })
             .collect()
     };
     (a, b)
@@ -90,7 +96,10 @@ struct Row {
 }
 
 fn main() {
-    let scale: f64 = std::env::var("SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let scale: f64 = std::env::var("SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
     let out_path = std::env::var("OUT").unwrap_or_else(|_| "BENCH_align.json".into());
     let p = AlignParams::default();
     let reps = 3;
@@ -102,21 +111,39 @@ fn main() {
         "family", "pairs", "cells", "scalar", "striped", "striped_score", "speedup"
     );
     for fam in families(scale) {
-        let cells: u64 = fam.pairs.iter().map(|(a, b)| (a.len() * b.len()) as u64).sum();
+        let cells: u64 = fam
+            .pairs
+            .iter()
+            .map(|(a, b)| (a.len() * b.len()) as u64)
+            .sum();
         // Correctness gate: both engines must agree on every pair.
         for (a, b) in &fam.pairs {
             let sw = smith_waterman(a, b, &p);
-            assert_eq!(striped_align(a, b, &p), sw, "engines disagree in {}", fam.name);
+            assert_eq!(
+                striped_align(a, b, &p),
+                sw,
+                "engines disagree in {}",
+                fam.name
+            );
             assert_eq!(striped_score(a, b, &p).0, sw.score);
         }
         let t_scalar = time_best(reps, || {
-            fam.pairs.iter().map(|(a, b)| smith_waterman(a, b, &p).score as i64).sum::<i64>()
+            fam.pairs
+                .iter()
+                .map(|(a, b)| smith_waterman(a, b, &p).score as i64)
+                .sum::<i64>()
         });
         let t_striped = time_best(reps, || {
-            fam.pairs.iter().map(|(a, b)| striped_align(a, b, &p).score as i64).sum::<i64>()
+            fam.pairs
+                .iter()
+                .map(|(a, b)| striped_align(a, b, &p).score as i64)
+                .sum::<i64>()
         });
         let t_score = time_best(reps, || {
-            fam.pairs.iter().map(|(a, b)| striped_score(a, b, &p).0 as i64).sum::<i64>()
+            fam.pairs
+                .iter()
+                .map(|(a, b)| striped_score(a, b, &p).0 as i64)
+                .sum::<i64>()
         });
         let row = Row {
             name: fam.name,
@@ -145,8 +172,11 @@ fn main() {
         let total_secs: f64 = rows.iter().map(|r| r.cells as f64 / f(r)).sum();
         total_cells as f64 / total_secs
     };
-    let (scalar, striped, score) =
-        (agg(|r| r.scalar_cups), agg(|r| r.striped_cups), agg(|r| r.striped_score_cups));
+    let (scalar, striped, score) = (
+        agg(|r| r.scalar_cups),
+        agg(|r| r.striped_cups),
+        agg(|r| r.striped_score_cups),
+    );
     println!(
         "\naggregate: scalar {scalar:.3e}  striped {striped:.3e} ({:.2}x)  striped_score {score:.3e} ({:.2}x)",
         striped / scalar,

@@ -41,11 +41,20 @@ fn variants() -> Vec<PastisParams> {
 }
 
 fn main() {
-    let scale: f64 = std::env::var("SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let scale: f64 = std::env::var("SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
     let model = CostModel::default();
-    for (name, kseqs, seed) in [("metaclust50-0.5k", 0.5 * scale, 50u64), ("metaclust50-1k", 1.0 * scale, 51)] {
+    for (name, kseqs, seed) in [
+        ("metaclust50-0.5k", 0.5 * scale, 50u64),
+        ("metaclust50-1k", 1.0 * scale, 51),
+    ] {
         let fasta = metaclust_dataset(kseqs, seed);
-        println!("\n== Figure 12 — {name} (stand-in for {}M) ==", if kseqs < 0.75 * scale { "0.5" } else { "1" });
+        println!(
+            "\n== Figure 12 — {name} (stand-in for {}M) ==",
+            if kseqs < 0.75 * scale { "0.5" } else { "1" }
+        );
         print!("{:<22}", "variant \\ nodes");
         for p in FIG12_NODES {
             print!("{p:>10}");

@@ -14,9 +14,15 @@ use pcomm::{CostModel, StageCost, World};
 use seqstore::parse_fasta;
 
 fn main() {
-    let scale: f64 = std::env::var("SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let scale: f64 = std::env::var("SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
     let model = CostModel::default();
-    for (name, kseqs, seed) in [("metaclust50-0.5k", 0.5 * scale, 50u64), ("metaclust50-1k", 1.0 * scale, 51)] {
+    for (name, kseqs, seed) in [
+        ("metaclust50-0.5k", 0.5 * scale, 50u64),
+        ("metaclust50-1k", 1.0 * scale, 51),
+    ] {
         let fasta = metaclust_dataset(kseqs, seed);
         let records = parse_fasta(&fasta);
         println!("\n== Figure 13 — {name} ==");
@@ -41,8 +47,16 @@ fn main() {
         println!();
 
         // MMseqs2-like at three sensitivities.
-        for (label, s) in [("MMseqs2-low", 1.0), ("MMseqs2-default", 5.7), ("MMseqs2-high", 7.5)] {
-            let mp = MmseqsParams { k: 5, sensitivity: s, ..Default::default() };
+        for (label, s) in [
+            ("MMseqs2-low", 1.0),
+            ("MMseqs2-default", 5.7),
+            ("MMseqs2-high", 7.5),
+        ] {
+            let mp = MmseqsParams {
+                k: 5,
+                sensitivity: s,
+                ..Default::default()
+            };
             print!("{label:<22}");
             for p in FIG12_NODES {
                 let costs = World::run(p, |comm| {
@@ -57,7 +71,10 @@ fn main() {
                 // counter) already rides in rank 0's work term.
                 let crit = costs
                     .iter()
-                    .map(|&(w, c, _)| StageCost { compute_secs: w as f64 * 1e-9, comm: c })
+                    .map(|&(w, c, _)| StageCost {
+                        compute_secs: w as f64 * 1e-9,
+                        comm: c,
+                    })
                     .fold(StageCost::default(), StageCost::max);
                 print!("{:>10}", fmt_secs(model.stage_seconds(crit)));
             }
@@ -68,7 +85,13 @@ fn main() {
         // to a single node").
         print!("{:<22}", "LAST (1 node)");
         let w0 = pcomm::work::counter();
-        let _edges = last_like(&records, &LastParams { max_initial_matches: 100, ..Default::default() });
+        let _edges = last_like(
+            &records,
+            &LastParams {
+                max_initial_matches: 100,
+                ..Default::default()
+            },
+        );
         let w = pcomm::work::counter() - w0;
         print!("{:>10}", fmt_secs(w as f64 * 1e-9));
         for _ in &FIG12_NODES[1..] {

@@ -13,11 +13,19 @@ use pastis_bench::{fmt_secs, metaclust_dataset, modeled_sparse_secs, run_on, FIG
 use pcomm::CostModel;
 
 fn params(subs: usize) -> PastisParams {
-    PastisParams { k: 5, substitutes: subs, mode: AlignMode::None, ..Default::default() }
+    PastisParams {
+        k: 5,
+        substitutes: subs,
+        mode: AlignMode::None,
+        ..Default::default()
+    }
 }
 
 fn main() {
-    let scale: f64 = std::env::var("SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let scale: f64 = std::env::var("SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
     let model = CostModel::default();
 
     println!("== Figure 14 (left) — strong scaling, metaclust50-2.5k stand-in ==");
@@ -37,7 +45,11 @@ fn main() {
     }
 
     println!("\n== Figure 14 (right) — weak scaling (4× ranks per 2× sequences) ==");
-    let ladder = [(1.25 * scale, 1usize, 53u64), (2.5 * scale, 4, 54), (5.0 * scale, 16, 55)];
+    let ladder = [
+        (1.25 * scale, 1usize, 53u64),
+        (2.5 * scale, 4, 54),
+        (5.0 * scale, 16, 55),
+    ];
     print!("{:<8}", "s \\ cfg");
     for (kseqs, p, _) in ladder {
         print!("{:>14}", format!("{kseqs}k@{p}"));

@@ -8,21 +8,32 @@
 //! `SCALE=<f64>` multiplies dataset size (default 1).
 
 use pastis::{AlignMode, PastisParams};
-use pastis_bench::{component_modeled, critical_timings, metaclust_dataset, run_on};
+use pastis_bench::{component_modeled, critical_timings, dissect_runs, metaclust_dataset, run_on};
 use pcomm::CostModel;
 
 const NODES: [usize; 3] = [4, 16, 64];
 
 fn main() {
-    let scale: f64 = std::env::var("SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let scale: f64 = std::env::var("SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
     let model = CostModel::default();
     let fasta = metaclust_dataset(2.5 * scale, 52);
     println!("== Figure 15 — component time %, metaclust50-2.5k stand-in ==");
+    let mut dissected = None;
     for subs in [0usize, 10, 25, 50] {
         println!("\n-- subs = {subs} --");
-        let params = PastisParams { k: 5, substitutes: subs, mode: AlignMode::None, ..Default::default() };
+        let params = PastisParams {
+            k: 5,
+            substitutes: subs,
+            mode: AlignMode::None,
+            ..Default::default()
+        };
         print!("{:<10}", "p");
-        for label in ["fasta", "form A", "tr. A", "form S", "AS", "(AS)AT", "sym.", "wait"] {
+        for label in [
+            "fasta", "form A", "tr. A", "form S", "AS", "(AS)AT", "sym.", "wait",
+        ] {
             print!("{label:>9}");
         }
         println!();
@@ -33,10 +44,20 @@ fn main() {
             let total: f64 = comps.iter().map(|&(_, s)| s).sum();
             print!("{p:<10}");
             for &(_, s) in &comps {
-                print!("{:>8.0}%", if total > 0.0 { 100.0 * s / total } else { 0.0 });
+                print!(
+                    "{:>8.0}%",
+                    if total > 0.0 { 100.0 * s / total } else { 0.0 }
+                );
             }
             println!();
+            if subs == 25 && p == 16 {
+                dissected = Some(dissect_runs(&runs, &model));
+            }
         }
+    }
+    if let Some(rows) = dissected {
+        println!("\n-- span-trace dissection, subs = 25, p = 16 --");
+        println!("{}", obs::dissect::render_dissection(&rows));
     }
     println!("\nPaper shapes: 'wait' shrinks as s grows (other components swell");
     println!("while the exchange volume is constant); SpGEMM % grows with p.");

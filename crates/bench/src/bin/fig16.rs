@@ -8,17 +8,29 @@
 //! `SCALE=<f64>` multiplies dataset size (default 1).
 
 use pastis::{AlignMode, PastisParams};
-use pastis_bench::{component_modeled, critical_timings, fmt_secs, metaclust_dataset, run_on, FIG14_NODES_SCALED};
+use pastis_bench::{
+    component_modeled, critical_timings, dissect_runs, fmt_secs, metaclust_dataset, run_on,
+    FIG14_NODES_SCALED,
+};
 use pcomm::CostModel;
 
 fn main() {
-    let scale: f64 = std::env::var("SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let scale: f64 = std::env::var("SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
     let model = CostModel::default();
     let fasta = metaclust_dataset(2.5 * scale, 52);
     for subs in [0usize, 25] {
         println!("\n== Figure 16 — component seconds, s = {subs} ==");
-        let params = PastisParams { k: 5, substitutes: subs, mode: AlignMode::None, ..Default::default() };
+        let params = PastisParams {
+            k: 5,
+            substitutes: subs,
+            mode: AlignMode::None,
+            ..Default::default()
+        };
         let mut header = false;
+        let mut last_runs = None;
         for p in FIG14_NODES_SCALED {
             let runs = run_on(&fasta, p, &params);
             let crit = critical_timings(&runs);
@@ -37,6 +49,14 @@ fn main() {
                 print!("{:>10}", fmt_secs(s));
             }
             println!();
+            last_runs = Some(runs);
+        }
+        if let Some(runs) = last_runs {
+            println!("\nspan-trace dissection at the largest p:");
+            println!(
+                "{}",
+                obs::dissect::render_dissection(&dissect_runs(&runs, &model))
+            );
         }
     }
     println!("\nPaper shape: SpGEMM ((AS)AT) has the flattest slope — the");

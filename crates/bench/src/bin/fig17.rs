@@ -17,13 +17,19 @@ use pcomm::World;
 use seqstore::write_fasta;
 
 fn cluster_pr(n: usize, edges: &[(u64, u64, f64)], labels: &[usize]) -> (f64, f64) {
-    let e: Vec<(usize, usize, f64)> = edges.iter().map(|&(a, b, w)| (a as usize, b as usize, w)).collect();
+    let e: Vec<(usize, usize, f64)> = edges
+        .iter()
+        .map(|&(a, b, w)| (a as usize, b as usize, w))
+        .collect();
     let clusters = markov_cluster(n, &e, &MclParams::default());
     weighted_precision_recall(&clusters, labels)
 }
 
 fn main() {
-    let scale: f64 = std::env::var("SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let scale: f64 = std::env::var("SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
     let data = scope_like(&ScopeConfig {
         seed: 90,
         families: (40.0 * scale).round().max(2.0) as usize,
@@ -34,12 +40,22 @@ fn main() {
     });
     let fasta = write_fasta(&data.records);
     let n = data.len();
-    println!("== Figure 17 — weighted precision/recall (SCOPe-like: {} seqs, {} families) ==", n, data.family_count());
-    println!("{:<26}{:>6}{:>12}{:>10}", "scheme", "s", "precision", "recall");
+    println!(
+        "== Figure 17 — weighted precision/recall (SCOPe-like: {} seqs, {} families) ==",
+        n,
+        data.family_count()
+    );
+    println!(
+        "{:<26}{:>6}{:>12}{:>10}",
+        "scheme", "s", "precision", "recall"
+    );
 
     // PASTIS variants.
     for (mode, mlabel) in [(AlignMode::SmithWaterman, "SW"), (AlignMode::XDrop, "XD")] {
-        for (measure, wlabel) in [(SimilarityMeasure::Ani, "ANI"), (SimilarityMeasure::NormalizedScore, "NS")] {
+        for (measure, wlabel) in [
+            (SimilarityMeasure::Ani, "ANI"),
+            (SimilarityMeasure::NormalizedScore, "NS"),
+        ] {
             for subs in [0usize, 10, 25, 50] {
                 let params = PastisParams {
                     k: 5,
@@ -51,7 +67,10 @@ fn main() {
                 let runs = World::run(4, |comm| pastis::run_pipeline(&comm, &fasta, &params));
                 let edges: Vec<(u64, u64, f64)> = runs.into_iter().flat_map(|r| r.edges).collect();
                 let (p, r) = cluster_pr(n, &edges, &data.labels);
-                println!("{:<26}{subs:>6}{p:>12.3}{r:>10.3}", format!("PASTIS-{mlabel}-{wlabel}"));
+                println!(
+                    "{:<26}{subs:>6}{p:>12.3}{r:>10.3}",
+                    format!("PASTIS-{mlabel}-{wlabel}")
+                );
             }
         }
         // CK variant at s=25 with ANI (the paper's -CK points).
@@ -66,21 +85,45 @@ fn main() {
         let runs = World::run(4, |comm| pastis::run_pipeline(&comm, &fasta, &params));
         let edges: Vec<(u64, u64, f64)> = runs.into_iter().flat_map(|r| r.edges).collect();
         let (p, r) = cluster_pr(n, &edges, &data.labels);
-        println!("{:<26}{:>6}{p:>12.3}{r:>10.3}", format!("PASTIS-{mlabel}-ANI-CK"), 25);
+        println!(
+            "{:<26}{:>6}{p:>12.3}{r:>10.3}",
+            format!("PASTIS-{mlabel}-ANI-CK"),
+            25
+        );
     }
 
     // MMseqs2-like at three sensitivities, ANI and NS.
-    for (measure, wlabel) in [(SimilarityMeasure::Ani, "ANI"), (SimilarityMeasure::NormalizedScore, "NS")] {
+    for (measure, wlabel) in [
+        (SimilarityMeasure::Ani, "ANI"),
+        (SimilarityMeasure::NormalizedScore, "NS"),
+    ] {
         for s in [1.0f64, 5.7, 7.5] {
-            let edges = mmseqs_like(&data.records, &MmseqsParams { k: 5, sensitivity: s, measure, ..Default::default() });
+            let edges = mmseqs_like(
+                &data.records,
+                &MmseqsParams {
+                    k: 5,
+                    sensitivity: s,
+                    measure,
+                    ..Default::default()
+                },
+            );
             let (p, r) = cluster_pr(n, &edges, &data.labels);
-            println!("{:<26}{s:>6}{p:>12.3}{r:>10.3}", format!("MMseqs2-{wlabel}"));
+            println!(
+                "{:<26}{s:>6}{p:>12.3}{r:>10.3}",
+                format!("MMseqs2-{wlabel}")
+            );
         }
     }
 
     // LAST-like at three sensitivity settings (ANI).
     for m in [100usize, 300, 500] {
-        let edges = last_like(&data.records, &LastParams { max_initial_matches: m, ..Default::default() });
+        let edges = last_like(
+            &data.records,
+            &LastParams {
+                max_initial_matches: m,
+                ..Default::default()
+            },
+        );
         let (p, r) = cluster_pr(n, &edges, &data.labels);
         println!("{:<26}{m:>6}{p:>12.3}{r:>10.3}", "LAST-ANI");
     }

@@ -1,0 +1,177 @@
+//! obsperf — recorder overhead on the alignment workload.
+//!
+//! The `obs` layer promises zero cost when no recorder is installed and
+//! low single-digit-percent cost when one is. This bench times the same
+//! instrumented batch — [`align::align_batch`] driving
+//! [`align::local_align`], the hottest obs-annotated path (one histogram
+//! sample per alignment, one span per batch/worker) — with the thread's
+//! recorder absent and present, plus per-call micro costs of the span and
+//! histogram primitives in both states.
+//!
+//! Writes `BENCH_obs.json` (override with `OUT=<path>`); `SCALE=<f64>`
+//! multiplies pair counts. Target: < 2% macro overhead.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use align::{align_batch, local_align, AlignParams};
+use datagen::random_protein;
+use rand::prelude::*;
+
+/// Pair of `len`-residue sequences at `rate` point-mutation distance
+/// (`rate >= 1.0` means unrelated) — the alnperf mixed-metaclust recipe.
+fn pairs(scale: f64) -> Vec<(Vec<u8>, Vec<u8>)> {
+    let mut rng = StdRng::seed_from_u64(2020);
+    let n = ((200.0 * scale).round() as usize).max(8);
+    (0..n)
+        .map(|_| {
+            let len = rng.random_range(100..300);
+            let rate = if rng.random::<f64>() < 0.3 { 0.12 } else { 1.0 };
+            let a = random_protein(&mut rng, len);
+            let b = if rate >= 1.0 {
+                random_protein(&mut rng, len)
+            } else {
+                a.iter()
+                    .map(|&x| {
+                        if rng.random::<f64>() < rate {
+                            rng.random_range(0..20u8)
+                        } else {
+                            x
+                        }
+                    })
+                    .collect()
+            };
+            (a, b)
+        })
+        .collect()
+}
+
+/// Best-of-`reps` wall-clock seconds for `f`.
+fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Nanoseconds per iteration of `f`, best of `reps`.
+fn ns_per_op(iters: u64, reps: usize, mut f: impl FnMut()) -> f64 {
+    time_best(reps, || {
+        for _ in 0..iters {
+            f();
+        }
+    }) * 1e9
+        / iters as f64
+}
+
+fn main() {
+    let scale: f64 = std::env::var("SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let out_path = std::env::var("OUT").unwrap_or_else(|_| "BENCH_obs.json".into());
+    let p = AlignParams::default();
+    let reps = 51;
+    let tasks = pairs(scale);
+    let cells: u64 = tasks.iter().map(|(a, b)| (a.len() * b.len()) as u64).sum();
+
+    let run = |threads: usize| {
+        align_batch(&tasks, threads, |(a, b)| local_align(a, b, &p).score as i64)
+            .iter()
+            .sum::<i64>()
+    };
+
+    // Macro: the whole instrumented batch, recorder absent vs present.
+    // Single samples on a shared host swing by tens of percent, so the
+    // estimator is the *median* over many samples, interleaved with the
+    // order swapped every rep so clock-frequency drift and cache warming
+    // hit both sides equally.
+    assert!(
+        !obs::enabled(),
+        "bench thread must start without a recorder"
+    );
+    std::hint::black_box(run(1)); // warmup
+    let mut off_samples = Vec::new();
+    let mut on_samples = Vec::new();
+    let mut events = 0usize;
+    let mut hists = 0usize;
+    let sample_off = |off_samples: &mut Vec<f64>| {
+        let t0 = Instant::now();
+        std::hint::black_box(run(1));
+        off_samples.push(t0.elapsed().as_secs_f64());
+    };
+    let sample_on = |on_samples: &mut Vec<f64>, events: &mut usize, hists: &mut usize| {
+        let rec = obs::Recorder::install(0);
+        let t0 = Instant::now();
+        std::hint::black_box(run(1));
+        on_samples.push(t0.elapsed().as_secs_f64());
+        let trace = rec.finish();
+        *events = trace.events.len();
+        *hists = trace.metrics.hists.len();
+    };
+    for rep in 0..reps {
+        if rep % 2 == 0 {
+            sample_off(&mut off_samples);
+            sample_on(&mut on_samples, &mut events, &mut hists);
+        } else {
+            sample_on(&mut on_samples, &mut events, &mut hists);
+            sample_off(&mut off_samples);
+        }
+    }
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    };
+    let secs_off = median(&mut off_samples.clone());
+    let secs_on = median(&mut on_samples.clone());
+    // The overhead estimate comes from *paired* ratios: the i-th off and on
+    // samples ran back-to-back, so slow drift cancels inside each ratio and
+    // the median rejects the scheduler spikes that hit one side of a pair.
+    let mut ratios: Vec<f64> = on_samples
+        .iter()
+        .zip(&off_samples)
+        .map(|(on, off)| on / off)
+        .collect();
+    let overhead_pct = 100.0 * (median(&mut ratios) - 1.0);
+
+    // Micro: per-call primitive costs in both states.
+    let span_off = ns_per_op(1_000_000, reps, || drop(obs::span!("bench.noop")));
+    let hist_off = ns_per_op(1_000_000, reps, || obs::hist!("bench.h", 42));
+    let rec2 = obs::Recorder::with_capacity(0, 64); // tiny: steady-state drops
+    let span_on = ns_per_op(1_000_000, reps, || drop(obs::span!("bench.noop")));
+    let hist_on = ns_per_op(1_000_000, reps, || obs::hist!("bench.h", 42));
+    drop(rec2);
+
+    println!(
+        "== obs recorder overhead (align batch, {} pairs, {cells} cells) ==",
+        tasks.len()
+    );
+    println!("recorder off: {secs_off:.4}s   on: {secs_on:.4}s   overhead: {overhead_pct:+.2}%");
+    println!("span  ns/op: off {span_off:.1}  on {span_on:.1}");
+    println!("hist  ns/op: off {hist_off:.1}  on {hist_on:.1}");
+    println!("trace captured {events} events, {hists} histograms while on");
+    let verdict = if overhead_pct < 2.0 { "PASS" } else { "FAIL" };
+    println!("target < 2%: {verdict}");
+
+    let mut json = String::from("{\n  \"bench\": \"obs_overhead\",\n");
+    let _ = writeln!(json, "  \"workload\": \"align_batch/local_align\",");
+    let _ = writeln!(json, "  \"pairs\": {}, \"cells\": {cells},", tasks.len());
+    let _ = writeln!(json, "  \"secs_recorder_off\": {secs_off:.6},");
+    let _ = writeln!(json, "  \"secs_recorder_on\": {secs_on:.6},");
+    let _ = writeln!(json, "  \"overhead_pct\": {overhead_pct:.3},");
+    let _ = writeln!(
+        json,
+        "  \"target_pct\": 2.0, \"pass\": {},",
+        overhead_pct < 2.0
+    );
+    let _ = writeln!(
+        json,
+        "  \"micro_ns_per_op\": {{\"span_off\": {span_off:.2}, \"span_on\": {span_on:.2}, \"hist_off\": {hist_off:.2}, \"hist_on\": {hist_on:.2}}}"
+    );
+    json.push_str("}\n");
+    std::fs::write(&out_path, json).expect("write BENCH_obs.json");
+    println!("wrote {out_path}");
+}

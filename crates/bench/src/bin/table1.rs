@@ -45,10 +45,16 @@ fn schemes() -> Vec<PastisParams> {
 }
 
 fn main() {
-    let scale: f64 = std::env::var("SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let scale: f64 = std::env::var("SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
     let model = CostModel::default();
     println!("== Table I — alignment time percentage in PASTIS ==");
-    for (name, kseqs, seed) in [("metaclust50-0.5k", 0.5 * scale, 50u64), ("metaclust50-1k", 1.0 * scale, 51)] {
+    for (name, kseqs, seed) in [
+        ("metaclust50-0.5k", 0.5 * scale, 50u64),
+        ("metaclust50-1k", 1.0 * scale, 51),
+    ] {
         let fasta = metaclust_dataset(kseqs, seed);
         println!("\n-- {name} --");
         print!("{:<22}", "scheme \\ nodes");

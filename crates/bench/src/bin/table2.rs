@@ -23,7 +23,10 @@ fn cc_pr(n: usize, edges: &[(u64, u64, f64)], labels: &[usize]) -> (f64, f64) {
 }
 
 fn main() {
-    let scale: f64 = std::env::var("SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let scale: f64 = std::env::var("SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
     let data = scope_like(&ScopeConfig {
         seed: 90,
         families: (40.0 * scale).round().max(2.0) as usize,
@@ -35,9 +38,15 @@ fn main() {
     let fasta = write_fasta(&data.records);
     let n = data.len();
     println!("== Table II — connected components as protein families ({n} seqs) ==");
-    println!("{:<16}{:>8}{:>12}{:>10}", "tool", "param", "precision", "recall");
+    println!(
+        "{:<16}{:>8}{:>12}{:>10}",
+        "tool", "param", "precision", "recall"
+    );
 
-    for (mode, label) in [(AlignMode::SmithWaterman, "PASTIS-SW"), (AlignMode::XDrop, "PASTIS-XD")] {
+    for (mode, label) in [
+        (AlignMode::SmithWaterman, "PASTIS-SW"),
+        (AlignMode::XDrop, "PASTIS-XD"),
+    ] {
         for subs in [0usize, 10, 25, 50] {
             let params = PastisParams {
                 k: 5,
@@ -53,12 +62,25 @@ fn main() {
         }
     }
     for s in [1.0f64, 5.7, 7.5] {
-        let edges = mmseqs_like(&data.records, &MmseqsParams { k: 5, sensitivity: s, ..Default::default() });
+        let edges = mmseqs_like(
+            &data.records,
+            &MmseqsParams {
+                k: 5,
+                sensitivity: s,
+                ..Default::default()
+            },
+        );
         let (p, r) = cc_pr(n, &edges, &data.labels);
         println!("{:<16}{s:>8}{p:>12.2}{r:>10.2}", "MMseqs2");
     }
     for m in [100usize, 200, 300] {
-        let edges = last_like(&data.records, &LastParams { max_initial_matches: m, ..Default::default() });
+        let edges = last_like(
+            &data.records,
+            &LastParams {
+                max_initial_matches: m,
+                ..Default::default()
+            },
+        );
         let (p, r) = cc_pr(n, &edges, &data.labels);
         println!("{:<16}{m:>8}{p:>12.2}{r:>10.2}", "LAST");
     }

@@ -13,13 +13,20 @@ use pastis::{AlignMode, PastisParams};
 use pastis_bench::{metaclust_dataset, run_on};
 
 fn main() {
-    let scale: f64 = std::env::var("SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let scale: f64 = std::env::var("SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
 
     // 1. Alignment blow-up from substitute k-mers.
     let fasta = metaclust_dataset(0.5 * scale, 50);
     let mut alignments = Vec::new();
     for subs in [0usize, 25] {
-        let params = PastisParams { k: 5, substitutes: subs, ..Default::default() };
+        let params = PastisParams {
+            k: 5,
+            substitutes: subs,
+            ..Default::default()
+        };
         let runs = run_on(&fasta, 4, &params);
         alignments.push(runs[0].counters.alignments_global);
     }
@@ -36,12 +43,20 @@ fn main() {
     let mut prev: Option<u64> = None;
     for (kseqs, seed) in [(1.25 * scale, 53u64), (2.5 * scale, 54), (5.0 * scale, 55)] {
         let fasta = metaclust_dataset(kseqs, seed);
-        let params = PastisParams { k: 5, substitutes: 25, mode: AlignMode::None, ..Default::default() };
+        let params = PastisParams {
+            k: 5,
+            substitutes: 25,
+            mode: AlignMode::None,
+            ..Default::default()
+        };
         let runs = run_on(&fasta, 4, &params);
         let nnz = runs[0].counters.nnz_b;
         match prev {
             None => println!("  {kseqs:>5}k seqs: nnz(B) = {nnz}"),
-            Some(p) => println!("  {kseqs:>5}k seqs: nnz(B) = {nnz}  (x{:.2} over previous)", nnz as f64 / p as f64),
+            Some(p) => println!(
+                "  {kseqs:>5}k seqs: nnz(B) = {nnz}  (x{:.2} over previous)",
+                nnz as f64 / p as f64
+            ),
         }
         prev = Some(nnz);
     }

@@ -93,12 +93,24 @@ pub fn fmt_secs(s: f64) -> String {
 
 /// Per-component modeled seconds, in the paper's component order.
 pub fn component_modeled(timings: &Timings, model: &CostModel) -> Vec<(&'static str, f64)> {
-    timings.components().iter().map(|(l, m)| (*l, m.modeled_secs(model))).collect()
+    timings
+        .components()
+        .iter()
+        .map(|(l, m)| (*l, m.modeled_secs(model)))
+        .collect()
 }
 
 /// Sum of all ranks' bytes sent during the whole run (volume proxy).
 pub fn stage_bytes(m: &StageMeasure) -> u64 {
     m.comm.bytes_sent.max(m.comm.bytes_recv)
+}
+
+/// Critical-path dissection rows straight from the ranks' recorded span
+/// traces: per stage, the limiting rank and its compute/comm/wait split.
+/// Render with [`obs::dissect::render_dissection`].
+pub fn dissect_runs(runs: &[PastisRun], model: &CostModel) -> Vec<obs::dissect::DissectionRow> {
+    let traces: Vec<obs::RankTrace> = runs.iter().map(|r| r.trace.clone()).collect();
+    obs::dissect::dissect(&traces, &Timings::STAGE_SPANS, model.alpha, model.beta)
 }
 
 #[cfg(test)]
@@ -109,7 +121,11 @@ mod tests {
     #[test]
     fn harness_runs_and_aggregates() {
         let fasta = metaclust_dataset(0.03, 5);
-        let params = PastisParams { k: 4, mode: AlignMode::None, ..Default::default() };
+        let params = PastisParams {
+            k: 4,
+            mode: AlignMode::None,
+            ..Default::default()
+        };
         let runs = run_on(&fasta, 4, &params);
         assert_eq!(runs.len(), 4);
         let crit = critical_timings(&runs);
@@ -117,6 +133,13 @@ mod tests {
         let model = CostModel::default();
         assert!(modeled_sparse_secs(&runs, &model) > 0.0);
         assert!(modeled_total_secs(&runs, &model) >= modeled_sparse_secs(&runs, &model));
+        // The trace-driven dissection agrees with the Timings-based
+        // critical path (both are built from the same recorded spans).
+        let rows = dissect_runs(&runs, &model);
+        assert_eq!(rows.len(), Timings::STAGE_SPANS.len());
+        let b_row = rows.iter().find(|r| r.label == "(AS)AT").unwrap();
+        assert!((b_row.secs - crit.spgemm_b.secs).abs() <= 1e-9 + crit.spgemm_b.secs * 1e-6);
+        assert!(b_row.counters.work_ns > 0);
     }
 
     #[test]

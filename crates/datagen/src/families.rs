@@ -40,7 +40,13 @@ fn biased_substitution(from: u8, rng: &mut impl Rng) -> u8 {
 pub(crate) fn mutate(seq: &[u8], rate: f64, rng: &mut impl Rng) -> Vec<u8> {
     let mut out: Vec<u8> = seq
         .iter()
-        .map(|&b| if rng.random::<f64>() < rate { biased_substitution(b, rng) } else { b })
+        .map(|&b| {
+            if rng.random::<f64>() < rate {
+                biased_substitution(b, rng)
+            } else {
+                b
+            }
+        })
         .collect();
     if rng.random::<f64>() < rate && out.len() > 10 {
         let ilen = rng.random_range(1..=5usize);
@@ -150,7 +156,8 @@ pub fn scope_like(cfg: &ScopeConfig) -> LabeledDataset {
         };
         let members = rng.random_range(cfg.members_range.0..=cfg.members_range.1);
         for _ in 0..members {
-            let rate = rng.random_range(cfg.divergence.0..cfg.divergence.1.max(cfg.divergence.0 + 1e-9));
+            let rate =
+                rng.random_range(cfg.divergence.0..cfg.divergence.1.max(cfg.divergence.0 + 1e-9));
             entries.push((fam, mutate(&ancestor, rate, &mut rng)));
         }
     }
@@ -158,7 +165,10 @@ pub fn scope_like(cfg: &ScopeConfig) -> LabeledDataset {
     let mut records = Vec::with_capacity(entries.len());
     let mut labels = Vec::with_capacity(entries.len());
     for (i, (fam, data)) in entries.into_iter().enumerate() {
-        records.push(FastaRecord { name: format!("fam{fam}_seq{i}"), residues: seqstore::decode_seq(&data) });
+        records.push(FastaRecord {
+            name: format!("fam{fam}_seq{i}"),
+            residues: seqstore::decode_seq(&data),
+        });
         labels.push(fam);
     }
     LabeledDataset { records, labels }
@@ -172,7 +182,10 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let cfg = ScopeConfig { families: 5, ..Default::default() };
+        let cfg = ScopeConfig {
+            families: 5,
+            ..Default::default()
+        };
         let a = scope_like(&cfg);
         let b = scope_like(&cfg);
         assert_eq!(a.records, b.records);
@@ -181,7 +194,11 @@ mod tests {
 
     #[test]
     fn family_count_and_sizes() {
-        let cfg = ScopeConfig { families: 8, members_range: (2, 4), ..Default::default() };
+        let cfg = ScopeConfig {
+            families: 8,
+            members_range: (2, 4),
+            ..Default::default()
+        };
         let d = scope_like(&cfg);
         assert_eq!(d.family_count(), 8);
         for fam in 0..8 {
@@ -216,8 +233,16 @@ mod tests {
             }
         }
         let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-        assert!(avg(&intra) > 0.7, "intra-family identity too low: {}", avg(&intra));
-        assert!(avg(&inter) < 0.5, "inter-family identity too high: {}", avg(&inter));
+        assert!(
+            avg(&intra) > 0.7,
+            "intra-family identity too low: {}",
+            avg(&intra)
+        );
+        assert!(
+            avg(&inter) < 0.5,
+            "inter-family identity too high: {}",
+            avg(&inter)
+        );
     }
 
     #[test]
@@ -261,7 +286,10 @@ mod tests {
                 }
             }
         }
-        assert!(best_cross >= 20, "no shared-domain signal: best {best_cross}");
+        assert!(
+            best_cross >= 20,
+            "no shared-domain signal: best {best_cross}"
+        );
     }
 
     #[test]
@@ -276,7 +304,11 @@ mod tests {
         };
         let d = scope_like(&cfg);
         for r in &d.records {
-            assert!((95..=120).contains(&r.residues.len()), "{}", r.residues.len());
+            assert!(
+                (95..=120).contains(&r.residues.len()),
+                "{}",
+                r.residues.len()
+            );
         }
     }
 

@@ -45,7 +45,12 @@ pub struct MetaclustConfig {
 
 impl Default for MetaclustConfig {
     fn default() -> Self {
-        MetaclustConfig { seed: 42, len_range: (100, 1000), related_fraction: 0.3, mutation_rate: 0.1 }
+        MetaclustConfig {
+            seed: 42,
+            len_range: (100, 1000),
+            related_fraction: 0.3,
+            mutation_rate: 0.1,
+        }
     }
 }
 
@@ -68,7 +73,10 @@ pub fn metaclust_like(n: usize, cfg: &MetaclustConfig) -> Vec<FastaRecord> {
     encoded
         .into_iter()
         .enumerate()
-        .map(|(i, data)| FastaRecord { name: format!("mc{i}"), residues: seqstore::decode_seq(&data) })
+        .map(|(i, data)| FastaRecord {
+            name: format!("mc{i}"),
+            residues: seqstore::decode_seq(&data),
+        })
         .collect()
 }
 
@@ -78,7 +86,11 @@ mod tests {
 
     #[test]
     fn deterministic_for_seed() {
-        let cfg = MetaclustConfig { seed: 7, len_range: (50, 100), ..Default::default() };
+        let cfg = MetaclustConfig {
+            seed: 7,
+            len_range: (50, 100),
+            ..Default::default()
+        };
         let a = metaclust_like(20, &cfg);
         let b = metaclust_like(20, &cfg);
         assert_eq!(a, b);
@@ -89,15 +101,28 @@ mod tests {
 
     #[test]
     fn lengths_in_range() {
-        let cfg = MetaclustConfig { seed: 1, len_range: (60, 80), related_fraction: 0.0, ..Default::default() };
+        let cfg = MetaclustConfig {
+            seed: 1,
+            len_range: (60, 80),
+            related_fraction: 0.0,
+            ..Default::default()
+        };
         for r in metaclust_like(50, &cfg) {
-            assert!((60..=80).contains(&r.residues.len()), "{}", r.residues.len());
+            assert!(
+                (60..=80).contains(&r.residues.len()),
+                "{}",
+                r.residues.len()
+            );
         }
     }
 
     #[test]
     fn residues_are_standard() {
-        let cfg = MetaclustConfig { seed: 2, len_range: (50, 60), ..Default::default() };
+        let cfg = MetaclustConfig {
+            seed: 2,
+            len_range: (50, 60),
+            ..Default::default()
+        };
         for r in metaclust_like(30, &cfg) {
             for &b in &r.residues {
                 let idx = seqstore::aa_index(b).unwrap();

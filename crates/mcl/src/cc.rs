@@ -10,7 +10,10 @@ pub struct UnionFind {
 impl UnionFind {
     /// `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        UnionFind { parent: (0..n).collect(), rank: vec![0; n] }
+        UnionFind {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+        }
     }
 
     /// Representative of `x`'s set.
@@ -43,7 +46,10 @@ impl UnionFind {
 /// Component labels (0-based, dense, ordered by smallest member) for `n`
 /// vertices under the given undirected edges. This is Table II's
 /// "connected components as protein families".
-pub fn connected_components(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Vec<usize> {
+pub fn connected_components(
+    n: usize,
+    edges: impl IntoIterator<Item = (usize, usize)>,
+) -> Vec<usize> {
     let mut uf = UnionFind::new(n);
     for (a, b) in edges {
         uf.union(a, b);

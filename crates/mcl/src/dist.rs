@@ -52,15 +52,31 @@ pub fn markov_cluster_dist(
     let mut m = DistMat::from_triples(Rc::clone(&grid), n, n, triples, |a, b| *a += b);
     normalize_columns(&grid, &mut m);
 
-    for _ in 0..params.max_iter {
+    for iter in 0..params.max_iter {
+        let _span = obs::span!("mcl.iter", iter = iter);
         // Expansion.
-        let mut next = m.spgemm(&m, &ArithmeticSemiring, SpGemmStrategy::Hybrid);
+        let mut next = {
+            let _s = obs::span!("mcl.expand");
+            m.spgemm(&m, &ArithmeticSemiring, SpGemmStrategy::Hybrid)
+        };
         // Inflation (local).
-        next = next.map(|_, _, v| v.powf(params.inflation));
+        {
+            let _s = obs::span!("mcl.inflate");
+            next = next.map(|_, _, v| v.powf(params.inflation));
+        }
         // Threshold pruning (local).
-        next.retain(|_, _, &v| v >= params.prune_threshold);
-        normalize_columns(&grid, &mut next);
-        let chaos = chaos(&grid, &next);
+        {
+            let _s = obs::span!("mcl.prune");
+            next.retain(|_, _, &v| v >= params.prune_threshold);
+        }
+        {
+            let _s = obs::span!("mcl.normalize");
+            normalize_columns(&grid, &mut next);
+        }
+        let chaos = {
+            let _s = obs::span!("mcl.chaos");
+            chaos(&grid, &next)
+        };
         m = next;
         if chaos < params.chaos_eps {
             break;
@@ -76,7 +92,10 @@ pub fn markov_cluster_dist(
         .collect();
     let gathered = grid.world().gather(0, mine);
     let labels = gathered.map(|parts| {
-        let edges = parts.into_iter().flatten().map(|(a, b)| (a as usize, b as usize));
+        let edges = parts
+            .into_iter()
+            .flatten()
+            .map(|(a, b)| (a as usize, b as usize));
         connected_components(n as usize, edges)
     });
     grid.world().bcast(0, labels)

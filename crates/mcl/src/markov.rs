@@ -29,7 +29,13 @@ pub struct MclParams {
 
 impl Default for MclParams {
     fn default() -> Self {
-        MclParams { inflation: 2.0, prune_threshold: 1e-4, max_per_column: 64, max_iter: 100, chaos_eps: 1e-6 }
+        MclParams {
+            inflation: 2.0,
+            prune_threshold: 1e-4,
+            max_per_column: 64,
+            max_iter: 100,
+            chaos_eps: 1e-6,
+        }
     }
 }
 
@@ -56,22 +62,38 @@ pub fn markov_cluster(n: usize, edges: &[(usize, usize, f64)], params: &MclParam
     let mut m = Csc::from_triples(n, n, triples, |a, b| *a += b);
     normalize_columns(&mut m);
 
-    for _ in 0..params.max_iter {
+    for iter in 0..params.max_iter {
+        let _span = obs::span!("mcl.iter", iter = iter);
         // Expansion.
-        let mut next = m.matmul(&m);
+        let mut next = {
+            let _s = obs::span!("mcl.expand");
+            m.matmul(&m)
+        };
         // Inflation.
-        for c in 0..n {
-            for v in next.col_vals_mut(c) {
-                *v = v.powf(params.inflation);
+        {
+            let _s = obs::span!("mcl.inflate");
+            for c in 0..n {
+                for v in next.col_vals_mut(c) {
+                    *v = v.powf(params.inflation);
+                }
             }
         }
         // Prune tiny entries (keep top `max_per_column` when configured).
-        next.retain(|_, _, &v| v >= params.prune_threshold);
-        if params.max_per_column > 0 {
-            prune_topk(&mut next, params.max_per_column);
+        {
+            let _s = obs::span!("mcl.prune");
+            next.retain(|_, _, &v| v >= params.prune_threshold);
+            if params.max_per_column > 0 {
+                prune_topk(&mut next, params.max_per_column);
+            }
         }
-        normalize_columns(&mut next);
-        let chaos = chaos(&next);
+        {
+            let _s = obs::span!("mcl.normalize");
+            normalize_columns(&mut next);
+        }
+        let chaos = {
+            let _s = obs::span!("mcl.chaos");
+            chaos(&next)
+        };
         m = next;
         if chaos < params.chaos_eps {
             break;
@@ -191,11 +213,35 @@ mod tests {
     #[test]
     fn higher_inflation_gives_finer_or_equal_clustering() {
         // A 4-cycle: low inflation may keep it whole, high splits it.
-        let edges = vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0), (0, 2, 0.3), (1, 3, 0.3)];
-        let coarse = markov_cluster(4, &edges, &MclParams { inflation: 1.3, ..Default::default() });
-        let fine = markov_cluster(4, &edges, &MclParams { inflation: 6.0, ..Default::default() });
+        let edges = vec![
+            (0, 1, 1.0),
+            (1, 2, 1.0),
+            (2, 3, 1.0),
+            (3, 0, 1.0),
+            (0, 2, 0.3),
+            (1, 3, 0.3),
+        ];
+        let coarse = markov_cluster(
+            4,
+            &edges,
+            &MclParams {
+                inflation: 1.3,
+                ..Default::default()
+            },
+        );
+        let fine = markov_cluster(
+            4,
+            &edges,
+            &MclParams {
+                inflation: 6.0,
+                ..Default::default()
+            },
+        );
         let count = |l: &[usize]| l.iter().collect::<std::collections::HashSet<_>>().len();
-        assert!(count(&fine) >= count(&coarse), "fine={fine:?} coarse={coarse:?}");
+        assert!(
+            count(&fine) >= count(&coarse),
+            "fine={fine:?} coarse={coarse:?}"
+        );
     }
 
     #[test]

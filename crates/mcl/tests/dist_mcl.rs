@@ -21,7 +21,10 @@ fn same_partition(a: &[usize], b: &[usize]) -> bool {
 
 fn params() -> MclParams {
     // Threshold-only pruning so shared and distributed agree exactly.
-    MclParams { max_per_column: 0, ..Default::default() }
+    MclParams {
+        max_per_column: 0,
+        ..Default::default()
+    }
 }
 
 fn two_cliques() -> (usize, Vec<(u64, u64, f64)>) {
@@ -40,8 +43,10 @@ fn two_cliques() -> (usize, Vec<(u64, u64, f64)>) {
 #[test]
 fn matches_shared_memory_partition() {
     let (n, edges) = two_cliques();
-    let shared_edges: Vec<(usize, usize, f64)> =
-        edges.iter().map(|&(a, b, w)| (a as usize, b as usize, w)).collect();
+    let shared_edges: Vec<(usize, usize, f64)> = edges
+        .iter()
+        .map(|&(a, b, w)| (a as usize, b as usize, w))
+        .collect();
     let want = markov_cluster(n, &shared_edges, &params());
     for p in [1usize, 4, 9] {
         let got = World::run(p, |comm| {
@@ -91,7 +96,11 @@ fn cuts_the_weak_bridge() {
     let (n, edges) = two_cliques();
     let labels = World::run(4, |comm| {
         let grid = Rc::new(Grid::new(&comm));
-        let mine = if comm.rank() == 0 { edges.clone() } else { Vec::new() };
+        let mine = if comm.rank() == 0 {
+            edges.clone()
+        } else {
+            Vec::new()
+        };
         markov_cluster_dist(grid, n as u64, mine, &params())
     })
     .remove(0);

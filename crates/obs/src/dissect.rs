@@ -1,0 +1,235 @@
+//! Critical-path dissection: per stage, the limiting rank and its
+//! compute/comm/wait split, rendered as a plain-text table in the layout of
+//! the paper's Fig. 15/16.
+//!
+//! The inputs are recorded span traces, not hand-threaded timer fields: a
+//! "stage" is identified by its span name, a rank's stage time is the sum
+//! of all its spans with that name, and the limiting rank is the one with
+//! the largest wall-clock total. `obs` carries no α-β model of its own —
+//! callers pass latency/bandwidth coefficients (e.g. from
+//! `pcomm::CostModel`) when they want a modeled comm column.
+
+use crate::span::{CounterSet, RankTrace};
+
+/// One rank's aggregate over all spans of one name.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageAgg {
+    /// Number of spans summed.
+    pub spans: usize,
+    /// Total wall-clock seconds.
+    pub secs: f64,
+    /// Total counter deltas.
+    pub counters: CounterSet,
+}
+
+/// Sum every span named `name` in `trace`, considering only events with
+/// `seq >= from_seq` (pass 0 for the whole trace; pass the root span's seq
+/// to restrict to the latest pipeline run in a longer recording).
+pub fn stage_agg(trace: &RankTrace, name: &str, from_seq: u32) -> StageAgg {
+    let mut agg = StageAgg::default();
+    for e in trace
+        .events
+        .iter()
+        .filter(|e| e.name == name && e.seq >= from_seq)
+    {
+        agg.spans += 1;
+        agg.secs += e.dur_ns as f64 * 1e-9;
+        agg.counters = agg.counters.merge(e.counters);
+    }
+    agg
+}
+
+/// One row of the dissection table.
+#[derive(Debug, Clone)]
+pub struct DissectionRow {
+    /// Display label (paper component name, e.g. `(AS)AT`).
+    pub label: &'static str,
+    /// Span name the row was built from.
+    pub span: &'static str,
+    /// Rank with the largest wall-clock total for this stage.
+    pub crit_rank: usize,
+    /// The limiting rank's wall-clock seconds.
+    pub secs: f64,
+    /// The limiting rank's deterministic compute seconds (`work_ns`).
+    pub compute_secs: f64,
+    /// Modeled communication seconds of the limiting rank
+    /// (α·msgs + β·bytes with the caller's coefficients).
+    pub comm_secs: f64,
+    /// The limiting rank's measured blocked-wait seconds.
+    pub wait_secs: f64,
+    /// The limiting rank's full counter deltas.
+    pub counters: CounterSet,
+    /// Per-rank wall-clock seconds (index = position in the input slice).
+    pub per_rank_secs: Vec<f64>,
+}
+
+/// Build dissection rows for `stages` (`(span_name, label)` pairs in
+/// display order) from one trace per rank. `alpha`/`beta` are seconds per
+/// message / per byte for the modeled comm column (pass 0.0 to disable).
+pub fn dissect(
+    traces: &[RankTrace],
+    stages: &[(&'static str, &'static str)],
+    alpha: f64,
+    beta: f64,
+) -> Vec<DissectionRow> {
+    stages
+        .iter()
+        .map(|&(span, label)| {
+            let aggs: Vec<StageAgg> = traces.iter().map(|t| stage_agg(t, span, 0)).collect();
+            let crit = aggs
+                .iter()
+                .enumerate()
+                .max_by(|(_, a), (_, b)| a.secs.total_cmp(&b.secs))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            let a = aggs.get(crit).copied().unwrap_or_default();
+            let c = a.counters;
+            let msgs = c.msgs_sent.max(c.msgs_recv) as f64;
+            let bytes = c.bytes_sent.max(c.bytes_recv) as f64;
+            DissectionRow {
+                label,
+                span,
+                crit_rank: traces.get(crit).map(|t| t.rank).unwrap_or(0),
+                secs: a.secs,
+                compute_secs: c.work_ns as f64 * 1e-9,
+                comm_secs: alpha * msgs + beta * bytes,
+                wait_secs: c.wait_ns as f64 * 1e-9,
+                counters: c,
+                per_rank_secs: aggs.iter().map(|a| a.secs).collect(),
+            }
+        })
+        .collect()
+}
+
+/// Render rows as a plain-text table: stage, share of total, limiting rank,
+/// and that rank's wall/compute/comm/wait seconds plus bytes.
+pub fn render_dissection(rows: &[DissectionRow]) -> String {
+    use std::fmt::Write as _;
+    let total: f64 = rows.iter().map(|r| r.secs).sum();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<14}{:>7}{:>6}{:>11}{:>11}{:>11}{:>11}{:>12}",
+        "component", "%", "crit", "secs", "compute", "comm", "wait", "bytes"
+    );
+    for r in rows {
+        let pct = if total > 0.0 {
+            100.0 * r.secs / total
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "{:<14}{:>6.1}%{:>6}{:>11.4}{:>11.4}{:>11.6}{:>11.4}{:>12}",
+            r.label,
+            pct,
+            r.crit_rank,
+            r.secs,
+            r.compute_secs,
+            r.comm_secs,
+            r.wait_secs,
+            r.counters.bytes_sent.max(r.counters.bytes_recv)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<14}{:>6.1}%{:>6}{:>11.4}",
+        "total", 100.0, "", total
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanEvent;
+
+    fn ev(name: &'static str, seq: u32, dur_ns: u64, c: CounterSet) -> SpanEvent {
+        SpanEvent {
+            name,
+            track: 0,
+            depth: 1,
+            seq,
+            arg: None,
+            start_ns: 0,
+            dur_ns,
+            counters: c,
+        }
+    }
+
+    fn trace(rank: usize, events: Vec<SpanEvent>) -> RankTrace {
+        RankTrace {
+            rank,
+            events,
+            metrics: Default::default(),
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn aggregates_repeated_spans_and_respects_from_seq() {
+        let t = trace(
+            0,
+            vec![
+                ev(
+                    "s.x",
+                    0,
+                    1_000_000_000,
+                    CounterSet {
+                        work_ns: 10,
+                        ..Default::default()
+                    },
+                ),
+                ev(
+                    "s.x",
+                    5,
+                    500_000_000,
+                    CounterSet {
+                        work_ns: 4,
+                        ..Default::default()
+                    },
+                ),
+                ev("s.y", 6, 1, CounterSet::default()),
+            ],
+        );
+        let all = stage_agg(&t, "s.x", 0);
+        assert_eq!(all.spans, 2);
+        assert!((all.secs - 1.5).abs() < 1e-12);
+        assert_eq!(all.counters.work_ns, 14);
+        let late = stage_agg(&t, "s.x", 5);
+        assert_eq!(late.spans, 1);
+        assert_eq!(late.counters.work_ns, 4);
+    }
+
+    #[test]
+    fn critical_rank_and_split() {
+        let t0 = trace(0, vec![ev("p.a", 0, 2_000_000_000, CounterSet::default())]);
+        let t1 = trace(
+            7,
+            vec![ev(
+                "p.a",
+                0,
+                3_000_000_000,
+                CounterSet {
+                    work_ns: 1_000_000_000,
+                    wait_ns: 500_000_000,
+                    msgs_sent: 10,
+                    bytes_sent: 1_000_000,
+                    ..Default::default()
+                },
+            )],
+        );
+        let rows = dissect(&[t0, t1], &[("p.a", "a")], 1e-6, 1e-9);
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert_eq!(r.crit_rank, 7);
+        assert!((r.secs - 3.0).abs() < 1e-12);
+        assert!((r.compute_secs - 1.0).abs() < 1e-12);
+        assert!((r.wait_secs - 0.5).abs() < 1e-12);
+        assert!((r.comm_secs - (10.0 * 1e-6 + 1e-3)).abs() < 1e-12);
+        assert_eq!(r.per_rank_secs.len(), 2);
+        let table = render_dissection(&rows);
+        assert!(table.contains("component"));
+        assert!(table.contains('a'));
+    }
+}

@@ -1,0 +1,312 @@
+//! Mergeable metrics: monotonic counters, gauges, and log₂-bucketed
+//! histograms.
+//!
+//! Every metric type merges **associatively and commutatively** (counters
+//! by sum, gauges by max, histograms bucket-wise), so a global view can be
+//! folded from per-rank snapshots in any order — the same property the
+//! runtime's reduction trees rely on.
+
+use std::collections::BTreeMap;
+
+/// Number of histogram buckets: bucket 0 holds zeros, bucket `i ≥ 1` holds
+/// values in `[2^(i-1), 2^i)`, and the last bucket absorbs the tail up to
+/// `u64::MAX`.
+pub const HIST_BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram of `u64` observations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Per-bucket observation counts (see [`HIST_BUCKETS`]).
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations (wrapping add is fine at these magnitudes).
+    pub sum: u64,
+    /// Smallest observation; `u64::MAX` when empty.
+    pub min: u64,
+    /// Largest observation; 0 when empty.
+    pub max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Bucket index for a value: 0 for 0, else `⌊log₂ v⌋ + 1`.
+    pub fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            (64 - v.leading_zeros()) as usize
+        }
+    }
+
+    /// Inclusive-exclusive value range `[lo, hi)` covered by bucket `i`
+    /// (`hi` saturates at `u64::MAX`).
+    pub fn bucket_range(i: usize) -> (u64, u64) {
+        match i {
+            0 => (0, 1),
+            _ => (1u64 << (i - 1), (1u64 << (i - 1)).saturating_mul(2)),
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Fold another histogram into this one. Associative and commutative.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean observation, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`) as the upper edge of the
+    /// bucket holding the q-th observation; exact for min/max via the
+    /// tracked extrema.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q <= 0.0 {
+            return self.min;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let target = (q * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_range(i)
+                    .1
+                    .saturating_sub(1)
+                    .min(self.max)
+                    .max(self.min);
+            }
+        }
+        self.max
+    }
+}
+
+/// An immutable copy of a registry: what a finished [`crate::RankTrace`]
+/// carries. Keys are the static names passed to the metric macros; they
+/// are stored as owned strings so snapshots from different ranks (and the
+/// JSON round-trip) compare equal.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters; merge by sum.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges (last-write-wins locally); merge by max.
+    pub gauges: BTreeMap<String, i64>,
+    /// Log₂ histograms; merge bucket-wise.
+    pub hists: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// Fold another snapshot into this one. Associative and commutative,
+    /// with [`MetricsSnapshot::default`] as identity.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            let e = self.gauges.entry(k.clone()).or_insert(i64::MIN);
+            *e = (*e).max(*v);
+        }
+        for (k, h) in &other.hists {
+            self.hists.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Merge all of `parts` into a single snapshot.
+    pub fn merged(parts: &[MetricsSnapshot]) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::default();
+        for p in parts {
+            out.merge(p);
+        }
+        out
+    }
+}
+
+/// The live, mutable registry inside a recorder.
+#[derive(Debug, Default)]
+pub(crate) struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, i64>,
+    hists: BTreeMap<&'static str, Histogram>,
+}
+
+impl MetricsRegistry {
+    pub(crate) fn counter_add(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    pub(crate) fn gauge_set(&mut self, name: &'static str, v: i64) {
+        self.gauges.insert(name, v);
+    }
+
+    pub(crate) fn hist_record(&mut self, name: &'static str, v: u64) {
+        self.hists.entry(name).or_default().record(v);
+    }
+
+    /// Fold a detached snapshot (e.g. from a joined worker thread) into the
+    /// live registry. Gauges merge by max, like rank-level merging.
+    pub(crate) fn absorb(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.counters {
+            match self.counters.get_mut(k.as_str()) {
+                Some(slot) => *slot += v,
+                None => {
+                    self.counters.insert(intern(k), *v);
+                }
+            }
+        }
+        for (k, v) in &other.gauges {
+            match self.gauges.get_mut(k.as_str()) {
+                Some(slot) => *slot = (*slot).max(*v),
+                None => {
+                    self.gauges.insert(intern(k), *v);
+                }
+            }
+        }
+        for (k, h) in &other.hists {
+            match self.hists.get_mut(k.as_str()) {
+                Some(slot) => slot.merge(h),
+                None => {
+                    self.hists.insert(intern(k), h.clone());
+                }
+            }
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+            hists: self
+                .hists
+                .iter()
+                .map(|(k, h)| (k.to_string(), h.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// Intern a dynamic metric name. Only reached when a worker snapshot
+/// carries a name its parent never recorded — a handful of distinct metric
+/// names exist program-wide, so the leak is bounded and tiny.
+fn intern(s: &str) -> &'static str {
+    Box::leak(s.to_string().into_boxed_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX] {
+            let (lo, hi) = Histogram::bucket_range(Histogram::bucket_of(v));
+            assert!(
+                lo <= v && (v < hi || hi == u64::MAX),
+                "v={v} lo={lo} hi={hi}"
+            );
+        }
+    }
+
+    #[test]
+    fn record_and_stats() {
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 5, 5, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 1011);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1000);
+        assert!((h.mean() - 202.2).abs() < 1e-9);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn merge_matches_sequential_record() {
+        let vals_a = [3u64, 0, 17, 9999];
+        let vals_b = [1u64, 1, 1 << 40];
+        let mut ha = Histogram::default();
+        let mut hb = Histogram::default();
+        let mut hall = Histogram::default();
+        for v in vals_a {
+            ha.record(v);
+            hall.record(v);
+        }
+        for v in vals_b {
+            hb.record(v);
+            hall.record(v);
+        }
+        ha.merge(&hb);
+        assert_eq!(ha, hall);
+    }
+
+    #[test]
+    fn snapshot_merge_sums_counters_maxes_gauges() {
+        let mut a = MetricsSnapshot::default();
+        a.counters.insert("c".into(), 2);
+        a.gauges.insert("g".into(), 5);
+        let mut b = MetricsSnapshot::default();
+        b.counters.insert("c".into(), 3);
+        b.counters.insert("only_b".into(), 7);
+        b.gauges.insert("g".into(), 4);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab.counters["c"], 5);
+        assert_eq!(ab.counters["only_b"], 7);
+        assert_eq!(ab.gauges["g"], 5);
+        // Commutative.
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+    }
+}

@@ -1,0 +1,150 @@
+//! Schema sanity for the Perfetto `traceEvents` export: the JSON must
+//! round-trip through the crate's own parser, and the events must satisfy
+//! the invariants the Perfetto UI relies on (metadata per track, complete
+//! events with numeric ts/dur, pid = rank).
+
+use obs::{perfetto_json, JsonValue, Recorder};
+
+fn sample_traces() -> Vec<obs::RankTrace> {
+    (0..4u32)
+        .map(|rank| {
+            std::thread::spawn(move || {
+                let rec = Recorder::install(rank as usize);
+                {
+                    let _root = obs::span!("pastis.run");
+                    for t in 0..3 {
+                        let _s = obs::span!("summa.stage", stage = t);
+                        obs::hist!("pcomm.msg_bytes", 1024 * (t + 1));
+                    }
+                    obs::counter!("align.batch.tasks", 7);
+                }
+                // A worker-track span, as align_batch emits.
+                obs::emit_span(
+                    "align.worker",
+                    1,
+                    10,
+                    500,
+                    obs::CounterSet {
+                        work_ns: 400,
+                        ..Default::default()
+                    },
+                    Some(("tasks", 7)),
+                );
+                rec.finish()
+            })
+            .join()
+            .unwrap()
+        })
+        .collect()
+}
+
+#[test]
+fn perfetto_json_round_trips_and_has_required_fields() {
+    let traces = sample_traces();
+    let json = perfetto_json(&traces);
+    let doc = JsonValue::parse(&json).expect("export must be valid JSON");
+
+    assert_eq!(
+        doc.get("displayTimeUnit").and_then(|v| v.as_str()),
+        Some("ns")
+    );
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    let mut ranks_with_process_name = std::collections::BTreeSet::new();
+    let mut complete_events = 0usize;
+    for e in events {
+        let ph = e
+            .get("ph")
+            .and_then(|v| v.as_str())
+            .expect("every event has ph");
+        let pid = e
+            .get("pid")
+            .and_then(|v| v.as_u64())
+            .expect("every event has numeric pid");
+        assert!(
+            e.get("tid").and_then(|v| v.as_u64()).is_some(),
+            "numeric tid"
+        );
+        match ph {
+            "M" => {
+                if e.get("name").and_then(|v| v.as_str()) == Some("process_name") {
+                    ranks_with_process_name.insert(pid);
+                    let label = e
+                        .get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(|v| v.as_str())
+                        .expect("process_name label");
+                    assert_eq!(label, format!("rank {pid}"));
+                }
+            }
+            "X" => {
+                complete_events += 1;
+                assert!(
+                    e.get("ts").and_then(|v| v.as_f64()).is_some(),
+                    "X event has ts"
+                );
+                let dur = e
+                    .get("dur")
+                    .and_then(|v| v.as_f64())
+                    .expect("X event has dur");
+                assert!(dur >= 0.0);
+                assert!(e.get("name").and_then(|v| v.as_str()).is_some());
+                // seq arg present: the deterministic ordering key.
+                assert!(
+                    e.get("args")
+                        .and_then(|a| a.get("seq"))
+                        .and_then(|v| v.as_u64())
+                        .is_some(),
+                    "X event carries its seq"
+                );
+            }
+            "i" => {}
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+
+    // One process-name metadata record per rank, pid = rank.
+    assert_eq!(ranks_with_process_name, (0..4u64).collect());
+    // 4 ranks × (1 root + 3 SUMMA stages + 1 worker) complete events.
+    assert_eq!(complete_events, 4 * 5);
+
+    // Round-trip: re-serializing the parsed document must parse again and
+    // preserve the event count (writer and parser agree).
+    let again = JsonValue::parse(&doc.to_string()).expect("round-trip parse");
+    assert_eq!(
+        again
+            .get("traceEvents")
+            .and_then(|v| v.as_arr())
+            .map(|a| a.len()),
+        Some(events.len())
+    );
+}
+
+#[test]
+fn worker_tracks_get_thread_names() {
+    let traces = sample_traces();
+    let json = perfetto_json(&traces);
+    let doc = JsonValue::parse(&json).unwrap();
+    let events = doc.get("traceEvents").and_then(|v| v.as_arr()).unwrap();
+    let thread_names: Vec<String> = events
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(|v| v.as_str()) == Some("M")
+                && e.get("name").and_then(|v| v.as_str()) == Some("thread_name")
+                && e.get("pid").and_then(|v| v.as_u64()) == Some(0)
+        })
+        .filter_map(|e| e.get("args")?.get("name")?.as_str().map(str::to_string))
+        .collect();
+    assert!(
+        thread_names.contains(&"main".to_string()),
+        "{thread_names:?}"
+    );
+    assert!(
+        thread_names.contains(&"worker-1".to_string()),
+        "{thread_names:?}"
+    );
+}

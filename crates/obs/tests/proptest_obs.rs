@@ -1,0 +1,116 @@
+//! Property tests for the metrics layer: histogram and snapshot merging
+//! must be associative and commutative (ranks merge in arbitrary order —
+//! e.g. along a reduction tree — and the result must not depend on it).
+
+use obs::{Histogram, MetricsSnapshot};
+use proptest::prelude::*;
+
+fn hist_from(values: &[u64]) -> Histogram {
+    let mut h = Histogram::default();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+fn merged(a: &Histogram, b: &Histogram) -> Histogram {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+/// Values spanning every bucket magnitude: `(b, x)` maps to 0 when `b == 0`
+/// and otherwise to a value inside log₂ bucket `b` (from 1 up to ≥ 2⁶³).
+fn values() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        (0u32..65, 0u64..u64::MAX).prop_map(|(b, x)| {
+            if b == 0 {
+                0
+            } else {
+                let lo = 1u64 << (b - 1);
+                lo | (x & (lo - 1))
+            }
+        }),
+        0..40,
+    )
+}
+
+/// Snapshots over a 3-key space so merges collide on some keys and miss
+/// others.
+fn snapshots() -> impl Strategy<Value = MetricsSnapshot> {
+    const KEYS: [&str; 3] = ["a", "b", "c"];
+    let key = |k: u32| KEYS[k as usize].to_string();
+    (
+        proptest::collection::vec((0u32..3, 0u64..1 << 40), 0..4),
+        proptest::collection::vec((0u32..3, -100i64..100), 0..4),
+        proptest::collection::vec((0u32..3, values()), 0..3),
+    )
+        .prop_map(move |(c, g, h)| {
+            let mut s = MetricsSnapshot::default();
+            for (k, v) in c {
+                *s.counters.entry(key(k)).or_insert(0) += v;
+            }
+            for (k, v) in g {
+                s.gauges.insert(key(k), v);
+            }
+            for (k, v) in h {
+                s.hists.entry(key(k)).or_default().merge(&hist_from(&v));
+            }
+            s
+        })
+}
+
+fn merged_snap(a: &MetricsSnapshot, b: &MetricsSnapshot) -> MetricsSnapshot {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+proptest! {
+    #[test]
+    fn histogram_merge_commutes(a in values(), b in values()) {
+        let (ha, hb) = (hist_from(&a), hist_from(&b));
+        prop_assert_eq!(merged(&ha, &hb), merged(&hb, &ha));
+    }
+
+    #[test]
+    fn histogram_merge_associates(a in values(), b in values(), c in values()) {
+        let (ha, hb, hc) = (hist_from(&a), hist_from(&b), hist_from(&c));
+        prop_assert_eq!(
+            merged(&merged(&ha, &hb), &hc),
+            merged(&ha, &merged(&hb, &hc))
+        );
+    }
+
+    #[test]
+    fn histogram_merge_equals_concat(a in values(), b in values()) {
+        // Merging two histograms is the same as one histogram over the
+        // concatenated samples.
+        let all: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(merged(&hist_from(&a), &hist_from(&b)), hist_from(&all));
+    }
+
+    #[test]
+    fn snapshot_merge_commutes(a in snapshots(), b in snapshots()) {
+        // Gauges merge by max, counters by sum, histograms bucketwise —
+        // all symmetric.
+        prop_assert_eq!(merged_snap(&a, &b), merged_snap(&b, &a));
+    }
+
+    #[test]
+    fn snapshot_merge_associates(a in snapshots(), b in snapshots(), c in snapshots()) {
+        prop_assert_eq!(
+            merged_snap(&merged_snap(&a, &b), &c),
+            merged_snap(&a, &merged_snap(&b, &c))
+        );
+    }
+
+    #[test]
+    fn quantiles_are_monotone(a in values()) {
+        let h = hist_from(&a);
+        let q25 = h.quantile(0.25);
+        let q50 = h.quantile(0.5);
+        let q99 = h.quantile(0.99);
+        prop_assert!(q25 <= q50 && q50 <= q99, "{} {} {}", q25, q50, q99);
+    }
+}

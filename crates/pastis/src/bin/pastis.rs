@@ -5,18 +5,26 @@
 //! pastis --input proteins.fasta [--output psg.tsv] [--ranks 4] [--k 6]
 //!        [--subs 25] [--mode xd|sw] [--ck N] [--measure ani|ns]
 //!        [--min-ani 0.3] [--min-cov 0.7] [--max-kmer-freq N] [--threads N] [--reduced]
+//!        [--trace trace.json] [--cluster]
 //! ```
 //!
 //! Output: one `name_i <TAB> name_j <TAB> weight` line per similarity edge
 //! (to stdout when `--output` is omitted). The edge set is independent of
 //! `--ranks`.
+//!
+//! `--trace <path>` records every rank's spans and writes a Perfetto
+//! `traceEvents` JSON (load it at <https://ui.perfetto.dev>), plus a
+//! critical-path dissection table on stderr. `--cluster` feeds the graph to
+//! distributed Markov clustering, whose per-iteration spans land in the
+//! same trace.
 
 use std::io::Write as _;
 use std::process::exit;
+use std::rc::Rc;
 
 use align::SimilarityMeasure;
-use pastis::{run_pipeline, AlignMode, PastisParams};
-use pcomm::World;
+use pastis::{run_pipeline, AlignMode, PastisParams, Timings};
+use pcomm::{Grid, World};
 
 struct Cli {
     input: String,
@@ -24,13 +32,16 @@ struct Cli {
     ranks: usize,
     params: PastisParams,
     quiet: bool,
+    trace: Option<String>,
+    cluster: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: pastis --input <fasta> [--output <tsv>] [--ranks N] [--k N] \
          [--subs N] [--mode xd|sw] [--ck N] [--measure ani|ns] [--min-ani F] \
-         [--min-cov F] [--max-kmer-freq N] [--threads N] [--reduced] [--quiet]"
+         [--min-cov F] [--max-kmer-freq N] [--threads N] [--reduced] [--quiet] \
+         [--trace <json>] [--cluster]"
     );
     exit(2);
 }
@@ -41,6 +52,8 @@ fn parse_cli() -> Cli {
     let mut output = None;
     let mut ranks = 1usize;
     let mut quiet = false;
+    let mut trace = None;
+    let mut cluster = false;
     let mut params = PastisParams::default();
     while let Some(flag) = args.next() {
         let mut val = || args.next().unwrap_or_else(|| usage());
@@ -74,6 +87,8 @@ fn parse_cli() -> Cli {
             "--threads" => params.threads = val().parse().unwrap_or_else(|_| usage()),
             "--reduced" => params.reduced_alphabet = true,
             "--quiet" => quiet = true,
+            "--trace" => trace = Some(val()),
+            "--cluster" => cluster = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
@@ -87,7 +102,15 @@ fn parse_cli() -> Cli {
         eprintln!("--ranks must be a perfect square (got {ranks})");
         exit(2);
     }
-    Cli { input, output, ranks, params, quiet }
+    Cli {
+        input,
+        output,
+        ranks,
+        params,
+        quiet,
+        trace,
+        cluster,
+    }
 }
 
 fn main() {
@@ -101,10 +124,31 @@ fn main() {
     };
     // Names for the report (records are numbered in file order, matching
     // the pipeline's global ids).
-    let names: Vec<String> = seqstore::parse_fasta(&fasta).into_iter().map(|r| r.name).collect();
+    let names: Vec<String> = seqstore::parse_fasta(&fasta)
+        .into_iter()
+        .map(|r| r.name)
+        .collect();
 
     let params = cli.params.clone();
-    let runs = World::run(cli.ranks, |comm| run_pipeline(&comm, &fasta, &params));
+    let cluster = cli.cluster;
+    let results = World::run(cli.ranks, |comm| {
+        // One recorder per rank for the whole run, so pipeline and MCL
+        // spans share a single trace.
+        let rec = obs::Recorder::install(comm.rank());
+        let run = run_pipeline(&comm, &fasta, &params);
+        let labels = cluster.then(|| {
+            let _span = obs::span!("mcl.cluster");
+            mcl::markov_cluster_dist(
+                Rc::new(Grid::new(&comm)),
+                run.counters.n_seqs,
+                run.edges.clone(),
+                &mcl::MclParams::default(),
+            )
+        });
+        (run, labels, rec.finish())
+    });
+    let (runs, rest): (Vec<_>, Vec<_>) = results.into_iter().map(|(r, l, t)| (r, (l, t))).unzip();
+    let (labels, traces): (Vec<_>, Vec<_>) = rest.into_iter().unzip();
 
     let mut edges: Vec<(u64, u64, f64)> = runs.iter().flat_map(|r| r.edges.clone()).collect();
     edges.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -121,6 +165,24 @@ fn main() {
             c.alignments_global,
             edges.len()
         );
+        if let Some(Some(l)) = labels.first() {
+            let k = l.iter().collect::<std::collections::HashSet<_>>().len();
+            eprintln!(
+                "pastis: MCL grouped {} sequences into {k} clusters",
+                l.len()
+            );
+        }
+    }
+
+    if let Some(path) = &cli.trace {
+        if let Err(e) = std::fs::write(path, obs::perfetto_json(&traces)) {
+            eprintln!("cannot write {path}: {e}");
+            exit(1);
+        }
+        let model = pcomm::CostModel::default();
+        let rows = obs::dissect::dissect(&traces, &Timings::STAGE_SPANS, model.alpha, model.beta);
+        eprintln!("{}", obs::dissect::render_dissection(&rows));
+        eprintln!("pastis: wrote Perfetto trace to {path} (open at https://ui.perfetto.dev)");
     }
 
     let mut out: Box<dyn std::io::Write> = match &cli.output {
@@ -134,7 +196,8 @@ fn main() {
         None => Box::new(std::io::BufWriter::new(std::io::stdout())),
     };
     for (i, j, w) in edges {
-        writeln!(out, "{}\t{}\t{w:.4}", names[i as usize], names[j as usize]).expect("write failed");
+        writeln!(out, "{}\t{}\t{w:.4}", names[i as usize], names[j as usize])
+            .expect("write failed");
     }
     out.flush().expect("flush failed");
 }

@@ -32,7 +32,10 @@ pub fn write_psg_shard(
 
 /// Path of rank `rank`'s shard for `stem`.
 pub fn shard_path(stem: &Path, rank: usize) -> PathBuf {
-    let mut name = stem.file_name().map(|s| s.to_os_string()).unwrap_or_default();
+    let mut name = stem
+        .file_name()
+        .map(|s| s.to_os_string())
+        .unwrap_or_default();
     name.push(format!(".rank{rank}.tsv"));
     stem.with_file_name(name)
 }

@@ -55,6 +55,8 @@ pub struct PastisParams {
     /// Local SpGEMM accumulation strategy.
     pub spgemm: SpGemmStrategy,
     /// OS threads per rank for the alignment batch (OpenMP stand-in).
+    /// `0` = auto: divide the host's cores evenly among the ranks (the
+    /// paper's one-process-per-node × t-threads layout), at least one.
     pub threads: usize,
 }
 
@@ -85,7 +87,11 @@ impl PastisParams {
             AlignMode::SmithWaterman => "SW",
             AlignMode::None => "NOALIGN",
         };
-        let ck = if self.common_kmer_threshold > 0 { "-CK" } else { "" };
+        let ck = if self.common_kmer_threshold > 0 {
+            "-CK"
+        } else {
+            ""
+        };
         format!("PASTIS-{mode}-s{}{ck}", self.substitutes)
     }
 }

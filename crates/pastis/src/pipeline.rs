@@ -1,10 +1,12 @@
 //! The distributed PASTIS pipeline (paper Fig. 1, §V), instrumented with
-//! the per-component timers of the paper's dissection analysis (Fig. 15–16:
+//! `obs` spans named after the paper's dissection components (Fig. 15–16:
 //! `fasta`, `form A`, `tr. A`, `form S`, `AS`, `(AS)Aᵀ`, `symmetricize`,
-//! `wait`) plus the alignment stage of Table I.
+//! `wait`) plus the alignment stage of Table I. The public [`Timings`]
+//! summary is *derived* from the recorded spans ([`Timings::from_trace`])
+//! rather than hand-threaded through the stages, and the full trace rides
+//! along in [`PastisRun::trace`] for Perfetto export or deeper dissection.
 
 use std::rc::Rc;
-use std::time::Instant;
 
 use align::{align_batch, local_align, xdrop_align, AlignStats, SimilarityMeasure};
 use pcomm::{Comm, CommStats, Grid};
@@ -103,7 +105,10 @@ impl Timings {
 
     /// `(label, seconds)` rows in the paper's component order.
     pub fn component_rows(&self) -> Vec<(&'static str, f64)> {
-        self.components().iter().map(|&(l, m)| (l, m.secs)).collect()
+        self.components()
+            .iter()
+            .map(|&(l, m)| (l, m.secs))
+            .collect()
     }
 
     /// The sparse components with full measurements, in the paper's order
@@ -123,7 +128,10 @@ impl Timings {
 
     /// Modeled seconds of the sparse stages under a postal cost model.
     pub fn sparse_modeled_secs(&self, model: &pcomm::CostModel) -> f64 {
-        self.components().iter().map(|(_, m)| m.modeled_secs(model)).sum()
+        self.components()
+            .iter()
+            .map(|(_, m)| m.modeled_secs(model))
+            .sum()
     }
 
     /// Modeled seconds of the whole pipeline (sparse + alignment).
@@ -139,6 +147,63 @@ impl Timings {
             0.0
         } else {
             self.align.modeled_secs(model) / total
+        }
+    }
+
+    /// `(span_name, paper_label)` of every pipeline stage, in the paper's
+    /// component order (the eight sparse components plus `align`). These
+    /// are the names [`run_pipeline`] records and the rows the trace-driven
+    /// dissection tables print.
+    pub const STAGE_SPANS: [(&'static str, &'static str); 9] = [
+        ("pastis.fasta", "fasta"),
+        ("pastis.form_a", "form A"),
+        ("pastis.tr_a", "tr. A"),
+        ("pastis.form_s", "form S"),
+        ("pastis.a_s", "AS"),
+        ("pastis.spgemm_b", "(AS)AT"),
+        ("pastis.symmetricize", "sym."),
+        ("pastis.wait", "wait"),
+        ("pastis.align", "align"),
+    ];
+
+    /// Rebuild the per-component summary from a recorded rank trace: each
+    /// stage is the sum of its spans in the latest `pastis.run`, with
+    /// wall-clock, deterministic work, and communication deltas read from
+    /// the span counters.
+    pub fn from_trace(trace: &obs::RankTrace) -> Timings {
+        let root = trace
+            .events
+            .iter()
+            .filter(|e| e.name == "pastis.run")
+            .max_by_key(|e| e.seq);
+        let (from_seq, total) = root
+            .map(|e| (e.seq, e.dur_ns as f64 * 1e-9))
+            .unwrap_or((0, 0.0));
+        let stage = |name: &str| {
+            let a = obs::dissect::stage_agg(trace, name, from_seq);
+            StageMeasure {
+                secs: a.secs,
+                work_ns: a.counters.work_ns,
+                comm: CommStats {
+                    bytes_sent: a.counters.bytes_sent,
+                    bytes_recv: a.counters.bytes_recv,
+                    msgs_sent: a.counters.msgs_sent,
+                    msgs_recv: a.counters.msgs_recv,
+                    wait_nanos: a.counters.wait_ns,
+                },
+            }
+        };
+        Timings {
+            fasta: stage("pastis.fasta"),
+            form_a: stage("pastis.form_a"),
+            tr_a: stage("pastis.tr_a"),
+            form_s: stage("pastis.form_s"),
+            a_s: stage("pastis.a_s"),
+            spgemm_b: stage("pastis.spgemm_b"),
+            symmetricize: stage("pastis.symmetricize"),
+            wait: stage("pastis.wait"),
+            align: stage("pastis.align"),
+            total,
         }
     }
 }
@@ -172,20 +237,19 @@ pub struct PastisRun {
     /// weight)` with `gid_low < gid_high`, each global pair reported by
     /// exactly one rank.
     pub edges: Vec<(u64, u64, f64)>,
-    /// Per-component timings on this rank.
+    /// Per-component timings on this rank, derived from `trace`.
     pub timings: Timings,
     /// Pipeline statistics.
     pub counters: Counters,
+    /// The spans and metrics this rank recorded (the pipeline's own when no
+    /// recorder was installed by the caller, otherwise a snapshot of the
+    /// caller's).
+    pub trace: obs::RankTrace,
 }
 
-fn measure<R>(comm: &Comm, f: impl FnOnce() -> R) -> (R, StageMeasure) {
-    let before = comm.stats();
-    let work_before = pcomm::work::counter();
-    let t = Instant::now();
-    let out = f();
-    let secs = t.elapsed().as_secs_f64();
-    let work_ns = pcomm::work::counter() - work_before;
-    (out, StageMeasure { secs, work_ns, comm: comm.stats() - before })
+fn stage<R>(name: &'static str, f: impl FnOnce() -> R) -> R {
+    let _span = obs::span_start(name, None);
+    f()
 }
 
 /// Run the full PASTIS pipeline on this rank. Collective over `comm`, whose
@@ -198,91 +262,126 @@ pub fn run_pipeline(comm: &Comm, fasta: &[u8], params: &PastisParams) -> PastisR
         !(params.reduced_alphabet && params.substitutes > 0),
         "reduced-alphabet seeding and substitute k-mers are mutually exclusive"
     );
-    let t_total = Instant::now();
-    let grid = Rc::new(Grid::new(comm));
-    let q = grid.q() as u64;
-    let mut timings = Timings::default();
-    let mut counters = Counters::default();
+    // Record into the caller's recorder when one is installed (so a caller
+    // can splice the pipeline into a larger trace, e.g. pipeline + MCL);
+    // otherwise install our own for the duration of the run.
+    let own_rec = (!obs::enabled()).then(|| obs::Recorder::install(comm.rank()));
+    let (edges, counters) = {
+        let _root = obs::span!("pastis.run");
+        let grid = Rc::new(Grid::new(comm));
+        let q = grid.q() as u64;
+        let mut counters = Counters::default();
 
-    // 1. Parse my byte-balanced FASTA chunk; number sequences globally.
-    let (mut store, m) = measure(comm, || DistSeqStore::from_fasta(comm, fasta));
-    timings.fasta = m;
-    let n = store.len();
-    counters.n_seqs = n;
+        // 1. Parse my byte-balanced FASTA chunk; number sequences globally.
+        let mut store = stage("pastis.fasta", || DistSeqStore::from_fasta(comm, fasta));
+        let n = store.len();
+        counters.n_seqs = n;
 
-    // 2. Kick off the background sequence exchange for my B-block's row and
-    //    column ranges (paper Fig. 10: overlapped with all matrix work).
-    let row_range = (grid.myrow() as u64 * n / q, (grid.myrow() as u64 + 1) * n / q);
-    let col_range = (grid.mycol() as u64 * n / q, (grid.mycol() as u64 + 1) * n / q);
-    let exchange = store.start_exchange(&grid, row_range, col_range);
+        // 2. Kick off the background sequence exchange for my B-block's row
+        //    and column ranges (paper Fig. 10: overlapped with all matrix
+        //    work).
+        let row_range = (
+            grid.myrow() as u64 * n / q,
+            (grid.myrow() as u64 + 1) * n / q,
+        );
+        let col_range = (
+            grid.mycol() as u64 * n / q,
+            (grid.mycol() as u64 + 1) * n / q,
+        );
+        let exchange = store.start_exchange(&grid, row_range, col_range);
 
-    // 3. Form A (|seqs| × 24^k, positions as values), optionally dropping
-    //    k-mers that occur in too many sequences (§VII future work: k-mer
-    //    pre-analysis; repeats otherwise inflate B quadratically).
-    let space = kmer_space(params.k);
-    let (a_mat, m) = measure(comm, || {
-        let triples = build_a_triples(store.owned(), params.k, params.reduced_alphabet);
-        let mut a = DistMat::from_triples(Rc::clone(&grid), n, space, triples, |a, b| *a = (*a).min(b));
-        if let Some(limit) = params.max_kmer_frequency {
-            prune_frequent_kmers(&grid, &mut a, limit);
-        }
-        a
-    });
-    timings.form_a = m;
-
-    // 4. Aᵀ.
-    let (a_t, m) = measure(comm, || a_mat.transpose());
-    timings.tr_a = m;
-
-    // 5. Overlap matrix B.
-    let b_mat: DistMat<SeedPair> = if params.substitutes > 0 {
-        let (s_mat, m) = measure(comm, || {
-            let table = ExpenseTable::new(params.align.matrix);
-            let local_kmers = distinct_kmers(store.owned(), params.k);
-            build_s_dist(Rc::clone(&grid), &local_kmers, params.k, &table, params.substitutes)
+        // 3. Form A (|seqs| × 24^k, positions as values), optionally
+        //    dropping k-mers that occur in too many sequences (§VII future
+        //    work: k-mer pre-analysis; repeats otherwise inflate B
+        //    quadratically).
+        let space = kmer_space(params.k);
+        let a_mat = stage("pastis.form_a", || {
+            let triples = build_a_triples(store.owned(), params.k, params.reduced_alphabet);
+            let mut a =
+                DistMat::from_triples(Rc::clone(&grid), n, space, triples, |a, b| *a = (*a).min(b));
+            if let Some(limit) = params.max_kmer_frequency {
+                prune_frequent_kmers(&grid, &mut a, limit);
+            }
+            a
         });
-        timings.form_s = m;
-        counters.nnz_s = s_mat.nnz();
 
-        let (as_mat, m) = measure(comm, || a_mat.spgemm(&s_mat, &AsSemiring, params.spgemm));
-        timings.a_s = m;
+        // 4. Aᵀ.
+        let a_t = stage("pastis.tr_a", || a_mat.transpose());
 
-        let (b0, m) = measure(comm, || as_mat.spgemm(&a_t, &SubSemiring, params.spgemm));
-        timings.spgemm_b = m;
+        // 5. Overlap matrix B.
+        let b_mat: DistMat<SeedPair> = if params.substitutes > 0 {
+            let s_mat = stage("pastis.form_s", || {
+                let table = ExpenseTable::new(params.align.matrix);
+                let local_kmers = distinct_kmers(store.owned(), params.k);
+                build_s_dist(
+                    Rc::clone(&grid),
+                    &local_kmers,
+                    params.k,
+                    &table,
+                    params.substitutes,
+                )
+            });
+            counters.nnz_s = s_mat.nnz();
 
-        // Substitute matching is directional (row side substituted, column
-        // side exact), so B must be symmetrized (paper Fig. 15 "sym.").
-        let (b1, m) = measure(comm, || {
-            let swapped = b0.transpose().map(|_, _, v| v.swapped());
-            b0.elementwise_add(&swapped, |acc, v| acc.merge_symmetric(v))
+            let as_mat = stage("pastis.a_s", || {
+                a_mat.spgemm(&s_mat, &AsSemiring, params.spgemm)
+            });
+
+            let b0 = stage("pastis.spgemm_b", || {
+                as_mat.spgemm(&a_t, &SubSemiring, params.spgemm)
+            });
+
+            // Substitute matching is directional (row side substituted,
+            // column side exact), so B must be symmetrized (paper Fig. 15
+            // "sym.").
+            stage("pastis.symmetricize", || {
+                let swapped = b0.transpose().map(|_, _, v| v.swapped());
+                b0.elementwise_add(&swapped, |acc, v| acc.merge_symmetric(v))
+            })
+        } else {
+            stage("pastis.spgemm_b", || {
+                a_mat.spgemm(&a_t, &ExactSemiring, params.spgemm)
+            })
+        };
+        counters.nnz_a = a_mat.nnz();
+        counters.nnz_b = b_mat.nnz();
+        obs::gauge!("pastis.nnz_b", counters.nnz_b);
+
+        // 6. Fence the sequence exchange (MPI_Waitall, paper Fig. 10).
+        stage("pastis.wait", || store.finish_exchange(exchange));
+
+        // 7. Alignment with the triangular block-ownership rule (paper
+        //    §V-D, Fig. 11): within my block I align my local upper
+        //    triangle; local diagonals belong to on-or-above-diagonal
+        //    ranks.
+        let edges = stage("pastis.align", || {
+            align_owned_pairs(
+                &b_mat,
+                &store,
+                params,
+                &grid,
+                row_range,
+                col_range,
+                &mut counters,
+            )
         });
-        timings.symmetricize = m;
-        b1
-    } else {
-        let (b0, m) = measure(comm, || a_mat.spgemm(&a_t, &ExactSemiring, params.spgemm));
-        timings.spgemm_b = m;
-        b0
+
+        counters.alignments_global = comm.allreduce(counters.alignments_local, |a, b| a + b);
+        counters.edges_global = comm.allreduce(edges.len() as u64, |a, b| a + b);
+        (edges, counters)
     };
-    counters.nnz_a = a_mat.nnz();
-    counters.nnz_b = b_mat.nnz();
 
-    // 6. Fence the sequence exchange (MPI_Waitall, paper Fig. 10).
-    let (_, m) = measure(comm, || store.finish_exchange(exchange));
-    timings.wait = m;
-
-    // 7. Alignment with the triangular block-ownership rule (paper §V-D,
-    //    Fig. 11): within my block I align my local upper triangle; local
-    //    diagonals belong to on-or-above-diagonal ranks.
-    let (edges, m) = measure(comm, || {
-        align_owned_pairs(&b_mat, &store, params, &grid, row_range, col_range, &mut counters)
-    });
-    timings.align = m;
-
-    counters.alignments_global = comm.allreduce(counters.alignments_local, |a, b| a + b);
-    counters.edges_global = comm.allreduce(edges.len() as u64, |a, b| a + b);
-    timings.total = t_total.elapsed().as_secs_f64();
-
-    PastisRun { edges, timings, counters }
+    let trace = match own_rec {
+        Some(rec) => rec.finish(),
+        None => obs::snapshot().expect("recorder uninstalled mid-pipeline"),
+    };
+    let timings = Timings::from_trace(&trace);
+    PastisRun {
+        edges,
+        timings,
+        counters,
+        trace,
+    }
 }
 
 /// Drop columns of `A` (k-mers) whose global occurrence count exceeds
@@ -344,10 +443,20 @@ fn align_owned_pairs(
         _ => tasks.len() as u64,
     };
 
+    // Per-rank OS-thread budget for the batch: 0 = auto, splitting the
+    // host's cores evenly among co-located ranks (the paper's
+    // one-process-per-node × t-threads layout).
+    let threads = if params.threads == 0 {
+        let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+        (cores / grid.world().size().max(1)).max(1)
+    } else {
+        params.threads
+    };
+
     let k = params.k;
     let ap = params.align;
     let mode = params.mode;
-    let stats: Vec<Option<AlignStats>> = align_batch(&tasks, params.threads, |&(gi, gj, pair)| {
+    let stats: Vec<Option<AlignStats>> = align_batch(&tasks, threads, |&(gi, gj, pair)| {
         match mode {
             AlignMode::None => None,
             AlignMode::SmithWaterman => {
@@ -386,6 +495,7 @@ fn align_owned_pairs(
                         best = Some(st);
                     }
                 }
+                obs::hist!("align.seeds_extended", ndiags);
                 best
             }
         }
@@ -430,8 +540,9 @@ mod tests {
         // pair — the §V-D claim.
         let n = 23u64;
         for q in [1usize, 2, 3, 4] {
-            let ranges: Vec<(u64, u64)> =
-                (0..q).map(|i| (i as u64 * n / q as u64, (i as u64 + 1) * n / q as u64)).collect();
+            let ranges: Vec<(u64, u64)> = (0..q)
+                .map(|i| (i as u64 * n / q as u64, (i as u64 + 1) * n / q as u64))
+                .collect();
             for i in 0..n {
                 for j in 0..n {
                     if i == j {
@@ -444,7 +555,12 @@ mod tests {
                             let (c0, c1) = ranges[c];
                             // Entry (i,j) of symmetric B exists in block
                             // (r,c) iff i ∈ rows, j ∈ cols.
-                            if i >= r0 && i < r1 && j >= c0 && j < c1 && owns_pair(i - r0, j - c0, r, c) {
+                            if i >= r0
+                                && i < r1
+                                && j >= c0
+                                && j < c1
+                                && owns_pair(i - r0, j - c0, r, c)
+                            {
                                 owners += 1;
                             }
                         }
@@ -456,12 +572,21 @@ mod tests {
                         for c in 0..q {
                             let (r0, r1) = ranges[r];
                             let (c0, c1) = ranges[c];
-                            if j >= r0 && j < r1 && i >= c0 && i < c1 && owns_pair(j - r0, i - c0, r, c) {
+                            if j >= r0
+                                && j < r1
+                                && i >= c0
+                                && i < c1
+                                && owns_pair(j - r0, i - c0, r, c)
+                            {
                                 owners_t += 1;
                             }
                         }
                     }
-                    assert_eq!(owners + owners_t, 1, "pair ({i},{j}) q={q}: {owners}+{owners_t}");
+                    assert_eq!(
+                        owners + owners_t,
+                        1,
+                        "pair ({i},{j}) q={q}: {owners}+{owners_t}"
+                    );
                 }
             }
         }

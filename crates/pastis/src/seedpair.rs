@@ -35,7 +35,11 @@ pub struct SeedPair {
 impl SeedPair {
     /// A single shared seed.
     pub fn single(rpos: u32, cpos: u32) -> SeedPair {
-        SeedPair { count: 1, seeds: [(rpos, cpos), (0, 0)], nseeds: 1 }
+        SeedPair {
+            count: 1,
+            seeds: [(rpos, cpos), (0, 0)],
+            nseeds: 1,
+        }
     }
 
     /// The stored seeds (at most two).

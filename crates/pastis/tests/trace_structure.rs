@@ -1,0 +1,123 @@
+//! Deterministic span structure: the shape of the recorded trace — which
+//! spans nest under which, in what order — must not depend on the process
+//! count or the rank. [`obs::structure_signature`] collapses runs of
+//! identical sibling subtrees, so the q SUMMA stages of a √p × √p grid
+//! compare equal across grids (q spans of identical shape on every p).
+//!
+//! MCL is exercised separately (`mcl.iter` spans): its iteration count
+//! depends on floating-point convergence whose reduction order varies with
+//! p, so it is deliberately not part of the cross-p fixture.
+
+use datagen::{metaclust_like, MetaclustConfig};
+use pastis::{run_pipeline, PastisParams};
+use pcomm::World;
+use seqstore::write_fasta;
+
+fn dataset() -> Vec<u8> {
+    write_fasta(&metaclust_like(
+        32,
+        &MetaclustConfig {
+            seed: 11,
+            len_range: (60, 100),
+            related_fraction: 0.5,
+            mutation_rate: 0.08,
+        },
+    ))
+}
+
+fn signatures(fasta: &[u8], p: usize, params: &PastisParams) -> Vec<String> {
+    let runs = World::run(p, |comm| run_pipeline(&comm, fasta, params));
+    runs.iter()
+        .map(|r| obs::structure_signature(&r.trace.events))
+        .collect()
+}
+
+#[test]
+fn span_structure_is_identical_across_process_counts() {
+    let fasta = dataset();
+    let params = PastisParams {
+        k: 4,
+        threads: 1,
+        ..Default::default()
+    };
+    let reference = signatures(&fasta, 1, &params)[0].clone();
+    assert!(
+        reference.starts_with("pastis.run("),
+        "unexpected root: {reference}"
+    );
+    assert!(
+        reference.contains("summa.stage("),
+        "no SUMMA stages: {reference}"
+    );
+    for p in [4usize, 16] {
+        for (rank, sig) in signatures(&fasta, p, &params).iter().enumerate() {
+            assert_eq!(*sig, reference, "p={p} rank={rank}");
+        }
+    }
+}
+
+#[test]
+fn substitute_path_adds_its_stages_deterministically() {
+    let fasta = dataset();
+    let params = PastisParams {
+        k: 4,
+        substitutes: 4,
+        threads: 1,
+        ..Default::default()
+    };
+    let reference = signatures(&fasta, 1, &params)[0].clone();
+    for needle in ["pastis.form_s", "pastis.a_s", "pastis.symmetricize"] {
+        assert!(reference.contains(needle), "missing {needle}: {reference}");
+    }
+    for (rank, sig) in signatures(&fasta, 4, &params).iter().enumerate() {
+        assert_eq!(*sig, reference, "rank={rank}");
+    }
+}
+
+#[test]
+fn every_paper_stage_has_a_span() {
+    let fasta = dataset();
+    let params = PastisParams {
+        k: 4,
+        substitutes: 4,
+        threads: 1,
+        ..Default::default()
+    };
+    let runs = World::run(4, |comm| run_pipeline(&comm, fasta.as_slice(), &params));
+    for r in &runs {
+        for (span, label) in pastis::Timings::STAGE_SPANS {
+            assert!(
+                r.trace.events.iter().any(|e| e.name == span),
+                "rank {} missing {span} ({label})",
+                r.trace.rank
+            );
+        }
+    }
+}
+
+#[test]
+fn timings_match_trace_stage_sums() {
+    let fasta = dataset();
+    let params = PastisParams {
+        k: 4,
+        threads: 1,
+        ..Default::default()
+    };
+    let runs = World::run(4, |comm| run_pipeline(&comm, fasta.as_slice(), &params));
+    for r in &runs {
+        let rebuilt = pastis::Timings::from_trace(&r.trace);
+        assert_eq!(r.timings.align.work_ns, rebuilt.align.work_ns);
+        assert_eq!(
+            r.timings.spgemm_b.comm.bytes_sent,
+            rebuilt.spgemm_b.comm.bytes_sent
+        );
+        assert!((r.timings.total - rebuilt.total).abs() < 1e-12);
+        // The stage spans cover the run: their wall-clock sum cannot exceed
+        // the root span's duration.
+        let sum: f64 = pastis::Timings::STAGE_SPANS
+            .iter()
+            .map(|(s, _)| obs::dissect::stage_agg(&r.trace, s, 0).secs)
+            .sum();
+        assert!(sum <= r.timings.total + 1e-9, "{sum} > {}", r.timings.total);
+    }
+}

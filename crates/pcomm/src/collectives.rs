@@ -19,6 +19,7 @@ impl Comm {
 
     /// Block until every rank of this communicator has entered the barrier.
     pub fn barrier(&self) {
+        let _span = obs::span!("pcomm.barrier");
         self.reduce_with_tag(0, 0u8, |_, _| 0);
         let _ = self.bcast(0, if self.rank() == 0 { Some(0u8) } else { None });
     }
@@ -26,6 +27,7 @@ impl Comm {
     /// Binomial-tree broadcast from `root`. Ranks other than `root` pass
     /// `None` and receive the broadcast value.
     pub fn bcast<T: Payload + Clone>(&self, root: usize, value: Option<T>) -> T {
+        let _span = obs::span!("pcomm.bcast");
         let tag = self.coll_tag();
         let p = self.size();
         let vr = (self.rank() + p - root) % p; // virtual rank with root at 0
@@ -39,7 +41,11 @@ impl Comm {
             self.recv_raw::<T>(parent, tag)
         };
         // Forward to children vr | 2^d for every d above my highest set bit.
-        let mut d = if vr == 0 { 0 } else { (usize::BITS - vr.leading_zeros()) as usize };
+        let mut d = if vr == 0 {
+            0
+        } else {
+            (usize::BITS - vr.leading_zeros()) as usize
+        };
         while (1usize << d) < p {
             let child_vr = vr | (1 << d);
             if child_vr < p {
@@ -51,7 +57,12 @@ impl Comm {
         val
     }
 
-    fn reduce_with_tag<T: Payload>(&self, root: usize, value: T, op: impl Fn(T, T) -> T) -> Option<T> {
+    fn reduce_with_tag<T: Payload>(
+        &self,
+        root: usize,
+        value: T,
+        op: impl Fn(T, T) -> T,
+    ) -> Option<T> {
         let tag = self.coll_tag();
         let p = self.size();
         let vr = (self.rank() + p - root) % p;
@@ -80,11 +91,13 @@ impl Comm {
     /// and `None` elsewhere. `op` must be associative (the combine order is
     /// deterministic for a given communicator size, so results reproduce).
     pub fn reduce<T: Payload>(&self, root: usize, value: T, op: impl Fn(T, T) -> T) -> Option<T> {
+        let _span = obs::span!("pcomm.reduce");
         self.reduce_with_tag(root, value, op)
     }
 
     /// Reduction whose result every rank receives.
     pub fn allreduce<T: Payload + Clone>(&self, value: T, op: impl Fn(T, T) -> T) -> T {
+        let _span = obs::span!("pcomm.allreduce");
         let total = self.reduce(0, value, op);
         self.bcast(0, total)
     }
@@ -92,6 +105,7 @@ impl Comm {
     /// Gather one value per rank to `root` (rank order). Linear algorithm:
     /// the root inherently receives `p-1` messages.
     pub fn gather<T: Payload>(&self, root: usize, value: T) -> Option<Vec<T>> {
+        let _span = obs::span!("pcomm.gather");
         let tag = self.coll_tag();
         if self.rank() == root {
             let mut out: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
@@ -111,6 +125,7 @@ impl Comm {
 
     /// Gather one value per rank onto every rank (gather + broadcast).
     pub fn allgather<T: Payload + Clone>(&self, value: T) -> Vec<T> {
+        let _span = obs::span!("pcomm.allgather");
         let gathered = self.gather(0, value);
         self.bcast(0, gathered)
     }
@@ -119,22 +134,34 @@ impl Comm {
     /// element `s` is the part rank `s` addressed to me. This is the shuffle
     /// primitive behind distributed triple redistribution.
     pub fn alltoallv<T: Payload>(&self, parts: Vec<Vec<T>>) -> Vec<Vec<T>> {
-        assert_eq!(parts.len(), self.size(), "need one part per destination rank");
+        let _span = obs::span!("pcomm.alltoallv");
+        assert_eq!(
+            parts.len(),
+            self.size(),
+            "need one part per destination rank"
+        );
         let tag = self.coll_tag();
         for (dst, part) in parts.into_iter().enumerate() {
             self.send_raw(dst, tag, part);
         }
-        (0..self.size()).map(|src| self.recv_raw::<Vec<T>>(src, tag)).collect()
+        (0..self.size())
+            .map(|src| self.recv_raw::<Vec<T>>(src, tag))
+            .collect()
     }
 
     /// Exclusive prefix "sum" over ranks: rank `i` receives
     /// `op(v_0, ..., v_{i-1})`; rank 0 receives `None`. Used to number
     /// globally the sequences each rank parsed from its FASTA chunk.
     pub fn exscan<T: Payload + Clone>(&self, value: T, op: impl Fn(T, T) -> T) -> Option<T> {
+        let _span = obs::span!("pcomm.exscan");
         let tag = self.coll_tag();
         let me = self.rank();
         let p = self.size();
-        let prefix: Option<T> = if me == 0 { None } else { Some(self.recv_raw::<T>(me - 1, tag)) };
+        let prefix: Option<T> = if me == 0 {
+            None
+        } else {
+            Some(self.recv_raw::<T>(me - 1, tag))
+        };
         if me + 1 < p {
             let next = match prefix.clone() {
                 None => value,

@@ -11,7 +11,7 @@ use std::time::Instant;
 use crossbeam::channel::Receiver;
 
 use crate::payload::Payload;
-use crate::stats::{CommStats, LiveStats};
+use crate::stats::{self, CommStats};
 use crate::world::{Packet, WorldShared};
 use crate::MAX_USER_TAG;
 
@@ -25,12 +25,16 @@ pub(crate) struct RankCtx {
     pub(crate) rx: Receiver<Packet>,
     /// Messages that arrived before a matching `recv` was posted.
     stash: RefCell<Stash>,
-    pub(crate) stats: LiveStats,
 }
 
 impl RankCtx {
     pub(crate) fn new(world: Arc<WorldShared>, world_rank: usize, rx: Receiver<Packet>) -> Self {
-        RankCtx { world, world_rank, rx, stash: RefCell::new(HashMap::new()), stats: LiveStats::default() }
+        RankCtx {
+            world,
+            world_rank,
+            rx,
+            stash: RefCell::new(HashMap::new()),
+        }
     }
 }
 
@@ -70,7 +74,10 @@ impl Clone for Comm {
 
 fn mix(mut h: u64, v: u64) -> u64 {
     // SplitMix64-style mixing for communicator id derivation.
-    h ^= v.wrapping_add(0x9e37_79b9_7f4a_7c15).wrapping_add(h << 6).wrapping_add(h >> 2);
+    h ^= v
+        .wrapping_add(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(h << 6)
+        .wrapping_add(h >> 2);
     h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
     h ^ (h >> 31)
 }
@@ -109,7 +116,7 @@ impl Comm {
     /// Snapshot of this rank's cumulative communication counters (world-wide,
     /// not per-communicator).
     pub fn stats(&self) -> CommStats {
-        self.ctx.stats.snapshot()
+        stats::thread_snapshot()
     }
 
     /// Blocking typed send. `dst` and `tag` address the message; the value is
@@ -122,7 +129,8 @@ impl Comm {
 
     pub(crate) fn send_raw<T: Payload>(&self, dst: usize, tag: u64, value: T) {
         let bytes = value.payload_bytes();
-        self.ctx.stats.on_send(bytes);
+        stats::on_send(bytes);
+        obs::hist!("pcomm.msg_bytes", bytes);
         let pkt = Packet {
             comm: self.id,
             src: self.ctx.world_rank,
@@ -148,7 +156,7 @@ impl Comm {
         let key = (self.id, self.group[src], tag);
         if let Some(q) = self.ctx.stash.borrow_mut().get_mut(&key) {
             if let Some((payload, bytes)) = q.pop_front() {
-                self.ctx.stats.on_recv(bytes);
+                stats::on_recv(bytes);
                 return *payload.downcast::<T>().expect("payload type mismatch");
             }
         }
@@ -156,8 +164,10 @@ impl Comm {
         loop {
             let pkt = self.ctx.rx.recv().expect("world shut down while receiving");
             if (pkt.comm, pkt.src, pkt.tag) == key {
-                self.ctx.stats.on_wait(start.elapsed().as_nanos() as u64);
-                self.ctx.stats.on_recv(pkt.bytes);
+                let waited = start.elapsed().as_nanos() as u64;
+                stats::on_wait(waited);
+                obs::hist!("pcomm.wait_ns", waited);
+                stats::on_recv(pkt.bytes);
                 return *pkt.payload.downcast::<T>().expect("payload type mismatch");
             }
             self.ctx
@@ -180,13 +190,19 @@ impl Comm {
     /// [`RecvFuture::wait`] or [`Comm::waitall`].
     pub fn irecv<T: Payload>(&self, src: usize, tag: u64) -> RecvFuture<T> {
         assert!(tag < MAX_USER_TAG, "tag {tag} is reserved for collectives");
-        RecvFuture { comm: self.clone(), src, tag, _t: PhantomData }
+        RecvFuture {
+            comm: self.clone(),
+            src,
+            tag,
+            _t: PhantomData,
+        }
     }
 
     /// Complete a set of posted receives, returning payloads in post order.
     /// This is the `MPI_Waitall` fence PASTIS uses after computing B to
     /// guarantee remote sequences have arrived (§V-C).
     pub fn waitall<T: Payload>(&self, futures: Vec<RecvFuture<T>>) -> Vec<T> {
+        let _span = obs::span!("pcomm.waitall", pending = futures.len());
         futures.into_iter().map(RecvFuture::wait).collect()
     }
 
@@ -197,10 +213,16 @@ impl Comm {
     pub fn subcomm(&self, members: &[usize]) -> Option<Comm> {
         let seq = self.split_seq.get();
         self.split_seq.set(seq + 1);
-        debug_assert!(members.windows(2).all(|w| w[0] < w[1]), "members must be strictly increasing");
+        debug_assert!(
+            members.windows(2).all(|w| w[0] < w[1]),
+            "members must be strictly increasing"
+        );
         let my = members.iter().position(|&m| m == self.my)?;
         let group: Vec<usize> = members.iter().map(|&m| self.group[m]).collect();
-        let id = mix(mix(self.id, seq), group[0] as u64 ^ (group.len() as u64) << 32);
+        let id = mix(
+            mix(self.id, seq),
+            group[0] as u64 ^ (group.len() as u64) << 32,
+        );
         Some(Comm {
             ctx: Rc::clone(&self.ctx),
             group: Arc::new(group),
@@ -222,7 +244,11 @@ impl Comm {
             .collect();
         // Order by key, then original rank, then renumber as group indices.
         members.sort_by_key(|&r| {
-            let k = triples.iter().find(|&&(_, _, rr)| rr as usize == r).unwrap().1;
+            let k = triples
+                .iter()
+                .find(|&&(_, _, rr)| rr as usize == r)
+                .unwrap()
+                .1;
             (k, r)
         });
         // subcomm requires strictly increasing member indices; reorder via a
@@ -231,8 +257,13 @@ impl Comm {
         sorted.sort_unstable();
         // Keep split_seq consistent across colors: every rank made the same
         // number of subcomm calls regardless of its color.
-        let sub = self.subcomm(&sorted).expect("self must be a member of its own color group");
-        debug_assert_eq!(sorted, members, "split with non-monotone keys is not supported");
+        let sub = self
+            .subcomm(&sorted)
+            .expect("self must be a member of its own color group");
+        debug_assert_eq!(
+            sorted, members,
+            "split with non-monotone keys is not supported"
+        );
         sub
     }
 }

@@ -31,7 +31,11 @@ pub struct CostModel {
 
 impl Default for CostModel {
     fn default() -> Self {
-        CostModel { alpha: 1.0e-6, beta: 1.0 / 8.0e9, compute_scale: 1.0 }
+        CostModel {
+            alpha: 1.0e-6,
+            beta: 1.0 / 8.0e9,
+            compute_scale: 1.0,
+        }
     }
 }
 
@@ -48,12 +52,18 @@ pub struct StageCost {
 impl StageCost {
     /// Critical path across ranks: element-wise max.
     pub fn max(self, rhs: StageCost) -> StageCost {
-        StageCost { compute_secs: self.compute_secs.max(rhs.compute_secs), comm: self.comm.max(rhs.comm) }
+        StageCost {
+            compute_secs: self.compute_secs.max(rhs.compute_secs),
+            comm: self.comm.max(rhs.comm),
+        }
     }
 
     /// Aggregate across ranks (useful for total volume reporting).
     pub fn sum(self, rhs: StageCost) -> StageCost {
-        StageCost { compute_secs: self.compute_secs + rhs.compute_secs, comm: self.comm.sum(rhs.comm) }
+        StageCost {
+            compute_secs: self.compute_secs + rhs.compute_secs,
+            comm: self.comm.sum(rhs.comm),
+        }
     }
 }
 
@@ -78,10 +88,20 @@ mod tests {
 
     #[test]
     fn stage_seconds_combines_terms() {
-        let m = CostModel { alpha: 1e-6, beta: 1e-9, compute_scale: 2.0 };
+        let m = CostModel {
+            alpha: 1e-6,
+            beta: 1e-9,
+            compute_scale: 2.0,
+        };
         let s = StageCost {
             compute_secs: 4.0,
-            comm: CommStats { bytes_sent: 1_000_000, bytes_recv: 0, msgs_sent: 10, msgs_recv: 0, wait_nanos: 0 },
+            comm: CommStats {
+                bytes_sent: 1_000_000,
+                bytes_recv: 0,
+                msgs_sent: 10,
+                msgs_recv: 0,
+                wait_nanos: 0,
+            },
         };
         let t = m.stage_seconds(s);
         assert!((t - (2.0 + 10.0 * 1e-6 + 1e-3)).abs() < 1e-12);
@@ -89,8 +109,20 @@ mod tests {
 
     #[test]
     fn max_takes_critical_path() {
-        let a = StageCost { compute_secs: 1.0, comm: CommStats { bytes_sent: 5, ..Default::default() } };
-        let b = StageCost { compute_secs: 3.0, comm: CommStats { bytes_sent: 2, ..Default::default() } };
+        let a = StageCost {
+            compute_secs: 1.0,
+            comm: CommStats {
+                bytes_sent: 5,
+                ..Default::default()
+            },
+        };
+        let b = StageCost {
+            compute_secs: 3.0,
+            comm: CommStats {
+                bytes_sent: 2,
+                ..Default::default()
+            },
+        };
         let m = a.max(b);
         assert_eq!(m.compute_secs, 3.0);
         assert_eq!(m.comm.bytes_sent, 5);

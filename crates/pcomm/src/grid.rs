@@ -24,7 +24,11 @@ impl Grid {
     pub fn new(comm: &Comm) -> Grid {
         let p = comm.size();
         let q = (p as f64).sqrt().round() as usize;
-        assert_eq!(q * q, p, "grid requires a perfect square rank count, got {p}");
+        assert_eq!(
+            q * q,
+            p,
+            "grid requires a perfect square rank count, got {p}"
+        );
         let me = comm.rank();
         let (myrow, mycol) = (me / q, me % q);
         // Subcommunicator creation is collective: every rank must perform the
@@ -45,7 +49,12 @@ impl Grid {
                 col = Some(cm);
             }
         }
-        Grid { world: comm.clone(), q, row: row.unwrap(), col: col.unwrap() }
+        Grid {
+            world: comm.clone(),
+            q,
+            row: row.unwrap(),
+            col: col.unwrap(),
+        }
     }
 
     /// Side length of the grid (√p).

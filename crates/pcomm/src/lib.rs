@@ -37,7 +37,7 @@ pub use comm::{Comm, RecvFuture};
 pub use cost::{CostModel, StageCost};
 pub use grid::Grid;
 pub use payload::Payload;
-pub use stats::CommStats;
+pub use stats::{install_obs_provider, CommStats};
 pub use world::World;
 
 /// Tags below this bound are available to users; larger values are reserved

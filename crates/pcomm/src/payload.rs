@@ -19,7 +19,23 @@ macro_rules! impl_payload_prim {
     };
 }
 
-impl_payload_prim!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool, char, ());
+impl_payload_prim!(
+    u8,
+    u16,
+    u32,
+    u64,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    isize,
+    f32,
+    f64,
+    bool,
+    char,
+    ()
+);
 
 impl Payload for String {
     fn payload_bytes(&self) -> usize {

@@ -1,4 +1,10 @@
 //! Per-rank communication accounting.
+//!
+//! Counters live in thread-local storage: each rank is an OS thread, so the
+//! thread's counters *are* the rank's counters. Keeping them out of the
+//! rank context lets the `obs` span recorder sample them through a plain
+//! function pointer (see [`install_obs_provider`]) without `pcomm` and
+//! `obs` depending on each other both ways.
 
 use std::cell::Cell;
 use std::ops::Sub;
@@ -26,13 +32,16 @@ pub struct CommStats {
 impl Sub for CommStats {
     type Output = CommStats;
 
+    /// Element-wise saturating difference. Saturation (rather than panic)
+    /// matters when the two snapshots straddle a recorder or counter reset:
+    /// the difference then reads zero instead of aborting debug builds.
     fn sub(self, rhs: CommStats) -> CommStats {
         CommStats {
-            bytes_sent: self.bytes_sent - rhs.bytes_sent,
-            bytes_recv: self.bytes_recv - rhs.bytes_recv,
-            msgs_sent: self.msgs_sent - rhs.msgs_sent,
-            msgs_recv: self.msgs_recv - rhs.msgs_recv,
-            wait_nanos: self.wait_nanos - rhs.wait_nanos,
+            bytes_sent: self.bytes_sent.saturating_sub(rhs.bytes_sent),
+            bytes_recv: self.bytes_recv.saturating_sub(rhs.bytes_recv),
+            msgs_sent: self.msgs_sent.saturating_sub(rhs.msgs_sent),
+            msgs_recv: self.msgs_recv.saturating_sub(rhs.msgs_recv),
+            wait_nanos: self.wait_nanos.saturating_sub(rhs.wait_nanos),
         }
     }
 }
@@ -59,42 +68,74 @@ impl CommStats {
             wait_nanos: self.wait_nanos + rhs.wait_nanos,
         }
     }
+
+    /// Blocked-wait time in seconds, the unit the dissection tables print.
+    pub fn wait_secs(&self) -> f64 {
+        self.wait_nanos as f64 * 1e-9
+    }
 }
 
 /// Live counters owned by a single rank (never shared across threads).
 #[derive(Default)]
-pub(crate) struct LiveStats {
-    pub bytes_sent: Cell<u64>,
-    pub bytes_recv: Cell<u64>,
-    pub msgs_sent: Cell<u64>,
-    pub msgs_recv: Cell<u64>,
-    pub wait_nanos: Cell<u64>,
+struct LiveStats {
+    bytes_sent: Cell<u64>,
+    bytes_recv: Cell<u64>,
+    msgs_sent: Cell<u64>,
+    msgs_recv: Cell<u64>,
+    wait_nanos: Cell<u64>,
 }
 
-impl LiveStats {
-    pub fn snapshot(&self) -> CommStats {
-        CommStats {
-            bytes_sent: self.bytes_sent.get(),
-            bytes_recv: self.bytes_recv.get(),
-            msgs_sent: self.msgs_sent.get(),
-            msgs_recv: self.msgs_recv.get(),
-            wait_nanos: self.wait_nanos.get(),
-        }
-    }
+thread_local! {
+    static LIVE: LiveStats = LiveStats::default();
+}
 
-    pub fn on_send(&self, bytes: usize) {
-        self.bytes_sent.set(self.bytes_sent.get() + bytes as u64);
-        self.msgs_sent.set(self.msgs_sent.get() + 1);
-    }
+pub(crate) fn on_send(bytes: usize) {
+    LIVE.with(|l| {
+        l.bytes_sent.set(l.bytes_sent.get() + bytes as u64);
+        l.msgs_sent.set(l.msgs_sent.get() + 1);
+    });
+}
 
-    pub fn on_recv(&self, bytes: usize) {
-        self.bytes_recv.set(self.bytes_recv.get() + bytes as u64);
-        self.msgs_recv.set(self.msgs_recv.get() + 1);
-    }
+pub(crate) fn on_recv(bytes: usize) {
+    LIVE.with(|l| {
+        l.bytes_recv.set(l.bytes_recv.get() + bytes as u64);
+        l.msgs_recv.set(l.msgs_recv.get() + 1);
+    });
+}
 
-    pub fn on_wait(&self, nanos: u64) {
-        self.wait_nanos.set(self.wait_nanos.get() + nanos);
+pub(crate) fn on_wait(nanos: u64) {
+    LIVE.with(|l| l.wait_nanos.set(l.wait_nanos.get() + nanos));
+}
+
+/// Snapshot of the calling thread's (= rank's) cumulative counters.
+pub(crate) fn thread_snapshot() -> CommStats {
+    LIVE.with(|l| CommStats {
+        bytes_sent: l.bytes_sent.get(),
+        bytes_recv: l.bytes_recv.get(),
+        msgs_sent: l.msgs_sent.get(),
+        msgs_recv: l.msgs_recv.get(),
+        wait_nanos: l.wait_nanos.get(),
+    })
+}
+
+fn obs_counter_provider() -> obs::CounterSet {
+    let c = thread_snapshot();
+    obs::CounterSet {
+        work_ns: crate::work::counter(),
+        bytes_sent: c.bytes_sent,
+        bytes_recv: c.bytes_recv,
+        msgs_sent: c.msgs_sent,
+        msgs_recv: c.msgs_recv,
+        wait_ns: c.wait_nanos,
     }
+}
+
+/// Register this thread's communication and work counters as the `obs`
+/// span counter source. [`crate::World::run`] calls this on every rank
+/// thread; call it manually on threads that record spans without going
+/// through `World` (e.g. single-threaded benchmarks).
+pub fn install_obs_provider() {
+    obs::set_thread_counter_provider(obs_counter_provider);
 }
 
 #[cfg(test)]
@@ -103,28 +144,84 @@ mod tests {
 
     #[test]
     fn snapshot_diff() {
-        let live = LiveStats::default();
-        live.on_send(100);
-        let a = live.snapshot();
-        live.on_send(50);
-        live.on_recv(10);
-        let b = live.snapshot();
-        let d = b - a;
-        assert_eq!(d.bytes_sent, 50);
-        assert_eq!(d.msgs_sent, 1);
-        assert_eq!(d.bytes_recv, 10);
-        assert_eq!(d.msgs_recv, 1);
+        // Run on a scratch thread so counters start from zero regardless of
+        // test ordering within the harness thread.
+        std::thread::spawn(|| {
+            on_send(100);
+            let a = thread_snapshot();
+            on_send(50);
+            on_recv(10);
+            let b = thread_snapshot();
+            let d = b - a;
+            assert_eq!(d.bytes_sent, 50);
+            assert_eq!(d.msgs_sent, 1);
+            assert_eq!(d.bytes_recv, 10);
+            assert_eq!(d.msgs_recv, 1);
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn sub_saturates_across_resets() {
+        let a = CommStats {
+            bytes_sent: 10,
+            ..Default::default()
+        };
+        let b = CommStats {
+            bytes_sent: 3,
+            wait_nanos: 5,
+            ..Default::default()
+        };
+        let d = b - a; // "later" snapshot from a fresh counter set
+        assert_eq!(d.bytes_sent, 0);
+        assert_eq!(d.wait_nanos, 5);
+    }
+
+    #[test]
+    fn wait_secs_converts() {
+        let s = CommStats {
+            wait_nanos: 2_500_000_000,
+            ..Default::default()
+        };
+        assert!((s.wait_secs() - 2.5).abs() < 1e-12);
     }
 
     #[test]
     fn max_and_sum() {
-        let a = CommStats { bytes_sent: 5, bytes_recv: 20, msgs_sent: 1, msgs_recv: 2, wait_nanos: 7 };
-        let b = CommStats { bytes_sent: 9, bytes_recv: 3, msgs_sent: 4, msgs_recv: 1, wait_nanos: 2 };
+        let a = CommStats {
+            bytes_sent: 5,
+            bytes_recv: 20,
+            msgs_sent: 1,
+            msgs_recv: 2,
+            wait_nanos: 7,
+        };
+        let b = CommStats {
+            bytes_sent: 9,
+            bytes_recv: 3,
+            msgs_sent: 4,
+            msgs_recv: 1,
+            wait_nanos: 2,
+        };
         let m = a.max(b);
         assert_eq!(m.bytes_sent, 9);
         assert_eq!(m.bytes_recv, 20);
         let s = a.sum(b);
         assert_eq!(s.bytes_sent, 14);
         assert_eq!(s.msgs_recv, 3);
+    }
+
+    #[test]
+    fn provider_reports_thread_counters() {
+        std::thread::spawn(|| {
+            on_send(7);
+            crate::work::add_ns(13);
+            let c = obs_counter_provider();
+            assert_eq!(c.bytes_sent, 7);
+            assert_eq!(c.msgs_sent, 1);
+            assert_eq!(c.work_ns, 13);
+        })
+        .join()
+        .unwrap();
     }
 }

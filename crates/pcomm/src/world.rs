@@ -53,6 +53,7 @@ impl World {
                     .name(format!("rank-{rank}"))
                     .stack_size(RANK_STACK)
                     .spawn_scoped(scope, move || {
+                        crate::install_obs_provider();
                         let ctx = Rc::new(RankCtx::new(shared, rank, rx));
                         let comm = Comm::world(ctx, p);
                         f(comm)

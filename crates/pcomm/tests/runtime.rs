@@ -75,7 +75,11 @@ fn bcast_from_each_root() {
     for p in [1, 2, 3, 4, 5, 8, 9] {
         for root in 0..p {
             let r = World::run(p, |comm| {
-                let v = if comm.rank() == root { Some(vec![root as u64, 77]) } else { None };
+                let v = if comm.rank() == root {
+                    Some(vec![root as u64, 77])
+                } else {
+                    None
+                };
                 comm.bcast(root, v)
             });
             for got in r {
@@ -126,8 +130,9 @@ fn alltoallv_routes_parts() {
     let r = World::run(p, |comm| {
         let me = comm.rank();
         // Send to rank d a vector [me, d] repeated (me+d) times.
-        let parts: Vec<Vec<(u64, u64)>> =
-            (0..p).map(|d| vec![(me as u64, d as u64); me + d]).collect();
+        let parts: Vec<Vec<(u64, u64)>> = (0..p)
+            .map(|d| vec![(me as u64, d as u64); me + d])
+            .collect();
         comm.alltoallv(parts)
     });
     for (me, got) in r.into_iter().enumerate() {

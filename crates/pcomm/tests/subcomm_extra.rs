@@ -91,7 +91,10 @@ fn cost_model_orders_scaling_correctly() {
     let m = CostModel::default();
     let mk = |bytes: u64| StageCost {
         compute_secs: 1.0,
-        comm: pcomm::CommStats { bytes_sent: bytes, ..Default::default() },
+        comm: pcomm::CommStats {
+            bytes_sent: bytes,
+            ..Default::default()
+        },
     };
     assert!(m.stage_seconds(mk(1 << 30)) > m.stage_seconds(mk(1 << 10)));
     // total_seconds sums stages.

@@ -58,9 +58,15 @@ fn parse_from(bytes: &[u8], start: usize, limit: usize) -> Vec<FastaRecord> {
     let mut i = start;
     while i < limit && i < bytes.len() {
         debug_assert_eq!(bytes[i], b'>');
-        let line_end = bytes[i..].iter().position(|&b| b == b'\n').map_or(bytes.len(), |o| i + o);
+        let line_end = bytes[i..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .map_or(bytes.len(), |o| i + o);
         let header = &bytes[i + 1..line_end];
-        let name_end = header.iter().position(|b| b.is_ascii_whitespace()).unwrap_or(header.len());
+        let name_end = header
+            .iter()
+            .position(|b| b.is_ascii_whitespace())
+            .unwrap_or(header.len());
         let name = String::from_utf8_lossy(&header[..name_end]).into_owned();
         let mut residues = Vec::new();
         let mut j = (line_end + 1).min(bytes.len());
@@ -99,10 +105,22 @@ mod tests {
 
     fn sample() -> Vec<u8> {
         write_fasta(&[
-            FastaRecord { name: "s0".into(), residues: b"ARNDCQEGH".to_vec() },
-            FastaRecord { name: "s1".into(), residues: b"MKLV".to_vec() },
-            FastaRecord { name: "s2".into(), residues: vec![b'W'; 200] },
-            FastaRecord { name: "s3".into(), residues: b"AAAA".to_vec() },
+            FastaRecord {
+                name: "s0".into(),
+                residues: b"ARNDCQEGH".to_vec(),
+            },
+            FastaRecord {
+                name: "s1".into(),
+                residues: b"MKLV".to_vec(),
+            },
+            FastaRecord {
+                name: "s2".into(),
+                residues: vec![b'W'; 200],
+            },
+            FastaRecord {
+                name: "s3".into(),
+                residues: b"AAAA".to_vec(),
+            },
         ])
     }
 
@@ -163,7 +181,10 @@ mod tests {
 
     #[test]
     fn more_ranks_than_records() {
-        let bytes = write_fasta(&[FastaRecord { name: "only".into(), residues: b"ACD".to_vec() }]);
+        let bytes = write_fasta(&[FastaRecord {
+            name: "only".into(),
+            residues: b"ACD".to_vec(),
+        }]);
         let mut merged = Vec::new();
         for r in 0..8 {
             merged.extend(partition_fasta(&bytes, r, 8));

@@ -53,7 +53,13 @@ impl<'a> KmerIter<'a> {
         if seq.len() >= k {
             id = kmer_id(&seq[..k - 1]); // first window completed in next()
         }
-        KmerIter { seq, k, pos: 0, id, modulus: (SIGMA as u64).pow(k as u32 - 1) }
+        KmerIter {
+            seq,
+            k,
+            pos: 0,
+            id,
+            modulus: (SIGMA as u64).pow(k as u32 - 1),
+        }
     }
 }
 

@@ -152,7 +152,12 @@ impl DistSeqStore {
     /// computed to reproduce the paper's communication/computation overlap.
     ///
     /// `row_range`/`col_range` are the global id ranges of my block of `B`.
-    pub fn start_exchange(&self, grid: &Grid, row_range: (u64, u64), col_range: (u64, u64)) -> SeqExchange {
+    pub fn start_exchange(
+        &self,
+        grid: &Grid,
+        row_range: (u64, u64),
+        col_range: (u64, u64),
+    ) -> SeqExchange {
         let comm = grid.world();
         let q = grid.q();
         // Who needs my sequences? Every rank whose row or column range
@@ -170,7 +175,8 @@ impl DistSeqStore {
                 // receives without a handshake... empty overlaps are skipped
                 // on both sides instead (both sides derive them identically).
                 if a < b {
-                    let batch: Vec<SeqRecord> = self.owned[(a - my_lo) as usize..(b - my_lo) as usize].to_vec();
+                    let batch: Vec<SeqRecord> =
+                        self.owned[(a - my_lo) as usize..(b - my_lo) as usize].to_vec();
                     comm.isend(dst, SEQ_XCHG_TAG + which, batch);
                 }
             }
@@ -248,7 +254,11 @@ mod tests {
 
     #[test]
     fn seq_record_payload_size() {
-        let s = SeqRecord { gid: 1, name: "ab".into(), data: vec![0, 1, 2] };
+        let s = SeqRecord {
+            gid: 1,
+            name: "ab".into(),
+            data: vec![0, 1, 2],
+        };
         assert_eq!(s.payload_bytes(), 8 + 2 + 3);
     }
 }

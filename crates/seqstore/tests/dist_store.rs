@@ -10,7 +10,10 @@ fn make_fasta(n: usize) -> Vec<u8> {
         .map(|i| {
             let len = 20 + (i * 37) % 180;
             let residues: Vec<u8> = (0..len).map(|j| seqstore::ALPHABET[(i + j) % 20]).collect();
-            FastaRecord { name: format!("seq{i}"), residues }
+            FastaRecord {
+                name: format!("seq{i}"),
+                residues,
+            }
         })
         .collect();
     write_fasta(&recs)
@@ -24,7 +27,11 @@ fn global_numbering_matches_file_order() {
         let results = World::run(p, |comm| {
             let store = DistSeqStore::from_fasta(&comm, &bytes);
             assert_eq!(store.len(), 23);
-            store.owned().iter().map(|s| (s.gid, s.name.clone(), s.data.clone())).collect::<Vec<_>>()
+            store
+                .owned()
+                .iter()
+                .map(|s| (s.gid, s.name.clone(), s.data.clone()))
+                .collect::<Vec<_>>()
         });
         let mut merged: Vec<_> = results.into_iter().flatten().collect();
         merged.sort_by_key(|&(gid, _, _)| gid);
@@ -65,13 +72,21 @@ fn exchange_delivers_row_and_col_blocks() {
             let mut store = DistSeqStore::from_fasta(&comm, &bytes);
             let q = grid.q() as u64;
             let n = store.len();
-            let row_range = (grid.myrow() as u64 * n / q, (grid.myrow() as u64 + 1) * n / q);
-            let col_range = (grid.mycol() as u64 * n / q, (grid.mycol() as u64 + 1) * n / q);
+            let row_range = (
+                grid.myrow() as u64 * n / q,
+                (grid.myrow() as u64 + 1) * n / q,
+            );
+            let col_range = (
+                grid.mycol() as u64 * n / q,
+                (grid.mycol() as u64 + 1) * n / q,
+            );
             let ex = store.start_exchange(&grid, row_range, col_range);
             // ... matrix work would overlap here ...
             store.finish_exchange(ex);
             for gid in row_range.0..row_range.1 {
-                let s = store.row_seq(gid).unwrap_or_else(|| panic!("rank {} missing row seq {gid}", comm.rank()));
+                let s = store
+                    .row_seq(gid)
+                    .unwrap_or_else(|| panic!("rank {} missing row seq {gid}", comm.rank()));
                 assert_eq!(decode_seq(&s.data), want[gid as usize].residues);
             }
             for gid in col_range.0..col_range.1 {
@@ -90,8 +105,14 @@ fn exchange_with_more_ranks_than_sequences() {
         let mut store = DistSeqStore::from_fasta(&comm, &bytes);
         let n = store.len();
         let q = grid.q() as u64;
-        let row_range = (grid.myrow() as u64 * n / q, (grid.myrow() as u64 + 1) * n / q);
-        let col_range = (grid.mycol() as u64 * n / q, (grid.mycol() as u64 + 1) * n / q);
+        let row_range = (
+            grid.myrow() as u64 * n / q,
+            (grid.myrow() as u64 + 1) * n / q,
+        );
+        let col_range = (
+            grid.mycol() as u64 * n / q,
+            (grid.mycol() as u64 + 1) * n / q,
+        );
         let ex = store.start_exchange(&grid, row_range, col_range);
         store.finish_exchange(ex);
         for gid in row_range.0..row_range.1 {
@@ -112,12 +133,22 @@ fn per_rank_fetch_bounded_by_two_n_over_q() {
             let mut store = DistSeqStore::from_fasta(&comm, &bytes);
             let n = store.len();
             let q = grid.q() as u64;
-            let row_range = (grid.myrow() as u64 * n / q, (grid.myrow() as u64 + 1) * n / q);
-            let col_range = (grid.mycol() as u64 * n / q, (grid.mycol() as u64 + 1) * n / q);
+            let row_range = (
+                grid.myrow() as u64 * n / q,
+                (grid.myrow() as u64 + 1) * n / q,
+            );
+            let col_range = (
+                grid.mycol() as u64 * n / q,
+                (grid.mycol() as u64 + 1) * n / q,
+            );
             let ex = store.start_exchange(&grid, row_range, col_range);
             let received = store.finish_exchange(ex);
             let bound = (2 * n).div_ceil(q) as usize + 2;
-            assert!(received <= bound, "rank {} received {received} > {bound}", comm.rank());
+            assert!(
+                received <= bound,
+                "rank {} received {received} > {bound}",
+                comm.rank()
+            );
         });
     }
 }

@@ -23,7 +23,12 @@ impl<C> HashAccumulator<C> {
     /// Create an accumulator able to hold at least `capacity` distinct keys.
     pub fn with_capacity(capacity: usize) -> Self {
         let cap = (capacity.max(4) * 2).next_power_of_two();
-        HashAccumulator { keys: vec![EMPTY; cap], vals: (0..cap).map(|_| None).collect(), mask: cap - 1, len: 0 }
+        HashAccumulator {
+            keys: vec![EMPTY; cap],
+            vals: (0..cap).map(|_| None).collect(),
+            mask: cap - 1,
+            len: 0,
+        }
     }
 
     /// Number of distinct keys currently stored.
@@ -161,7 +166,11 @@ mod tests {
         for k in 0..500u32 {
             acc.upsert(k, k as u64, |a, b| *a += b);
         }
-        assert_eq!(acc.keys.len(), cap_after_reserve, "no rehash during inserts");
+        assert_eq!(
+            acc.keys.len(),
+            cap_after_reserve,
+            "no rehash during inserts"
+        );
         let mut out = Vec::new();
         acc.drain_sorted(&mut out);
         assert_eq!(out.len(), 500);

@@ -1,6 +1,8 @@
 //! Plain compressed sparse column storage for shared-memory algorithms
 //! (Markov clustering, connected components, small dense-ish graphs).
 
+use crate::accum::HashAccumulator;
+
 /// A CSC sparse matrix with `usize` indices, suitable when the column count
 /// is comparable to the nonzero count.
 #[derive(Debug, Clone, PartialEq)]
@@ -15,7 +17,13 @@ pub struct Csc<V> {
 impl<V> Csc<V> {
     /// An empty `nrows × ncols` matrix.
     pub fn empty(nrows: usize, ncols: usize) -> Self {
-        Csc { nrows, ncols, colptr: vec![0; ncols + 1], rowidx: Vec::new(), vals: Vec::new() }
+        Csc {
+            nrows,
+            ncols,
+            colptr: vec![0; ncols + 1],
+            rowidx: Vec::new(),
+            vals: Vec::new(),
+        }
     }
 
     /// Build from `(row, col, value)` triples; duplicates combined with `add`.
@@ -31,7 +39,10 @@ impl<V> Csc<V> {
         let mut vals: Vec<V> = Vec::with_capacity(triples.len());
         let mut last: Option<(usize, usize)> = None;
         for (r, c, v) in triples {
-            assert!(r < nrows && c < ncols, "triple ({r},{c}) out of bounds {nrows}x{ncols}");
+            assert!(
+                r < nrows && c < ncols,
+                "triple ({r},{c}) out of bounds {nrows}x{ncols}"
+            );
             if last == Some((r, c)) {
                 add(vals.last_mut().unwrap(), v);
                 continue;
@@ -44,7 +55,13 @@ impl<V> Csc<V> {
         for c in 0..ncols {
             colptr[c + 1] += colptr[c];
         }
-        Csc { nrows, ncols, colptr, rowidx, vals }
+        Csc {
+            nrows,
+            ncols,
+            colptr,
+            rowidx,
+            vals,
+        }
     }
 
     #[inline]
@@ -92,7 +109,12 @@ impl<V> Csc<V> {
                 cols.push(c);
             }
         }
-        self.rowidx.into_iter().zip(cols).zip(self.vals).map(|((r, c), v)| (r, c, v)).collect()
+        self.rowidx
+            .into_iter()
+            .zip(cols)
+            .zip(self.vals)
+            .map(|((r, c), v)| (r, c, v))
+            .collect()
     }
 
     /// Keep only entries where `keep` is true.
@@ -123,29 +145,50 @@ impl<V> Csc<V> {
     /// Transpose.
     pub fn transpose(self) -> Csc<V> {
         let (nrows, ncols) = (self.nrows, self.ncols);
-        let triples = self.into_triples().into_iter().map(|(r, c, v)| (c, r, v)).collect();
-        Csc::from_triples(ncols, nrows, triples, |_, _| unreachable!("transpose has no duplicates"))
+        let triples = self
+            .into_triples()
+            .into_iter()
+            .map(|(r, c, v)| (c, r, v))
+            .collect();
+        Csc::from_triples(ncols, nrows, triples, |_, _| {
+            unreachable!("transpose has no duplicates")
+        })
     }
 }
 
 impl Csc<f64> {
-    /// C = A·B over the arithmetic semiring (hash accumulation per column).
+    /// C = A·B over the arithmetic semiring, with the open-addressed
+    /// [`HashAccumulator`] the distributed hybrid SpGEMM uses and the same
+    /// per-column flop estimate sizing its table up front (so the
+    /// accumulate loop never rehashes). Contributions fold in ascending
+    /// inner-index order, bit-identical to the previous per-entry
+    /// `HashMap` accumulation.
     pub fn matmul(&self, b: &Csc<f64>) -> Csc<f64> {
         assert_eq!(self.ncols, b.nrows, "dimension mismatch");
+        assert!(self.nrows <= u32::MAX as usize, "row ids must fit in u32");
         let mut triples: Vec<(usize, usize, f64)> = Vec::new();
-        let mut acc: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+        let mut acc: HashAccumulator<f64> = HashAccumulator::with_capacity(64);
+        let mut pairs: Vec<(u32, f64)> = Vec::new();
         for c in 0..b.ncols {
-            acc.clear();
             let (brows, bvals) = b.col(c);
+            let flops: usize = brows.iter().map(|&t| self.col(t).0.len()).sum();
+            if flops == 0 {
+                continue;
+            }
+            pcomm::work::record(flops as u64, 6);
+            acc.reserve(flops);
             for (&t, &bv) in brows.iter().zip(bvals) {
                 let (arows, avals) = self.col(t);
                 for (&r, &av) in arows.iter().zip(avals) {
-                    *acc.entry(r).or_insert(0.0) += av * bv;
+                    acc.upsert(r as u32, av * bv, |a, v| *a += v);
                 }
             }
-            for (&r, &v) in acc.iter() {
-                triples.push((r, c, v));
-            }
+            // Estimate (upper bound) vs. realized distinct-row occupancy.
+            obs::hist!("spgemm.accum_est", flops);
+            obs::hist!("spgemm.accum_occ", acc.len());
+            pairs.clear();
+            acc.drain_sorted(&mut pairs);
+            triples.extend(pairs.drain(..).map(|(r, v)| (r as usize, c, v)));
         }
         Csc::from_triples(self.nrows, b.ncols, triples, |_, _| unreachable!())
     }
@@ -161,7 +204,9 @@ mod tests {
 
     #[test]
     fn construction_and_lookup() {
-        let m = Csc::from_triples(3, 3, vec![(0, 0, 1.0), (2, 0, 2.0), (1, 2, 3.0)], |a, b| *a += b);
+        let m = Csc::from_triples(3, 3, vec![(0, 0, 1.0), (2, 0, 2.0), (1, 2, 3.0)], |a, b| {
+            *a += b
+        });
         assert_eq!(m.nnz(), 3);
         assert_eq!(m.col(0).0, &[0, 2]);
         assert_eq!(m.col(1).0.len(), 0);
@@ -187,17 +232,35 @@ mod tests {
     #[test]
     fn matmul_small_dense() {
         // A = [[1,2],[3,4]], B = [[5,6],[7,8]] => AB = [[19,22],[43,50]]
-        let a = Csc::from_triples(2, 2, vec![(0, 0, 1.0), (0, 1, 2.0), (1, 0, 3.0), (1, 1, 4.0)], |x, y| *x += y);
-        let b = Csc::from_triples(2, 2, vec![(0, 0, 5.0), (0, 1, 6.0), (1, 0, 7.0), (1, 1, 8.0)], |x, y| *x += y);
+        let a = Csc::from_triples(
+            2,
+            2,
+            vec![(0, 0, 1.0), (0, 1, 2.0), (1, 0, 3.0), (1, 1, 4.0)],
+            |x, y| *x += y,
+        );
+        let b = Csc::from_triples(
+            2,
+            2,
+            vec![(0, 0, 5.0), (0, 1, 6.0), (1, 0, 7.0), (1, 1, 8.0)],
+            |x, y| *x += y,
+        );
         let c = a.matmul(&b);
         let mut t = c.into_triples();
         t.sort_by(|x, y| x.partial_cmp(y).unwrap());
-        assert_eq!(t, vec![(0, 0, 19.0), (0, 1, 22.0), (1, 0, 43.0), (1, 1, 50.0)]);
+        assert_eq!(
+            t,
+            vec![(0, 0, 19.0), (0, 1, 22.0), (1, 0, 43.0), (1, 1, 50.0)]
+        );
     }
 
     #[test]
     fn retain_and_transpose() {
-        let mut m = Csc::from_triples(2, 3, vec![(0, 0, 1.0), (1, 1, -2.0), (0, 2, 3.0)], |x, y| *x += y);
+        let mut m = Csc::from_triples(
+            2,
+            3,
+            vec![(0, 0, 1.0), (1, 1, -2.0), (0, 2, 3.0)],
+            |x, y| *x += y,
+        );
         m.retain(|_, _, &v| v > 0.0);
         assert_eq!(m.nnz(), 2);
         let t = m.transpose();

@@ -31,7 +31,14 @@ pub struct Dcsc<V> {
 impl<V> Dcsc<V> {
     /// An empty block of the given dimensions.
     pub fn empty(nrows: usize, ncols: u64) -> Self {
-        Dcsc { nrows, ncols, jc: Vec::new(), cp: vec![0], ir: Vec::new(), num: Vec::new() }
+        Dcsc {
+            nrows,
+            ncols,
+            jc: Vec::new(),
+            cp: vec![0],
+            ir: Vec::new(),
+            num: Vec::new(),
+        }
     }
 
     /// Build from triples with *local* `(row, col, value)` indices.
@@ -42,7 +49,10 @@ impl<V> Dcsc<V> {
         triples: Vec<(u32, u64, V)>,
         add: impl Fn(&mut V, V),
     ) -> Self {
-        assert!(nrows < u32::MAX as usize + 1, "row space too large for u32 local indices");
+        assert!(
+            nrows < u32::MAX as usize + 1,
+            "row space too large for u32 local indices"
+        );
         // Work accounting: sort + scan, ~25 ns per triple.
         pcomm::work::record(triples.len() as u64, 25);
         let mut triples = triples;
@@ -66,7 +76,14 @@ impl<V> Dcsc<V> {
             num.push(v);
             *cp.last_mut().unwrap() = ir.len();
         }
-        Dcsc { nrows, ncols, jc, cp, ir, num }
+        Dcsc {
+            nrows,
+            ncols,
+            jc,
+            cp,
+            ir,
+            num,
+        }
     }
 
     /// Number of rows of the block.
@@ -182,15 +199,28 @@ impl<V> Dcsc<V> {
             .zip(rows_cols.iter())
             .map(|(v, &(r, c))| f(r, c, v))
             .collect();
-        Dcsc { nrows: self.nrows, ncols: self.ncols, jc: self.jc, cp: self.cp, ir: self.ir, num }
+        Dcsc {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            jc: self.jc,
+            cp: self.cp,
+            ir: self.ir,
+            num,
+        }
     }
 
     /// Transpose this block locally, producing a `ncols × nrows` block.
     pub fn transpose(self) -> Dcsc<V> {
         let (nrows, ncols) = (self.nrows, self.ncols);
-        assert!(ncols < u32::MAX as u64, "transpose would need u32 row ids ≥ 2³²");
-        let triples: Vec<(u32, u64, V)> =
-            self.into_triples().into_iter().map(|(r, c, v)| (c as u32, r as u64, v)).collect();
+        assert!(
+            ncols < u32::MAX as u64,
+            "transpose would need u32 row ids ≥ 2³²"
+        );
+        let triples: Vec<(u32, u64, V)> = self
+            .into_triples()
+            .into_iter()
+            .map(|(r, c, v)| (c as u32, r as u64, v))
+            .collect();
         Dcsc::from_triples(ncols as usize, nrows as u64, triples, |_, _| {
             unreachable!("transpose cannot create duplicates")
         })
@@ -215,7 +245,9 @@ mod tests {
     fn sample() -> Dcsc<f64> {
         // 4x6 block:
         // col 1: (0, 1.0), (2, 2.0); col 4: (3, 3.0)
-        Dcsc::from_triples(4, 6, vec![(3, 4, 3.0), (0, 1, 1.0), (2, 1, 2.0)], |a, b| *a += b)
+        Dcsc::from_triples(4, 6, vec![(3, 4, 3.0), (0, 1, 1.0), (2, 1, 2.0)], |a, b| {
+            *a += b
+        })
     }
 
     #[test]

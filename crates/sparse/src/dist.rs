@@ -56,13 +56,17 @@ impl<V: Payload + Clone> DistMat<V> {
         triples: Vec<Triple<V>>,
         add: impl Fn(&mut V, V),
     ) -> Self {
+        let _span = obs::span!("sparse.from_triples", triples = triples.len());
         let q = grid.q();
         let p = q * q;
         // Work accounting: owner computation + bucketing, ~8 ns/triple.
         pcomm::work::record(triples.len() as u64, 8);
         let mut parts: Vec<Vec<Triple<V>>> = (0..p).map(|_| Vec::new()).collect();
         for (r, c, v) in triples {
-            assert!(r < nrows && c < ncols, "triple ({r},{c}) outside {nrows}×{ncols}");
+            assert!(
+                r < nrows && c < ncols,
+                "triple ({r},{c}) outside {nrows}×{ncols}"
+            );
             let owner = grid.rank_of(block_owner(nrows, q, r), block_owner(ncols, q, c));
             parts[owner].push((r, c, v));
         }
@@ -74,8 +78,18 @@ impl<V: Payload + Clone> DistMat<V> {
             .flatten()
             .map(|(r, c, v)| ((r - r0) as u32, c - c0, v))
             .collect();
-        let local = Dcsc::from_triples(Self::local_rows(nrows, q, grid.myrow()), Self::local_cols(ncols, q, grid.mycol()), local_triples, add);
-        DistMat { grid, nrows, ncols, local }
+        let local = Dcsc::from_triples(
+            Self::local_rows(nrows, q, grid.myrow()),
+            Self::local_cols(ncols, q, grid.mycol()),
+            local_triples,
+            add,
+        );
+        DistMat {
+            grid,
+            nrows,
+            ncols,
+            local,
+        }
     }
 
     fn local_rows(nrows: u64, q: usize, r: usize) -> usize {
@@ -95,7 +109,12 @@ impl<V: Payload + Clone> DistMat<V> {
             Self::local_rows(nrows, grid.q(), grid.myrow()),
             Self::local_cols(ncols, grid.q(), grid.mycol()),
         );
-        DistMat { grid, nrows, ncols, local }
+        DistMat {
+            grid,
+            nrows,
+            ncols,
+            local,
+        }
     }
 
     /// Global row count.
@@ -142,14 +161,18 @@ impl<V: Payload + Clone> DistMat<V> {
 
     /// Total nonzeros. Collective.
     pub fn nnz(&self) -> u64 {
-        self.grid.world().allreduce(self.local.nnz() as u64, |a, b| a + b)
+        self.grid
+            .world()
+            .allreduce(self.local.nnz() as u64, |a, b| a + b)
     }
 
     /// Iterate my block's nonzeros with *global* indices.
     pub fn iter_local(&self) -> impl Iterator<Item = (u64, u64, &V)> + '_ {
         let (r0, _) = self.row_range();
         let (c0, _) = self.col_range();
-        self.local.iter().map(move |(r, c, v)| (r0 + r as u64, c0 + c, v))
+        self.local
+            .iter()
+            .map(move |(r, c, v)| (r0 + r as u64, c0 + c, v))
     }
 
     /// Keep entries where `keep(global_row, global_col, &v)`. Local.
@@ -164,7 +187,12 @@ impl<V: Payload + Clone> DistMat<V> {
         let (r0, _) = self.row_range();
         let (c0, _) = self.col_range();
         let local = self.local.map(|r, c, v| f(r0 + r as u64, c0 + c, v));
-        DistMat { grid: self.grid, nrows: self.nrows, ncols: self.ncols, local }
+        DistMat {
+            grid: self.grid,
+            nrows: self.nrows,
+            ncols: self.ncols,
+            local,
+        }
     }
 
     /// Distributed SpGEMM `C = self · b` over `sr`, using the 2D Sparse
@@ -172,45 +200,68 @@ impl<V: Payload + Clone> DistMat<V> {
     /// grid rows and the owners of `B(t,·)` along grid columns; every rank
     /// multiplies the received pair locally and folds the partial triples.
     /// Collective.
-    pub fn spgemm<SR>(&self, b: &DistMat<SR::B>, sr: &SR, strategy: SpGemmStrategy) -> DistMat<SR::C>
+    pub fn spgemm<SR>(
+        &self,
+        b: &DistMat<SR::B>,
+        sr: &SR,
+        strategy: SpGemmStrategy,
+    ) -> DistMat<SR::C>
     where
         SR: Semiring<A = V>,
         SR::B: Payload + Clone,
         SR::C: Payload + Clone,
     {
-        assert!(Rc::ptr_eq(&self.grid, &b.grid), "operands must share a grid");
+        assert!(
+            Rc::ptr_eq(&self.grid, &b.grid),
+            "operands must share a grid"
+        );
         assert_eq!(self.ncols, b.nrows, "global dimension mismatch");
         let grid = &self.grid;
         let q = grid.q();
         let mut acc: Vec<(u32, u64, SR::C)> = Vec::new();
         for t in 0..q {
-            let a_blk = grid
-                .row_comm()
-                .bcast(t, (grid.mycol() == t).then(|| self.local.clone()));
-            let b_blk = grid
-                .col_comm()
-                .bcast(t, (grid.myrow() == t).then(|| b.local.clone()));
+            let _stage = obs::span!("summa.stage", stage = t);
+            let a_blk = {
+                let _s = obs::span!("summa.bcast_a");
+                grid.row_comm()
+                    .bcast(t, (grid.mycol() == t).then(|| self.local.clone()))
+            };
+            let b_blk = {
+                let _s = obs::span!("summa.bcast_b");
+                grid.col_comm()
+                    .bcast(t, (grid.myrow() == t).then(|| b.local.clone()))
+            };
+            let _s = obs::span!("summa.local_mul");
             acc.extend(local_spgemm(&a_blk, &b_blk, sr, strategy));
         }
         // Stable sort keeps stage order for duplicates, so the add fold is
         // in ascending global inner index — identical for every grid size.
+        let _fold = obs::span!("summa.fold", triples = acc.len());
         let local = Dcsc::from_triples(
             Self::local_rows(self.nrows, q, grid.myrow()),
             Self::local_cols(b.ncols, q, grid.mycol()),
             acc,
             |a, v| sr.add(a, v),
         );
-        DistMat { grid: Rc::clone(grid), nrows: self.nrows, ncols: b.ncols, local }
+        DistMat {
+            grid: Rc::clone(grid),
+            nrows: self.nrows,
+            ncols: b.ncols,
+            local,
+        }
     }
 
     /// Distributed transpose: every rank swaps indices and trades its block
     /// with its transpose partner. Collective.
     pub fn transpose(&self) -> DistMat<V> {
+        let _span = obs::span!("sparse.transpose");
         let grid = &self.grid;
         let partner = grid.transpose_partner();
         let me = grid.world().rank();
-        let mine: Vec<Triple<V>> =
-            self.iter_local().map(|(r, c, v)| (c, r, v.clone())).collect();
+        let mine: Vec<Triple<V>> = self
+            .iter_local()
+            .map(|(r, c, v)| (c, r, v.clone()))
+            .collect();
         let swapped: Vec<Triple<V>> = if partner == me {
             mine
         } else {
@@ -221,15 +272,22 @@ impl<V: Payload + Clone> DistMat<V> {
         let q = grid.q();
         let (r0, _) = block_range(self.ncols, q, grid.myrow());
         let (c0, _) = block_range(self.nrows, q, grid.mycol());
-        let local_triples: Vec<(u32, u64, V)> =
-            swapped.into_iter().map(|(r, c, v)| ((r - r0) as u32, c - c0, v)).collect();
+        let local_triples: Vec<(u32, u64, V)> = swapped
+            .into_iter()
+            .map(|(r, c, v)| ((r - r0) as u32, c - c0, v))
+            .collect();
         let local = Dcsc::from_triples(
             Self::local_rows(self.ncols, q, grid.myrow()),
             Self::local_cols(self.nrows, q, grid.mycol()),
             local_triples,
             |_, _| unreachable!("transpose cannot create duplicates"),
         );
-        DistMat { grid: Rc::clone(grid), nrows: self.ncols, ncols: self.nrows, local }
+        DistMat {
+            grid: Rc::clone(grid),
+            nrows: self.ncols,
+            ncols: self.nrows,
+            local,
+        }
     }
 
     /// Symmetrize: `C(i,j) = combine(self(i,j), self(j,i))` where entries
@@ -237,7 +295,10 @@ impl<V: Payload + Clone> DistMat<V> {
     /// "symmetricize" step PASTIS needs after `(AS)Aᵀ` (paper Fig. 15).
     /// Collective; requires a square matrix.
     pub fn add_transpose(&self, combine: impl Fn(&mut V, V)) -> DistMat<V> {
-        assert_eq!(self.nrows, self.ncols, "add_transpose requires a square matrix");
+        assert_eq!(
+            self.nrows, self.ncols,
+            "add_transpose requires a square matrix"
+        );
         let t = self.transpose();
         let mut triples: Vec<(u32, u64, V)> = self
             .local
@@ -246,26 +307,52 @@ impl<V: Payload + Clone> DistMat<V> {
             .collect();
         triples.extend(t.local.iter().map(|(r, c, v)| (r, c, v.clone())));
         let local = Dcsc::from_triples(self.local.nrows(), self.local.ncols(), triples, combine);
-        DistMat { grid: Rc::clone(&self.grid), nrows: self.nrows, ncols: self.ncols, local }
+        DistMat {
+            grid: Rc::clone(&self.grid),
+            nrows: self.nrows,
+            ncols: self.ncols,
+            local,
+        }
     }
 
     /// Element-wise union with another identically-distributed matrix:
     /// entries present in both are folded with `combine(mine, theirs)`.
     /// Local (no communication).
     pub fn elementwise_add(&self, other: &DistMat<V>, combine: impl Fn(&mut V, V)) -> DistMat<V> {
-        assert!(Rc::ptr_eq(&self.grid, &other.grid), "operands must share a grid");
-        assert_eq!((self.nrows, self.ncols), (other.nrows, other.ncols), "dimension mismatch");
-        let mut triples: Vec<(u32, u64, V)> =
-            self.local.iter().map(|(r, c, v)| (r, c, v.clone())).collect();
+        assert!(
+            Rc::ptr_eq(&self.grid, &other.grid),
+            "operands must share a grid"
+        );
+        assert_eq!(
+            (self.nrows, self.ncols),
+            (other.nrows, other.ncols),
+            "dimension mismatch"
+        );
+        let mut triples: Vec<(u32, u64, V)> = self
+            .local
+            .iter()
+            .map(|(r, c, v)| (r, c, v.clone()))
+            .collect();
         triples.extend(other.local.iter().map(|(r, c, v)| (r, c, v.clone())));
         let local = Dcsc::from_triples(self.local.nrows(), self.local.ncols(), triples, combine);
-        DistMat { grid: Rc::clone(&self.grid), nrows: self.nrows, ncols: self.ncols, local }
+        DistMat {
+            grid: Rc::clone(&self.grid),
+            nrows: self.nrows,
+            ncols: self.ncols,
+            local,
+        }
     }
 
     /// Gather all triples (global indices) to `root`. Collective.
     pub fn gather_triples(&self, root: usize) -> Option<Vec<Triple<V>>> {
-        let mine: Vec<Triple<V>> = self.iter_local().map(|(r, c, v)| (r, c, v.clone())).collect();
-        self.grid.world().gather(root, mine).map(|parts| parts.into_iter().flatten().collect())
+        let mine: Vec<Triple<V>> = self
+            .iter_local()
+            .map(|(r, c, v)| (r, c, v.clone()))
+            .collect();
+        self.grid
+            .world()
+            .gather(root, mine)
+            .map(|parts| parts.into_iter().flatten().collect())
     }
 }
 

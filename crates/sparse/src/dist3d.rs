@@ -37,10 +37,17 @@ impl Grid3D {
     /// Collective.
     pub fn new(comm: &Comm, layers: usize) -> Grid3D {
         let p = comm.size();
-        assert!(layers >= 1 && p.is_multiple_of(layers), "size {p} not divisible into {layers} layers");
+        assert!(
+            layers >= 1 && p.is_multiple_of(layers),
+            "size {p} not divisible into {layers} layers"
+        );
         let per_layer = p / layers;
         let q = (per_layer as f64).sqrt().round() as usize;
-        assert_eq!(q * q, per_layer, "layer size {per_layer} is not a perfect square");
+        assert_eq!(
+            q * q,
+            per_layer,
+            "layer size {per_layer} is not a perfect square"
+        );
         let my_layer = comm.rank() / per_layer;
         // Layer subcommunicators (collective: everyone iterates all layers).
         let mut layer_comm = None;
@@ -62,7 +69,12 @@ impl Grid3D {
             }
         }
         let grid = Rc::new(Grid::new(&layer_comm.expect("member of own layer")));
-        Grid3D { layers, my_layer, grid, fiber: fiber.expect("member of own fiber") }
+        Grid3D {
+            layers,
+            my_layer,
+            grid,
+            fiber: fiber.expect("member of own fiber"),
+        }
     }
 
     /// Number of layers.
@@ -133,7 +145,10 @@ where
     // Fold partials across layers onto layer 0. Ascending layer order keeps
     // the add fold deterministic (and equal to the 2D fold order, because
     // slabs partition the inner dimension in ascending ranges).
-    let mine: Vec<Triple<SR::C>> = c_partial.iter_local().map(|(r, c, v)| (r, c, v.clone())).collect();
+    let mine: Vec<Triple<SR::C>> = c_partial
+        .iter_local()
+        .map(|(r, c, v)| (r, c, v.clone()))
+        .collect();
     let gathered = g3.fiber.gather(0, mine);
     gathered.map(|parts| {
         let triples: Vec<Triple<SR::C>> = parts.into_iter().flatten().collect();

@@ -58,6 +58,7 @@ pub fn local_spgemm<SR: Semiring>(
         // Work accounting: one semiring multiply-accumulate per flop
         // (~6 ns estimated for the hash path on a scalar core).
         pcomm::work::record(flops as u64, 6);
+        obs::hist!("spgemm.col_flops", flops);
         let use_hash = match strategy {
             SpGemmStrategy::Hash => true,
             SpGemmStrategy::Heap => false,
@@ -76,6 +77,9 @@ pub fn local_spgemm<SR: Semiring>(
                     }
                 }
             }
+            // Estimate vs. realized occupancy of the sized accumulator.
+            obs::hist!("spgemm.accum_est", flops);
+            obs::hist!("spgemm.accum_occ", hash_acc.len());
             pairs.clear();
             hash_acc.drain_sorted(&mut pairs);
             out.extend(pairs.drain(..).map(|(r, v)| (r, jcol, v)));
@@ -87,7 +91,11 @@ pub fn local_spgemm<SR: Semiring>(
 }
 
 /// One contributing A column: its rows, values, and the B scalar.
-type ColList<'a, SR> = (&'a [u32], &'a [<SR as Semiring>::A], &'a <SR as Semiring>::B);
+type ColList<'a, SR> = (
+    &'a [u32],
+    &'a [<SR as Semiring>::A],
+    &'a <SR as Semiring>::B,
+);
 
 /// K-way merge of the contributing lists; ties on row id are popped in list
 /// order (= ascending inner index), matching the hash fold order.
@@ -160,10 +168,18 @@ mod tests {
 
     #[test]
     fn strategies_agree_small() {
-        let a = dcsc(3, 4, vec![(0, 0, 1.0), (1, 0, 2.0), (2, 1, 3.0), (0, 3, 4.0)]);
+        let a = dcsc(
+            3,
+            4,
+            vec![(0, 0, 1.0), (1, 0, 2.0), (2, 1, 3.0), (0, 3, 4.0)],
+        );
         let b = dcsc(4, 2, vec![(0, 0, 5.0), (1, 0, 6.0), (3, 1, 7.0)]);
         let want = dense_mul(&a, &b);
-        for s in [SpGemmStrategy::Hash, SpGemmStrategy::Heap, SpGemmStrategy::Hybrid] {
+        for s in [
+            SpGemmStrategy::Hash,
+            SpGemmStrategy::Heap,
+            SpGemmStrategy::Hybrid,
+        ] {
             let got = local_spgemm(&a, &b, &ArithmeticSemiring, s);
             assert_eq!(got, want, "strategy {s:?}");
         }
@@ -174,19 +190,31 @@ mod tests {
         use rand::prelude::*;
         let mut rng = StdRng::seed_from_u64(7);
         for trial in 0..20 {
-            let (m, k, n) = (rng.random_range(1..20), rng.random_range(1..20), rng.random_range(1..20));
+            let (m, k, n) = (
+                rng.random_range(1..20),
+                rng.random_range(1..20),
+                rng.random_range(1..20),
+            );
             let mk_triples = |rng: &mut StdRng, rows: usize, cols: usize| {
                 let nnz = rng.random_range(0..rows * cols + 1);
                 (0..nnz)
                     .map(|_| {
-                        (rng.random_range(0..rows) as u32, rng.random_range(0..cols) as u64, rng.random_range(1..5) as f64)
+                        (
+                            rng.random_range(0..rows) as u32,
+                            rng.random_range(0..cols) as u64,
+                            rng.random_range(1..5) as f64,
+                        )
                     })
                     .collect::<Vec<_>>()
             };
             let a = dcsc(m, k as u64, mk_triples(&mut rng, m, k));
             let b = dcsc(k, n as u64, mk_triples(&mut rng, k, n));
             let want = dense_mul(&a, &b);
-            for s in [SpGemmStrategy::Hash, SpGemmStrategy::Heap, SpGemmStrategy::Hybrid] {
+            for s in [
+                SpGemmStrategy::Hash,
+                SpGemmStrategy::Heap,
+                SpGemmStrategy::Hybrid,
+            ] {
                 let got = local_spgemm(&a, &b, &ArithmeticSemiring, s);
                 assert_eq!(got, want, "trial {trial} strategy {s:?}");
             }

@@ -8,7 +8,10 @@ pub type Triple<V> = (u64, u64, V);
 /// This is the canonicalization step every matrix construction funnels
 /// through; the combine order for duplicates is their order in the sorted
 /// input, which is deterministic for deterministic inputs.
-pub fn sort_dedup_triples<V>(mut triples: Vec<Triple<V>>, add: impl Fn(&mut V, V)) -> Vec<Triple<V>> {
+pub fn sort_dedup_triples<V>(
+    mut triples: Vec<Triple<V>>,
+    add: impl Fn(&mut V, V),
+) -> Vec<Triple<V>> {
     triples.sort_by_key(|&(r, c, _)| (c, r));
     let mut out: Vec<Triple<V>> = Vec::with_capacity(triples.len());
     for (r, c, v) in triples {

@@ -43,13 +43,23 @@ fn random_triples(seed: u64, m: u64, n: u64, nnz: usize) -> Vec<(u64, u64, f64)>
     use rand::prelude::*;
     let mut rng = StdRng::seed_from_u64(seed);
     (0..nnz)
-        .map(|_| (rng.random_range(0..m), rng.random_range(0..n), rng.random_range(1..9) as f64))
+        .map(|_| {
+            (
+                rng.random_range(0..m),
+                rng.random_range(0..n),
+                rng.random_range(1..9) as f64,
+            )
+        })
         .collect()
 }
 
 /// Scatter triples round-robin over ranks to exercise the shuffle.
 fn my_share<T: Clone>(all: &[T], rank: usize, p: usize) -> Vec<T> {
-    all.iter().enumerate().filter(|(i, _)| i % p == rank).map(|(_, t)| t.clone()).collect()
+    all.iter()
+        .enumerate()
+        .filter(|(i, _)| i % p == rank)
+        .map(|(_, t)| t.clone())
+        .collect()
 }
 
 #[test]
@@ -89,11 +99,27 @@ fn summa_matches_dense_all_grids() {
     let b = random_triples(3, k, n, 70);
     let want = dense_mul(m as usize, k as usize, n as usize, &a, &b);
     for p in [1usize, 4, 9, 16] {
-        for strat in [SpGemmStrategy::Hash, SpGemmStrategy::Heap, SpGemmStrategy::Hybrid] {
+        for strat in [
+            SpGemmStrategy::Hash,
+            SpGemmStrategy::Heap,
+            SpGemmStrategy::Hybrid,
+        ] {
             let results = World::run(p, |comm| {
                 let grid = Rc::new(Grid::new(&comm));
-                let da = DistMat::from_triples(Rc::clone(&grid), m, k, my_share(&a, comm.rank(), p), |x, y| *x += y);
-                let db = DistMat::from_triples(Rc::clone(&grid), k, n, my_share(&b, comm.rank(), p), |x, y| *x += y);
+                let da = DistMat::from_triples(
+                    Rc::clone(&grid),
+                    m,
+                    k,
+                    my_share(&a, comm.rank(), p),
+                    |x, y| *x += y,
+                );
+                let db = DistMat::from_triples(
+                    Rc::clone(&grid),
+                    k,
+                    n,
+                    my_share(&b, comm.rank(), p),
+                    |x, y| *x += y,
+                );
                 let c = da.spgemm(&db, &ArithmeticSemiring, strat);
                 assert_eq!(c.nrows(), m);
                 assert_eq!(c.ncols(), n);
@@ -122,7 +148,13 @@ fn results_independent_of_grid_size() {
     for p in [4usize, 9] {
         let got = World::run(p, |comm| {
             let grid = Rc::new(Grid::new(&comm));
-            let da = DistMat::from_triples(Rc::clone(&grid), 30, 30, my_share(&a, comm.rank(), p), |x, y| *x += y);
+            let da = DistMat::from_triples(
+                Rc::clone(&grid),
+                30,
+                30,
+                my_share(&a, comm.rank(), p),
+                |x, y| *x += y,
+            );
             let c = da.spgemm(&da.transpose(), &ArithmeticSemiring, SpGemmStrategy::Hybrid);
             c.gather_triples(0)
         })
@@ -142,7 +174,13 @@ fn transpose_roundtrip_distributed() {
     for p in [1usize, 4, 9] {
         let got = World::run(p, |comm| {
             let grid = Rc::new(Grid::new(&comm));
-            let da = DistMat::from_triples(Rc::clone(&grid), 14, 9, my_share(&a, comm.rank(), p), |x, y| *x += y);
+            let da = DistMat::from_triples(
+                Rc::clone(&grid),
+                14,
+                9,
+                my_share(&a, comm.rank(), p),
+                |x, y| *x += y,
+            );
             let t = da.transpose();
             assert_eq!((t.nrows(), t.ncols()), (9, 14));
             let tt = t.transpose();
@@ -171,7 +209,13 @@ fn add_transpose_symmetrizes() {
     for p in [1usize, 4] {
         let got = World::run(p, |comm| {
             let grid = Rc::new(Grid::new(&comm));
-            let m = DistMat::from_triples(Rc::clone(&grid), 4, 4, my_share(&tri, comm.rank(), p), |x, y| *x += y);
+            let m = DistMat::from_triples(
+                Rc::clone(&grid),
+                4,
+                4,
+                my_share(&tri, comm.rank(), p),
+                |x, y| *x += y,
+            );
             let s = m.add_transpose(|a, b| *a += b);
             s.gather_triples(0)
         })
@@ -200,7 +244,13 @@ fn retain_and_map_use_global_indices() {
     let tri: Vec<(u64, u64, f64)> = (0..10).map(|i| (i, i, i as f64)).collect();
     let got = World::run(4, |comm| {
         let grid = Rc::new(Grid::new(&comm));
-        let mut m = DistMat::from_triples(Rc::clone(&grid), 10, 10, my_share(&tri, comm.rank(), 4), |x, y| *x += y);
+        let mut m = DistMat::from_triples(
+            Rc::clone(&grid),
+            10,
+            10,
+            my_share(&tri, comm.rank(), 4),
+            |x, y| *x += y,
+        );
         m.retain(|r, _, _| r >= 5);
         let m = m.map(|r, c, v| (r + c) as f64 + v);
         m.gather_triples(0)
@@ -209,7 +259,12 @@ fn retain_and_map_use_global_indices() {
     .unwrap();
     let mut g = got;
     g.sort_by(|x, y| x.partial_cmp(y).unwrap());
-    assert_eq!(g, (5u64..10).map(|i| (i, i, 3.0 * i as f64)).collect::<Vec<_>>());
+    assert_eq!(
+        g,
+        (5u64..10)
+            .map(|i| (i, i, 3.0 * i as f64))
+            .collect::<Vec<_>>()
+    );
 }
 
 #[test]
@@ -217,10 +272,18 @@ fn hypersparse_kmer_sized_columns() {
     // Column space like a k=6 protein k-mer space (24^6 ≈ 1.9e8): DCSC keeps
     // this cheap even though almost all columns are empty.
     let ncols = 24u64.pow(6);
-    let tri: Vec<(u64, u64, f64)> = (0..50).map(|i| (i % 10, (i * 7_919_113) % ncols, 1.0)).collect();
+    let tri: Vec<(u64, u64, f64)> = (0..50)
+        .map(|i| (i % 10, (i * 7_919_113) % ncols, 1.0))
+        .collect();
     let got = World::run(4, |comm| {
         let grid = Rc::new(Grid::new(&comm));
-        let m = DistMat::from_triples(Rc::clone(&grid), 10, ncols, my_share(&tri, comm.rank(), 4), |x, y| *x += y);
+        let m = DistMat::from_triples(
+            Rc::clone(&grid),
+            10,
+            ncols,
+            my_share(&tri, comm.rank(), 4),
+            |x, y| *x += y,
+        );
         // B = A·Aᵀ counts shared "k-mers" per row pair.
         let b = m.spgemm(&m.transpose(), &ArithmeticSemiring, SpGemmStrategy::Hybrid);
         (m.nnz(), b.nnz())

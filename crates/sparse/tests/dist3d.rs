@@ -22,7 +22,11 @@ fn random_unique_triples(seed: u64, m: u64, n: u64, nnz: usize) -> Vec<(u64, u64
 }
 
 fn my_share<T: Clone>(all: &[T], rank: usize, p: usize) -> Vec<T> {
-    all.iter().enumerate().filter(|(i, _)| i % p == rank).map(|(_, t)| t.clone()).collect()
+    all.iter()
+        .enumerate()
+        .filter(|(i, _)| i % p == rank)
+        .map(|(_, t)| t.clone())
+        .collect()
 }
 
 fn reference_2d(
@@ -69,7 +73,12 @@ fn matches_2d_for_various_layer_counts() {
             c.map(|c| c.gather_triples(0))
         });
         // World rank 0 is grid rank 0 of layer 0.
-        let mut merged = got.into_iter().flatten().flatten().flatten().collect::<Vec<_>>();
+        let mut merged = got
+            .into_iter()
+            .flatten()
+            .flatten()
+            .flatten()
+            .collect::<Vec<_>>();
         merged.sort_by(|x, y| x.partial_cmp(y).unwrap());
         assert_eq!(merged, want, "layers={layers} q={q}");
     }
@@ -83,8 +92,15 @@ fn single_layer_is_plain_summa() {
     let want = reference_2d(m, k, n, &a, &b);
     let got = World::run(4, |comm| {
         let g3 = Grid3D::new(&comm, 1);
-        spgemm_3d(&g3, (m, k, n), my_share(&a, comm.rank(), 4), my_share(&b, comm.rank(), 4), &ArithmeticSemiring, SpGemmStrategy::Hash)
-            .map(|c| c.gather_triples(0))
+        spgemm_3d(
+            &g3,
+            (m, k, n),
+            my_share(&a, comm.rank(), 4),
+            my_share(&b, comm.rank(), 4),
+            &ArithmeticSemiring,
+            SpGemmStrategy::Hash,
+        )
+        .map(|c| c.gather_triples(0))
     });
     let mut merged: Vec<_> = got.into_iter().flatten().flatten().flatten().collect();
     merged.sort_by(|x, y| x.partial_cmp(y).unwrap());
@@ -95,8 +111,15 @@ fn single_layer_is_plain_summa() {
 fn empty_operands_give_empty_product() {
     let got = World::run(8, |comm| {
         let g3 = Grid3D::new(&comm, 2);
-        spgemm_3d::<ArithmeticSemiring>(&g3, (5, 5, 5), Vec::new(), Vec::new(), &ArithmeticSemiring, SpGemmStrategy::Hybrid)
-            .map(|c| c.nnz_local())
+        spgemm_3d::<ArithmeticSemiring>(
+            &g3,
+            (5, 5, 5),
+            Vec::new(),
+            Vec::new(),
+            &ArithmeticSemiring,
+            SpGemmStrategy::Hybrid,
+        )
+        .map(|c| c.nnz_local())
     });
     // Layer-0 ranks report zero nonzeros; others report None.
     assert_eq!(got.iter().filter(|o| o.is_some()).count(), 4);

@@ -10,8 +10,16 @@ use sparse::{DistMat, MaxPlusSemiring, OrAndSemiring, SpGemmStrategy};
 fn elementwise_add_unions_and_folds() {
     let got = World::run(4, |comm| {
         let grid = Rc::new(Grid::new(&comm));
-        let mine_a = if comm.rank() == 0 { vec![(0u64, 0u64, 1.0), (1, 1, 2.0)] } else { vec![] };
-        let mine_b = if comm.rank() == 0 { vec![(1u64, 1u64, 10.0), (2, 2, 3.0)] } else { vec![] };
+        let mine_a = if comm.rank() == 0 {
+            vec![(0u64, 0u64, 1.0), (1, 1, 2.0)]
+        } else {
+            vec![]
+        };
+        let mine_b = if comm.rank() == 0 {
+            vec![(1u64, 1u64, 10.0), (2, 2, 3.0)]
+        } else {
+            vec![]
+        };
         let a = DistMat::from_triples(Rc::clone(&grid), 4, 4, mine_a, |x, y| *x += y);
         let b = DistMat::from_triples(Rc::clone(&grid), 4, 4, mine_b, |x, y| *x += y);
         let c = a.elementwise_add(&b, |x, y| *x += y);
@@ -30,7 +38,11 @@ fn boolean_semiring_reachability() {
     let edges = vec![(0u64, 1u64, true), (1, 2, true)];
     let got = World::run(4, |comm| {
         let grid = Rc::new(Grid::new(&comm));
-        let mine = if comm.rank() == 0 { edges.clone() } else { vec![] };
+        let mine = if comm.rank() == 0 {
+            edges.clone()
+        } else {
+            vec![]
+        };
         let a = DistMat::from_triples(Rc::clone(&grid), 3, 3, mine, |x, y| *x |= y);
         let two_hop = a.spgemm(&a, &OrAndSemiring, SpGemmStrategy::Hybrid);
         two_hop.gather_triples(0)
@@ -47,7 +59,9 @@ fn maxplus_semiring_longest_two_hop() {
     let edges = vec![(0u64, 1u64, 5i64), (1, 2, 7)];
     let got = World::run(1, |comm| {
         let grid = Rc::new(Grid::new(&comm));
-        let a = DistMat::from_triples(Rc::clone(&grid), 3, 3, edges.clone(), |x, y| *x = (*x).max(y));
+        let a = DistMat::from_triples(Rc::clone(&grid), 3, 3, edges.clone(), |x, y| {
+            *x = (*x).max(y)
+        });
         let sq = a.spgemm(&a, &MaxPlusSemiring, SpGemmStrategy::Heap);
         sq.gather_triples(0)
     })
@@ -60,7 +74,9 @@ fn maxplus_semiring_longest_two_hop() {
 fn one_by_one_matrices() {
     let got = World::run(1, |comm| {
         let grid = Rc::new(Grid::new(&comm));
-        let a = DistMat::from_triples(Rc::clone(&grid), 1, 1, vec![(0u64, 0u64, 3.0)], |x, y| *x += y);
+        let a = DistMat::from_triples(Rc::clone(&grid), 1, 1, vec![(0u64, 0u64, 3.0)], |x, y| {
+            *x += y
+        });
         let sq = a.spgemm(&a, &sparse::ArithmeticSemiring, SpGemmStrategy::Hash);
         (sq.nnz(), sq.gather_triples(0))
     })

@@ -28,7 +28,10 @@ fn dense_mul(a: &Dcsc<f64>, b: &Dcsc<f64>) -> Vec<(u32, u64, f64)> {
             }
         }
     }
-    acc.into_iter().filter(|&(_, v)| v != 0.0).map(|((j, r), v)| (r, j, v)).collect()
+    acc.into_iter()
+        .filter(|&(_, v)| v != 0.0)
+        .map(|((j, r), v)| (r, j, v))
+        .collect()
 }
 
 proptest! {

@@ -61,7 +61,10 @@ mod tests {
             let row = e.row(b);
             assert_eq!(row.len(), 23);
             assert!(row.windows(2).all(|w| w[0] <= w[1]), "row {b} unsorted");
-            assert!(!row.iter().any(|&(_, t)| t == b), "self-substitution in row {b}");
+            assert!(
+                !row.iter().any(|&(_, t)| t == b),
+                "self-substitution in row {b}"
+            );
         }
     }
 

@@ -42,7 +42,13 @@ pub fn kmer_distance(from: &[u8], to: &[u8], matrix: &ScoringMatrix) -> u32 {
     assert_eq!(from.len(), to.len());
     from.iter()
         .zip(to)
-        .map(|(&f, &t)| if f == t { 0 } else { matrix.expense(f, t).max(0) as u32 })
+        .map(|(&f, &t)| {
+            if f == t {
+                0
+            } else {
+                matrix.expense(f, t).max(0) as u32
+            }
+        })
         .sum()
 }
 
@@ -57,13 +63,21 @@ pub fn find_sub_kmers(seed: &[u8], table: &ExpenseTable, m: usize) -> Vec<SubKme
     }
     let mut nbrs: Vec<SubKmer> = Vec::with_capacity(m);
     let mut frontier: MinMaxHeap<Cand> = MinMaxHeap::new();
-    let root = Cand { dist: 0, id: kmer_id(seed), bases: seed.to_vec(), next_pos: 0 };
+    let root = Cand {
+        dist: 0,
+        id: kmer_id(seed),
+        bases: seed.to_vec(),
+        next_pos: 0,
+    };
     explore(&root, &mut frontier, table, m);
     while nbrs.len() < m {
         let Some(confirmed) = frontier.pop_min() else {
             break; // substitution space exhausted
         };
-        nbrs.push(SubKmer { id: confirmed.id, dist: confirmed.dist });
+        nbrs.push(SubKmer {
+            id: confirmed.id,
+            dist: confirmed.dist,
+        });
         explore(&confirmed, &mut frontier, table, m);
     }
     nbrs
@@ -100,7 +114,12 @@ fn explore(p: &Cand, frontier: &mut MinMaxHeap<Cand>, table: &ExpenseTable, m: u
         debug_assert_eq!(p.dist + exp as u32, msb);
         let mut bases = p.bases.clone();
         bases[pos as usize] = newbase;
-        let child = Cand { dist: msb, id: kmer_id(&bases), bases, next_pos: pos + 1 };
+        let child = Cand {
+            dist: msb,
+            id: kmer_id(&bases),
+            bases,
+            next_pos: pos + 1,
+        };
         if frontier.len() >= m {
             frontier.pop_max();
         }
@@ -109,7 +128,11 @@ fn explore(p: &Cand, frontier: &mut MinMaxHeap<Cand>, table: &ExpenseTable, m: u
         pcomm::work::record(1, 80);
         // Queue the next-cheapest substitution at this position.
         if (sid as usize + 1) < table.row(b).len() {
-            mh.push(Reverse((p.dist + table.row(b)[sid as usize + 1].0 as u32, pos, sid + 1)));
+            mh.push(Reverse((
+                p.dist + table.row(b)[sid as usize + 1].0 as u32,
+                pos,
+                sid + 1,
+            )));
         }
     }
 }
@@ -150,7 +173,10 @@ mod tests {
         assert_eq!(subs[0].dist, 3);
         assert_eq!(subs[1].dist, 3);
         assert_eq!(subs[2].dist, 4);
-        let names: Vec<String> = subs.iter().map(|s| seqstore::kmer_string(s.id, 3)).collect();
+        let names: Vec<String> = subs
+            .iter()
+            .map(|s| seqstore::kmer_string(s.id, 3))
+            .collect();
         assert_eq!(names[0], "ASC"); // ties broken by k-mer id: A=0 < S=15
         assert_eq!(names[1], "SAC");
         assert!(names.contains(&"SSC".to_string()));
@@ -169,7 +195,10 @@ mod tests {
         for seed_str in [b"AC".as_ref(), b"WW", b"MK", b"CC"] {
             let seed = encode_seq(seed_str);
             for m in [1usize, 5, 17, 40] {
-                let got: Vec<u32> = find_sub_kmers(&seed, &t, m).iter().map(|s| s.dist).collect();
+                let got: Vec<u32> = find_sub_kmers(&seed, &t, m)
+                    .iter()
+                    .map(|s| s.dist)
+                    .collect();
                 let want = brute_force_dists(&seed, m);
                 assert_eq!(got, want, "seed={seed_str:?} m={m}");
             }
@@ -182,7 +211,10 @@ mod tests {
         for seed_str in [b"AAC".as_ref(), b"WCH", b"MKV"] {
             let seed = encode_seq(seed_str);
             for m in [1usize, 10, 25, 50] {
-                let got: Vec<u32> = find_sub_kmers(&seed, &t, m).iter().map(|s| s.dist).collect();
+                let got: Vec<u32> = find_sub_kmers(&seed, &t, m)
+                    .iter()
+                    .map(|s| s.dist)
+                    .collect();
                 let want = brute_force_dists(&seed, m);
                 assert_eq!(got, want, "seed={seed_str:?} m={m}");
             }
@@ -200,8 +232,13 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), n, "duplicate substitute k-mers");
-        assert!(!ids.contains(&seqstore::kmer_id(&seed)), "seed returned as its own substitute");
-        assert!(subs.windows(2).all(|w| (w[0].dist, w[0].id) < (w[1].dist, w[1].id)));
+        assert!(
+            !ids.contains(&seqstore::kmer_id(&seed)),
+            "seed returned as its own substitute"
+        );
+        assert!(subs
+            .windows(2)
+            .all(|w| (w[0].dist, w[0].id) < (w[1].dist, w[1].id)));
     }
 
     #[test]

@@ -52,7 +52,11 @@ impl<T: Ord> MinMaxHeap<T> {
             0 => None,
             1 => Some(&self.data[0]),
             2 => Some(&self.data[1]),
-            _ => Some(if self.data[1] >= self.data[2] { &self.data[1] } else { &self.data[2] }),
+            _ => Some(if self.data[1] >= self.data[2] {
+                &self.data[1]
+            } else {
+                &self.data[2]
+            }),
         }
     }
 
@@ -156,7 +160,10 @@ impl<T: Ord> MinMaxHeap<T> {
         let c1 = 2 * i + 1;
         let c2 = 2 * i + 2;
         let gc = (2 * c1 + 1)..=(2 * c2 + 2);
-        [c1, c2].into_iter().chain(gc).filter(move |&d| d < self.data.len())
+        [c1, c2]
+            .into_iter()
+            .chain(gc)
+            .filter(move |&d| d < self.data.len())
     }
 
     fn trickle_down(&mut self, i: usize) {
@@ -169,7 +176,10 @@ impl<T: Ord> MinMaxHeap<T> {
 
     fn trickle_down_min(&mut self, mut i: usize) {
         loop {
-            let Some(m) = self.descendants(i).min_by(|&a, &b| self.data[a].cmp(&self.data[b])) else {
+            let Some(m) = self
+                .descendants(i)
+                .min_by(|&a, &b| self.data[a].cmp(&self.data[b]))
+            else {
                 return;
             };
             let is_grandchild = m >= 4 * i + 3;
@@ -190,7 +200,10 @@ impl<T: Ord> MinMaxHeap<T> {
 
     fn trickle_down_max(&mut self, mut i: usize) {
         loop {
-            let Some(m) = self.descendants(i).max_by(|&a, &b| self.data[a].cmp(&self.data[b])) else {
+            let Some(m) = self
+                .descendants(i)
+                .max_by(|&a, &b| self.data[a].cmp(&self.data[b]))
+            else {
                 return;
             };
             let is_grandchild = m >= 4 * i + 3;

@@ -17,7 +17,12 @@ pub type SubEntry = u32;
 ///
 /// With `m == 0` only identity entries are produced, which makes
 /// `(A·S)·Aᵀ` coincide with `A·Aᵀ` (the paper's `s0` configuration).
-pub fn build_s_triples(kmers: &[u64], k: usize, table: &ExpenseTable, m: usize) -> Vec<(u64, u64, SubEntry)> {
+pub fn build_s_triples(
+    kmers: &[u64],
+    k: usize,
+    table: &ExpenseTable,
+    m: usize,
+) -> Vec<(u64, u64, SubEntry)> {
     let mut out = Vec::with_capacity(kmers.len() * (m + 1));
     for &id in kmers {
         out.push((id, id, 0));

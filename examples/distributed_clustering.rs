@@ -28,17 +28,32 @@ fn main() {
     let n = data.len() as u64;
     println!("dataset: {} sequences, {} families", n, data.family_count());
 
-    let params = PastisParams { k: 5, substitutes: 10, ..Default::default() };
+    let params = PastisParams {
+        k: 5,
+        substitutes: 10,
+        ..Default::default()
+    };
     // One world: each rank computes its PSG shard, then all ranks cluster
     // it cooperatively without ever centralizing the graph.
     let labels = World::run(9, |comm| {
         let run = run_pipeline(&comm, &fasta, &params);
         let grid = Rc::new(Grid::new(&comm));
-        markov_cluster_dist(grid, n, run.edges, &MclParams { max_per_column: 0, ..Default::default() })
+        markov_cluster_dist(
+            grid,
+            n,
+            run.edges,
+            &MclParams {
+                max_per_column: 0,
+                ..Default::default()
+            },
+        )
     })
     .remove(0);
 
-    let clusters = labels.iter().collect::<std::collections::HashSet<_>>().len();
+    let clusters = labels
+        .iter()
+        .collect::<std::collections::HashSet<_>>()
+        .len();
     let (p, r) = weighted_precision_recall(&labels, &data.labels);
     println!("distributed MCL on a 3×3 grid: {clusters} clusters");
     println!("weighted precision = {p:.3}, recall = {r:.3}");

@@ -20,9 +20,19 @@ use seqstore::write_fasta;
 fn main() {
     let fasta = write_fasta(&metaclust_like(
         300,
-        &MetaclustConfig { seed: 3, len_range: (80, 200), related_fraction: 0.3, mutation_rate: 0.1 },
+        &MetaclustConfig {
+            seed: 3,
+            len_range: (80, 200),
+            related_fraction: 0.3,
+            mutation_rate: 0.1,
+        },
     ));
-    let params = PastisParams { k: 5, substitutes: 10, mode: AlignMode::None, ..Default::default() };
+    let params = PastisParams {
+        k: 5,
+        substitutes: 10,
+        mode: AlignMode::None,
+        ..Default::default()
+    };
     let model = CostModel::default();
 
     println!(

@@ -29,10 +29,17 @@ fn main() {
         data.len(),
         data.family_count()
     );
-    println!("{:<14} {:>10} {:>10} {:>10} {:>10}", "variant", "edges", "P(mcl)", "R(mcl)", "P(cc)");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>10}",
+        "variant", "edges", "P(mcl)", "R(mcl)", "P(cc)"
+    );
 
     for substitutes in [0usize, 10, 25] {
-        let params = PastisParams { k: 5, substitutes, ..Default::default() };
+        let params = PastisParams {
+            k: 5,
+            substitutes,
+            ..Default::default()
+        };
         let runs = World::run(4, |comm| run_pipeline(&comm, &fasta, &params));
         let edges: Vec<(usize, usize, f64)> = runs
             .iter()

@@ -14,13 +14,26 @@ fn main() {
     // 1. A synthetic dataset: 60 proteins, ~30% of them mutated copies.
     let records = metaclust_like(
         60,
-        &MetaclustConfig { seed: 7, len_range: (80, 200), related_fraction: 0.4, mutation_rate: 0.08 },
+        &MetaclustConfig {
+            seed: 7,
+            len_range: (80, 200),
+            related_fraction: 0.4,
+            mutation_rate: 0.08,
+        },
     );
     let fasta = write_fasta(&records);
-    println!("dataset: {} sequences, {} FASTA bytes", records.len(), fasta.len());
+    println!(
+        "dataset: {} sequences, {} FASTA bytes",
+        records.len(),
+        fasta.len()
+    );
 
     // 2. PASTIS with default paper settings (scaled k), on 4 ranks.
-    let params = PastisParams { k: 5, substitutes: 10, ..Default::default() };
+    let params = PastisParams {
+        k: 5,
+        substitutes: 10,
+        ..Default::default()
+    };
     println!("variant: {}", params.variant_name());
     let runs = World::run(4, |comm| run_pipeline(&comm, &fasta, &params));
 
@@ -32,9 +45,15 @@ fn main() {
         "matrices: nnz(A)={}  nnz(S)={}  nnz(B)={}  alignments={}",
         c.nnz_a, c.nnz_s, c.nnz_b, c.alignments_global
     );
-    println!("similarity graph: {} edges (ANI ≥ 30%, coverage ≥ 70%)", edges.len());
+    println!(
+        "similarity graph: {} edges (ANI ≥ 30%, coverage ≥ 70%)",
+        edges.len()
+    );
     for &(a, b, w) in edges.iter().take(10) {
-        println!("  {:>4} -- {:<4}  ani={:.2}", records[a as usize].name, records[b as usize].name, w);
+        println!(
+            "  {:>4} -- {:<4}  ani={:.2}",
+            records[a as usize].name, records[b as usize].name, w
+        );
     }
     if edges.len() > 10 {
         println!("  … and {} more", edges.len() - 10);

@@ -37,10 +37,22 @@ fn main() {
         ..Default::default()
     });
     let fasta = write_fasta(&data.records);
-    println!("{} sequences, {} families, strong divergence", data.len(), data.family_count());
-    println!("{:<6} {:>12} {:>18}", "m", "candidates", "intra-family hit%");
+    println!(
+        "{} sequences, {} families, strong divergence",
+        data.len(),
+        data.family_count()
+    );
+    println!(
+        "{:<6} {:>12} {:>18}",
+        "m", "candidates", "intra-family hit%"
+    );
     for m in [0usize, 10, 25, 50] {
-        let params = PastisParams { k: 5, substitutes: m, mode: AlignMode::None, ..Default::default() };
+        let params = PastisParams {
+            k: 5,
+            substitutes: m,
+            mode: AlignMode::None,
+            ..Default::default()
+        };
         let runs = World::run(1, |comm| run_pipeline(&comm, &fasta, &params));
         let edges = &runs[0].edges;
         // How many same-family pairs were proposed at all?

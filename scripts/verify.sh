@@ -3,7 +3,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo fmt --check
 cargo build --release
 cargo test -q
+# Trace-export schema gate: the Perfetto JSON must stay parseable and keep
+# its per-rank track structure.
+cargo test -q -p obs --test perfetto_schema
 cargo clippy --all-targets -- -D warnings
 echo "verify: OK"

@@ -19,7 +19,9 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
-        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 }
 
@@ -43,10 +45,17 @@ pub struct Criterion {
 
 impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), _c: self }
+        BenchmarkGroup {
+            name: name.into(),
+            _c: self,
+        }
     }
 
-    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
         run_one("", &id.into().id, &mut f);
         self
     }
@@ -63,7 +72,11 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
         run_one(&self.name, &id.into().id, &mut f);
         self
     }
@@ -82,10 +95,21 @@ impl BenchmarkGroup<'_> {
 }
 
 fn run_one(group: &str, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
-    let mut b = Bencher { total: Duration::ZERO, iters: 0 };
+    let mut b = Bencher {
+        total: Duration::ZERO,
+        iters: 0,
+    };
     f(&mut b);
-    let ns = if b.iters == 0 { 0.0 } else { b.total.as_nanos() as f64 / b.iters as f64 };
-    let label = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
+    let ns = if b.iters == 0 {
+        0.0
+    } else {
+        b.total.as_nanos() as f64 / b.iters as f64
+    };
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
     println!("bench {label:<48} {ns:>14.1} ns/iter ({} iters)", b.iters);
 }
 

@@ -128,7 +128,9 @@ pub mod strategy {
                 return (*self).to_string();
             };
             let len = rng.random_range(lo..=hi);
-            (0..len).map(|_| *CLASS.choose(rng).unwrap() as char).collect()
+            (0..len)
+                .map(|_| *CLASS.choose(rng).unwrap() as char)
+                .collect()
         }
     }
 

@@ -23,14 +23,20 @@ fn dataset() -> datagen::LabeledDataset {
 
 fn pastis_edges(data: &datagen::LabeledDataset, substitutes: usize) -> Vec<(u64, u64, f64)> {
     let fasta = write_fasta(&data.records);
-    let params = PastisParams { k: 4, substitutes, ..Default::default() };
+    let params = PastisParams {
+        k: 4,
+        substitutes,
+        ..Default::default()
+    };
     let runs = World::run(4, |comm| run_pipeline(&comm, &fasta, &params));
     runs.into_iter().flat_map(|r| r.edges).collect()
 }
 
 fn cluster_quality(n: usize, edges: &[(u64, u64, f64)], labels: &[usize]) -> (f64, f64) {
-    let e: Vec<(usize, usize, f64)> =
-        edges.iter().map(|&(a, b, w)| (a as usize, b as usize, w)).collect();
+    let e: Vec<(usize, usize, f64)> = edges
+        .iter()
+        .map(|&(a, b, w)| (a as usize, b as usize, w))
+        .collect();
     let clusters = markov_cluster(n, &e, &MclParams::default());
     weighted_precision_recall(&clusters, labels)
 }
@@ -42,7 +48,13 @@ fn all_three_tools_recover_families_via_mcl() {
 
     let pastis = pastis_edges(&data, 0);
     let mmseqs = mmseqs_like(&data.records, &MmseqsParams::default());
-    let last = last_like(&data.records, &LastParams { max_initial_matches: 300, ..Default::default() });
+    let last = last_like(
+        &data.records,
+        &LastParams {
+            max_initial_matches: 300,
+            ..Default::default()
+        },
+    );
 
     for (name, edges) in [("pastis", &pastis), ("mmseqs", &mmseqs), ("last", &last)] {
         let (p, r) = cluster_quality(n, edges, &data.labels);
@@ -76,8 +88,14 @@ fn connected_components_match_table2_shape() {
     let (p_exact, _) = weighted_precision_recall(&exact, &data.labels);
     let (p_subs, r_subs) = weighted_precision_recall(&subs, &data.labels);
     let (_, r_exact) = weighted_precision_recall(&exact, &data.labels);
-    assert!(p_exact >= p_subs - 1e-9, "exact precision {p_exact} < substitute {p_subs}");
-    assert!(r_subs >= r_exact - 1e-9, "substitute recall {r_subs} < exact {r_exact}");
+    assert!(
+        p_exact >= p_subs - 1e-9,
+        "exact precision {p_exact} < substitute {p_subs}"
+    );
+    assert!(
+        r_subs >= r_exact - 1e-9,
+        "substitute recall {r_subs} < exact {r_exact}"
+    );
 }
 
 #[test]
@@ -86,13 +104,18 @@ fn mcl_beats_or_matches_connected_components_on_precision() {
     let data = dataset();
     let n = data.len();
     let edges = pastis_edges(&data, 10);
-    let e: Vec<(usize, usize, f64)> =
-        edges.iter().map(|&(a, b, w)| (a as usize, b as usize, w)).collect();
+    let e: Vec<(usize, usize, f64)> = edges
+        .iter()
+        .map(|&(a, b, w)| (a as usize, b as usize, w))
+        .collect();
     let mcl_labels = markov_cluster(n, &e, &MclParams::default());
     let cc_labels = connected_components(n, e.iter().map(|&(a, b, _)| (a, b)));
     let (p_mcl, _) = weighted_precision_recall(&mcl_labels, &data.labels);
     let (p_cc, _) = weighted_precision_recall(&cc_labels, &data.labels);
-    assert!(p_mcl >= p_cc - 1e-9, "MCL precision {p_mcl} below CC {p_cc}");
+    assert!(
+        p_mcl >= p_cc - 1e-9,
+        "MCL precision {p_mcl} below CC {p_cc}"
+    );
 }
 
 #[test]
@@ -106,12 +129,15 @@ fn tools_agree_on_strong_pairs() {
         divergence: (0.01, 0.05),
         ..Default::default()
     });
-    let pastis: std::collections::HashSet<(u64, u64)> =
-        pastis_edges(&data, 0).iter().map(|&(a, b, _)| (a, b)).collect();
-    let mmseqs: std::collections::HashSet<(u64, u64)> = mmseqs_like(&data.records, &MmseqsParams::default())
+    let pastis: std::collections::HashSet<(u64, u64)> = pastis_edges(&data, 0)
         .iter()
         .map(|&(a, b, _)| (a, b))
         .collect();
+    let mmseqs: std::collections::HashSet<(u64, u64)> =
+        mmseqs_like(&data.records, &MmseqsParams::default())
+            .iter()
+            .map(|&(a, b, _)| (a, b))
+            .collect();
     assert!(!pastis.is_empty());
     let overlap = pastis.intersection(&mmseqs).count();
     assert!(

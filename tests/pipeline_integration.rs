@@ -30,7 +30,11 @@ fn collect_edges(fasta: &[u8], p: usize, params: &PastisParams) -> Vec<(u64, u64
 #[test]
 fn edges_independent_of_process_count() {
     let fasta = small_dataset(30, 1);
-    let params = PastisParams { k: 4, substitutes: 0, ..Default::default() };
+    let params = PastisParams {
+        k: 4,
+        substitutes: 0,
+        ..Default::default()
+    };
     let reference = collect_edges(&fasta, 1, &params);
     assert!(!reference.is_empty(), "dataset produced no edges");
     for p in [4usize, 9] {
@@ -42,7 +46,11 @@ fn edges_independent_of_process_count() {
 #[test]
 fn edges_independent_of_process_count_with_substitutes() {
     let fasta = small_dataset(20, 2);
-    let params = PastisParams { k: 4, substitutes: 5, ..Default::default() };
+    let params = PastisParams {
+        k: 4,
+        substitutes: 5,
+        ..Default::default()
+    };
     let reference = collect_edges(&fasta, 1, &params);
     assert!(!reference.is_empty());
     for p in [4usize, 9] {
@@ -54,7 +62,11 @@ fn edges_independent_of_process_count_with_substitutes() {
 #[test]
 fn each_pair_reported_exactly_once() {
     let fasta = small_dataset(25, 3);
-    let params = PastisParams { k: 4, mode: AlignMode::None, ..Default::default() };
+    let params = PastisParams {
+        k: 4,
+        mode: AlignMode::None,
+        ..Default::default()
+    };
     for p in [1usize, 4] {
         let edges = collect_edges(&fasta, p, &params);
         let mut keys: Vec<(u64, u64)> = edges.iter().map(|&(a, b, _)| (a, b)).collect();
@@ -72,15 +84,28 @@ fn substitutes_expand_the_candidate_set() {
     // §IV-B/§VI-A: substitute k-mers strictly widen the overlap landscape —
     // more candidate pairs, superset of the exact pairs.
     let fasta = small_dataset(25, 4);
-    let exact = PastisParams { k: 4, substitutes: 0, mode: AlignMode::None, ..Default::default() };
-    let subs = PastisParams { k: 4, substitutes: 10, mode: AlignMode::None, ..Default::default() };
+    let exact = PastisParams {
+        k: 4,
+        substitutes: 0,
+        mode: AlignMode::None,
+        ..Default::default()
+    };
+    let subs = PastisParams {
+        k: 4,
+        substitutes: 10,
+        mode: AlignMode::None,
+        ..Default::default()
+    };
     let e_exact = collect_edges(&fasta, 1, &exact);
     let e_subs = collect_edges(&fasta, 1, &subs);
     assert!(e_subs.len() >= e_exact.len());
     let sub_keys: std::collections::HashSet<(u64, u64)> =
         e_subs.iter().map(|&(a, b, _)| (a, b)).collect();
     for &(a, b, _) in &e_exact {
-        assert!(sub_keys.contains(&(a, b)), "exact pair ({a},{b}) lost with substitutes");
+        assert!(
+            sub_keys.contains(&(a, b)),
+            "exact pair ({a},{b}) lost with substitutes"
+        );
     }
 }
 
@@ -89,22 +114,44 @@ fn substitute_counts_dominate_exact_counts() {
     // With the identity kept in S, every exact shared k-mer is also a
     // shared substitute k-mer: per-pair counts can only grow.
     let fasta = small_dataset(15, 5);
-    let exact = PastisParams { k: 4, substitutes: 0, mode: AlignMode::None, ..Default::default() };
-    let subs = PastisParams { k: 4, substitutes: 8, mode: AlignMode::None, ..Default::default() };
+    let exact = PastisParams {
+        k: 4,
+        substitutes: 0,
+        mode: AlignMode::None,
+        ..Default::default()
+    };
+    let subs = PastisParams {
+        k: 4,
+        substitutes: 8,
+        mode: AlignMode::None,
+        ..Default::default()
+    };
     let e_exact = collect_edges(&fasta, 1, &exact);
-    let e_subs: std::collections::HashMap<(u64, u64), f64> =
-        collect_edges(&fasta, 1, &subs).into_iter().map(|(a, b, w)| ((a, b), w)).collect();
+    let e_subs: std::collections::HashMap<(u64, u64), f64> = collect_edges(&fasta, 1, &subs)
+        .into_iter()
+        .map(|(a, b, w)| ((a, b), w))
+        .collect();
     for (a, b, w) in e_exact {
         let ws = e_subs.get(&(a, b)).copied().unwrap_or(0.0);
-        assert!(ws >= w, "pair ({a},{b}): substitute count {ws} < exact count {w}");
+        assert!(
+            ws >= w,
+            "pair ({a},{b}): substitute count {ws} < exact count {w}"
+        );
     }
 }
 
 #[test]
 fn ck_threshold_prunes_alignments() {
     let fasta = small_dataset(30, 6);
-    let base = PastisParams { k: 4, substitutes: 5, ..Default::default() };
-    let ck = PastisParams { common_kmer_threshold: 3, ..base.clone() };
+    let base = PastisParams {
+        k: 4,
+        substitutes: 5,
+        ..Default::default()
+    };
+    let ck = PastisParams {
+        common_kmer_threshold: 3,
+        ..base.clone()
+    };
     let runs_base = World::run(1, |comm| run_pipeline(&comm, &fasta, &base));
     let runs_ck = World::run(1, |comm| run_pipeline(&comm, &fasta, &ck));
     let a0 = runs_base[0].counters.alignments_global;
@@ -133,12 +180,22 @@ fn sw_and_xd_find_the_same_strong_pairs() {
         ..Default::default()
     });
     let fasta = write_fasta(&data.records);
-    let sw = PastisParams { k: 4, mode: AlignMode::SmithWaterman, ..Default::default() };
-    let xd = PastisParams { k: 4, mode: AlignMode::XDrop, ..Default::default() };
+    let sw = PastisParams {
+        k: 4,
+        mode: AlignMode::SmithWaterman,
+        ..Default::default()
+    };
+    let xd = PastisParams {
+        k: 4,
+        mode: AlignMode::XDrop,
+        ..Default::default()
+    };
     let e_sw = collect_edges(&fasta, 1, &sw);
     let e_xd = collect_edges(&fasta, 1, &xd);
-    let k_sw: std::collections::HashSet<(u64, u64)> = e_sw.iter().map(|&(a, b, _)| (a, b)).collect();
-    let k_xd: std::collections::HashSet<(u64, u64)> = e_xd.iter().map(|&(a, b, _)| (a, b)).collect();
+    let k_sw: std::collections::HashSet<(u64, u64)> =
+        e_sw.iter().map(|&(a, b, _)| (a, b)).collect();
+    let k_xd: std::collections::HashSet<(u64, u64)> =
+        e_xd.iter().map(|&(a, b, _)| (a, b)).collect();
     let overlap = k_sw.intersection(&k_xd).count();
     assert!(!k_sw.is_empty());
     assert!(
@@ -160,7 +217,10 @@ fn family_members_are_connected() {
         ..Default::default()
     });
     let fasta = write_fasta(&data.records);
-    let params = PastisParams { k: 4, ..Default::default() };
+    let params = PastisParams {
+        k: 4,
+        ..Default::default()
+    };
     let edges = collect_edges(&fasta, 4, &params);
     // Count intra- vs inter-family edges.
     let (mut intra, mut inter) = (0usize, 0usize);
@@ -178,7 +238,10 @@ fn family_members_are_connected() {
 #[test]
 fn ns_measure_keeps_positive_scores_without_filter() {
     let fasta = small_dataset(20, 9);
-    let ani = PastisParams { k: 4, ..Default::default() };
+    let ani = PastisParams {
+        k: 4,
+        ..Default::default()
+    };
     let ns = PastisParams {
         measure: align::SimilarityMeasure::NormalizedScore,
         ..ani.clone()
@@ -195,7 +258,11 @@ fn ns_measure_keeps_positive_scores_without_filter() {
 #[test]
 fn counters_are_populated() {
     let fasta = small_dataset(20, 10);
-    let params = PastisParams { k: 4, substitutes: 5, ..Default::default() };
+    let params = PastisParams {
+        k: 4,
+        substitutes: 5,
+        ..Default::default()
+    };
     let runs = World::run(4, |comm| run_pipeline(&comm, &fasta, &params));
     let c = runs[0].counters;
     assert_eq!(c.n_seqs, 20);
@@ -215,18 +282,33 @@ fn counters_are_populated() {
 
 #[test]
 fn empty_and_tiny_inputs() {
-    let params = PastisParams { k: 4, ..Default::default() };
+    let params = PastisParams {
+        k: 4,
+        ..Default::default()
+    };
     let runs = World::run(1, |comm| run_pipeline(&comm, b"", &params));
     assert!(runs[0].edges.is_empty());
-    let one = write_fasta(&metaclust_like(1, &MetaclustConfig { len_range: (50, 60), ..Default::default() }));
+    let one = write_fasta(&metaclust_like(
+        1,
+        &MetaclustConfig {
+            len_range: (50, 60),
+            ..Default::default()
+        },
+    ));
     let runs = World::run(4, |comm| run_pipeline(&comm, &one, &params));
-    assert!(runs.iter().all(|r| r.edges.is_empty()), "single sequence cannot pair");
+    assert!(
+        runs.iter().all(|r| r.edges.is_empty()),
+        "single sequence cannot pair"
+    );
 }
 
 #[test]
 fn parallel_psg_shards_cover_edges_once() {
     let fasta = small_dataset(25, 11);
-    let params = PastisParams { k: 4, ..Default::default() };
+    let params = PastisParams {
+        k: 4,
+        ..Default::default()
+    };
     let dir = std::env::temp_dir().join("pastis_psg_shards_test");
     std::fs::create_dir_all(&dir).unwrap();
     let stem = dir.join("psg");
@@ -250,20 +332,37 @@ fn kmer_frequency_filter_drops_repeat_driven_pairs() {
     // filter the repeat makes everything a candidate pair.
     let mut records = metaclust_like(
         16,
-        &MetaclustConfig { seed: 12, len_range: (60, 90), related_fraction: 0.0, ..Default::default() },
+        &MetaclustConfig {
+            seed: 12,
+            len_range: (60, 90),
+            related_fraction: 0.0,
+            ..Default::default()
+        },
     );
     for r in &mut records {
         r.residues.extend_from_slice(b"WWWWWWWWWW");
     }
     let fasta = write_fasta(&records);
-    let base = PastisParams { k: 4, mode: AlignMode::None, ..Default::default() };
-    let filtered = PastisParams { max_kmer_frequency: Some(8), ..base.clone() };
+    let base = PastisParams {
+        k: 4,
+        mode: AlignMode::None,
+        ..Default::default()
+    };
+    let filtered = PastisParams {
+        max_kmer_frequency: Some(8),
+        ..base.clone()
+    };
     for p in [1usize, 4] {
         let all = collect_edges(&fasta, p, &base);
         let kept = collect_edges(&fasta, p, &filtered);
         // The repeat pairs everything: all = n(n-1)/2 candidates.
         assert_eq!(all.len(), 16 * 15 / 2, "p={p}");
-        assert!(kept.len() < all.len() / 4, "filter ineffective: {} of {}", kept.len(), all.len());
+        assert!(
+            kept.len() < all.len() / 4,
+            "filter ineffective: {} of {}",
+            kept.len(),
+            all.len()
+        );
     }
 }
 
@@ -295,8 +394,15 @@ fn reduced_alphabet_seeding_is_more_sensitive() {
         ..Default::default()
     });
     let fasta = write_fasta(&data.records);
-    let exact = PastisParams { k: 5, mode: AlignMode::None, ..Default::default() };
-    let reduced = PastisParams { reduced_alphabet: true, ..exact.clone() };
+    let exact = PastisParams {
+        k: 5,
+        mode: AlignMode::None,
+        ..Default::default()
+    };
+    let reduced = PastisParams {
+        reduced_alphabet: true,
+        ..exact.clone()
+    };
     let e_exact = collect_edges(&fasta, 1, &exact);
     let e_reduced = collect_edges(&fasta, 1, &reduced);
     assert!(
@@ -315,11 +421,23 @@ fn identical_duplicate_sequences_pair_perfectly() {
         name: "dup".into(),
         residues: b"MKVLAWHERTYCCDDEEFFGGHHIIKKLLMMNNPPQQRRSSTTVVWWYY".to_vec(),
     };
-    let fasta = write_fasta(&[rec.clone(), seqstore::FastaRecord { name: "dup2".into(), ..rec }]);
-    let params = PastisParams { k: 4, ..Default::default() };
+    let fasta = write_fasta(&[
+        rec.clone(),
+        seqstore::FastaRecord {
+            name: "dup2".into(),
+            ..rec
+        },
+    ]);
+    let params = PastisParams {
+        k: 4,
+        ..Default::default()
+    };
     let edges = collect_edges(&fasta, 1, &params);
     assert_eq!(edges.len(), 1);
     let (a, b, w) = edges[0];
     assert_eq!((a, b), (0, 1));
-    assert!((w - 1.0).abs() < 1e-12, "identical pair must have ANI 1.0, got {w}");
+    assert!(
+        (w - 1.0).abs() < 1e-12,
+        "identical pair must have ANI 1.0, got {w}"
+    );
 }
