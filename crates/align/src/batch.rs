@@ -13,7 +13,8 @@
 
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
+
+use obs::Stopwatch;
 
 /// Per-task output slots shared across worker threads. Each index is drawn
 /// exactly once from the batch cursor, so every cell is written by exactly
@@ -66,7 +67,7 @@ where
                     scope.spawn(move || {
                         let rec = tracing.then(|| obs::Recorder::install(rank));
                         let start_ns = epoch.map(|e| e.elapsed().as_nanos() as u64).unwrap_or(0);
-                        let t0 = Instant::now();
+                        let t0 = Stopwatch::start();
                         let work_before = pcomm::work::counter();
                         let mut done = 0u64;
                         loop {
@@ -81,7 +82,7 @@ where
                             done += 1;
                         }
                         let work_ns = pcomm::work::counter() - work_before;
-                        let dur_ns = t0.elapsed().as_nanos() as u64;
+                        let dur_ns = t0.elapsed_ns();
                         let metrics = rec.map(|r| r.finish().metrics);
                         (work_ns, done, start_ns, dur_ns, metrics)
                     })

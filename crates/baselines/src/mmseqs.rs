@@ -97,8 +97,7 @@ pub fn mmseqs_like_distributed(
     records: &[FastaRecord],
     params: &MmseqsParams,
 ) -> MmseqsRun {
-    use std::time::Instant;
-    let t = Instant::now();
+    let t = obs::Stopwatch::start();
     let encoded: Vec<Vec<u8>> = records
         .iter()
         .map(|r| seqstore::encode_seq(&r.residues))
@@ -112,13 +111,13 @@ pub fn mmseqs_like_distributed(
     for q in (me..refs.len()).step_by(p) {
         alignments += search_one(q as u64, &refs, &index, &table, params, &mut edges);
     }
-    let search_secs = t.elapsed().as_secs_f64();
+    let search_secs = t.elapsed_secs();
 
     // Single-writer output stage: everything funnels to rank 0.
     let gathered = comm.gather(0, edges.clone());
     let mut postprocess_secs = 0.0;
     if let Some(parts) = gathered {
-        let t = Instant::now();
+        let t = obs::Stopwatch::start();
         let mut all: Vec<(u64, u64, f64)> = parts.into_iter().flatten().collect();
         // Sort + format, sequentially, as a writer process would. Work is
         // proportional to the TOTAL result volume regardless of p — the
@@ -130,7 +129,7 @@ pub fn mmseqs_like_distributed(
             sink += format!("{a}\t{b}\t{w:.4}\n").len();
         }
         std::hint::black_box(sink);
-        postprocess_secs = t.elapsed().as_secs_f64();
+        postprocess_secs = t.elapsed_secs();
     }
     MmseqsRun {
         search_secs,

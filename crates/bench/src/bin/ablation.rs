@@ -9,10 +9,10 @@
 //!
 //! `SCALE=<f64>` multiplies dataset sizes (default 1).
 
+use obs::Stopwatch;
 use pastis::{AlignMode, PastisParams};
 use pastis_bench::{metaclust_dataset, run_on};
 use sparse::SpGemmStrategy;
-use std::time::Instant;
 
 fn main() {
     let scale: f64 = std::env::var("SCALE")
@@ -34,9 +34,9 @@ fn main() {
             spgemm: strat,
             ..Default::default()
         };
-        let t = Instant::now();
+        let t = Stopwatch::start();
         let runs = run_on(&fasta, 1, &params);
-        let secs = t.elapsed().as_secs_f64();
+        let secs = t.elapsed_secs();
         println!("{label:<10}{secs:>12.3}{:>16}", runs[0].counters.nnz_b);
     }
 

@@ -13,8 +13,8 @@
 //! Writes `BENCH_align.json` to the working directory (override with
 //! `OUT=<path>`); `SCALE=<f64>` multiplies pair counts.
 
+use obs::Stopwatch;
 use std::fmt::Write as _;
-use std::time::Instant;
 
 use align::{smith_waterman, striped_align, striped_score, AlignParams};
 use datagen::random_protein;
@@ -79,9 +79,9 @@ fn families(scale: f64) -> Vec<Family> {
 fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..reps {
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         std::hint::black_box(f());
-        best = best.min(t0.elapsed().as_secs_f64());
+        best = best.min(t0.elapsed_secs());
     }
     best
 }

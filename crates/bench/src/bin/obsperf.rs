@@ -11,8 +11,8 @@
 //! Writes `BENCH_obs.json` (override with `OUT=<path>`); `SCALE=<f64>`
 //! multiplies pair counts. Target: < 2% macro overhead.
 
+use obs::Stopwatch;
 use std::fmt::Write as _;
-use std::time::Instant;
 
 use align::{align_batch, local_align, AlignParams};
 use datagen::random_protein;
@@ -50,9 +50,9 @@ fn pairs(scale: f64) -> Vec<(Vec<u8>, Vec<u8>)> {
 fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..reps {
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         std::hint::black_box(f());
-        best = best.min(t0.elapsed().as_secs_f64());
+        best = best.min(t0.elapsed_secs());
     }
     best
 }
@@ -99,15 +99,15 @@ fn main() {
     let mut events = 0usize;
     let mut hists = 0usize;
     let sample_off = |off_samples: &mut Vec<f64>| {
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         std::hint::black_box(run(1));
-        off_samples.push(t0.elapsed().as_secs_f64());
+        off_samples.push(t0.elapsed_secs());
     };
     let sample_on = |on_samples: &mut Vec<f64>, events: &mut usize, hists: &mut usize| {
         let rec = obs::Recorder::install(0);
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         std::hint::black_box(run(1));
-        on_samples.push(t0.elapsed().as_secs_f64());
+        on_samples.push(t0.elapsed_secs());
         let trace = rec.finish();
         *events = trace.events.len();
         *hists = trace.metrics.hists.len();

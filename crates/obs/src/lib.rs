@@ -53,7 +53,7 @@ pub use perfetto::perfetto_json;
 pub use span::{
     absorb_metrics, counter_add, emit_span, enabled, epoch, gauge_set, hist_record, rank,
     set_thread_counter_provider, snapshot, span_forest, span_start, structure_signature,
-    CounterSet, RankTrace, Recorder, RecorderGuard, SpanEvent, SpanGuard, SpanNode,
+    CounterSet, RankTrace, Recorder, RecorderGuard, SpanEvent, SpanGuard, SpanNode, Stopwatch,
 };
 
 /// Open a span recording into the current thread's recorder; returns an

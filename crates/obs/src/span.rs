@@ -163,6 +163,41 @@ pub fn rank() -> Option<usize> {
     REC.with(|r| r.borrow().last().map(|s| s.rank))
 }
 
+/// A started wall-clock timer: the workspace's sanctioned facade over
+/// `std::time::Instant` for ad-hoc durations. The `xlint` `instant-now`
+/// rule confines raw `Instant::now()` calls to the observability and
+/// runtime layers, so application code measures time through one type that
+/// could later be virtualized (simulated clocks, deterministic replay)
+/// without touching call sites.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Stopwatch {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Time elapsed since [`Stopwatch::start`].
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.started.elapsed()
+    }
+
+    /// Elapsed nanoseconds, saturating at `u64::MAX`.
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Elapsed seconds as a float.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+}
+
 /// Default event-buffer capacity (per rank). Pipelines at reproduction
 /// scale stay far below this; overflow drops events and counts them.
 pub const DEFAULT_CAPACITY: usize = 1 << 16;

@@ -1,0 +1,98 @@
+//! Schedule-perturbation determinism: the pipeline's protein similarity
+//! graph and its trace structure must be *bit-identical* under adversarial
+//! scheduling. `WorldBuilder::perturb(seed)` injects yields, short sleeps,
+//! and drain-first mailbox polling at every messaging point; if any stage
+//! secretly depended on message arrival order (instead of the (src, tag)
+//! FIFO matching the runtime guarantees), some seed here would expose it as
+//! a diff.
+//!
+//! The property runs ≥16 seeds at every p ∈ {1, 4, 16} and compares f64
+//! edge weights by their raw bit patterns — "approximately equal" would hide
+//! exactly the reduction-order bugs this test exists to catch.
+
+use std::sync::OnceLock;
+
+use datagen::{metaclust_like, MetaclustConfig};
+use pastis::{run_pipeline, PastisParams};
+use pcomm::WorldBuilder;
+use proptest::prelude::*;
+use seqstore::write_fasta;
+
+const PS: [usize; 3] = [1, 4, 16];
+
+fn dataset() -> &'static [u8] {
+    static D: OnceLock<Vec<u8>> = OnceLock::new();
+    D.get_or_init(|| {
+        write_fasta(&metaclust_like(
+            32,
+            &MetaclustConfig {
+                seed: 11,
+                len_range: (60, 100),
+                related_fraction: 0.5,
+                mutation_rate: 0.08,
+            },
+        ))
+    })
+}
+
+fn params() -> PastisParams {
+    PastisParams {
+        k: 4,
+        threads: 1,
+        ..Default::default()
+    }
+}
+
+/// Global edge set with bit-exact weights, plus each rank's span-structure
+/// signature.
+type RunShape = (Vec<(u64, u64, u64)>, Vec<String>);
+
+/// Run the pipeline on `p` ranks and reduce it to comparable form.
+fn run_world(builder: WorldBuilder, p: usize) -> RunShape {
+    let params = params();
+    let runs = builder
+        .watchdog_ms(5000)
+        .run(p, |comm| run_pipeline(&comm, dataset(), &params));
+    let mut edges: Vec<(u64, u64, u64)> = runs
+        .iter()
+        .flat_map(|r| r.edges.iter().map(|&(a, b, w)| (a, b, w.to_bits())))
+        .collect();
+    edges.sort_unstable();
+    let sigs = runs
+        .iter()
+        .map(|r| obs::structure_signature(&r.trace.events))
+        .collect();
+    (edges, sigs)
+}
+
+/// Unperturbed (but still checked) reference per process count.
+fn baseline(pi: usize) -> &'static RunShape {
+    static B: OnceLock<Vec<RunShape>> = OnceLock::new();
+    &B.get_or_init(|| {
+        PS.iter()
+            .map(|&p| run_world(WorldBuilder::new().checked(true), p))
+            .collect()
+    })[pi]
+}
+
+#[test]
+fn unperturbed_edge_set_is_independent_of_p() {
+    let reference = &baseline(0).0;
+    assert!(!reference.is_empty(), "pipeline produced no edges");
+    for (pi, &p) in PS.iter().enumerate().skip(1) {
+        assert_eq!(&baseline(pi).0, reference, "p={p} edge set diverged");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn pipeline_is_bit_identical_under_perturbation(seed in 1u64..u64::MAX / 2) {
+        for (pi, &p) in PS.iter().enumerate() {
+            let (edges, sigs) = run_world(WorldBuilder::new().perturb(seed), p);
+            let (ref_edges, ref_sigs) = baseline(pi);
+            prop_assert_eq!(&edges, ref_edges, "seed {} p {}: edge set diverged", seed, p);
+            prop_assert_eq!(&sigs, ref_sigs, "seed {} p {}: trace structure diverged", seed, p);
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Collective-conformance ledger records.
+//!
+//! The MPI contract the runtime documents ("all ranks of a communicator
+//! call collectives in the same order") is enforced eagerly: each rank
+//! records every top-level collective *at entry*, before any message of its
+//! implementation is sent. The first rank to reach sequence number `s` on a
+//! communicator sets the canonical record; every later rank compares its
+//! own record against it and fails with a side-by-side ledger diff on
+//! mismatch — instead of the tag collision or type confusion the divergence
+//! would otherwise decay into, usually as an unexplained hang.
+
+use std::any::TypeId;
+use std::collections::VecDeque;
+
+/// Which collective a ledger entry describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollKind {
+    Barrier,
+    Bcast,
+    Reduce,
+    Allreduce,
+    Gather,
+    Allgather,
+    Alltoallv,
+    Exscan,
+    Subcomm,
+    Split,
+}
+
+impl CollKind {
+    /// Lower-case operation name as printed in diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            CollKind::Barrier => "barrier",
+            CollKind::Bcast => "bcast",
+            CollKind::Reduce => "reduce",
+            CollKind::Allreduce => "allreduce",
+            CollKind::Gather => "gather",
+            CollKind::Allgather => "allgather",
+            CollKind::Alltoallv => "alltoallv",
+            CollKind::Exscan => "exscan",
+            CollKind::Subcomm => "subcomm",
+            CollKind::Split => "split",
+        }
+    }
+}
+
+/// What one rank recorded for one top-level collective call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollRecord {
+    pub kind: CollKind,
+    /// Root rank (communicator-relative) for rooted collectives.
+    pub root: Option<usize>,
+    /// Payload type, when the collective carries one.
+    pub type_id: Option<TypeId>,
+    /// Human-readable payload type name for diagnostics.
+    pub type_name: Option<&'static str>,
+    /// Kind-specific detail, shown in diagnostics but exempt from the
+    /// conformance comparison: per-destination element counts for
+    /// `alltoallv` (they legitimately differ across ranks) and the member
+    /// list for `subcomm` (per-rank singleton groups are an accepted
+    /// pattern — traffic separation comes from the derived comm ids).
+    pub detail: Vec<usize>,
+}
+
+impl CollRecord {
+    /// Cross-rank conformance: ranks must agree on the operation kind, the
+    /// root, and the payload type. `detail` is diagnostic only.
+    pub fn conforms(&self, other: &CollRecord) -> bool {
+        self.kind == other.kind && self.root == other.root && self.type_id == other.type_id
+    }
+
+    /// One-line rendering for ledger tails and diffs.
+    pub fn summary(&self) -> String {
+        let mut s = String::from(self.kind.name());
+        let mut args: Vec<String> = Vec::new();
+        if let Some(r) = self.root {
+            args.push(format!("root={r}"));
+        }
+        if let Some(t) = self.type_name {
+            args.push(t.to_string());
+        }
+        if !self.detail.is_empty() {
+            let shown: Vec<String> = self.detail.iter().take(8).map(|d| d.to_string()).collect();
+            let ell = if self.detail.len() > 8 { ", …" } else { "" };
+            args.push(format!("detail=[{}{}]", shown.join(", "), ell));
+        }
+        if !args.is_empty() {
+            s.push('(');
+            s.push_str(&args.join(", "));
+            s.push(')');
+        }
+        s
+    }
+}
+
+/// How many recent ledger entries each rank keeps for diff rendering.
+pub const HISTORY_CAP: usize = 64;
+
+/// Bounded per-rank history of `(comm, seq, summary)` ledger lines.
+pub type History = VecDeque<(u64, u64, String)>;
+
+/// Push an entry into a bounded history.
+pub fn history_push(h: &mut History, comm: u64, seq: u64, summary: String) {
+    if h.len() == HISTORY_CAP {
+        h.pop_front();
+    }
+    h.push_back((comm, seq, summary));
+}
+
+/// Render the tails of two ranks' ledgers for one communicator side by
+/// side, marking the diverging sequence number.
+pub fn ledger_diff(
+    comm: u64,
+    diverged_at: u64,
+    (rank_a, hist_a): (usize, &History),
+    (rank_b, hist_b): (usize, &History),
+) -> String {
+    let column = |h: &History| -> Vec<(u64, String)> {
+        h.iter()
+            .filter(|&&(c, _, _)| c == comm)
+            .map(|(_, s, line)| (*s, line.clone()))
+            .collect()
+    };
+    let (col_a, col_b) = (column(hist_a), column(hist_b));
+    let mut seqs: Vec<u64> = col_a.iter().chain(&col_b).map(|&(s, _)| s).collect();
+    seqs.sort_unstable();
+    seqs.dedup();
+    let lookup = |col: &[(u64, String)], s: u64| -> String {
+        col.iter()
+            .find(|&&(q, _)| q == s)
+            .map(|(_, l)| l.clone())
+            .unwrap_or_else(|| "·".to_string())
+    };
+    let head_a = format!("rank {rank_a}");
+    let width = seqs
+        .iter()
+        .map(|&s| lookup(&col_a, s).len())
+        .chain([head_a.len()])
+        .max()
+        .unwrap_or(8)
+        .max(8);
+    let mut out = format!(
+        "  per-rank ledger tail (comm {comm:#x}):\n    {:>4}  {:<width$}  rank {rank_b}\n",
+        "seq", head_a
+    );
+    for s in seqs {
+        let (a, b) = (lookup(&col_a, s), lookup(&col_b, s));
+        let mark = if s == diverged_at {
+            "   <-- first divergence"
+        } else {
+            ""
+        };
+        out.push_str(&format!("    {s:>4}  {a:<width$}  {b}{mark}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(kind: CollKind, root: Option<usize>) -> CollRecord {
+        CollRecord {
+            kind,
+            root,
+            type_id: Some(TypeId::of::<u64>()),
+            type_name: Some("u64"),
+            detail: vec![],
+        }
+    }
+
+    #[test]
+    fn conformance_ignores_detail() {
+        let mut a = rec(CollKind::Alltoallv, None);
+        let mut b = rec(CollKind::Alltoallv, None);
+        a.detail = vec![1, 2, 3];
+        b.detail = vec![9, 0, 0];
+        assert!(a.conforms(&b));
+    }
+
+    #[test]
+    fn conformance_compares_kind_root_type() {
+        let a = rec(CollKind::Bcast, Some(0));
+        assert!(!a.conforms(&rec(CollKind::Bcast, Some(1))));
+        assert!(!a.conforms(&rec(CollKind::Reduce, Some(0))));
+        let mut c = rec(CollKind::Bcast, Some(0));
+        c.type_id = Some(TypeId::of::<u32>());
+        assert!(!a.conforms(&c));
+        assert!(a.conforms(&rec(CollKind::Bcast, Some(0))));
+    }
+
+    #[test]
+    fn summary_renders_args() {
+        let mut r = rec(CollKind::Gather, Some(2));
+        r.detail = vec![4, 5];
+        assert_eq!(r.summary(), "gather(root=2, u64, detail=[4, 5])");
+        let b = CollRecord {
+            kind: CollKind::Barrier,
+            root: None,
+            type_id: None,
+            type_name: None,
+            detail: vec![],
+        };
+        assert_eq!(b.summary(), "barrier");
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let mut h = History::new();
+        for i in 0..(HISTORY_CAP as u64 + 10) {
+            history_push(&mut h, 0, i, format!("op{i}"));
+        }
+        assert_eq!(h.len(), HISTORY_CAP);
+        assert_eq!(h.front().unwrap().1, 10);
+    }
+
+    #[test]
+    fn diff_marks_divergence() {
+        let mut a = History::new();
+        let mut b = History::new();
+        history_push(&mut a, 0, 0, "barrier".into());
+        history_push(&mut b, 0, 0, "barrier".into());
+        history_push(&mut a, 0, 1, "bcast(root=0, u64)".into());
+        history_push(&mut b, 0, 1, "allreduce(u64)".into());
+        let d = ledger_diff(0, 1, (0, &a), (3, &b));
+        assert!(d.contains("first divergence"), "{d}");
+        assert!(d.contains("bcast(root=0, u64)"), "{d}");
+        assert!(d.contains("allreduce(u64)"), "{d}");
+    }
+}

@@ -1,0 +1,104 @@
+//! Seeded schedule perturbation.
+//!
+//! A deterministic per-rank RNG drives two perturbations of the runtime's
+//! scheduling: extra yields / short sleeps at send, receive, and collective
+//! entry points, and occasional drain-first mailbox polling (pull everything
+//! out of the channel into the stash before matching). Both only reorder
+//! *when* messages are observed, never *which* message matches a receive —
+//! matching stays (src, tag)-keyed FIFO — so a correct program must produce
+//! bit-identical results under every seed. The determinism proptest in the
+//! pastis crate asserts exactly that.
+
+/// SplitMix64: tiny, statistically solid, and dependency-free. Good enough
+/// for schedule jitter; not a cryptographic RNG.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Per-rank perturbation state. Construct with the world seed and the
+/// rank's world rank so every rank jitters differently but reproducibly.
+#[derive(Debug)]
+pub struct Perturb {
+    rng: SplitMix64,
+}
+
+impl Perturb {
+    pub fn new(seed: u64, rank: usize) -> Perturb {
+        // Decorrelate ranks by folding the rank into the stream seed.
+        let mut boot = SplitMix64::new(seed ^ 0xa076_1d64_78bd_642f);
+        let mut s = boot.next_u64();
+        for _ in 0..=rank {
+            s = SplitMix64::new(s ^ (rank as u64)).next_u64();
+        }
+        Perturb {
+            rng: SplitMix64::new(s),
+        }
+    }
+
+    /// Called at send / recv / collective entry: sometimes yield, rarely
+    /// sleep for a few hundred microseconds, usually do nothing.
+    pub fn before_op(&mut self) {
+        match self.rng.next_u64() % 16 {
+            0..=3 => std::thread::yield_now(),
+            4 => std::thread::sleep(std::time::Duration::from_micros(
+                200 + self.rng.next_u64() % 400,
+            )),
+            _ => {}
+        }
+    }
+
+    /// Biased coin for drain-first mailbox polling (~1 in 4).
+    pub fn coin(&mut self) -> bool {
+        self.rng.next_u64().is_multiple_of(4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranks_get_distinct_streams() {
+        let mut r0 = Perturb::new(7, 0);
+        let mut r1 = Perturb::new(7, 1);
+        let s0: Vec<u64> = (0..8).map(|_| r0.rng.next_u64()).collect();
+        let s1: Vec<u64> = (0..8).map(|_| r1.rng.next_u64()).collect();
+        assert_ne!(s0, s1);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Perturb::new(9, 3);
+        let mut b = Perturb::new(9, 3);
+        for _ in 0..32 {
+            assert_eq!(a.coin(), b.coin());
+            assert_eq!(a.rng.next_u64(), b.rng.next_u64());
+        }
+    }
+}

@@ -5,10 +5,26 @@
 //! same order (standard MPI contract); a per-communicator sequence number
 //! gives each collective call its own reserved tag so that back-to-back
 //! collectives cannot interfere.
+//!
+//! Under checked mode (see [`crate::WorldBuilder`]) that contract is
+//! enforced: each top-level collective is recorded in the `pcheck`
+//! conformance ledger at entry — before any of its messages go out — so a
+//! divergent rank is caught as a ledger diff rather than decaying into tag
+//! collisions or a hang. Collectives built from other collectives (barrier
+//! uses reduce + bcast, allgather uses gather + bcast, …) record only the
+//! outermost call.
+
+use std::any::TypeId;
 
 use crate::comm::Comm;
 use crate::payload::Payload;
 use crate::MAX_USER_TAG;
+use pcheck::CollKind;
+
+/// Payload descriptor for the conformance ledger.
+fn ty<T: Payload>() -> Option<(TypeId, &'static str)> {
+    Some((TypeId::of::<T>(), std::any::type_name::<T>()))
+}
 
 impl Comm {
     fn coll_tag(&self) -> u64 {
@@ -18,15 +34,29 @@ impl Comm {
     }
 
     /// Block until every rank of this communicator has entered the barrier.
+    ///
+    /// Under checked mode the barrier additionally validates the ledger: by
+    /// the time any rank exits, every member must have recorded this barrier
+    /// (and therefore every collective before it).
     pub fn barrier(&self) {
         let _span = obs::span!("pcomm.barrier");
+        let entry = self.coll_enter(CollKind::Barrier, None, None, vec![]);
         self.reduce_with_tag(0, 0u8, |_, _| 0);
-        let _ = self.bcast(0, if self.rank() == 0 { Some(0u8) } else { None });
+        let _ = self.bcast_inner(0, if self.rank() == 0 { Some(0u8) } else { None });
+        self.coll_barrier_check(&entry);
+        self.coll_leave(entry);
     }
 
     /// Binomial-tree broadcast from `root`. Ranks other than `root` pass
     /// `None` and receive the broadcast value.
     pub fn bcast<T: Payload + Clone>(&self, root: usize, value: Option<T>) -> T {
+        let entry = self.coll_enter(CollKind::Bcast, Some(root), ty::<T>(), vec![]);
+        let out = self.bcast_inner(root, value);
+        self.coll_leave(entry);
+        out
+    }
+
+    fn bcast_inner<T: Payload + Clone>(&self, root: usize, value: Option<T>) -> T {
         let _span = obs::span!("pcomm.bcast");
         let tag = self.coll_tag();
         let p = self.size();
@@ -92,20 +122,33 @@ impl Comm {
     /// deterministic for a given communicator size, so results reproduce).
     pub fn reduce<T: Payload>(&self, root: usize, value: T, op: impl Fn(T, T) -> T) -> Option<T> {
         let _span = obs::span!("pcomm.reduce");
-        self.reduce_with_tag(root, value, op)
+        let entry = self.coll_enter(CollKind::Reduce, Some(root), ty::<T>(), vec![]);
+        let out = self.reduce_with_tag(root, value, op);
+        self.coll_leave(entry);
+        out
     }
 
     /// Reduction whose result every rank receives.
     pub fn allreduce<T: Payload + Clone>(&self, value: T, op: impl Fn(T, T) -> T) -> T {
         let _span = obs::span!("pcomm.allreduce");
-        let total = self.reduce(0, value, op);
-        self.bcast(0, total)
+        let entry = self.coll_enter(CollKind::Allreduce, None, ty::<T>(), vec![]);
+        let total = self.reduce_with_tag(0, value, op);
+        let out = self.bcast_inner(0, total);
+        self.coll_leave(entry);
+        out
     }
 
     /// Gather one value per rank to `root` (rank order). Linear algorithm:
     /// the root inherently receives `p-1` messages.
     pub fn gather<T: Payload>(&self, root: usize, value: T) -> Option<Vec<T>> {
         let _span = obs::span!("pcomm.gather");
+        let entry = self.coll_enter(CollKind::Gather, Some(root), ty::<T>(), vec![]);
+        let out = self.gather_inner(root, value);
+        self.coll_leave(entry);
+        out
+    }
+
+    fn gather_inner<T: Payload>(&self, root: usize, value: T) -> Option<Vec<T>> {
         let tag = self.coll_tag();
         if self.rank() == root {
             let mut out: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
@@ -126,27 +169,46 @@ impl Comm {
     /// Gather one value per rank onto every rank (gather + broadcast).
     pub fn allgather<T: Payload + Clone>(&self, value: T) -> Vec<T> {
         let _span = obs::span!("pcomm.allgather");
-        let gathered = self.gather(0, value);
-        self.bcast(0, gathered)
+        let entry = self.coll_enter(CollKind::Allgather, None, ty::<T>(), vec![]);
+        let gathered = self.gather_inner(0, value);
+        let out = self.bcast_inner(0, gathered);
+        self.coll_leave(entry);
+        out
     }
 
     /// Personalized all-to-all: `parts[d]` is sent to rank `d`; the result's
     /// element `s` is the part rank `s` addressed to me. This is the shuffle
     /// primitive behind distributed triple redistribution.
+    ///
+    /// # Panics
+    /// Panics unless `parts.len() == self.size()`: the shuffle needs exactly
+    /// one part (possibly empty) per destination rank.
     pub fn alltoallv<T: Payload>(&self, parts: Vec<Vec<T>>) -> Vec<Vec<T>> {
         let _span = obs::span!("pcomm.alltoallv");
-        assert_eq!(
+        assert!(
+            parts.len() == self.size(),
+            "pcomm: alltoallv requires exactly one part per destination rank: \
+             got {} part(s) on a communicator of size {}",
             parts.len(),
-            self.size(),
-            "need one part per destination rank"
+            self.size()
+        );
+        // Per-destination element counts legitimately differ across ranks;
+        // they are recorded as diagnostic detail only.
+        let entry = self.coll_enter(
+            CollKind::Alltoallv,
+            None,
+            ty::<T>(),
+            parts.iter().map(Vec::len).collect(),
         );
         let tag = self.coll_tag();
         for (dst, part) in parts.into_iter().enumerate() {
             self.send_raw(dst, tag, part);
         }
-        (0..self.size())
+        let out = (0..self.size())
             .map(|src| self.recv_raw::<Vec<T>>(src, tag))
-            .collect()
+            .collect();
+        self.coll_leave(entry);
+        out
     }
 
     /// Exclusive prefix "sum" over ranks: rank `i` receives
@@ -154,6 +216,7 @@ impl Comm {
     /// globally the sequences each rank parsed from its FASTA chunk.
     pub fn exscan<T: Payload + Clone>(&self, value: T, op: impl Fn(T, T) -> T) -> Option<T> {
         let _span = obs::span!("pcomm.exscan");
+        let entry = self.coll_enter(CollKind::Exscan, None, ty::<T>(), vec![]);
         let tag = self.coll_tag();
         let me = self.rank();
         let p = self.size();
@@ -169,6 +232,7 @@ impl Comm {
             };
             self.send_raw(me + 1, tag, next);
         }
+        self.coll_leave(entry);
         prefix
     }
 }

@@ -6,18 +6,20 @@ use std::collections::{HashMap, VecDeque};
 use std::marker::PhantomData;
 use std::rc::Rc;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::Receiver;
+use crossbeam::channel::{Receiver, RecvTimeoutError};
 
+use crate::check::{CollEntry, RankCheck};
 use crate::payload::Payload;
 use crate::stats::{self, CommStats};
 use crate::world::{Packet, WorldShared};
 use crate::MAX_USER_TAG;
+use pcheck::{CollKind, LeakRecord};
 
 /// Per-thread rank context: mailbox, out-of-order stash and counters.
-/// (communicator id, source world rank, tag) → queued (payload, bytes).
-type Stash = HashMap<(u64, usize, u64), VecDeque<(Box<dyn Any + Send>, usize)>>;
+/// (communicator id, source world rank, tag) → queued (payload, bytes, type).
+type Stash = HashMap<(u64, usize, u64), VecDeque<(Box<dyn Any + Send>, usize, &'static str)>>;
 
 pub(crate) struct RankCtx {
     pub(crate) world: Arc<WorldShared>,
@@ -25,16 +27,114 @@ pub(crate) struct RankCtx {
     pub(crate) rx: Receiver<Packet>,
     /// Messages that arrived before a matching `recv` was posted.
     stash: RefCell<Stash>,
+    /// Runtime-verification hooks; `None` when checked mode is off.
+    pub(crate) check: Option<RankCheck>,
 }
 
 impl RankCtx {
-    pub(crate) fn new(world: Arc<WorldShared>, world_rank: usize, rx: Receiver<Packet>) -> Self {
+    pub(crate) fn new(
+        world: Arc<WorldShared>,
+        world_rank: usize,
+        rx: Receiver<Packet>,
+        check: Option<RankCheck>,
+    ) -> Self {
         RankCtx {
             world,
             world_rank,
             rx,
             stash: RefCell::new(HashMap::new()),
+            check,
         }
+    }
+
+    /// Park an out-of-order packet in the stash (mirroring it into the shared
+    /// checker state so other ranks' deadlock reports can list it).
+    fn stash_put(&self, pkt: Packet) {
+        if let Some(check) = &self.check {
+            check.shared.stash_push(
+                self.world_rank,
+                pkt.comm,
+                pkt.src,
+                pkt.tag,
+                pkt.type_name,
+                pkt.bytes as u64,
+            );
+            check.shared.bump(self.world_rank);
+        }
+        self.stash
+            .borrow_mut()
+            .entry((pkt.comm, pkt.src, pkt.tag))
+            .or_default()
+            .push_back((pkt.payload, pkt.bytes, pkt.type_name));
+    }
+
+    /// Pull everything currently queued in the mailbox into the stash.
+    /// Used by the perturbation mode's drain-first polling; per-key FIFO
+    /// order is preserved, so matching semantics are unchanged.
+    fn drain_mailbox(&self) {
+        while let Ok(pkt) = self.rx.try_recv() {
+            self.stash_put(pkt);
+        }
+    }
+
+    /// Finalize this rank under checked mode: audit undelivered messages,
+    /// then wait for the world verdict (collective counts and leaks across
+    /// all ranks). Panics with the verdict report on failure.
+    pub(crate) fn finalize(&self) {
+        let Some(check) = &self.check else { return };
+        self.drain_mailbox();
+        {
+            let stash = self.stash.borrow();
+            let mut agg: HashMap<(u64, usize, u64, &'static str), (u64, u64)> = HashMap::new();
+            for (&(comm, src, tag), q) in stash.iter() {
+                for &(_, bytes, ty) in q.iter() {
+                    let e = agg.entry((comm, src, tag, ty)).or_insert((0, 0));
+                    e.0 += 1;
+                    e.1 += bytes as u64;
+                }
+            }
+            for ((comm, src, tag, ty), (count, bytes)) in agg {
+                check.shared.report_leak(LeakRecord {
+                    src,
+                    dst: self.world_rank,
+                    comm,
+                    tag,
+                    type_name: ty,
+                    bytes,
+                    count,
+                });
+            }
+        }
+        check.shared.finalize_rank(self.world_rank);
+        loop {
+            if let Some(v) = check.shared.try_verdict() {
+                if let Err(msg) = v {
+                    panic!("{msg}");
+                }
+                return;
+            }
+            // Another rank may abort (deadlock, conformance) while we wait.
+            check.check_abort();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}
+
+/// Downcast a received payload, panicking with a diagnosis (source rank,
+/// tag, expected vs. actual type) instead of `Any`'s anonymous unwrap.
+fn take_payload<T: Payload>(
+    payload: Box<dyn Any + Send>,
+    actual: &'static str,
+    src_world: usize,
+    tag: u64,
+) -> T {
+    match payload.downcast::<T>() {
+        Ok(v) => *v,
+        Err(_) => panic!(
+            "pcomm: payload type mismatch receiving from world rank {src_world} tag {tag}: \
+             expected {}, got {actual}",
+            std::any::type_name::<T>()
+        ),
     }
 }
 
@@ -119,6 +219,44 @@ impl Comm {
         stats::thread_snapshot()
     }
 
+    /// Checker hook: record entry into a top-level collective on this
+    /// communicator. No-op (`None`) when checked mode is off.
+    pub(crate) fn coll_enter(
+        &self,
+        kind: CollKind,
+        root: Option<usize>,
+        payload: Option<(std::any::TypeId, &'static str)>,
+        detail: Vec<usize>,
+    ) -> Option<CollEntry> {
+        self.ctx.check.as_ref().map(|c| {
+            c.enter(
+                self.id,
+                &self.group,
+                kind,
+                root,
+                payload.map(|(t, _)| t),
+                payload.map(|(_, n)| n),
+                detail,
+            )
+        })
+    }
+
+    /// Checker hook: leave a collective entered via [`Comm::coll_enter`].
+    pub(crate) fn coll_leave(&self, entry: Option<CollEntry>) {
+        if let (Some(check), Some(e)) = (self.ctx.check.as_ref(), entry) {
+            check.leave(e);
+        }
+    }
+
+    /// Checker hook: barrier-exit ledger consistency over this comm's group.
+    pub(crate) fn coll_barrier_check(&self, entry: &Option<CollEntry>) {
+        if let (Some(check), Some(e)) = (self.ctx.check.as_ref(), entry) {
+            if let Some(seq) = e.seq {
+                check.barrier_check(self.id, seq, &self.group);
+            }
+        }
+    }
+
     /// Blocking typed send. `dst` and `tag` address the message; the value is
     /// moved into the destination rank's mailbox immediately (the transport
     /// is buffered, so sends never deadlock).
@@ -128,38 +266,78 @@ impl Comm {
     }
 
     pub(crate) fn send_raw<T: Payload>(&self, dst: usize, tag: u64, value: T) {
+        if let Some(check) = &self.ctx.check {
+            check.before_op();
+            check.check_abort();
+        }
         let bytes = value.payload_bytes();
         stats::on_send(bytes);
         obs::hist!("pcomm.msg_bytes", bytes);
+        let dst_world = self.group[dst];
         let pkt = Packet {
             comm: self.id,
             src: self.ctx.world_rank,
             tag,
             bytes,
+            type_name: std::any::type_name::<T>(),
             payload: Box::new(value),
         };
-        self.ctx.world.senders[self.group[dst]]
-            .send(pkt)
-            .expect("destination rank has exited");
+        if self.ctx.world.senders[dst_world].send(pkt).is_err() {
+            // The destination dropped its mailbox: it panicked or exited.
+            // Under checked mode the abort flag usually explains why.
+            if let Some(check) = &self.ctx.check {
+                check.check_abort();
+            }
+            panic!("pcomm: send to world rank {dst_world} failed: destination rank has exited");
+        }
     }
 
     /// Blocking typed receive matching `(src, tag)` on this communicator.
     ///
     /// # Panics
-    /// Panics if the matching message has a different payload type.
+    /// Panics if the matching message has a different payload type, naming
+    /// the source rank, tag, and both types.
     pub fn recv<T: Payload>(&self, src: usize, tag: u64) -> T {
         assert!(tag < MAX_USER_TAG, "tag {tag} is reserved for collectives");
         self.recv_raw(src, tag)
     }
 
     pub(crate) fn recv_raw<T: Payload>(&self, src: usize, tag: u64) -> T {
-        let key = (self.id, self.group[src], tag);
-        if let Some(q) = self.ctx.stash.borrow_mut().get_mut(&key) {
-            if let Some((payload, bytes)) = q.pop_front() {
-                stats::on_recv(bytes);
-                return *payload.downcast::<T>().expect("payload type mismatch");
+        let src_world = self.group[src];
+        let key = (self.id, src_world, tag);
+        if let Some(check) = &self.ctx.check {
+            check.before_op();
+            check.check_abort();
+            if check.drain_coin() {
+                self.ctx.drain_mailbox();
             }
         }
+        if let Some(q) = self.ctx.stash.borrow_mut().get_mut(&key) {
+            if let Some((payload, bytes, ty)) = q.pop_front() {
+                stats::on_recv(bytes);
+                if let Some(check) = &self.ctx.check {
+                    check.shared.stash_pop(
+                        self.ctx.world_rank,
+                        self.id,
+                        src_world,
+                        tag,
+                        ty,
+                        bytes as u64,
+                    );
+                    check.shared.bump(self.ctx.world_rank);
+                }
+                return take_payload::<T>(payload, ty, src_world, tag);
+            }
+        }
+        match &self.ctx.check {
+            None => self.recv_blocking(key),
+            Some(_) => self.recv_blocking_checked(key, std::any::type_name::<T>()),
+        }
+    }
+
+    /// Unchecked blocking wait: straight channel receive, zero bookkeeping
+    /// beyond the wait-time counters.
+    fn recv_blocking<T: Payload>(&self, key: (u64, usize, u64)) -> T {
         let start = Instant::now();
         loop {
             let pkt = self.ctx.rx.recv().expect("world shut down while receiving");
@@ -168,14 +346,62 @@ impl Comm {
                 stats::on_wait(waited);
                 obs::hist!("pcomm.wait_ns", waited);
                 stats::on_recv(pkt.bytes);
-                return *pkt.payload.downcast::<T>().expect("payload type mismatch");
+                return take_payload::<T>(pkt.payload, pkt.type_name, key.1, key.2);
             }
-            self.ctx
-                .stash
-                .borrow_mut()
-                .entry((pkt.comm, pkt.src, pkt.tag))
-                .or_default()
-                .push_back((pkt.payload, pkt.bytes));
+            self.ctx.stash_put(pkt);
+        }
+    }
+
+    /// Checked blocking wait: registers in the wait-for graph, polls with a
+    /// timeout so the deadlock watchdog can run, and honors world aborts.
+    fn recv_blocking_checked<T: Payload>(
+        &self,
+        key: (u64, usize, u64),
+        expected: &'static str,
+    ) -> T {
+        let check = self
+            .ctx
+            .check
+            .as_ref()
+            .expect("checked path requires check");
+        let (comm, src_world, tag) = key;
+        check.shared.block_on(
+            check.rank(),
+            check.wait_info(src_world, comm, tag, expected),
+        );
+        let tick = Duration::from_millis(check.shared.tick_ms());
+        let watchdog = Duration::from_millis(check.shared.watchdog_ms());
+        let start = Instant::now();
+        let mut quiet_since = Instant::now();
+        loop {
+            match self.ctx.rx.recv_timeout(tick) {
+                Ok(pkt) => {
+                    if (pkt.comm, pkt.src, pkt.tag) == key {
+                        check.shared.unblock(check.rank());
+                        let waited = start.elapsed().as_nanos() as u64;
+                        stats::on_wait(waited);
+                        obs::hist!("pcomm.wait_ns", waited);
+                        stats::on_recv(pkt.bytes);
+                        return take_payload::<T>(pkt.payload, pkt.type_name, src_world, tag);
+                    }
+                    self.ctx.stash_put(pkt);
+                    quiet_since = Instant::now();
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    check.check_abort();
+                    if quiet_since.elapsed() >= watchdog {
+                        if let Some(report) = check.shared.deadlock_scan() {
+                            check.abort(report);
+                        }
+                        // World still making progress elsewhere; back off a
+                        // full window before scanning again.
+                        quiet_since = Instant::now();
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!("pcomm: world shut down while receiving");
+                }
+            }
         }
     }
 
@@ -208,34 +434,48 @@ impl Comm {
 
     /// Create a subcommunicator from a list of member ranks (indices in
     /// *this* communicator, strictly increasing). Collective: every rank of
-    /// `self` must call it with the same member list. Returns `None` on ranks
-    /// not in `members`.
+    /// `self` must call it the same number of times in the same order (the
+    /// conformance ledger checks the call kind; member lists may differ per
+    /// rank — per-rank singleton groups are an accepted pattern). Returns
+    /// `None` on ranks not in `members`.
     pub fn subcomm(&self, members: &[usize]) -> Option<Comm> {
+        let entry = self.coll_enter(CollKind::Subcomm, None, None, members.to_vec());
         let seq = self.split_seq.get();
         self.split_seq.set(seq + 1);
         debug_assert!(
             members.windows(2).all(|w| w[0] < w[1]),
             "members must be strictly increasing"
         );
-        let my = members.iter().position(|&m| m == self.my)?;
-        let group: Vec<usize> = members.iter().map(|&m| self.group[m]).collect();
-        let id = mix(
-            mix(self.id, seq),
-            group[0] as u64 ^ (group.len() as u64) << 32,
-        );
-        Some(Comm {
-            ctx: Rc::clone(&self.ctx),
-            group: Arc::new(group),
-            my,
-            id,
-            coll_seq: Rc::new(Cell::new(0)),
-            split_seq: Rc::new(Cell::new(0)),
-        })
+        let result = members.iter().position(|&m| m == self.my).map(|my| {
+            let group: Vec<usize> = members.iter().map(|&m| self.group[m]).collect();
+            let id = mix(
+                mix(self.id, seq),
+                group[0] as u64 ^ (group.len() as u64) << 32,
+            );
+            Comm {
+                ctx: Rc::clone(&self.ctx),
+                group: Arc::new(group),
+                my,
+                id,
+                coll_seq: Rc::new(Cell::new(0)),
+                split_seq: Rc::new(Cell::new(0)),
+            }
+        });
+        self.coll_leave(entry);
+        result
     }
 
     /// MPI-style `comm_split`: ranks with the same `color` end up in the same
     /// subcommunicator, ordered by `(key, rank)`. Collective over `self`.
     pub fn split(&self, color: u64, key: u64) -> Comm {
+        // `color`/`key` legitimately differ across ranks: record them as
+        // diagnostic detail only.
+        let entry = self.coll_enter(
+            CollKind::Split,
+            None,
+            None,
+            vec![color as usize, key as usize],
+        );
         let triples = self.allgather((color, key, self.my as u64));
         let mut members: Vec<usize> = triples
             .iter()
@@ -264,6 +504,7 @@ impl Comm {
             sorted, members,
             "split with non-monotone keys is not supported"
         );
+        self.coll_leave(entry);
         sub
     }
 }

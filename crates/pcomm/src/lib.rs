@@ -24,6 +24,7 @@
 //! assert_eq!(results, vec![6, 6, 6, 6]);
 //! ```
 
+mod check;
 mod collectives;
 mod comm;
 mod cost;
@@ -38,7 +39,7 @@ pub use cost::{CostModel, StageCost};
 pub use grid::Grid;
 pub use payload::Payload;
 pub use stats::{install_obs_provider, CommStats};
-pub use world::World;
+pub use world::{World, WorldBuilder};
 
 /// Tags below this bound are available to users; larger values are reserved
 /// for collectives.

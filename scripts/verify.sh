@@ -1,5 +1,10 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus lint gate. Run from the repo root.
+# Tier-1 verification plus lint gates. Run from the repo root.
+#
+# Opt-in sanitizer lanes (each skips with a note when the toolchain
+# component is missing):
+#   MIRI=1 scripts/verify.sh   — run the pcheck unit tests under Miri
+#   TSAN=1 scripts/verify.sh   — run the pcomm tests under ThreadSanitizer
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,4 +15,33 @@ cargo test -q
 # its per-rank track structure.
 cargo test -q -p obs --test perfetto_schema
 cargo clippy --all-targets -- -D warnings
+# Workspace lint gates: SAFETY comments on unsafe, thread-spawn confinement,
+# Instant::now confinement. See crates/xlint.
+cargo run -q -p xlint -- .
+
+if [[ "${MIRI:-0}" == "1" ]]; then
+    if rustup component list 2>/dev/null | grep -q '^miri.*(installed)'; then
+        # Interpret the single-threaded pcheck unit tests (ledger, shared-state
+        # bookkeeping, perturbation RNG) under Miri. The thread-per-rank pcomm
+        # integration tests are too slow under interpretation to gate on.
+        cargo miri test -p pcheck --lib
+    else
+        echo "verify: MIRI=1 requested but the miri component is not installed; skipping"
+    fi
+fi
+
+if [[ "${TSAN:-0}" == "1" ]]; then
+    host="$(rustc -vV | sed -n 's/^host: //p')"
+    if rustc +nightly -V >/dev/null 2>&1 \
+        && rustup component list --toolchain nightly 2>/dev/null | grep -q '^rust-src.*(installed)'; then
+        # ThreadSanitizer over the rank-thread runtime: exercises the mailbox
+        # channels, stash bookkeeping, and pcheck shared state under real
+        # parallelism.
+        RUSTFLAGS="-Zsanitizer=thread" \
+            cargo +nightly test -Zbuild-std -q -p pcomm --target "$host"
+    else
+        echo "verify: TSAN=1 requested but nightly + rust-src are not installed; skipping"
+    fi
+fi
+
 echo "verify: OK"

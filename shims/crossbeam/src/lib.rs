@@ -9,7 +9,7 @@
 pub mod channel {
     use std::sync::mpsc;
 
-    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
 
     /// Sending half of an unbounded channel. Cloneable and `Sync`.
     pub struct Sender<T> {
@@ -43,6 +43,13 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             self.inner.try_recv()
         }
+
+        /// Block for at most `timeout` waiting for a message. The checked
+        /// runtime uses this to interleave mailbox waits with deadlock-
+        /// watchdog ticks.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout)
+        }
     }
 
     /// Channel with unbounded buffering: sends never block.
@@ -59,6 +66,7 @@ pub mod channel {
         fn send_recv_across_threads() {
             let (tx, rx) = unbounded::<u32>();
             let tx2 = tx.clone();
+            // Unit-test helper threads, not runtime machinery: xlint: allow(thread-spawn)
             std::thread::scope(|s| {
                 s.spawn(move || tx.send(1).unwrap());
                 s.spawn(move || tx2.send(2).unwrap());
