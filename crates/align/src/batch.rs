@@ -68,7 +68,7 @@ where
                         let rec = tracing.then(|| obs::Recorder::install(rank));
                         let start_ns = epoch.map(|e| e.elapsed().as_nanos() as u64).unwrap_or(0);
                         let t0 = Stopwatch::start();
-                        let work_before = pcomm::work::counter();
+                        let work_before = pcomm::work::counter_milli_ns();
                         let mut done = 0u64;
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -81,25 +81,27 @@ where
                             unsafe { *slots.0[i].get() = Some(f(&tasks[i])) };
                             done += 1;
                         }
-                        let work_ns = pcomm::work::counter() - work_before;
+                        let work_milli = pcomm::work::counter_milli_ns() - work_before;
                         let dur_ns = t0.elapsed_ns();
                         let metrics = rec.map(|r| r.finish().metrics);
-                        (work_ns, done, start_ns, dur_ns, metrics)
+                        (work_milli, done, start_ns, dur_ns, metrics)
                     })
                 })
                 .collect();
             // Work lands on the workers' thread-local counters, which die
             // with the scope; the sum is schedule-independent, so folding
-            // it into the caller keeps accounting deterministic.
-            let mut worker_ns = 0u64;
+            // it into the caller keeps accounting deterministic. The fold
+            // stays in milli-ns: truncating per worker would make the rank
+            // total depend on how tasks were split.
+            let mut worker_milli = 0u64;
             // Tasks beyond an even static split are steals: work a thread
             // picked up because another was busy with long alignments.
             let fair = (tasks.len() as u64).div_ceil(threads as u64);
             let mut steals = 0u64;
             for (w, handle) in handles.into_iter().enumerate() {
-                let (work_ns, done, start_ns, dur_ns, metrics) =
+                let (work_milli, done, start_ns, dur_ns, metrics) =
                     handle.join().expect("alignment worker panicked");
-                worker_ns += work_ns;
+                worker_milli += work_milli;
                 steals += done.saturating_sub(fair);
                 if tracing {
                     obs::emit_span(
@@ -108,7 +110,7 @@ where
                         start_ns,
                         dur_ns,
                         obs::CounterSet {
-                            work_ns,
+                            work_ns: work_milli / 1_000,
                             ..Default::default()
                         },
                         Some(("tasks", done as i64)),
@@ -119,7 +121,7 @@ where
                 }
             }
             obs::counter!("align.batch.steals", steals);
-            pcomm::work::add_ns(worker_ns);
+            pcomm::work::add_milli_ns(worker_milli);
         });
     }
     cells
@@ -175,7 +177,7 @@ mod tests {
         let tasks: Vec<u64> = (0..50).collect();
         for threads in [1, 4] {
             let before = pcomm::work::counter();
-            align_batch(&tasks, threads, |_| pcomm::work::record(10, 1));
+            align_batch(&tasks, threads, |_| pcomm::work::add_ns(10));
             assert_eq!(pcomm::work::counter() - before, 500, "threads={threads}");
         }
     }

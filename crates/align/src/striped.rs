@@ -247,7 +247,7 @@ fn striped_end_with(
     if m == 0 || n == 0 {
         return (0, 0, 0);
     }
-    pcomm::work::record((m * n) as u64, pcomm::work::SW_STRIPED_CELL_NS);
+    pcomm::work::record_class((m * n) as u64, pcomm::work::CostClass::SwStripedCell);
     let (best, bi, bj) = kernel_i16(
         r,
         c,
@@ -261,7 +261,7 @@ fn striped_end_with(
         return (best, bi, bj);
     }
     // The i16 lanes may have saturated; redo the whole pass in i32 lanes.
-    pcomm::work::record((m * n) as u64, pcomm::work::SW_STRIPED_CELL_NS);
+    pcomm::work::record_class((m * n) as u64, pcomm::work::CostClass::SwStripedCell);
     kernel_i32(
         r,
         c,
@@ -325,7 +325,7 @@ pub fn striped_align_with(
     let full = bi.max(bj) - 1;
     let mut w = BAND_START.min(full).max(1);
     loop {
-        pcomm::work::record((bi * bj) as u64, pcomm::work::SW_CELL_NS);
+        pcomm::work::record_class((bi * bj) as u64, pcomm::work::CostClass::SwCell);
         if banded_traceback(r, c, params, bi, bj, w, scratch, &mut stats) {
             return stats;
         }

@@ -44,7 +44,7 @@ pub fn smith_waterman_with(
         return stats;
     }
     // Work accounting: full m×n DP.
-    pcomm::work::record((m * n) as u64, pcomm::work::SW_CELL_NS);
+    pcomm::work::record_class((m * n) as u64, pcomm::work::CostClass::SwCell);
     let open = params.gap_open + params.gap_extend;
     let ext = params.gap_extend;
 

@@ -70,7 +70,10 @@ pub fn ungapped_xdrop(
     }
 
     // Work accounting: one add/compare per diagonal step.
-    pcomm::work::record((left + k + right) as u64, pcomm::work::UNGAPPED_STEP_NS);
+    pcomm::work::record_class(
+        (left + k + right) as u64,
+        pcomm::work::CostClass::UngappedStep,
+    );
 
     let r0 = (r_pos - left) as u32;
     let c0 = (c_pos - left) as u32;

@@ -239,7 +239,7 @@ fn extend_gapped(a: &[u8], b: &[u8], params: &AlignParams, xd: &mut XdropScratch
 
     // The x-drop band is what makes XD cheap: charge only computed cells
     // (the banded bookkeeping costs a little over plain SW).
-    pcomm::work::record(cells + n as u64 + 1, pcomm::work::XDROP_CELL_NS);
+    pcomm::work::record_class(cells + n as u64 + 1, pcomm::work::CostClass::XdropCell);
     obs::hist!("align.xdrop_cells", cells);
 
     // Traceback from best_pos.

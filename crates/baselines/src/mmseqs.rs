@@ -122,7 +122,7 @@ pub fn mmseqs_like_distributed(
         // Sort + format, sequentially, as a writer process would. Work is
         // proportional to the TOTAL result volume regardless of p — the
         // scaling wall the paper observed.
-        pcomm::work::record(all.len() as u64, 250);
+        pcomm::work::record_class(all.len() as u64, pcomm::work::CostClass::OutputEdge);
         all.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let mut sink = 0usize;
         for &(a, b, w) in &all {
@@ -163,9 +163,12 @@ fn search_one(
             }
         }
         for &(lookup, qp) in kmer_buf.iter() {
-            pcomm::work::record(1, 40); // index probe
+            pcomm::work::record_class(1, pcomm::work::CostClass::KmerIndexProbe);
             if let Some(hits) = index.get(lookup) {
-                pcomm::work::record(hits.len() as u64, 12); // diagonal updates
+                pcomm::work::record_class(
+                    hits.len() as u64,
+                    pcomm::work::CostClass::DiagonalUpdate,
+                );
                 for &(t, tpos) in hits {
                     // All-vs-all symmetry: each unordered pair handled from
                     // its lower gid only.
@@ -230,7 +233,10 @@ impl KmerIndex {
             }
         }
         // Work accounting: one hash insert per k-mer occurrence.
-        pcomm::work::record(map.values().map(|v| v.len() as u64).sum(), 40);
+        pcomm::work::record_class(
+            map.values().map(|v| v.len() as u64).sum(),
+            pcomm::work::CostClass::KmerIndexInsert,
+        );
         KmerIndex { map }
     }
 

@@ -50,9 +50,9 @@ impl SuffixArray {
     /// Number of occurrences of `pattern` and the SA range containing them.
     pub fn range(&self, pattern: &[u8]) -> (usize, usize) {
         // Work accounting: two binary searches with pattern comparisons.
-        pcomm::work::record(
+        pcomm::work::record_class(
             pattern.len() as u64 * 2 * (1 + self.sa.len().max(1).ilog2() as u64),
-            2,
+            pcomm::work::CostClass::SuffixCompare,
         );
         let lo = self.sa.partition_point(|&s| self.suffix(s) < pattern);
         let hi = self.sa[lo..].partition_point(|&s| self.suffix(s).starts_with(pattern)) + lo;
@@ -87,7 +87,10 @@ fn build_sa(text: &[u8]) -> Vec<u32> {
         return Vec::new();
     }
     // Work accounting: prefix doubling is ~log n sorts of n suffixes.
-    pcomm::work::record((n as u64) * (64 - (n as u64).leading_zeros() as u64), 30);
+    pcomm::work::record_class(
+        (n as u64) * (64 - (n as u64).leading_zeros() as u64),
+        pcomm::work::CostClass::SuffixBuild,
+    );
     let mut sa: Vec<u32> = (0..n as u32).collect();
     let mut rank: Vec<u32> = text.iter().map(|&b| b as u32).collect();
     let mut tmp = vec![0u32; n];

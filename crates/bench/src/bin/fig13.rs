@@ -74,6 +74,7 @@ fn main() {
                     .map(|&(w, c, _)| StageCost {
                         compute_secs: w as f64 * 1e-9,
                         comm: c,
+                        colls: Vec::new(),
                     })
                     .fold(StageCost::default(), StageCost::max);
                 print!("{:>10}", fmt_secs(model.stage_seconds(crit)));

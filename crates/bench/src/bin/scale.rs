@@ -1,0 +1,39 @@
+//! scale — the trace-driven scaling observatory.
+//!
+//! Records one real pipeline run at p = 16 (PASTIS-XD on a metaclust-like
+//! dataset), then replays its per-stage trace through the calibrated cost
+//! model at the paper's Fig. 14 node counts (64 … 2025), printing the
+//! compute-vs-communication dissection per p, the alignment-share table,
+//! and the what-if analysis for overlapping the SUMMA broadcasts with the
+//! alignment stage. Writes `BENCH_scale.json`.
+//!
+//! `PROFILE=<path>` selects the machine profile (default
+//! `machine_profile.json`, falling back to built-in XC40-class defaults);
+//! `OUT=<path>` overrides the output path.
+//!
+//! The report is deterministic for a given profile: projections are built
+//! from work ledgers and communication counters, never wall-clock.
+
+use pastis_bench::{load_profile_or_default, ScaleReport};
+
+fn main() {
+    let out_path = std::env::var("OUT").unwrap_or_else(|_| "BENCH_scale.json".into());
+    let profile = match load_profile_or_default() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("scale: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "profile: {} (alpha {:.3} µs, beta {:.3} GB/s, {} calibrated classes)\n",
+        profile.host,
+        profile.alpha * 1e6,
+        1e-9 / profile.beta,
+        profile.calibrated.len()
+    );
+    let report = ScaleReport::build(&profile);
+    print!("{}", report.render());
+    std::fs::write(&out_path, format!("{}\n", report.to_json())).expect("write BENCH_scale.json");
+    println!("\nwrote {out_path}");
+}

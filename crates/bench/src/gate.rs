@@ -1,0 +1,302 @@
+//! Bench regression gate: paired comparisons of current BENCH_* JSON
+//! documents against a committed baseline.
+//!
+//! Each [`Check`] names one scalar inside one bench document and the
+//! direction in which it may drift. Throughput-style numbers
+//! (cells/second) compare as ratios with a relative tolerance; bounded
+//! quantities (the recorder overhead percentage, the projected alignment
+//! share) compare as absolute deltas. The `bench_gate` bin wires this
+//! into `scripts/verify.sh`; the gate *skips with a note* when no
+//! baseline is committed, so fresh checkouts stay green.
+
+use obs::JsonValue;
+
+use crate::ScaleReport;
+
+/// How a metric is allowed to move relative to its baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Direction {
+    /// Throughput-like: fail when `current < baseline·(1 − tol)`.
+    HigherBetter,
+    /// Cost-like: fail when `current > baseline·(1 + tol)`.
+    LowerBetter,
+    /// Bounded scalar: fail when `|current − baseline| > tol`.
+    AbsDelta,
+}
+
+/// One gated scalar: where it lives and how far it may drift.
+#[derive(Debug, Clone, Copy)]
+pub struct Check {
+    /// Bench document file name (same in baseline and current dirs).
+    pub file: &'static str,
+    /// Key path from the document root.
+    pub path: &'static [&'static str],
+    pub direction: Direction,
+    /// Relative tolerance for the ratio directions, absolute units for
+    /// [`Direction::AbsDelta`].
+    pub tolerance: f64,
+}
+
+/// Every gated metric. Alignment-engine throughputs tolerate 20% noise
+/// (wall-clock benches on a shared host); the recorder overhead may move
+/// ±2 percentage points; the projected totals are deterministic, so their
+/// 20%/0.15 tolerances only absorb intentional model retuning.
+pub const CHECKS: &[Check] = &[
+    Check {
+        file: "BENCH_align.json",
+        path: &["aggregate", "scalar"],
+        direction: Direction::HigherBetter,
+        tolerance: 0.20,
+    },
+    Check {
+        file: "BENCH_align.json",
+        path: &["aggregate", "striped"],
+        direction: Direction::HigherBetter,
+        tolerance: 0.20,
+    },
+    Check {
+        file: "BENCH_align.json",
+        path: &["aggregate", "striped_score"],
+        direction: Direction::HigherBetter,
+        tolerance: 0.20,
+    },
+    Check {
+        file: "BENCH_obs.json",
+        path: &["overhead_pct"],
+        direction: Direction::AbsDelta,
+        tolerance: 2.0,
+    },
+    Check {
+        file: "BENCH_scale.json",
+        path: &["summary", "total_secs"],
+        direction: Direction::LowerBetter,
+        tolerance: 0.20,
+    },
+    Check {
+        file: "BENCH_scale.json",
+        path: &["summary", "align_share"],
+        direction: Direction::AbsDelta,
+        tolerance: 0.15,
+    },
+];
+
+/// Outcome of one check.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// `file:path.to.key`.
+    pub name: String,
+    pub baseline: f64,
+    pub current: f64,
+    pub ok: bool,
+    /// Human-readable verdict line.
+    pub detail: String,
+}
+
+fn lookup(doc: &JsonValue, path: &[&str]) -> Option<f64> {
+    let mut cur = doc;
+    for k in path {
+        cur = cur.get(k)?;
+    }
+    cur.as_f64()
+}
+
+/// Apply one check to a baseline/current document pair. `None` when the
+/// metric is absent from either side (callers report that as a schema
+/// failure for known files).
+pub fn apply(check: &Check, baseline: &JsonValue, current: &JsonValue) -> Option<Outcome> {
+    let name = format!("{}:{}", check.file, check.path.join("."));
+    let b = lookup(baseline, check.path)?;
+    let c = lookup(current, check.path)?;
+    let (ok, detail) = match check.direction {
+        Direction::HigherBetter => {
+            let ratio = if b != 0.0 { c / b } else { f64::INFINITY };
+            (
+                ratio >= 1.0 - check.tolerance,
+                format!("ratio {ratio:.3} (min {:.3})", 1.0 - check.tolerance),
+            )
+        }
+        Direction::LowerBetter => {
+            let ratio = if b != 0.0 { c / b } else { 1.0 };
+            (
+                ratio <= 1.0 + check.tolerance,
+                format!("ratio {ratio:.3} (max {:.3})", 1.0 + check.tolerance),
+            )
+        }
+        Direction::AbsDelta => {
+            let delta = c - b;
+            (
+                delta.abs() <= check.tolerance,
+                format!("delta {delta:+.3} (max ±{:.3})", check.tolerance),
+            )
+        }
+    };
+    Some(Outcome {
+        name,
+        baseline: b,
+        current: c,
+        ok,
+        detail,
+    })
+}
+
+/// Run every check whose file appears in both maps (missing metrics inside
+/// a present file fail). Returns the outcomes and whether all passed.
+pub fn run(
+    baselines: &[(&str, JsonValue)],
+    currents: &[(&str, JsonValue)],
+) -> (Vec<Outcome>, bool) {
+    let find = |set: &[(&str, JsonValue)], file: &str| {
+        set.iter().find(|(f, _)| *f == file).map(|(_, v)| v.clone())
+    };
+    let mut outcomes = Vec::new();
+    let mut all_ok = true;
+    for check in CHECKS {
+        let (Some(b), Some(c)) = (find(baselines, check.file), find(currents, check.file)) else {
+            continue; // file not under comparison this run
+        };
+        match apply(check, &b, &c) {
+            Some(o) => {
+                all_ok &= o.ok;
+                outcomes.push(o);
+            }
+            None => {
+                all_ok = false;
+                outcomes.push(Outcome {
+                    name: format!("{}:{}", check.file, check.path.join(".")),
+                    baseline: f64::NAN,
+                    current: f64::NAN,
+                    ok: false,
+                    detail: "metric missing from document".into(),
+                });
+            }
+        }
+    }
+    (outcomes, all_ok)
+}
+
+/// Schema validation for one bench document by file name. Unknown file
+/// names are an error (the gate only reads files it understands).
+pub fn validate(file: &str, doc: &JsonValue) -> Result<(), String> {
+    let expect_bench = |want: &str| match doc.get("bench").and_then(JsonValue::as_str) {
+        Some(got) if got == want => Ok(()),
+        got => Err(format!("{file}: `bench` is {got:?}, want {want:?}")),
+    };
+    let expect_num = |path: &[&str]| {
+        lookup(doc, path)
+            .filter(|n| n.is_finite())
+            .map(|_| ())
+            .ok_or_else(|| format!("{file}: missing numeric `{}`", path.join(".")))
+    };
+    match file {
+        "BENCH_align.json" => {
+            expect_bench("align_engines")?;
+            for key in ["scalar", "striped", "striped_score"] {
+                expect_num(&["aggregate", key])?;
+                if lookup(doc, &["aggregate", key]).unwrap_or(0.0) <= 0.0 {
+                    return Err(format!("{file}: aggregate.{key} must be positive"));
+                }
+            }
+            Ok(())
+        }
+        "BENCH_obs.json" => {
+            expect_bench("obs_overhead")?;
+            expect_num(&["overhead_pct"])
+        }
+        "BENCH_scale.json" => {
+            expect_bench("scale_projection")?;
+            ScaleReport::from_json(doc).map(|_| ())
+        }
+        _ => Err(format!("{file}: not a known bench document")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn align_doc(scalar: f64) -> JsonValue {
+        JsonValue::parse(&format!(
+            "{{\"bench\":\"align_engines\",\"aggregate\":{{\"scalar\":{scalar},\"striped\":{},\"striped_score\":{}}}}}",
+            scalar * 4.0,
+            scalar * 5.0
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn small_drift_passes_large_regression_fails() {
+        let base = align_doc(1.0e9);
+        // 5% slowdown on every engine: within the 20% band.
+        let (out, ok) = run(
+            &[("BENCH_align.json", base.clone())],
+            &[("BENCH_align.json", align_doc(0.95e9))],
+        );
+        assert!(ok, "{out:?}");
+        assert_eq!(out.len(), 3);
+        // 25% slowdown: the injected synthetic regression must fail.
+        let (out, ok) = run(
+            &[("BENCH_align.json", base)],
+            &[("BENCH_align.json", align_doc(0.75e9))],
+        );
+        assert!(!ok);
+        assert!(out.iter().all(|o| !o.ok));
+    }
+
+    #[test]
+    fn lower_better_and_abs_delta_directions() {
+        let check = Check {
+            file: "BENCH_scale.json",
+            path: &["summary", "total_secs"],
+            direction: Direction::LowerBetter,
+            tolerance: 0.20,
+        };
+        let doc =
+            |v: f64| JsonValue::parse(&format!("{{\"summary\":{{\"total_secs\":{v}}}}}")).unwrap();
+        assert!(apply(&check, &doc(10.0), &doc(11.9)).unwrap().ok);
+        assert!(!apply(&check, &doc(10.0), &doc(12.5)).unwrap().ok);
+        // Getting faster is never a failure.
+        assert!(apply(&check, &doc(10.0), &doc(5.0)).unwrap().ok);
+        let check = Check {
+            file: "BENCH_obs.json",
+            path: &["overhead_pct"],
+            direction: Direction::AbsDelta,
+            tolerance: 2.0,
+        };
+        let doc = |v: f64| JsonValue::parse(&format!("{{\"overhead_pct\":{v}}}")).unwrap();
+        assert!(apply(&check, &doc(0.5), &doc(1.9)).unwrap().ok);
+        assert!(!apply(&check, &doc(0.5), &doc(3.1)).unwrap().ok);
+    }
+
+    #[test]
+    fn missing_metric_fails_missing_file_skips() {
+        let base = align_doc(1.0e9);
+        let gutted = JsonValue::parse("{\"bench\":\"align_engines\"}").unwrap();
+        let (out, ok) = run(
+            &[("BENCH_align.json", base.clone())],
+            &[("BENCH_align.json", gutted)],
+        );
+        assert!(!ok);
+        assert!(out.iter().all(|o| o.detail.contains("missing")));
+        // A file absent from the current set is not compared at all.
+        let (out, ok) = run(&[("BENCH_align.json", base)], &[]);
+        assert!(ok);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn schema_validation_catches_bad_documents() {
+        assert!(validate("BENCH_align.json", &align_doc(1.0e9)).is_ok());
+        assert!(validate("BENCH_align.json", &align_doc(-1.0)).is_err());
+        assert!(validate(
+            "BENCH_obs.json",
+            &JsonValue::parse("{\"bench\":\"obs_overhead\",\"overhead_pct\":0.4}").unwrap()
+        )
+        .is_ok());
+        assert!(validate(
+            "BENCH_obs.json",
+            &JsonValue::parse("{\"bench\":\"align_engines\",\"overhead_pct\":0.4}").unwrap()
+        )
+        .is_err());
+        assert!(validate("BENCH_other.json", &align_doc(1.0)).is_err());
+    }
+}

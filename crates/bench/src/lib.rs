@@ -13,10 +13,15 @@
 //! (the mapping is recorded in `EXPERIMENTS.md`); node counts keep the
 //! paper's values where the host can simulate them as threads.
 
+use std::collections::BTreeMap;
+
 use datagen::{metaclust_like, MetaclustConfig};
-use pastis::{run_pipeline, PastisParams, PastisRun, StageMeasure, Timings};
-use pcomm::{CostModel, World};
+use obs::JsonValue;
+use pastis::{run_pipeline, AlignMode, PastisParams, PastisRun, StageMeasure, Timings};
+use pcomm::{CostModel, MachineProfile, Projection, WhatIfOverlap, World};
 use seqstore::write_fasta;
+
+pub mod gate;
 
 /// Scaled stand-ins for the paper's Metaclust50 subsets. The paper's
 /// `metaclust50-<X>M` becomes `<X>k` sequences here (1000× reduction),
@@ -113,10 +118,322 @@ pub fn dissect_runs(runs: &[PastisRun], model: &CostModel) -> Vec<obs::dissect::
     obs::dissect::dissect(&traces, &Timings::STAGE_SPANS, model.alpha, model.beta)
 }
 
+// ---------------------------------------------------------------------------
+// Scaling observatory: trace extraction, projection, and the BENCH_scale
+// report (see `pcomm::cost` for the model and DESIGN.md §10 for the method).
+// ---------------------------------------------------------------------------
+
+/// Rank count the reference scaling recording uses. Must exceed 1 so every
+/// collective actually moves bytes, and be a perfect square for the grid.
+pub const SCALE_RECORD_P: usize = 16;
+/// Dataset size (thousand sequences) of the reference recording.
+pub const SCALE_KSEQS: f64 = 2.0;
+/// Dataset seed of the reference recording.
+pub const SCALE_SEED: u64 = 14;
+/// Schema version of the BENCH_scale document.
+pub const SCALE_SCHEMA_VERSION: u64 = 1;
+
+/// Pipeline parameters of the reference scaling recording: the paper's
+/// PASTIS-XD fast mode, one thread per rank so the recording itself is
+/// schedule-independent.
+pub fn scale_params() -> PastisParams {
+    PastisParams {
+        k: 5,
+        mode: AlignMode::XDrop,
+        threads: 1,
+        ..Default::default()
+    }
+}
+
+/// Record the reference run the projector replays (deterministic: work
+/// ledgers and communication counters do not depend on wall clock).
+pub fn scale_runs() -> Vec<PastisRun> {
+    let fasta = metaclust_dataset(SCALE_KSEQS, SCALE_SEED);
+    run_on(&fasta, SCALE_RECORD_P, &scale_params())
+}
+
+/// Reduce per-rank runs to the projector's per-stage extracts (stage spans
+/// in paper order, collective kinds from the model's rule table).
+pub fn extract_runs(runs: &[PastisRun]) -> Vec<obs::project::StageExtract> {
+    let traces: Vec<obs::RankTrace> = runs.iter().map(|r| r.trace.clone()).collect();
+    obs::project::extract_stages(&traces, &Timings::STAGE_SPANS, &pcomm::kind_names())
+}
+
+/// Project recorded runs to each target rank count.
+pub fn project_runs(runs: &[PastisRun], model: &CostModel, p_targets: &[usize]) -> Vec<Projection> {
+    let extracts = extract_runs(runs);
+    p_targets
+        .iter()
+        .map(|&p| pcomm::project(&extracts, runs.len(), model, p))
+        .collect()
+}
+
+/// Render one projection as a Fig. 9/10-style compute-vs-communication
+/// dissection table.
+pub fn render_projection(proj: &Projection) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== projected dissection at p={} (recorded at p={}, imbalance {:.2}) ==",
+        proj.p, proj.p_recorded, proj.imbalance
+    );
+    let _ = writeln!(
+        out,
+        "{:<14}{:>12}{:>12}{:>12}{:>8}",
+        "component", "compute", "comm", "total", "share"
+    );
+    for s in &proj.stages {
+        let _ = writeln!(
+            out,
+            "{:<14}{:>12}{:>12}{:>12}{:>7.1}%",
+            s.label,
+            fmt_secs(s.compute_secs),
+            fmt_secs(s.comm_secs),
+            fmt_secs(s.compute_secs + s.comm_secs),
+            100.0 * proj.share(&s.label)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<14}{:>36}{:>8}",
+        "total",
+        fmt_secs(proj.total_secs()),
+        "100.0%"
+    );
+    out
+}
+
+/// Render the cross-p alignment-share table (the paper's Table I view).
+pub fn render_share_table(projections: &[Projection]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>6}{:>12}{:>10}{:>10}",
+        "p", "total", "align%", "comm%"
+    );
+    for proj in projections {
+        let total = proj.total_secs();
+        let comm: f64 = proj.stages.iter().map(|s| s.comm_secs).sum();
+        let _ = writeln!(
+            out,
+            "{:>6}{:>12}{:>9.1}%{:>9.1}%",
+            proj.p,
+            fmt_secs(total),
+            100.0 * proj.share("align"),
+            if total > 0.0 {
+                100.0 * comm / total
+            } else {
+                0.0
+            }
+        );
+    }
+    out
+}
+
+/// The BENCH_scale document: projections of the reference recording at the
+/// paper's node counts plus the what-if overlap analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleReport {
+    /// Rank count of the recording.
+    pub p_recorded: usize,
+    /// `host` string of the machine profile used for pricing.
+    pub profile_host: String,
+    /// One projection per entry of [`FIG14_NODES`].
+    pub projections: Vec<Projection>,
+    /// Overlap what-if per projection: `(AS)AT` broadcasts hidden under
+    /// `align` compute.
+    pub whatif: Vec<WhatIfOverlap>,
+}
+
+impl ScaleReport {
+    /// Record the reference run and project it under `profile`. The
+    /// profile's compute constants are installed first so the work
+    /// ledgers use the calibrated values.
+    pub fn build(profile: &MachineProfile) -> ScaleReport {
+        profile.install();
+        let runs = scale_runs();
+        let model = CostModel::from_profile(profile);
+        let projections = project_runs(&runs, &model, &FIG14_NODES);
+        let whatif = projections
+            .iter()
+            .map(|p| p.whatif_overlap(&model, "(AS)AT", "align"))
+            .collect();
+        ScaleReport {
+            p_recorded: runs.len(),
+            profile_host: profile.host.clone(),
+            projections,
+            whatif,
+        }
+    }
+
+    /// The largest-p projection (the headline row the gate pins).
+    pub fn headline(&self) -> &Projection {
+        self.projections
+            .last()
+            .expect("report has at least one projection")
+    }
+
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for proj in &self.projections {
+            out.push_str(&render_projection(proj));
+            out.push('\n');
+        }
+        out.push_str("== alignment share vs node count ==\n");
+        out.push_str(&render_share_table(&self.projections));
+        out.push_str("\n== what-if: overlap (AS)AT broadcasts with alignment ==\n");
+        let _ = writeln!(
+            out,
+            "{:>6}{:>12}{:>12}{:>12}{:>8}",
+            "p", "baseline", "hidden", "overlapped", "saved"
+        );
+        for w in &self.whatif {
+            let _ = writeln!(
+                out,
+                "{:>6}{:>12}{:>12}{:>12}{:>7.1}%",
+                w.p,
+                fmt_secs(w.baseline_secs),
+                fmt_secs(w.hidden_secs),
+                fmt_secs(w.overlapped_secs),
+                w.saved_pct()
+            );
+        }
+        out
+    }
+
+    pub fn to_json(&self) -> JsonValue {
+        let headline = self.headline();
+        let mut o = BTreeMap::new();
+        o.insert("schema".into(), JsonValue::Str("bench_scale".into()));
+        o.insert(
+            "version".into(),
+            JsonValue::Num(SCALE_SCHEMA_VERSION as f64),
+        );
+        o.insert("bench".into(), JsonValue::Str("scale_projection".into()));
+        o.insert("p_recorded".into(), JsonValue::Num(self.p_recorded as f64));
+        o.insert(
+            "profile_host".into(),
+            JsonValue::Str(self.profile_host.clone()),
+        );
+        o.insert(
+            "projections".into(),
+            JsonValue::Arr(self.projections.iter().map(Projection::to_json).collect()),
+        );
+        o.insert(
+            "whatif".into(),
+            JsonValue::Arr(
+                self.whatif
+                    .iter()
+                    .map(|w| {
+                        let mut wo = BTreeMap::new();
+                        wo.insert("p".into(), JsonValue::Num(w.p as f64));
+                        wo.insert("baseline_secs".into(), JsonValue::Num(w.baseline_secs));
+                        wo.insert("hidden_secs".into(), JsonValue::Num(w.hidden_secs));
+                        wo.insert("overlapped_secs".into(), JsonValue::Num(w.overlapped_secs));
+                        wo.insert("saved_pct".into(), JsonValue::Num(w.saved_pct()));
+                        JsonValue::Obj(wo)
+                    })
+                    .collect(),
+            ),
+        );
+        let mut summary = BTreeMap::new();
+        summary.insert("p_max".into(), JsonValue::Num(headline.p as f64));
+        summary.insert("total_secs".into(), JsonValue::Num(headline.total_secs()));
+        summary.insert(
+            "align_share".into(),
+            JsonValue::Num(headline.share("align")),
+        );
+        o.insert("summary".into(), JsonValue::Obj(summary));
+        JsonValue::Obj(o)
+    }
+
+    /// Parse and validate a BENCH_scale document (doubles as its schema
+    /// check).
+    pub fn from_json(v: &JsonValue) -> Result<ScaleReport, String> {
+        if v.get("schema").and_then(JsonValue::as_str) != Some("bench_scale") {
+            return Err("bench_scale: `schema` must be \"bench_scale\"".into());
+        }
+        let version = v
+            .get("version")
+            .and_then(JsonValue::as_u64)
+            .ok_or("bench_scale: missing `version`")?;
+        if version != SCALE_SCHEMA_VERSION {
+            return Err(format!(
+                "bench_scale: version {version} unsupported (want {SCALE_SCHEMA_VERSION})"
+            ));
+        }
+        let projections = match v.get("projections") {
+            Some(JsonValue::Arr(a)) if !a.is_empty() => a
+                .iter()
+                .map(Projection::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("bench_scale: missing non-empty `projections`".into()),
+        };
+        let whatif = match v.get("whatif") {
+            Some(JsonValue::Arr(a)) => a
+                .iter()
+                .map(|w| {
+                    let num = |k: &str| {
+                        w.get(k)
+                            .and_then(JsonValue::as_f64)
+                            .ok_or_else(|| format!("bench_scale whatif: missing `{k}`"))
+                    };
+                    Ok(WhatIfOverlap {
+                        p: num("p")? as usize,
+                        baseline_secs: num("baseline_secs")?,
+                        hidden_secs: num("hidden_secs")?,
+                        overlapped_secs: num("overlapped_secs")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            _ => return Err("bench_scale: missing `whatif` array".into()),
+        };
+        for key in ["p_max", "total_secs", "align_share"] {
+            v.get("summary")
+                .and_then(|s| s.get(key))
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("bench_scale: missing summary.{key}"))?;
+        }
+        Ok(ScaleReport {
+            p_recorded: v
+                .get("p_recorded")
+                .and_then(JsonValue::as_u64)
+                .ok_or("bench_scale: missing `p_recorded`")? as usize,
+            profile_host: v
+                .get("profile_host")
+                .and_then(JsonValue::as_str)
+                .ok_or("bench_scale: missing `profile_host`")?
+                .to_string(),
+            projections,
+            whatif,
+        })
+    }
+}
+
+/// Load the machine profile named by the `PROFILE` env var (default
+/// `machine_profile.json`), falling back to built-in defaults with a note
+/// when the file does not exist. An existing-but-invalid profile is an
+/// error, not a fallback.
+pub fn load_profile_or_default() -> Result<MachineProfile, String> {
+    let path = std::env::var("PROFILE").unwrap_or_else(|_| "machine_profile.json".into());
+    let path = std::path::Path::new(&path);
+    if path.exists() {
+        MachineProfile::load(path)
+    } else {
+        println!(
+            "note: {} not found; using built-in default profile (run the `calibrate` bin)",
+            path.display()
+        );
+        Ok(MachineProfile::defaults())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pastis::AlignMode;
 
     #[test]
     fn harness_runs_and_aggregates() {

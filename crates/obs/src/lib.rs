@@ -45,6 +45,7 @@ pub mod dissect;
 mod json;
 mod metrics;
 mod perfetto;
+pub mod project;
 mod span;
 
 pub use json::JsonValue;

@@ -1,0 +1,325 @@
+//! Per-stage trace extraction for the scaling projector.
+//!
+//! The cost model (in `pcomm::cost`) replays a recorded run at
+//! hypothetical node counts; this module reduces raw [`RankTrace`]s to the
+//! per-stage aggregates it consumes: total/max work, total counter
+//! traffic, and a per-collective-kind breakdown (calls and counters of
+//! every `pcomm.*` span family inside the stage).
+//!
+//! A stage span's counter delta covers everything that happened inside it
+//! — including nested collective spans — so stage totals come straight
+//! from the stage spans. Kind aggregation takes only the **outermost**
+//! span of each kind: `allreduce`, `allgather`, and `barrier` are built
+//! from an inner broadcast whose span nests inside them, and descending
+//! into a matched kind span would count that traffic twice (once as
+//! `allreduce`, once as `bcast`).
+
+use std::collections::BTreeMap;
+
+use crate::span::{span_forest, CounterSet, RankTrace, SpanNode};
+
+/// Aggregate over every outermost span of one collective kind within a
+/// stage, across all ranks.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KindAgg {
+    /// Largest per-rank span count (the critical rank's call count).
+    pub calls_max: u64,
+    /// Span count summed over ranks. For symmetric collectives every
+    /// member records one span, so `calls_total / comm_size` is the
+    /// number of distinct collectives.
+    pub calls_total: u64,
+    /// Counter deltas summed over all the kind's spans and ranks.
+    pub counters_total: CounterSet,
+}
+
+/// One pipeline stage reduced to projector inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageExtract {
+    /// Stage span name (e.g. `pastis.summa`).
+    pub span: String,
+    /// Display label (paper component name, e.g. `(AS)AT`).
+    pub label: String,
+    /// Ranks that recorded at least one span of this stage.
+    pub ranks: usize,
+    /// Largest per-rank wall-clock seconds in the stage.
+    pub secs_max: f64,
+    /// Deterministic work nanoseconds summed over all ranks.
+    pub work_ns_total: u64,
+    /// Largest per-rank work nanoseconds (imbalance numerator).
+    pub work_ns_max: u64,
+    /// Counter deltas summed over all ranks' stage spans.
+    pub counters_total: CounterSet,
+    /// Per-kind aggregates, in the order of the `kinds` argument
+    /// (kinds with no spans in the stage are omitted).
+    pub kinds: Vec<(String, KindAgg)>,
+}
+
+/// Per-rank scratch for one stage.
+#[derive(Default)]
+struct StageAcc {
+    ranks: usize,
+    secs_max: f64,
+    work_total: u64,
+    work_max: u64,
+    counters: CounterSet,
+    kinds: BTreeMap<String, KindAgg>,
+    /// calls per kind for the rank currently being folded.
+    rank_calls: BTreeMap<String, u64>,
+}
+
+/// Reduce `traces` (one per rank) to per-stage extracts. `stages` are
+/// `(span_name, label)` pairs in display order; `kinds` are the collective
+/// span names to break out (e.g. `pcomm::kind_names()`). Stage spans are
+/// found anywhere in each rank's span forest; within a stage subtree only
+/// the outermost span of each kind is counted.
+pub fn extract_stages(
+    traces: &[RankTrace],
+    stages: &[(&str, &str)],
+    kinds: &[&str],
+) -> Vec<StageExtract> {
+    let mut accs: Vec<StageAcc> = stages.iter().map(|_| StageAcc::default()).collect();
+    for trace in traces {
+        let forest = span_forest(&trace.events);
+        for (si, &(span, _)) in stages.iter().enumerate() {
+            let acc = &mut accs[si];
+            let mut rank_secs = 0.0f64;
+            let mut rank_work = 0u64;
+            let mut found = false;
+            acc.rank_calls.clear();
+            for root in &forest {
+                visit(
+                    root,
+                    span,
+                    kinds,
+                    acc,
+                    &mut rank_secs,
+                    &mut rank_work,
+                    &mut found,
+                );
+            }
+            if found {
+                acc.ranks += 1;
+                acc.secs_max = acc.secs_max.max(rank_secs);
+                acc.work_total += rank_work;
+                acc.work_max = acc.work_max.max(rank_work);
+                for (kind, calls) in std::mem::take(&mut acc.rank_calls) {
+                    let agg = acc.kinds.entry(kind).or_default();
+                    agg.calls_max = agg.calls_max.max(calls);
+                }
+            }
+        }
+    }
+    stages
+        .iter()
+        .zip(accs)
+        .map(|(&(span, label), acc)| StageExtract {
+            span: span.to_string(),
+            label: label.to_string(),
+            ranks: acc.ranks,
+            secs_max: acc.secs_max,
+            work_ns_total: acc.work_total,
+            work_ns_max: acc.work_max,
+            counters_total: acc.counters,
+            kinds: kinds
+                .iter()
+                .filter_map(|&k| acc.kinds.get(k).map(|&a| (k.to_string(), a)))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Find stage spans anywhere below `node` and fold them into `acc`.
+fn visit(
+    node: &SpanNode,
+    span: &str,
+    kinds: &[&str],
+    acc: &mut StageAcc,
+    rank_secs: &mut f64,
+    rank_work: &mut u64,
+    found: &mut bool,
+) {
+    if node.event.name == span {
+        *found = true;
+        *rank_secs += node.event.dur_ns as f64 * 1e-9;
+        *rank_work += node.event.counters.work_ns;
+        acc.counters = acc.counters.merge(node.event.counters);
+        for child in &node.children {
+            collect_kinds(child, kinds, acc);
+        }
+        return; // stage spans do not nest within themselves
+    }
+    for child in &node.children {
+        visit(child, span, kinds, acc, rank_secs, rank_work, found);
+    }
+}
+
+/// Fold the outermost kind spans of a stage subtree into `acc`, not
+/// descending into a matched kind span (its nested spans — an
+/// allreduce's inner broadcast — belong to the outer collective).
+fn collect_kinds(node: &SpanNode, kinds: &[&str], acc: &mut StageAcc) {
+    if kinds.contains(&node.event.name) {
+        let agg = acc.kinds.entry(node.event.name.to_string()).or_default();
+        agg.calls_total += 1;
+        agg.counters_total = agg.counters_total.merge(node.event.counters);
+        *acc.rank_calls
+            .entry(node.event.name.to_string())
+            .or_default() += 1;
+        return;
+    }
+    for child in &node.children {
+        collect_kinds(child, kinds, acc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanEvent;
+
+    fn ev(name: &'static str, depth: u16, seq: u32, dur_ns: u64, c: CounterSet) -> SpanEvent {
+        SpanEvent {
+            name,
+            track: 0,
+            depth,
+            seq,
+            arg: None,
+            start_ns: 0,
+            dur_ns,
+            counters: c,
+        }
+    }
+
+    fn trace(rank: usize, events: Vec<SpanEvent>) -> RankTrace {
+        RankTrace {
+            rank,
+            events,
+            metrics: Default::default(),
+            dropped: 0,
+        }
+    }
+
+    fn sent(bytes: u64, msgs: u64) -> CounterSet {
+        CounterSet {
+            bytes_sent: bytes,
+            msgs_sent: msgs,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn stage_totals_and_kind_breakdown() {
+        // rank 0: run(stage(bcast bcast))  rank 1: run(stage(bcast))
+        let t0 = trace(
+            0,
+            vec![
+                ev("run", 0, 0, 10_000, CounterSet::default()),
+                ev(
+                    "stage",
+                    1,
+                    1,
+                    5_000_000_000,
+                    CounterSet {
+                        work_ns: 100,
+                        ..sent(30, 3)
+                    },
+                ),
+                ev("pcomm.bcast", 2, 2, 10, sent(20, 2)),
+                ev("pcomm.bcast", 2, 3, 10, sent(10, 1)),
+            ],
+        );
+        let t1 = trace(
+            1,
+            vec![
+                ev("run", 0, 0, 10_000, CounterSet::default()),
+                ev(
+                    "stage",
+                    1,
+                    1,
+                    2_000_000_000,
+                    CounterSet {
+                        work_ns: 300,
+                        ..sent(5, 1)
+                    },
+                ),
+                ev("pcomm.bcast", 2, 2, 10, sent(5, 1)),
+            ],
+        );
+        let ex = extract_stages(&[t0, t1], &[("stage", "S")], &["pcomm.bcast"]);
+        assert_eq!(ex.len(), 1);
+        let s = &ex[0];
+        assert_eq!(s.label, "S");
+        assert_eq!(s.ranks, 2);
+        assert!((s.secs_max - 5.0).abs() < 1e-12);
+        assert_eq!(s.work_ns_total, 400);
+        assert_eq!(s.work_ns_max, 300);
+        assert_eq!(s.counters_total.bytes_sent, 35);
+        let (kind, agg) = &s.kinds[0];
+        assert_eq!(kind, "pcomm.bcast");
+        assert_eq!(agg.calls_total, 3);
+        assert_eq!(agg.calls_max, 2);
+        assert_eq!(agg.counters_total.bytes_sent, 35);
+    }
+
+    #[test]
+    fn outermost_kind_only_no_double_counting() {
+        // An allreduce with a nested bcast: only the allreduce counts, and
+        // a free-standing bcast after it still counts as a bcast.
+        let t = trace(
+            0,
+            vec![
+                ev("stage", 0, 0, 100, CounterSet::default()),
+                ev("pcomm.allreduce", 1, 1, 10, sent(40, 4)),
+                ev("pcomm.bcast", 2, 2, 5, sent(20, 2)),
+                ev("pcomm.bcast", 1, 3, 5, sent(7, 1)),
+            ],
+        );
+        let ex = extract_stages(&[t], &[("stage", "S")], &["pcomm.bcast", "pcomm.allreduce"]);
+        let kinds: BTreeMap<_, _> = ex[0].kinds.iter().cloned().collect();
+        assert_eq!(kinds["pcomm.allreduce"].calls_total, 1);
+        assert_eq!(kinds["pcomm.allreduce"].counters_total.bytes_sent, 40);
+        assert_eq!(kinds["pcomm.bcast"].calls_total, 1, "nested bcast leaked");
+        assert_eq!(kinds["pcomm.bcast"].counters_total.bytes_sent, 7);
+    }
+
+    #[test]
+    fn missing_stage_yields_empty_extract() {
+        let t = trace(0, vec![ev("other", 0, 0, 10, CounterSet::default())]);
+        let ex = extract_stages(&[t], &[("stage", "S")], &[]);
+        assert_eq!(ex[0].ranks, 0);
+        assert_eq!(ex[0].work_ns_total, 0);
+        assert!(ex[0].kinds.is_empty());
+    }
+
+    #[test]
+    fn repeated_stage_spans_sum_per_rank() {
+        let t = trace(
+            0,
+            vec![
+                ev(
+                    "stage",
+                    0,
+                    0,
+                    1_000_000_000,
+                    CounterSet {
+                        work_ns: 10,
+                        ..Default::default()
+                    },
+                ),
+                ev(
+                    "stage",
+                    0,
+                    1,
+                    2_000_000_000,
+                    CounterSet {
+                        work_ns: 20,
+                        ..Default::default()
+                    },
+                ),
+            ],
+        );
+        let ex = extract_stages(&[t], &[("stage", "S")], &[]);
+        assert_eq!(ex[0].ranks, 1);
+        assert!((ex[0].secs_max - 3.0).abs() < 1e-12);
+        assert_eq!(ex[0].work_ns_max, 30);
+    }
+}

@@ -48,9 +48,10 @@ impl StageMeasure {
     /// Modeled stage seconds under a postal cost model: deterministic work
     /// plus α·messages + β·bytes.
     pub fn modeled_secs(&self, model: &pcomm::CostModel) -> f64 {
-        model.stage_seconds(pcomm::StageCost {
+        model.flat(&pcomm::StageCost {
             compute_secs: self.work_ns as f64 * 1e-9,
             comm: self.comm,
+            colls: Vec::new(),
         })
     }
 }

@@ -27,7 +27,7 @@
 mod check;
 mod collectives;
 mod comm;
-mod cost;
+pub mod cost;
 mod grid;
 mod payload;
 mod stats;
@@ -35,7 +35,11 @@ pub mod work;
 mod world;
 
 pub use comm::{Comm, RecvFuture};
-pub use cost::{CostModel, StageCost};
+pub use cost::{
+    grid_side, kind_names, project, CollAgg, CollShape, CostModel, Growth, KindRule,
+    MachineProfile, ProjectedStage, Projection, Scope, StageCost, WhatIfOverlap, KIND_RULES,
+    PROFILE_SCHEMA_VERSION,
+};
 pub use grid::Grid;
 pub use payload::Payload;
 pub use stats::{install_obs_provider, CommStats};

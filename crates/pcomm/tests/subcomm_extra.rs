@@ -95,6 +95,7 @@ fn cost_model_orders_scaling_correctly() {
             bytes_sent: bytes,
             ..Default::default()
         },
+        colls: Vec::new(),
     };
     assert!(m.stage_seconds(mk(1 << 30)) > m.stage_seconds(mk(1 << 10)));
     // total_seconds sums stages.

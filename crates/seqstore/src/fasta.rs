@@ -52,8 +52,11 @@ fn first_header(bytes: &[u8], from: usize) -> usize {
 /// Parse records whose header byte lies in `[start, limit)`, reading past
 /// `limit` to complete the final record.
 fn parse_from(bytes: &[u8], start: usize, limit: usize) -> Vec<FastaRecord> {
-    // Work accounting: ~1 ns per byte scanned by this rank.
-    pcomm::work::record(limit.saturating_sub(start) as u64, 1);
+    // Work accounting: one unit per byte scanned by this rank.
+    pcomm::work::record_class(
+        limit.saturating_sub(start) as u64,
+        pcomm::work::CostClass::FastaByte,
+    );
     let mut out = Vec::new();
     let mut i = start;
     while i < limit && i < bytes.len() {

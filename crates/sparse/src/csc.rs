@@ -175,7 +175,7 @@ impl Csc<f64> {
             if flops == 0 {
                 continue;
             }
-            pcomm::work::record(flops as u64, 6);
+            pcomm::work::record_class(flops as u64, pcomm::work::CostClass::SpgemmFlop);
             acc.reserve(flops);
             for (&t, &bv) in brows.iter().zip(bvals) {
                 let (arows, avals) = self.col(t);

@@ -53,8 +53,8 @@ impl<V> Dcsc<V> {
             nrows < u32::MAX as usize + 1,
             "row space too large for u32 local indices"
         );
-        // Work accounting: sort + scan, ~25 ns per triple.
-        pcomm::work::record(triples.len() as u64, 25);
+        // Work accounting: sort + scan per triple.
+        pcomm::work::record_class(triples.len() as u64, pcomm::work::CostClass::TripleSort);
         let mut triples = triples;
         triples.sort_by_key(|&(r, c, _)| (c, r));
         let mut jc = Vec::new();

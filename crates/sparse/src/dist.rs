@@ -59,8 +59,8 @@ impl<V: Payload + Clone> DistMat<V> {
         let _span = obs::span!("sparse.from_triples", triples = triples.len());
         let q = grid.q();
         let p = q * q;
-        // Work accounting: owner computation + bucketing, ~8 ns/triple.
-        pcomm::work::record(triples.len() as u64, 8);
+        // Work accounting: owner computation + bucketing per triple.
+        pcomm::work::record_class(triples.len() as u64, pcomm::work::CostClass::TripleShuffle);
         let mut parts: Vec<Vec<Triple<V>>> = (0..p).map(|_| Vec::new()).collect();
         for (r, c, v) in triples {
             assert!(

@@ -55,9 +55,8 @@ pub fn local_spgemm<SR: Semiring>(
         if lists.is_empty() {
             continue;
         }
-        // Work accounting: one semiring multiply-accumulate per flop
-        // (~6 ns estimated for the hash path on a scalar core).
-        pcomm::work::record(flops as u64, 6);
+        // Work accounting: one semiring multiply-accumulate per flop.
+        pcomm::work::record_class(flops as u64, pcomm::work::CostClass::SpgemmFlop);
         obs::hist!("spgemm.col_flops", flops);
         let use_hash = match strategy {
             SpGemmStrategy::Hash => true,

@@ -125,7 +125,7 @@ fn explore(p: &Cand, frontier: &mut MinMaxHeap<Cand>, table: &ExpenseTable, m: u
         }
         frontier.push(child);
         // Work accounting: clone + heap ops per materialized child.
-        pcomm::work::record(1, 80);
+        pcomm::work::record_class(1, pcomm::work::CostClass::SubkmerChild);
         // Queue the next-cheapest substitution at this position.
         if (sid as usize + 1) < table.row(b).len() {
             mh.push(Reverse((

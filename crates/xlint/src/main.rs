@@ -1,6 +1,6 @@
 //! `xlint` — repository-specific lint gates that `clippy` cannot express.
 //!
-//! Three rules, chosen because each guards an invariant another layer of
+//! Four rules, chosen because each guards an invariant another layer of
 //! this workspace depends on:
 //!
 //! - **safety-comment** — every `unsafe` token must have a `// SAFETY:`
@@ -15,6 +15,12 @@
 //! - **instant-now** — raw `Instant::now()` is confined to `crates/obs/`,
 //!   `crates/pcomm/`, and the criterion shim; everything else measures time
 //!   through `obs::Stopwatch` so clocks stay virtualizable.
+//! - **cost-literal** — the raw work-ledger entry point `work::record`
+//!   (which takes an inline ns/op literal) is confined to
+//!   `crates/pcomm/src/work.rs`. Kernels record through
+//!   `work::record_class`, so every cost constant lives in the `CostClass`
+//!   table and stays overridable by a calibrated machine profile; an
+//!   inline literal elsewhere would silently escape calibration.
 //!
 //! `tests/` and `benches/` directories are exempt from the confinement
 //! rules (not from safety-comment). A finding can be waived in place with a
@@ -29,7 +35,12 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const RULES: [&str; 3] = ["safety-comment", "thread-spawn", "instant-now"];
+const RULES: [&str; 4] = [
+    "safety-comment",
+    "thread-spawn",
+    "instant-now",
+    "cost-literal",
+];
 
 /// How many lines above an `unsafe` token a `SAFETY:` comment may sit.
 const SAFETY_WINDOW: usize = 4;
@@ -44,6 +55,9 @@ const SPAWN_ALLOWED: [&str; 2] = ["crates/pcomm/", "crates/align/src/batch.rs"];
 
 const INSTANT_TOKEN: &str = "Instant::now";
 const INSTANT_ALLOWED: [&str; 3] = ["crates/obs/", "crates/pcomm/", "shims/criterion/"];
+
+const COST_TOKEN: &str = "work::record";
+const COST_ALLOWED: [&str; 1] = ["crates/pcomm/src/work.rs"];
 
 #[derive(Debug, PartialEq, Eq)]
 struct Finding {
@@ -264,6 +278,22 @@ fn scan_source(rel: &str, src: &str) -> Vec<Finding> {
                     ),
                 ));
             }
+
+            if !COST_ALLOWED.iter().any(|p| rel.starts_with(p))
+                && has_token(cl, COST_TOKEN)
+                && !waived(&raw, i, "cost-literal")
+            {
+                findings.push(finding(
+                    i,
+                    "cost-literal",
+                    format!(
+                        "raw work::record (inline cost literal) outside {} — \
+                         use work::record_class so the constant stays \
+                         profile-calibratable",
+                        COST_ALLOWED.join(", ")
+                    ),
+                ));
+            }
         }
     }
     findings
@@ -393,6 +423,24 @@ mod tests {
         let waived =
             "// justified: xlint: allow(thread-spawn)\nfn f() { std::thread::spawn(|| {}); }\n";
         assert!(scan_source("crates/mcl/src/lib.rs", waived).is_empty());
+    }
+
+    #[test]
+    fn cost_literal_confinement() {
+        let src = "fn f() { pcomm::work::record(100, 42); }\n";
+        let f = scan_source("crates/align/src/engine.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "cost-literal");
+        // The work module itself owns the raw entry point.
+        assert!(scan_source("crates/pcomm/src/work.rs", src).is_empty());
+        // Test trees are exempt.
+        assert!(scan_source("crates/pcomm/tests/subcomm_extra.rs", src).is_empty());
+        // `record_class` is the approved API — the token must not match it.
+        let ok = "fn f() { pcomm::work::record_class(100, CostClass::SwCell); }\n";
+        assert!(scan_source("crates/align/src/engine.rs", ok).is_empty());
+        // In-place waiver.
+        let waived = "fn f() { pcomm::work::record(1, 1); } // xlint: allow(cost-literal)\n";
+        assert!(scan_source("crates/align/src/engine.rs", waived).is_empty());
     }
 
     #[test]

@@ -16,8 +16,15 @@ cargo test -q
 cargo test -q -p obs --test perfetto_schema
 cargo clippy --all-targets -- -D warnings
 # Workspace lint gates: SAFETY comments on unsafe, thread-spawn confinement,
-# Instant::now confinement. See crates/xlint.
+# Instant::now confinement, cost-literal confinement. See crates/xlint.
 cargo run -q -p xlint -- .
+# Bench document schemas (machine profile + committed baselines) and the
+# regression gate: BENCH_scale is regenerated deterministically from the
+# committed profile and diffed against results/baseline/; the wall-clock
+# benches are gated only when fresh BENCH_align/BENCH_obs runs are present.
+# Skips with a note when no baseline is committed. See crates/bench/src/gate.rs.
+cargo run --release -q -p pastis-bench --bin bench_gate -- schema
+cargo run --release -q -p pastis-bench --bin bench_gate -- gate
 
 if [[ "${MIRI:-0}" == "1" ]]; then
     if rustup component list 2>/dev/null | grep -q '^miri.*(installed)'; then
