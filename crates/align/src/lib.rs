@@ -23,7 +23,10 @@ pub use batch::align_batch;
 pub use matrix::{ScoringMatrix, BLOSUM62};
 pub use scratch::{with_scratch, AlignScratch};
 pub use stats::{AlignStats, SimilarityMeasure};
-pub use striped::{striped_align, striped_align_with, striped_score, striped_score_with};
+pub use striped::{
+    striped_align, striped_align_with, striped_score, striped_score_with, striped_traceback,
+    striped_traceback_with,
+};
 pub use sw::{smith_waterman, smith_waterman_with};
 pub use ungapped::ungapped_xdrop;
 pub use xdrop::{xdrop_align, xdrop_align_with};
@@ -88,5 +91,44 @@ pub fn local_align_with(
     match params.engine {
         AlignEngine::Scalar => smith_waterman_with(r, c, params, scratch),
         AlignEngine::Striped => striped_align_with(r, c, params, scratch),
+    }
+}
+
+/// Score-gated local alignment: run the traceback only when the optimal
+/// score reaches `min_score`, returning `None` for culled pairs (the
+/// MMseqs2-style prefilter-then-align staging). On the striped engine the
+/// cull decision costs only the O(m)-memory score pass; the scalar engine
+/// has no score-only mode, so it culls after the full DP. For surviving
+/// pairs the stats are bit-identical to [`local_align`].
+pub fn prefiltered_align(
+    r: &[u8],
+    c: &[u8],
+    params: &AlignParams,
+    min_score: i32,
+) -> Option<AlignStats> {
+    obs::hist!("align.dp_cells", r.len() * c.len());
+    with_scratch(|s| prefiltered_align_with(r, c, params, min_score, s))
+}
+
+/// [`prefiltered_align`] with an explicit scratch arena.
+pub fn prefiltered_align_with(
+    r: &[u8],
+    c: &[u8],
+    params: &AlignParams,
+    min_score: i32,
+    scratch: &mut AlignScratch,
+) -> Option<AlignStats> {
+    match params.engine {
+        AlignEngine::Scalar => {
+            let stats = smith_waterman_with(r, c, params, scratch);
+            (stats.score >= min_score).then_some(stats)
+        }
+        AlignEngine::Striped => {
+            let (score, end) = striped_score_with(r, c, params, scratch);
+            if score < min_score {
+                return None;
+            }
+            Some(striped_traceback_with(r, c, params, score, end, scratch))
+        }
     }
 }

@@ -43,13 +43,20 @@ pub struct AlignScratch {
     pub(crate) dirs: Vec<u8>,
     /// Banded direction bytes (striped engine's traceback pass).
     pub(crate) band_dirs: Vec<u8>,
-    // Striped kernel state, i16 lanes.
+    // Striped kernel state, i16 lanes. `prof16_key` caches which
+    // `(query, matrix)` the profile currently holds: in many-vs-one
+    // batches the same query arrives back to back, and the O(Σ·m) profile
+    // build is skipped when the key matches. The key stores a copy of the
+    // query bytes (verified on hit), so a freed-and-reallocated query
+    // buffer at the same address cannot alias a stale profile.
     pub(crate) prof16: Vec<[i16; L16]>,
+    pub(crate) prof16_key: Option<(Vec<u8>, usize)>,
     pub(crate) h16_store: Vec<[i16; L16]>,
     pub(crate) h16_load: Vec<[i16; L16]>,
     pub(crate) e16: Vec<[i16; L16]>,
     // Striped kernel state, i32 overflow-fallback lanes.
     pub(crate) prof32: Vec<[i32; L32]>,
+    pub(crate) prof32_key: Option<(Vec<u8>, usize)>,
     pub(crate) h32_store: Vec<[i32; L32]>,
     pub(crate) h32_load: Vec<[i32; L32]>,
     pub(crate) e32: Vec<[i32; L32]>,

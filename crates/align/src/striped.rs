@@ -86,11 +86,13 @@ macro_rules! striped_kernel {
         /// 1-based inclusive ends chosen exactly as the scalar engine's
         /// row-major argmax would, or `(0, 0, 0)` when nothing scores
         /// positive.
+        #[allow(clippy::too_many_arguments)] // scratch arenas threaded explicitly
         fn $name(
             r: &[u8],
             c: &[u8],
             params: &AlignParams,
             prof: &mut Vec<[$ty; $lanes]>,
+            prof_key: &mut Option<(Vec<u8>, usize)>,
             h_store: &mut Vec<[$ty; $lanes]>,
             h_load: &mut Vec<[$ty; $lanes]>,
             e_buf: &mut Vec<[$ty; $lanes]>,
@@ -106,18 +108,37 @@ macro_rules! striped_kernel {
             // Striped query profile: prof[x·seg + s][l] = score(r[q], x)
             // for q = l·seg + s. Padding rows (q ≥ m) score NEG, which
             // keeps their H at or below every bound a valid cell sets, so
-            // they can never decide a column maximum.
-            prof.clear();
-            prof.resize(SIGMA * seg, [NEG; L]);
-            for s in 0..seg {
-                for l in 0..L {
-                    let q = l * seg + s;
-                    if q < m {
-                        let row = &params.matrix.scores[r[q] as usize];
-                        for (x, &sc) in row.iter().enumerate() {
-                            prof[x * seg + s][l] = sc as $ty;
+            // they can never decide a column maximum. The profile depends
+            // only on `(r, matrix)`, so it is rebuilt only when either
+            // differs from what the arena already holds — candidate batches
+            // arrive grouped by query row, making back-to-back hits the
+            // common case.
+            let mat_addr = params.matrix as *const _ as usize;
+            let cached = prof.len() == SIGMA * seg
+                && matches!(prof_key, Some((q, ma)) if *ma == mat_addr && q.as_slice() == r);
+            if cached {
+                obs::counter!("align.prof_cache_hits", 1);
+            } else {
+                prof.clear();
+                prof.resize(SIGMA * seg, [NEG; L]);
+                for s in 0..seg {
+                    for l in 0..L {
+                        let q = l * seg + s;
+                        if q < m {
+                            let row = &params.matrix.scores[r[q] as usize];
+                            for (x, &sc) in row.iter().enumerate() {
+                                prof[x * seg + s][l] = sc as $ty;
+                            }
                         }
                     }
+                }
+                match prof_key {
+                    Some((q, ma)) => {
+                        q.clear();
+                        q.extend_from_slice(r);
+                        *ma = mat_addr;
+                    }
+                    None => *prof_key = Some((r.to_vec(), mat_addr)),
                 }
             }
 
@@ -253,6 +274,7 @@ fn striped_end_with(
         c,
         params,
         &mut scratch.prof16,
+        &mut scratch.prof16_key,
         &mut scratch.h16_store,
         &mut scratch.h16_load,
         &mut scratch.e16,
@@ -267,6 +289,7 @@ fn striped_end_with(
         c,
         params,
         &mut scratch.prof32,
+        &mut scratch.prof32_key,
         &mut scratch.h32_store,
         &mut scratch.h32_load,
         &mut scratch.e32,
@@ -304,20 +327,44 @@ pub fn striped_align_with(
     params: &AlignParams,
     scratch: &mut AlignScratch,
 ) -> AlignStats {
-    let (m, n) = (r.len(), c.len());
+    let (best, bi, bj) = striped_end_with(r, c, params, scratch);
+    striped_traceback_with(r, c, params, best, (bi as u32, bj as u32), scratch)
+}
+
+/// Traceback pass alone: given the `(score, end)` that
+/// [`striped_score_with`] reported for the same `(r, c, params)`, produce
+/// the full [`AlignStats`] without repeating the score pass. This is the
+/// second half of [`striped_align_with`], exposed so a score-only prefilter
+/// can decide whether the traceback is worth running at all.
+pub fn striped_traceback(
+    r: &[u8],
+    c: &[u8],
+    params: &AlignParams,
+    score: i32,
+    end: (u32, u32),
+) -> AlignStats {
+    with_scratch(|s| striped_traceback_with(r, c, params, score, end, s))
+}
+
+/// [`striped_traceback`] with an explicit scratch arena.
+pub fn striped_traceback_with(
+    r: &[u8],
+    c: &[u8],
+    params: &AlignParams,
+    score: i32,
+    end: (u32, u32),
+    scratch: &mut AlignScratch,
+) -> AlignStats {
     let mut stats = AlignStats {
-        r_len: m as u32,
-        c_len: n as u32,
+        r_len: r.len() as u32,
+        c_len: c.len() as u32,
         ..Default::default()
     };
-    if m == 0 || n == 0 {
+    if score == 0 {
         return stats;
     }
-    let (best, bi, bj) = striped_end_with(r, c, params, scratch);
-    if best == 0 {
-        return stats;
-    }
-    stats.score = best;
+    stats.score = score;
+    let (bi, bj) = (end.0 as usize, end.1 as usize);
     // Second pass: scalar DP over the prefix rectangle ending at the best
     // cell (the recurrence never looks right of or below it), keeping
     // direction bytes only inside a diagonal band. Growing the band until
@@ -586,6 +633,56 @@ mod tests {
         assert_eq!(st.score, 38500);
         assert_eq!(st.matches, 3500);
         assert_eq!(st.r_span, (0, 3500));
+    }
+
+    #[test]
+    fn profile_cache_reuse_is_exact() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = AlignParams::default();
+        let mut scratch = AlignScratch::new();
+        let queries: Vec<Vec<u8>> = (0..4)
+            .map(|_| (0..50).map(|_| rng.random_range(0..24u8)).collect())
+            .collect();
+        // Same arena throughout: the second inner iteration hits the
+        // profile cache, query changes between outer iterations evict it.
+        for q in queries.iter().cycle().take(12) {
+            for _ in 0..2 {
+                let t: Vec<u8> = (0..40).map(|_| rng.random_range(0..24u8)).collect();
+                assert_eq!(
+                    striped_align_with(q, &t, &p, &mut scratch),
+                    smith_waterman(q, &t, &p),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefiltered_matches_full_and_culls() {
+        use crate::{local_align, prefiltered_align, AlignEngine};
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(21);
+        for engine in [AlignEngine::Striped, AlignEngine::Scalar] {
+            let p = AlignParams {
+                engine,
+                ..Default::default()
+            };
+            for _ in 0..20 {
+                let m = rng.random_range(1..60);
+                let n = rng.random_range(1..60);
+                let a: Vec<u8> = (0..m).map(|_| rng.random_range(0..24u8)).collect();
+                let b: Vec<u8> = (0..n).map(|_| rng.random_range(0..24u8)).collect();
+                let full = local_align(&a, &b, &p);
+                match prefiltered_align(&a, &b, &p, 1) {
+                    Some(st) => {
+                        assert!(full.score >= 1);
+                        assert_eq!(st, full);
+                    }
+                    None => assert!(full.score < 1),
+                }
+                assert!(prefiltered_align(&a, &b, &p, full.score + 1).is_none());
+            }
+        }
     }
 
     #[test]

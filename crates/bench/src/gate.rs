@@ -78,6 +78,25 @@ pub const CHECKS: &[Check] = &[
         direction: Direction::AbsDelta,
         tolerance: 0.15,
     },
+    // The overlap the streamed pipeline achieves on the recorded grid must
+    // not erode: hidden seconds shrinking means panel broadcasts stopped
+    // fitting under the overlapped compute (e.g. someone serialized the
+    // stream again). Deterministic, so the band only absorbs intentional
+    // retuning.
+    Check {
+        file: "BENCH_scale.json",
+        path: &["overlap", "hidden_secs"],
+        direction: Direction::HigherBetter,
+        tolerance: 0.20,
+    },
+    // Broadcast cost itself is a cost: creeping up means the prefetch is
+    // moving more bytes than the recorded workload warrants.
+    Check {
+        file: "BENCH_scale.json",
+        path: &["overlap", "bcast_secs"],
+        direction: Direction::LowerBetter,
+        tolerance: 0.25,
+    },
 ];
 
 /// Outcome of one check.

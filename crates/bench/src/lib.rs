@@ -46,9 +46,9 @@ pub fn run_on(fasta: &[u8], p: usize, params: &PastisParams) -> Vec<PastisRun> {
 
 /// Critical-path timings across ranks (per-component element-wise max).
 pub fn critical_timings(runs: &[PastisRun]) -> Timings {
-    let mut out = runs[0].timings;
+    let mut out = runs[0].timings.clone();
     for r in &runs[1..] {
-        let t = r.timings;
+        let t = r.timings.clone();
         out.fasta = out.fasta.max(t.fasta);
         out.form_a = out.form_a.max(t.form_a);
         out.tr_a = out.tr_a.max(t.tr_a);
@@ -131,7 +131,7 @@ pub const SCALE_KSEQS: f64 = 2.0;
 /// Dataset seed of the reference recording.
 pub const SCALE_SEED: u64 = 14;
 /// Schema version of the BENCH_scale document.
-pub const SCALE_SCHEMA_VERSION: u64 = 1;
+pub const SCALE_SCHEMA_VERSION: u64 = 2;
 
 /// Pipeline parameters of the reference scaling recording: the paper's
 /// PASTIS-XD fast mode, one thread per rank so the recording itself is
@@ -232,8 +232,113 @@ pub fn render_share_table(projections: &[Projection]) -> String {
     out
 }
 
+/// Overlap actually achieved by the streamed pipeline, measured from the
+/// reference recording's work and communication ledgers (deterministic —
+/// no wall clock). The streamed SUMMA posts stage `t+1`'s panel broadcasts
+/// before stage `t`'s local multiply and alignment chunk run, so the
+/// broadcast seconds that fit under that compute are hidden from the
+/// critical path. Compare `hidden_secs` (from the implemented overlap,
+/// which also hides broadcasts under the local multiplies) against
+/// `whatif_hidden_secs` (the pre-implementation what-if, which only
+/// considered alignment compute).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasuredOverlap {
+    /// Rank count of the recording the measure was taken at.
+    pub p: usize,
+    /// Modeled per-rank seconds of the SUMMA panel broadcasts (`ibcast`
+    /// traffic of the `(AS)AT` stage).
+    pub bcast_secs: f64,
+    /// Modeled per-rank compute seconds of the local multiplies
+    /// (`summa.local_mul`) the broadcasts overlap with.
+    pub mul_secs: f64,
+    /// Modeled per-rank compute seconds of the per-stage alignment chunks
+    /// (`align.overlap`) the broadcasts overlap with.
+    pub align_secs: f64,
+    /// Broadcast seconds hidden by the implemented overlap:
+    /// `min(bcast_secs, mul_secs + align_secs)`.
+    pub hidden_secs: f64,
+    /// The what-if projection of the same quantity at the same p
+    /// ([`Projection::whatif_overlap`]), for the measured-vs-projected
+    /// comparison.
+    pub whatif_hidden_secs: f64,
+}
+
+impl MeasuredOverlap {
+    /// Measure the overlap from recorded runs: price the recording's
+    /// extracts at its own rank count (growth factors are 1, so this
+    /// reproduces the recorded traffic) and take the broadcast seconds
+    /// that fit under the overlapped compute.
+    pub fn measure(runs: &[PastisRun], model: &CostModel) -> MeasuredOverlap {
+        let p = runs.len();
+        let extracts = extract_runs(runs);
+        let proj = pcomm::project(&extracts, p, model, p);
+        let bcast_secs = proj
+            .stages
+            .iter()
+            .find(|s| s.label == "(AS)AT")
+            .map(|s| {
+                s.cost
+                    .colls
+                    .iter()
+                    .filter(|c| c.shape == pcomm::CollShape::Bcast)
+                    .map(|c| model.coll_seconds(c))
+                    .sum::<f64>()
+            })
+            .unwrap_or(0.0);
+        let align_secs = proj
+            .stages
+            .iter()
+            .find(|s| s.label == "align")
+            .map(|s| s.compute_secs)
+            .unwrap_or(0.0);
+        let traces: Vec<obs::RankTrace> = runs.iter().map(|r| r.trace.clone()).collect();
+        let mul = obs::project::extract_stages(&traces, &[("summa.local_mul", "mul")], &[]);
+        let mul_secs = mul[0].work_ns_total as f64 * 1e-9 / p.max(1) as f64 / model.compute_scale;
+        let whatif_hidden_secs = proj.whatif_overlap(model, "(AS)AT", "align").hidden_secs;
+        MeasuredOverlap {
+            p,
+            bcast_secs,
+            mul_secs,
+            align_secs,
+            hidden_secs: bcast_secs.min(mul_secs + align_secs),
+            whatif_hidden_secs,
+        }
+    }
+
+    pub fn to_json(&self) -> JsonValue {
+        let mut o = BTreeMap::new();
+        o.insert("p".into(), JsonValue::Num(self.p as f64));
+        o.insert("bcast_secs".into(), JsonValue::Num(self.bcast_secs));
+        o.insert("mul_secs".into(), JsonValue::Num(self.mul_secs));
+        o.insert("align_secs".into(), JsonValue::Num(self.align_secs));
+        o.insert("hidden_secs".into(), JsonValue::Num(self.hidden_secs));
+        o.insert(
+            "whatif_hidden_secs".into(),
+            JsonValue::Num(self.whatif_hidden_secs),
+        );
+        JsonValue::Obj(o)
+    }
+
+    pub fn from_json(v: &JsonValue) -> Result<MeasuredOverlap, String> {
+        let num = |k: &str| {
+            v.get(k)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("bench_scale overlap: missing `{k}`"))
+        };
+        Ok(MeasuredOverlap {
+            p: num("p")? as usize,
+            bcast_secs: num("bcast_secs")?,
+            mul_secs: num("mul_secs")?,
+            align_secs: num("align_secs")?,
+            hidden_secs: num("hidden_secs")?,
+            whatif_hidden_secs: num("whatif_hidden_secs")?,
+        })
+    }
+}
+
 /// The BENCH_scale document: projections of the reference recording at the
-/// paper's node counts plus the what-if overlap analysis.
+/// paper's node counts, the what-if overlap analysis, and the overlap the
+/// streamed pipeline actually achieves at the recorded grid.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScaleReport {
     /// Rank count of the recording.
@@ -245,6 +350,8 @@ pub struct ScaleReport {
     /// Overlap what-if per projection: `(AS)AT` broadcasts hidden under
     /// `align` compute.
     pub whatif: Vec<WhatIfOverlap>,
+    /// Overlap measured from the streamed recording at `p_recorded`.
+    pub overlap: MeasuredOverlap,
 }
 
 impl ScaleReport {
@@ -260,11 +367,13 @@ impl ScaleReport {
             .iter()
             .map(|p| p.whatif_overlap(&model, "(AS)AT", "align"))
             .collect();
+        let overlap = MeasuredOverlap::measure(&runs, &model);
         ScaleReport {
             p_recorded: runs.len(),
             profile_host: profile.host.clone(),
             projections,
             whatif,
+            overlap,
         }
     }
 
@@ -301,6 +410,23 @@ impl ScaleReport {
                 w.saved_pct()
             );
         }
+        let o = &self.overlap;
+        out.push_str("\n== measured overlap (streamed pipeline, recorded grid) ==\n");
+        let _ = writeln!(
+            out,
+            "{:>6}{:>12}{:>12}{:>12}{:>12}{:>12}",
+            "p", "bcast", "mul", "align", "hidden", "whatif"
+        );
+        let _ = writeln!(
+            out,
+            "{:>6}{:>12}{:>12}{:>12}{:>12}{:>12}",
+            o.p,
+            fmt_secs(o.bcast_secs),
+            fmt_secs(o.mul_secs),
+            fmt_secs(o.align_secs),
+            fmt_secs(o.hidden_secs),
+            fmt_secs(o.whatif_hidden_secs)
+        );
         out
     }
 
@@ -339,12 +465,17 @@ impl ScaleReport {
                     .collect(),
             ),
         );
+        o.insert("overlap".into(), self.overlap.to_json());
         let mut summary = BTreeMap::new();
         summary.insert("p_max".into(), JsonValue::Num(headline.p as f64));
         summary.insert("total_secs".into(), JsonValue::Num(headline.total_secs()));
         summary.insert(
             "align_share".into(),
             JsonValue::Num(headline.share("align")),
+        );
+        summary.insert(
+            "overlap_hidden_secs".into(),
+            JsonValue::Num(self.overlap.hidden_secs),
         );
         o.insert("summary".into(), JsonValue::Obj(summary));
         JsonValue::Obj(o)
@@ -391,7 +522,9 @@ impl ScaleReport {
                 .collect::<Result<Vec<_>, String>>()?,
             _ => return Err("bench_scale: missing `whatif` array".into()),
         };
-        for key in ["p_max", "total_secs", "align_share"] {
+        let overlap =
+            MeasuredOverlap::from_json(v.get("overlap").ok_or("bench_scale: missing `overlap`")?)?;
+        for key in ["p_max", "total_secs", "align_share", "overlap_hidden_secs"] {
             v.get("summary")
                 .and_then(|s| s.get(key))
                 .and_then(JsonValue::as_f64)
@@ -409,6 +542,7 @@ impl ScaleReport {
                 .to_string(),
             projections,
             whatif,
+            overlap,
         })
     }
 }

@@ -3,7 +3,9 @@
 //! and the what-if engine's basic guarantees.
 
 use pastis::{AlignMode, PastisParams, PastisRun, Timings};
-use pastis_bench::{extract_runs, metaclust_dataset, project_runs, run_on, ScaleReport};
+use pastis_bench::{
+    extract_runs, metaclust_dataset, project_runs, run_on, MeasuredOverlap, ScaleReport,
+};
 use pcomm::{CostModel, MachineProfile};
 
 fn params(threads: usize) -> PastisParams {
@@ -144,6 +146,18 @@ fn whatif_and_report_round_trip() {
         assert!(w.overlapped_secs <= w.baseline_secs);
         assert!((w.baseline_secs - proj.total_secs()).abs() < 1e-12);
     }
+    let overlap = MeasuredOverlap::measure(&runs, &model);
+    // The streamed pipeline must actually hide time: nonzero broadcast
+    // traffic fits under nonzero overlapped compute, and the measured
+    // hidden seconds are comparable against the what-if's projection.
+    assert!(overlap.bcast_secs > 0.0);
+    assert!(overlap.mul_secs > 0.0);
+    assert!(overlap.align_secs > 0.0);
+    assert!(overlap.hidden_secs > 0.0);
+    assert!(overlap.hidden_secs <= overlap.bcast_secs + 1e-12);
+    // The implemented overlap also hides broadcasts under the local
+    // multiplies, so it can only beat (or match) the align-only what-if.
+    assert!(overlap.hidden_secs >= overlap.whatif_hidden_secs - 1e-12);
     let report = ScaleReport {
         p_recorded: runs.len(),
         profile_host: profile.host.clone(),
@@ -152,6 +166,7 @@ fn whatif_and_report_round_trip() {
             .map(|p| p.whatif_overlap(&model, "(AS)AT", "align"))
             .collect(),
         projections,
+        overlap,
     };
     let text = report.to_json().to_string();
     let back = ScaleReport::from_json(&obs::JsonValue::parse(&text).unwrap()).unwrap();

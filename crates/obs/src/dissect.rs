@@ -9,7 +9,7 @@
 //! callers pass latency/bandwidth coefficients (e.g. from
 //! `pcomm::CostModel`) when they want a modeled comm column.
 
-use crate::span::{CounterSet, RankTrace};
+use crate::span::{span_forest, CounterSet, RankTrace, SpanNode};
 
 /// One rank's aggregate over all spans of one name.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -36,6 +36,57 @@ pub fn stage_agg(trace: &RankTrace, name: &str, from_seq: u32) -> StageAgg {
         agg.secs += e.dur_ns as f64 * 1e-9;
         agg.counters = agg.counters.merge(e.counters);
     }
+    agg
+}
+
+/// [`stage_agg`] with exclusive attribution for overlapping stages: the
+/// subtrees of topmost nested spans named in `exclude` are subtracted from
+/// each matched span (the streamed pipeline runs its alignment chunks
+/// inside the SUMMA stage; counting them in both rows would make the
+/// dissection sum past the run total). Pass the full stage-span list as
+/// `exclude` — a span never nests within itself, so self-exclusion is
+/// inert.
+pub fn stage_agg_exclusive(
+    trace: &RankTrace,
+    name: &str,
+    exclude: &[&str],
+    from_seq: u32,
+) -> StageAgg {
+    let events: Vec<_> = trace
+        .events
+        .iter()
+        .filter(|e| e.seq >= from_seq)
+        .cloned()
+        .collect();
+    let forest = span_forest(&events);
+    let mut agg = StageAgg::default();
+    fn subtract(node: &SpanNode, exclude: &[&str], dur_ns: &mut u64, counters: &mut CounterSet) {
+        if exclude.contains(&node.event.name) {
+            *dur_ns = dur_ns.saturating_sub(node.event.dur_ns);
+            *counters = counters.saturating_sub(node.event.counters);
+            return;
+        }
+        for child in &node.children {
+            subtract(child, exclude, dur_ns, counters);
+        }
+    }
+    fn walk(nodes: &[SpanNode], name: &str, exclude: &[&str], agg: &mut StageAgg) {
+        for node in nodes {
+            if node.event.name == name {
+                let mut dur_ns = node.event.dur_ns;
+                let mut counters = node.event.counters;
+                for child in &node.children {
+                    subtract(child, exclude, &mut dur_ns, &mut counters);
+                }
+                agg.spans += 1;
+                agg.secs += dur_ns as f64 * 1e-9;
+                agg.counters = agg.counters.merge(counters);
+            } else {
+                walk(&node.children, name, exclude, agg);
+            }
+        }
+    }
+    walk(&forest, name, exclude, &mut agg);
     agg
 }
 
@@ -66,16 +117,23 @@ pub struct DissectionRow {
 /// Build dissection rows for `stages` (`(span_name, label)` pairs in
 /// display order) from one trace per rank. `alpha`/`beta` are seconds per
 /// message / per byte for the modeled comm column (pass 0.0 to disable).
+/// Attribution is exclusive across the listed stages: a stage span nested
+/// inside another (the streamed pipeline's alignment chunks inside SUMMA)
+/// counts only toward its own row, so rows still sum to the run total.
 pub fn dissect(
     traces: &[RankTrace],
     stages: &[(&'static str, &'static str)],
     alpha: f64,
     beta: f64,
 ) -> Vec<DissectionRow> {
+    let stage_names: Vec<&str> = stages.iter().map(|&(s, _)| s).collect();
     stages
         .iter()
         .map(|&(span, label)| {
-            let aggs: Vec<StageAgg> = traces.iter().map(|t| stage_agg(t, span, 0)).collect();
+            let aggs: Vec<StageAgg> = traces
+                .iter()
+                .map(|t| stage_agg_exclusive(t, span, &stage_names, 0))
+                .collect();
             let crit = aggs
                 .iter()
                 .enumerate()
@@ -148,7 +206,7 @@ mod tests {
         SpanEvent {
             name,
             track: 0,
-            depth: 1,
+            depth: 0,
             seq,
             arg: None,
             start_ns: 0,
@@ -231,5 +289,38 @@ mod tests {
         let table = render_dissection(&rows);
         assert!(table.contains("component"));
         assert!(table.contains('a'));
+    }
+
+    #[test]
+    fn nested_stage_spans_count_once() {
+        // summa(align) overlap shape: align's time belongs to the align
+        // row only, and summa's row shows its exclusive remainder.
+        let deep = |name, depth, seq, dur_ns, work_ns| SpanEvent {
+            name,
+            track: 0,
+            depth,
+            seq,
+            arg: None,
+            start_ns: 0,
+            dur_ns,
+            counters: CounterSet {
+                work_ns,
+                ..Default::default()
+            },
+        };
+        let t = trace(
+            0,
+            vec![
+                deep("summa", 0, 0, 5_000_000_000, 50),
+                deep("align", 1, 1, 2_000_000_000, 30),
+            ],
+        );
+        let rows = dissect(&[t], &[("summa", "S"), ("align", "A")], 0.0, 0.0);
+        assert!((rows[0].secs - 3.0).abs() < 1e-12, "align not excluded");
+        assert!((rows[0].compute_secs - 20e-9).abs() < 1e-18);
+        assert!((rows[1].secs - 2.0).abs() < 1e-12);
+        assert!((rows[1].compute_secs - 30e-9).abs() < 1e-18);
+        let total: f64 = rows.iter().map(|r| r.secs).sum();
+        assert!((total - 5.0).abs() < 1e-12);
     }
 }

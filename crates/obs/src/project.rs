@@ -13,6 +13,12 @@
 //! from an inner broadcast whose span nests inside them, and descending
 //! into a matched kind span would count that traffic twice (once as
 //! `allreduce`, once as `bcast`).
+//!
+//! Stages may overlap: the streamed pipeline runs its alignment chunks
+//! *inside* the SUMMA stage span. Attribution is therefore **exclusive**
+//! — when one stage span nests inside another, its duration, work, and
+//! counters are subtracted from the enclosing stage and counted only for
+//! the inner one, so the dissection still sums to the run total.
 
 use std::collections::BTreeMap;
 
@@ -77,6 +83,7 @@ pub fn extract_stages(
     stages: &[(&str, &str)],
     kinds: &[&str],
 ) -> Vec<StageExtract> {
+    let stage_names: Vec<&str> = stages.iter().map(|&(s, _)| s).collect();
     let mut accs: Vec<StageAcc> = stages.iter().map(|_| StageAcc::default()).collect();
     for trace in traces {
         let forest = span_forest(&trace.events);
@@ -90,6 +97,7 @@ pub fn extract_stages(
                 visit(
                     root,
                     span,
+                    &stage_names,
                     kinds,
                     acc,
                     &mut rank_secs,
@@ -128,10 +136,15 @@ pub fn extract_stages(
         .collect()
 }
 
-/// Find stage spans anywhere below `node` and fold them into `acc`.
+/// Find stage spans anywhere below `node` and fold them into `acc`,
+/// attributing exclusively: topmost *other*-stage spans nested inside a
+/// match are subtracted from it (they are folded when their own stage is
+/// visited).
+#[allow(clippy::too_many_arguments)]
 fn visit(
     node: &SpanNode,
     span: &str,
+    stage_names: &[&str],
     kinds: &[&str],
     acc: &mut StageAcc,
     rank_secs: &mut f64,
@@ -140,23 +153,59 @@ fn visit(
 ) {
     if node.event.name == span {
         *found = true;
-        *rank_secs += node.event.dur_ns as f64 * 1e-9;
-        *rank_work += node.event.counters.work_ns;
-        acc.counters = acc.counters.merge(node.event.counters);
+        let mut dur_ns = node.event.dur_ns;
+        let mut counters = node.event.counters;
         for child in &node.children {
-            collect_kinds(child, kinds, acc);
+            exclude_nested_stages(child, stage_names, &mut dur_ns, &mut counters);
+        }
+        *rank_secs += dur_ns as f64 * 1e-9;
+        *rank_work += counters.work_ns;
+        acc.counters = acc.counters.merge(counters);
+        for child in &node.children {
+            collect_kinds(child, stage_names, kinds, acc);
         }
         return; // stage spans do not nest within themselves
     }
     for child in &node.children {
-        visit(child, span, kinds, acc, rank_secs, rank_work, found);
+        visit(
+            child,
+            span,
+            stage_names,
+            kinds,
+            acc,
+            rank_secs,
+            rank_work,
+            found,
+        );
+    }
+}
+
+/// Subtract the topmost nested stage spans below `node` from `dur_ns` /
+/// `counters` (exclusive attribution; see the module docs).
+fn exclude_nested_stages(
+    node: &SpanNode,
+    stage_names: &[&str],
+    dur_ns: &mut u64,
+    counters: &mut CounterSet,
+) {
+    if stage_names.contains(&node.event.name) {
+        *dur_ns = dur_ns.saturating_sub(node.event.dur_ns);
+        *counters = counters.saturating_sub(node.event.counters);
+        return; // deeper stage spans are inside this one's delta already
+    }
+    for child in &node.children {
+        exclude_nested_stages(child, stage_names, dur_ns, counters);
     }
 }
 
 /// Fold the outermost kind spans of a stage subtree into `acc`, not
 /// descending into a matched kind span (its nested spans — an
-/// allreduce's inner broadcast — belong to the outer collective).
-fn collect_kinds(node: &SpanNode, kinds: &[&str], acc: &mut StageAcc) {
+/// allreduce's inner broadcast — belong to the outer collective) nor into
+/// a nested stage span (its collectives belong to that stage).
+fn collect_kinds(node: &SpanNode, stage_names: &[&str], kinds: &[&str], acc: &mut StageAcc) {
+    if stage_names.contains(&node.event.name) {
+        return;
+    }
     if kinds.contains(&node.event.name) {
         let agg = acc.kinds.entry(node.event.name.to_string()).or_default();
         agg.calls_total += 1;
@@ -167,7 +216,7 @@ fn collect_kinds(node: &SpanNode, kinds: &[&str], acc: &mut StageAcc) {
         return;
     }
     for child in &node.children {
-        collect_kinds(child, kinds, acc);
+        collect_kinds(child, stage_names, kinds, acc);
     }
 }
 
@@ -279,6 +328,62 @@ mod tests {
         assert_eq!(kinds["pcomm.allreduce"].counters_total.bytes_sent, 40);
         assert_eq!(kinds["pcomm.bcast"].calls_total, 1, "nested bcast leaked");
         assert_eq!(kinds["pcomm.bcast"].counters_total.bytes_sent, 7);
+    }
+
+    #[test]
+    fn nested_stage_spans_attribute_exclusively() {
+        // summa(align align) with a bcast belonging to summa and work split
+        // between the two stages: align's duration/work/counters must be
+        // subtracted from summa and counted once under align.
+        let t = trace(
+            0,
+            vec![
+                ev(
+                    "summa",
+                    0,
+                    0,
+                    10_000_000_000,
+                    CounterSet {
+                        work_ns: 100,
+                        ..sent(50, 5)
+                    },
+                ),
+                ev("pcomm.bcast", 1, 1, 10, sent(50, 5)),
+                ev(
+                    "align",
+                    1,
+                    2,
+                    3_000_000_000,
+                    CounterSet {
+                        work_ns: 60,
+                        ..Default::default()
+                    },
+                ),
+                ev(
+                    "align",
+                    1,
+                    3,
+                    1_000_000_000,
+                    CounterSet {
+                        work_ns: 10,
+                        ..Default::default()
+                    },
+                ),
+            ],
+        );
+        let ex = extract_stages(
+            std::slice::from_ref(&t),
+            &[("summa", "S"), ("align", "A")],
+            &["pcomm.bcast"],
+        );
+        let (summa, align) = (&ex[0], &ex[1]);
+        assert!((summa.secs_max - 6.0).abs() < 1e-12, "align not excluded");
+        assert_eq!(summa.work_ns_total, 30);
+        assert_eq!(summa.counters_total.bytes_sent, 50);
+        assert_eq!(summa.kinds[0].1.calls_total, 1);
+        assert!((align.secs_max - 4.0).abs() < 1e-12);
+        assert_eq!(align.work_ns_total, 70);
+        assert_eq!(align.counters_total.bytes_sent, 0);
     }
 
     #[test]

@@ -58,6 +58,21 @@ pub struct PastisParams {
     /// `0` = auto: divide the host's cores evenly among the ranks (the
     /// paper's one-process-per-node × t-threads layout), at least one.
     pub threads: usize,
+    /// Stream candidate pairs out of the overlap SpGEMM into alignment
+    /// while later SUMMA stages are still running (nonblocking panel
+    /// broadcasts + per-stage candidate extraction). The edge set is
+    /// bit-identical to the staged path; only exact seeding streams — the
+    /// substitute path's symmetrization is a global barrier and stays
+    /// staged.
+    pub streaming: bool,
+    /// Score-only prefilter: pairs whose striped Smith–Waterman score is
+    /// below this skip the traceback pass entirely (MMseqs2-style
+    /// prefilter-then-align staging). The default of 1 is exact — a score
+    /// ≤ 0 can produce an edge under neither ANI (empty alignment fails
+    /// the identity filter) nor NS (which requires score > 0). Applied in
+    /// SW mode always; in XDrop mode only when > 1 (opt-in — the score
+    /// pass is O(mn), which x-drop exists to avoid).
+    pub min_score: i32,
 }
 
 impl Default for PastisParams {
@@ -75,6 +90,8 @@ impl Default for PastisParams {
             align: AlignParams::default(),
             spgemm: SpGemmStrategy::Hybrid,
             threads: 1,
+            streaming: true,
+            min_score: 1,
         }
     }
 }

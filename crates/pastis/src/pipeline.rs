@@ -8,10 +8,12 @@
 
 use std::rc::Rc;
 
-use align::{align_batch, local_align, xdrop_align, AlignStats, SimilarityMeasure};
+use align::{
+    align_batch, prefiltered_align, striped_score, xdrop_align, AlignStats, SimilarityMeasure,
+};
 use pcomm::{Comm, CommStats, Grid};
 use seqstore::DistSeqStore;
-use sparse::DistMat;
+use sparse::{DistMat, Semiring};
 use subkmer::ExpenseTable;
 
 use crate::matrices::{build_a_triples, build_s_dist, distinct_kmers, kmer_space};
@@ -22,7 +24,7 @@ use crate::semirings::{AsSemiring, ExactSemiring, SubSemiring};
 /// Wall-clock seconds and communication delta of one pipeline stage on this
 /// rank. Feed the per-rank maxima into [`pcomm::CostModel`] to model large
 /// node counts.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct StageMeasure {
     /// Wall-clock seconds spent in the stage (compute + any embedded
     /// communication). Contaminated by scheduling when ranks are
@@ -31,8 +33,13 @@ pub struct StageMeasure {
     /// Deterministic estimated-nanosecond work executed by this rank during
     /// the stage (see [`pcomm::work`]); immune to oversubscription.
     pub work_ns: u64,
-    /// Communication issued during the stage.
+    /// Communication issued during the stage and *not* covered by `colls`
+    /// (the residual point-to-point traffic).
     pub comm: CommStats,
+    /// Shape-aware aggregates of the collectives issued during the stage
+    /// (one entry per outermost `pcomm.*` span family). Payload is
+    /// approximated from this rank's wire bytes per call.
+    pub colls: Vec<pcomm::CollAgg>,
 }
 
 impl StageMeasure {
@@ -42,22 +49,31 @@ impl StageMeasure {
             secs: self.secs.max(rhs.secs),
             work_ns: self.work_ns.max(rhs.work_ns),
             comm: self.comm.max(rhs.comm),
+            // Mirrors `StageCost::max`: keep whichever side has a shaped
+            // breakdown — the pipeline's collectives are symmetric, so the
+            // per-rank breakdowns are interchangeable approximations.
+            colls: if self.colls.is_empty() {
+                rhs.colls
+            } else {
+                self.colls
+            },
         }
     }
 
-    /// Modeled stage seconds under a postal cost model: deterministic work
-    /// plus α·messages + β·bytes.
+    /// Modeled stage seconds: deterministic work plus each collective
+    /// priced by its shape ([`pcomm::CostModel::stage`]), with the residual
+    /// point-to-point traffic priced flat (α·messages + β·bytes).
     pub fn modeled_secs(&self, model: &pcomm::CostModel) -> f64 {
-        model.flat(&pcomm::StageCost {
+        model.stage(&pcomm::StageCost {
             compute_secs: self.work_ns as f64 * 1e-9,
             comm: self.comm,
-            colls: Vec::new(),
+            colls: self.colls.clone(),
         })
     }
 }
 
 /// Per-component timings, named after the paper's dissection plots.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Timings {
     /// Reading/parsing FASTA data and global numbering.
     pub fasta: StageMeasure,
@@ -108,7 +124,7 @@ impl Timings {
     pub fn component_rows(&self) -> Vec<(&'static str, f64)> {
         self.components()
             .iter()
-            .map(|&(l, m)| (l, m.secs))
+            .map(|(l, m)| (*l, m.secs))
             .collect()
     }
 
@@ -116,14 +132,14 @@ impl Timings {
     /// (Fig. 15–16 labels).
     pub fn components(&self) -> [(&'static str, StageMeasure); 8] {
         [
-            ("fasta", self.fasta),
-            ("form A", self.form_a),
-            ("tr. A", self.tr_a),
-            ("form S", self.form_s),
-            ("AS", self.a_s),
-            ("(AS)AT", self.spgemm_b),
-            ("sym.", self.symmetricize),
-            ("wait", self.wait),
+            ("fasta", self.fasta.clone()),
+            ("form A", self.form_a.clone()),
+            ("tr. A", self.tr_a.clone()),
+            ("form S", self.form_s.clone()),
+            ("AS", self.a_s.clone()),
+            ("(AS)AT", self.spgemm_b.clone()),
+            ("sym.", self.symmetricize.clone()),
+            ("wait", self.wait.clone()),
         ]
     }
 
@@ -154,7 +170,12 @@ impl Timings {
     /// `(span_name, paper_label)` of every pipeline stage, in the paper's
     /// component order (the eight sparse components plus `align`). These
     /// are the names [`run_pipeline`] records and the rows the trace-driven
-    /// dissection tables print.
+    /// dissection tables print. The alignment row is built from the
+    /// `align.overlap` chunk spans rather than the `pastis.align` wrapper:
+    /// in the streamed pipeline the chunks run *inside* `pastis.spgemm_b`,
+    /// and the trace reducers attribute nested stage spans exclusively, so
+    /// `(AS)AT` reports SUMMA-only time and `align` the alignment time in
+    /// both pipeline shapes.
     pub const STAGE_SPANS: [(&'static str, &'static str); 9] = [
         ("pastis.fasta", "fasta"),
         ("pastis.form_a", "form A"),
@@ -164,14 +185,16 @@ impl Timings {
         ("pastis.spgemm_b", "(AS)AT"),
         ("pastis.symmetricize", "sym."),
         ("pastis.wait", "wait"),
-        ("pastis.align", "align"),
+        ("align.overlap", "align"),
     ];
 
     /// Rebuild the per-component summary from a recorded rank trace: each
     /// stage is the sum of its spans in the latest `pastis.run`, with
     /// wall-clock, deterministic work, and communication deltas read from
-    /// the span counters.
-    pub fn from_trace(trace: &obs::RankTrace) -> Timings {
+    /// the span counters and the collectives issued inside the stage
+    /// broken out by shape (`p` is the run's rank count, needed to size
+    /// each collective's communicator).
+    pub fn from_trace(trace: &obs::RankTrace, p: usize) -> Timings {
         let root = trace
             .events
             .iter()
@@ -180,32 +203,85 @@ impl Timings {
         let (from_seq, total) = root
             .map(|e| (e.seq, e.dur_ns as f64 * 1e-9))
             .unwrap_or((0, 0.0));
-        let stage = |name: &str| {
-            let a = obs::dissect::stage_agg(trace, name, from_seq);
-            StageMeasure {
-                secs: a.secs,
-                work_ns: a.counters.work_ns,
-                comm: CommStats {
-                    bytes_sent: a.counters.bytes_sent,
-                    bytes_recv: a.counters.bytes_recv,
-                    msgs_sent: a.counters.msgs_sent,
-                    msgs_recv: a.counters.msgs_recv,
-                    wait_nanos: a.counters.wait_ns,
-                },
-            }
+        // Reduce the latest run's spans with the same extractor the
+        // scaling projector uses, so stages carry the shaped collective
+        // breakdown `CostModel::stage` prices.
+        let run = obs::RankTrace {
+            rank: trace.rank,
+            events: trace
+                .events
+                .iter()
+                .filter(|e| e.seq >= from_seq)
+                .cloned()
+                .collect(),
+            metrics: Default::default(),
+            dropped: 0,
         };
+        let kinds = pcomm::kind_names();
+        let extracts =
+            obs::project::extract_stages(std::slice::from_ref(&run), &Self::STAGE_SPANS, &kinds);
+        let mut stages = extracts.iter().map(|e| stage_measure(e, p));
+        let mut next = || stages.next().expect("one extract per stage span");
         Timings {
-            fasta: stage("pastis.fasta"),
-            form_a: stage("pastis.form_a"),
-            tr_a: stage("pastis.tr_a"),
-            form_s: stage("pastis.form_s"),
-            a_s: stage("pastis.a_s"),
-            spgemm_b: stage("pastis.spgemm_b"),
-            symmetricize: stage("pastis.symmetricize"),
-            wait: stage("pastis.wait"),
-            align: stage("pastis.align"),
+            fasta: next(),
+            form_a: next(),
+            tr_a: next(),
+            form_s: next(),
+            a_s: next(),
+            spgemm_b: next(),
+            symmetricize: next(),
+            wait: next(),
+            align: next(),
             total,
         }
+    }
+}
+
+/// One stage extract (this rank only) reduced to a [`StageMeasure`]:
+/// collectives found inside the stage become shaped [`pcomm::CollAgg`]s —
+/// per-call payload approximated by this rank's wire bytes per call — and
+/// their traffic is subtracted from the stage counters, leaving `comm` as
+/// the point-to-point residual.
+fn stage_measure(e: &obs::project::StageExtract, p: usize) -> StageMeasure {
+    let c = e.counters_total;
+    let mut comm = CommStats {
+        bytes_sent: c.bytes_sent,
+        bytes_recv: c.bytes_recv,
+        msgs_sent: c.msgs_sent,
+        msgs_recv: c.msgs_recv,
+        wait_nanos: c.wait_ns,
+    };
+    let mut colls = Vec::new();
+    for (name, agg) in &e.kinds {
+        let Some(rule) = pcomm::KIND_RULES
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, r)| r)
+        else {
+            continue;
+        };
+        if agg.calls_total == 0 {
+            continue;
+        }
+        let kc = agg.counters_total;
+        comm.bytes_sent = comm.bytes_sent.saturating_sub(kc.bytes_sent);
+        comm.bytes_recv = comm.bytes_recv.saturating_sub(kc.bytes_recv);
+        comm.msgs_sent = comm.msgs_sent.saturating_sub(kc.msgs_sent);
+        comm.msgs_recv = comm.msgs_recv.saturating_sub(kc.msgs_recv);
+        let calls = agg.calls_total as f64;
+        let wire = kc.bytes_sent.max(kc.bytes_recv) as f64;
+        colls.push(pcomm::CollAgg {
+            shape: rule.shape,
+            comm_size: rule.scope.size(p),
+            calls,
+            payload_bytes: wire / calls,
+        });
+    }
+    StageMeasure {
+        secs: e.secs_max,
+        work_ns: e.work_ns_total,
+        comm,
+        colls,
     }
 }
 
@@ -225,6 +301,11 @@ pub struct Counters {
     pub candidates_local: u64,
     /// Alignments this rank performed (after the CK threshold).
     pub alignments_local: u64,
+    /// Pairs this rank's score-only prefilter culled before traceback
+    /// (`min_score`; always 0 in x-drop mode unless opted in).
+    pub prefilter_culled_local: u64,
+    /// Total prefilter-culled pairs across ranks.
+    pub prefilter_culled_global: u64,
     /// Total alignments across ranks.
     pub alignments_global: u64,
     /// Total surviving edges across ranks.
@@ -309,8 +390,19 @@ pub fn run_pipeline(comm: &Comm, fasta: &[u8], params: &PastisParams) -> PastisR
         // 4. Aᵀ.
         let a_t = stage("pastis.tr_a", || a_mat.transpose());
 
-        // 5. Overlap matrix B.
-        let b_mat: DistMat<SeedPair> = if params.substitutes > 0 {
+        // 5–7. Overlap matrix B, exchange fence, alignment. Three layouts:
+        //
+        //  * substitute path — staged: `(AS)Aᵀ` must be symmetrized (a
+        //    global barrier), so streaming cannot help; B materializes,
+        //    then wait, then align.
+        //  * exact + streaming (default) — the exchange fence moves ahead
+        //    of the overlap SpGEMM (per-stage alignment needs sequences),
+        //    and `A·Aᵀ` runs as a SUMMA stream whose finalized entries are
+        //    filtered and aligned inside each stage, overlapped with the
+        //    next stage's in-flight panel broadcasts. Bit-identical edges.
+        //  * exact, staged — the pre-streaming layout, kept as the
+        //    equivalence oracle.
+        let edges = if params.substitutes > 0 {
             let s_mat = stage("pastis.form_s", || {
                 let table = ExpenseTable::new(params.align.matrix);
                 let local_kmers = distinct_kmers(store.owned(), params.k);
@@ -335,39 +427,71 @@ pub fn run_pipeline(comm: &Comm, fasta: &[u8], params: &PastisParams) -> PastisR
             // Substitute matching is directional (row side substituted,
             // column side exact), so B must be symmetrized (paper Fig. 15
             // "sym.").
-            stage("pastis.symmetricize", || {
+            let b_mat = stage("pastis.symmetricize", || {
                 let swapped = b0.transpose().map(|_, _, v| v.swapped());
                 b0.elementwise_add(&swapped, |acc, v| acc.merge_symmetric(v))
+            });
+            counters.nnz_a = a_mat.nnz();
+            counters.nnz_b = b_mat.nnz();
+            obs::gauge!("pastis.nnz_b", counters.nnz_b);
+            stage("pastis.wait", || store.finish_exchange(exchange));
+            stage("pastis.align", || {
+                align_owned_pairs(
+                    &b_mat,
+                    &store,
+                    params,
+                    &grid,
+                    row_range,
+                    col_range,
+                    &mut counters,
+                )
             })
+        } else if params.streaming {
+            counters.nnz_a = a_mat.nnz();
+            stage("pastis.wait", || store.finish_exchange(exchange));
+            let edges = stage("pastis.spgemm_b", || {
+                stream_overlap_align(
+                    &a_mat,
+                    &a_t,
+                    &store,
+                    params,
+                    &grid,
+                    row_range,
+                    col_range,
+                    &mut counters,
+                )
+            });
+            obs::gauge!("pastis.nnz_b", counters.nnz_b);
+            // The alignment work ran inside `pastis.spgemm_b` (as
+            // `align.overlap` chunk spans, which the dissection attributes
+            // to the `align` row) — that is the point; the empty wrapper
+            // keeps the span set uniform with the staged shapes.
+            stage("pastis.align", || ());
+            edges
         } else {
-            stage("pastis.spgemm_b", || {
+            let b_mat = stage("pastis.spgemm_b", || {
                 a_mat.spgemm(&a_t, &ExactSemiring, params.spgemm)
+            });
+            counters.nnz_a = a_mat.nnz();
+            counters.nnz_b = b_mat.nnz();
+            obs::gauge!("pastis.nnz_b", counters.nnz_b);
+            stage("pastis.wait", || store.finish_exchange(exchange));
+            stage("pastis.align", || {
+                align_owned_pairs(
+                    &b_mat,
+                    &store,
+                    params,
+                    &grid,
+                    row_range,
+                    col_range,
+                    &mut counters,
+                )
             })
         };
-        counters.nnz_a = a_mat.nnz();
-        counters.nnz_b = b_mat.nnz();
-        obs::gauge!("pastis.nnz_b", counters.nnz_b);
-
-        // 6. Fence the sequence exchange (MPI_Waitall, paper Fig. 10).
-        stage("pastis.wait", || store.finish_exchange(exchange));
-
-        // 7. Alignment with the triangular block-ownership rule (paper
-        //    §V-D, Fig. 11): within my block I align my local upper
-        //    triangle; local diagonals belong to on-or-above-diagonal
-        //    ranks.
-        let edges = stage("pastis.align", || {
-            align_owned_pairs(
-                &b_mat,
-                &store,
-                params,
-                &grid,
-                row_range,
-                col_range,
-                &mut counters,
-            )
-        });
 
         counters.alignments_global = comm.allreduce(counters.alignments_local, |a, b| a + b);
+        counters.prefilter_culled_global =
+            comm.allreduce(counters.prefilter_culled_local, |a, b| a + b);
         counters.edges_global = comm.allreduce(edges.len() as u64, |a, b| a + b);
         (edges, counters)
     };
@@ -376,7 +500,7 @@ pub fn run_pipeline(comm: &Comm, fasta: &[u8], params: &PastisParams) -> PastisR
         Some(rec) => rec.finish(),
         None => obs::snapshot().expect("recorder uninstalled mid-pipeline"),
     };
-    let timings = Timings::from_trace(&trace);
+    let timings = Timings::from_trace(&trace, comm.size());
     PastisRun {
         edges,
         timings,
@@ -414,6 +538,154 @@ fn owns_pair(li: u64, lj: u64, myrow: usize, mycol: usize) -> bool {
     li < lj || (li == lj && myrow <= mycol)
 }
 
+/// Per-rank OS-thread budget for alignment batches: 0 = auto, splitting
+/// the host's cores evenly among co-located ranks (the paper's
+/// one-process-per-node × t-threads layout).
+fn batch_threads(params: &PastisParams, grid: &Grid) -> usize {
+    if params.threads == 0 {
+        let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+        (cores / grid.world().size().max(1)).max(1)
+    } else {
+        params.threads
+    }
+}
+
+/// Outcome of one candidate pair's alignment attempt. `Culled` is distinct
+/// from `Skipped` because a culled pair under `min_score > 1` may still
+/// have a positive score — statistics must not conflate "prefilter said
+/// no" with "nothing aligned".
+enum PairVerdict {
+    /// Alignment ran to completion.
+    Stats(AlignStats),
+    /// The score-only prefilter culled the pair before traceback.
+    Culled,
+    /// No alignment attempted (mode `None`) or no usable seed.
+    Skipped,
+}
+
+/// Align one candidate pair under the configured mode.
+fn align_pair(
+    gi: u64,
+    gj: u64,
+    pair: &SeedPair,
+    store: &DistSeqStore,
+    params: &PastisParams,
+) -> PairVerdict {
+    let ap = &params.align;
+    match params.mode {
+        AlignMode::None => PairVerdict::Skipped,
+        AlignMode::SmithWaterman => {
+            let r = &store.row_seq(gi).expect("row sequence prefetched").data;
+            let c = &store.col_seq(gj).expect("col sequence prefetched").data;
+            match prefiltered_align(r, c, ap, params.min_score) {
+                Some(st) => PairVerdict::Stats(st),
+                None => PairVerdict::Culled,
+            }
+        }
+        AlignMode::XDrop => {
+            let r = &store.row_seq(gi).expect("row sequence prefetched").data;
+            let c = &store.col_seq(gj).expect("col sequence prefetched").data;
+            // Score-only pre-cull is opt-in for x-drop (`min_score > 1`):
+            // the full-matrix score pass costs O(m·n), which x-drop exists
+            // to avoid, but a high threshold can still pay for itself by
+            // skipping whole seed loops.
+            if params.min_score > 1 {
+                let (score, _) = striped_score(r, c, ap);
+                if score < params.min_score {
+                    return PairVerdict::Culled;
+                }
+            }
+            // Extend from each stored seed, keeping the best score
+            // (paper §IV-E). Seeds on the same diagonal extend through
+            // the same band to the same optimum, so only the first
+            // seed per diagonal is extended.
+            let k = params.k;
+            let mut best: Option<AlignStats> = None;
+            let mut done_diags = [i64::MAX; 2];
+            let mut ndiags = 0;
+            for &(rp, cp) in pair.seeds() {
+                if rp as usize + k > r.len() || cp as usize + k > c.len() {
+                    continue;
+                }
+                let diag = rp as i64 - cp as i64;
+                if done_diags[..ndiags].contains(&diag) {
+                    continue;
+                }
+                done_diags[ndiags] = diag;
+                ndiags += 1;
+                let st = xdrop_align(r, c, rp, cp, k, ap);
+                // `>=` keeps the last maximum on ties, matching the
+                // former max_by_key semantics.
+                let better = match &best {
+                    None => true,
+                    Some(b) => st.score >= b.score,
+                };
+                if better {
+                    best = Some(st);
+                }
+            }
+            obs::hist!("align.seeds_extended", ndiags);
+            match best {
+                Some(st) => PairVerdict::Stats(st),
+                None => PairVerdict::Skipped,
+            }
+        }
+    }
+}
+
+/// Align a batch of owned, CK-surviving candidate pairs and fold the
+/// surviving edges. Shared by the staged path (one batch for the whole
+/// `B`) and the streamed path (one batch per SUMMA stage).
+fn align_tasks(
+    tasks: Vec<(u64, u64, SeedPair)>,
+    store: &DistSeqStore,
+    params: &PastisParams,
+    threads: usize,
+    counters: &mut Counters,
+) -> Vec<(u64, u64, f64)> {
+    // The chunk span is the dissection's alignment stage (see
+    // [`Timings::STAGE_SPANS`]): emitted here so both the staged path (one
+    // chunk for all of `B`) and the streamed path (one chunk per SUMMA
+    // stage) attribute alignment time the same way.
+    let _chunk = obs::span!("align.overlap", tasks = tasks.len());
+    counters.alignments_local += match params.mode {
+        AlignMode::None => 0,
+        _ => tasks.len() as u64,
+    };
+    let verdicts = align_batch(&tasks, threads, |&(gi, gj, ref pair)| {
+        align_pair(gi, gj, pair, store, params)
+    });
+
+    let mut edges = Vec::new();
+    for ((gi, gj, pair), verdict) in tasks.into_iter().zip(verdicts) {
+        let (lo, hi) = if gi < gj { (gi, gj) } else { (gj, gi) };
+        match params.mode {
+            AlignMode::None => {
+                // Scaling runs: candidate pairs weighted by shared k-mers.
+                edges.push((lo, hi, pair.count as f64));
+            }
+            _ => match verdict {
+                PairVerdict::Skipped => {}
+                PairVerdict::Culled => counters.prefilter_culled_local += 1,
+                PairVerdict::Stats(st) => match params.measure {
+                    SimilarityMeasure::Ani => {
+                        if st.passes_filter(params.min_ani, params.min_coverage) {
+                            edges.push((lo, hi, st.ani()));
+                        }
+                    }
+                    SimilarityMeasure::NormalizedScore => {
+                        // The paper applies no cut-off under NS (§VI-B).
+                        if st.score > 0 {
+                            edges.push((lo, hi, st.normalized_score()));
+                        }
+                    }
+                },
+            },
+        }
+    }
+    edges
+}
+
 fn align_owned_pairs(
     b_mat: &DistMat<SeedPair>,
     store: &DistSeqStore,
@@ -439,95 +711,106 @@ fn align_owned_pairs(
         }
         tasks.push((gi, gj, *pair));
     }
-    counters.alignments_local = match params.mode {
-        AlignMode::None => 0,
-        _ => tasks.len() as u64,
-    };
+    align_tasks(tasks, store, params, batch_threads(params, grid), counters)
+}
 
-    // Per-rank OS-thread budget for the batch: 0 = auto, splitting the
-    // host's cores evenly among co-located ranks (the paper's
-    // one-process-per-node × t-threads layout).
-    let threads = if params.threads == 0 {
-        let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
-        (cores / grid.world().size().max(1)).max(1)
-    } else {
-        params.threads
-    };
+/// Streamed overlap SpGEMM + per-stage alignment: `A·Aᵀ` runs as a
+/// [`sparse::SummaStream`] and candidate pairs are filtered and aligned as
+/// soon as their entry can no longer change, while the next stage's panel
+/// broadcasts are already in flight.
+///
+/// An entry `(i, j)` of my `B` block accumulates a contribution at stage
+/// `t` only when row `i` of `A(myrow, t)` and column `j` of `Aᵀ(t, mycol)`
+/// are both nonzero, so it is final once `t ≥ min(last_row[i],
+/// last_col[j])` where `last_*` records the last stage with matching
+/// occupancy. Per entry, contributions fold in stage order — the same
+/// order the staged path's stable sort produces — so the extracted
+/// [`SeedPair`]s, and with them the edge set, are bit-identical to the
+/// staged path.
+#[allow(clippy::too_many_arguments)]
+fn stream_overlap_align(
+    a_mat: &DistMat<u32>,
+    a_t: &DistMat<u32>,
+    store: &DistSeqStore,
+    params: &PastisParams,
+    grid: &Grid,
+    row_range: (u64, u64),
+    col_range: (u64, u64),
+    counters: &mut Counters,
+) -> Vec<(u64, u64, f64)> {
+    use std::collections::btree_map::Entry;
+    use std::collections::BTreeMap;
 
-    let k = params.k;
-    let ap = params.align;
-    let mode = params.mode;
-    let stats: Vec<Option<AlignStats>> = align_batch(&tasks, threads, |&(gi, gj, pair)| {
-        match mode {
-            AlignMode::None => None,
-            AlignMode::SmithWaterman => {
-                let r = &store.row_seq(gi).expect("row sequence prefetched").data;
-                let c = &store.col_seq(gj).expect("col sequence prefetched").data;
-                Some(local_align(r, c, &ap))
-            }
-            AlignMode::XDrop => {
-                let r = &store.row_seq(gi).expect("row sequence prefetched").data;
-                let c = &store.col_seq(gj).expect("col sequence prefetched").data;
-                // Extend from each stored seed, keeping the best score
-                // (paper §IV-E). Seeds on the same diagonal extend through
-                // the same band to the same optimum, so only the first
-                // seed per diagonal is extended.
-                let mut best: Option<AlignStats> = None;
-                let mut done_diags = [i64::MAX; 2];
-                let mut ndiags = 0;
-                for &(rp, cp) in pair.seeds() {
-                    if rp as usize + k > r.len() || cp as usize + k > c.len() {
-                        continue;
-                    }
-                    let diag = rp as i64 - cp as i64;
-                    if done_diags[..ndiags].contains(&diag) {
-                        continue;
-                    }
-                    done_diags[ndiags] = diag;
-                    ndiags += 1;
-                    let st = xdrop_align(r, c, rp, cp, k, &ap);
-                    // `>=` keeps the last maximum on ties, matching the
-                    // former max_by_key semantics.
-                    let better = match &best {
-                        None => true,
-                        Some(b) => st.score >= b.score,
-                    };
-                    if better {
-                        best = Some(st);
+    let (myrow, mycol) = (grid.myrow(), grid.mycol());
+    let threads = batch_threads(params, grid);
+
+    // Stage-finality index (see doc above): each rank knows its own
+    // block's occupancy; an allgather along the grid row/column assembles
+    // the per-stage view (subcommunicator ranks are ordered by grid
+    // coordinate, so result index = stage).
+    let (last_row, last_col) = {
+        let _span = obs::span!("summa.finality");
+        let mut row_occ = vec![0u8; (row_range.1 - row_range.0) as usize];
+        for (r, _, _) in a_mat.local().iter() {
+            row_occ[r as usize] = 1;
+        }
+        let mut col_occ = vec![0u8; (col_range.1 - col_range.0) as usize];
+        for (_, c, _) in a_t.local().iter() {
+            col_occ[c as usize] = 1;
+        }
+        let fold = |stages: Vec<Vec<u8>>| {
+            let mut last = vec![0usize; stages[0].len()];
+            for (t, occ) in stages.iter().enumerate() {
+                for (i, &o) in occ.iter().enumerate() {
+                    if o != 0 {
+                        last[i] = t;
                     }
                 }
-                obs::hist!("align.seeds_extended", ndiags);
-                best
+            }
+            last
+        };
+        (
+            fold(grid.row_comm().allgather(row_occ)),
+            fold(grid.col_comm().allgather(col_occ)),
+        )
+    };
+
+    let sr = ExactSemiring;
+    let mut pending: BTreeMap<(u32, u64), SeedPair> = BTreeMap::new();
+    let mut edges: Vec<(u64, u64, f64)> = Vec::new();
+    let mut nnz_b_local = 0u64;
+    let stream = a_mat.spgemm_stream(a_t, &sr, params.spgemm);
+    stream.for_each_stage(|t, triples| {
+        for (r, c, v) in triples {
+            match pending.entry((r, c)) {
+                Entry::Occupied(mut e) => sr.add(e.get_mut(), v),
+                Entry::Vacant(e) => {
+                    e.insert(v);
+                }
             }
         }
+        // Drain the entries that can no longer change. (row, col) order
+        // groups this chunk's tasks by query row, maximizing the striped
+        // profile-cache hit rate.
+        let mut tasks: Vec<(u64, u64, SeedPair)> = Vec::new();
+        pending.retain(|&(r, c), pair| {
+            if t < last_row[r as usize].min(last_col[c as usize]) {
+                return true;
+            }
+            nnz_b_local += 1;
+            let (gi, gj) = (row_range.0 + r as u64, col_range.0 + c);
+            if gi != gj && owns_pair(r as u64, c, myrow, mycol) {
+                counters.candidates_local += 1;
+                if pair.count > params.common_kmer_threshold {
+                    tasks.push((gi, gj, *pair));
+                }
+            }
+            false
+        });
+        edges.extend(align_tasks(tasks, store, params, threads, counters));
     });
-
-    let mut edges = Vec::new();
-    for ((gi, gj, pair), st) in tasks.into_iter().zip(stats) {
-        let (lo, hi) = if gi < gj { (gi, gj) } else { (gj, gi) };
-        match params.mode {
-            AlignMode::None => {
-                // Scaling runs: candidate pairs weighted by shared k-mers.
-                edges.push((lo, hi, pair.count as f64));
-            }
-            _ => {
-                let Some(st) = st else { continue };
-                match params.measure {
-                    SimilarityMeasure::Ani => {
-                        if st.passes_filter(params.min_ani, params.min_coverage) {
-                            edges.push((lo, hi, st.ani()));
-                        }
-                    }
-                    SimilarityMeasure::NormalizedScore => {
-                        // The paper applies no cut-off under NS (§VI-B).
-                        if st.score > 0 {
-                            edges.push((lo, hi, st.normalized_score()));
-                        }
-                    }
-                }
-            }
-        }
-    }
+    debug_assert!(pending.is_empty(), "stage-finality left undrained entries");
+    counters.nnz_b = grid.world().allreduce(nnz_b_local, |a, b| a + b);
     edges
 }
 

@@ -1,0 +1,100 @@
+//! Streamed-vs-staged pipeline equivalence: the overlap pipeline (default,
+//! `streaming: true`) folds B = (AS)Aᵀ per SUMMA stage and aligns candidate
+//! pairs as soon as their entries are final, while the staged oracle
+//! (`streaming: false`) materializes B first and aligns afterwards. The two
+//! schedules must produce the *bit-identical* similarity graph: per-entry
+//! contributions arrive in stage order in both paths, so every f64 weight
+//! folds in the same order.
+//!
+//! Checked at every p ∈ {1, 4, 16} against a single staged reference, and
+//! then under adversarial schedule perturbation (16 seeds) so that the
+//! stage-finality drain cannot secretly depend on message arrival order.
+
+use std::sync::OnceLock;
+
+use datagen::{metaclust_like, MetaclustConfig};
+use pastis::{run_pipeline, PastisParams};
+use pcomm::WorldBuilder;
+use proptest::prelude::*;
+use seqstore::write_fasta;
+
+const PS: [usize; 3] = [1, 4, 16];
+
+fn dataset() -> &'static [u8] {
+    static D: OnceLock<Vec<u8>> = OnceLock::new();
+    D.get_or_init(|| {
+        write_fasta(&metaclust_like(
+            32,
+            &MetaclustConfig {
+                seed: 11,
+                len_range: (60, 100),
+                related_fraction: 0.5,
+                mutation_rate: 0.08,
+            },
+        ))
+    })
+}
+
+fn params(streaming: bool) -> PastisParams {
+    PastisParams {
+        k: 4,
+        threads: 1,
+        streaming,
+        ..Default::default()
+    }
+}
+
+/// Global edge set with bit-exact weights.
+type EdgeSet = Vec<(u64, u64, u64)>;
+
+fn run_edges(builder: WorldBuilder, p: usize, streaming: bool) -> EdgeSet {
+    let params = params(streaming);
+    let runs = builder
+        .watchdog_ms(5000)
+        .run(p, |comm| run_pipeline(&comm, dataset(), &params));
+    let mut edges: EdgeSet = runs
+        .iter()
+        .flat_map(|r| r.edges.iter().map(|&(a, b, w)| (a, b, w.to_bits())))
+        .collect();
+    edges.sort_unstable();
+    edges
+}
+
+/// Staged (monolithic-SpGEMM) oracle, recorded once at p = 1 under checked
+/// mode.
+fn staged_reference() -> &'static EdgeSet {
+    static B: OnceLock<EdgeSet> = OnceLock::new();
+    B.get_or_init(|| run_edges(WorldBuilder::new().checked(true), 1, false))
+}
+
+#[test]
+fn streamed_edges_match_staged_at_every_p() {
+    let reference = staged_reference();
+    assert!(!reference.is_empty(), "staged oracle produced no edges");
+    for &p in &PS {
+        let staged = run_edges(WorldBuilder::new().checked(true), p, false);
+        assert_eq!(&staged, reference, "p={p}: staged path diverged across p");
+        let streamed = run_edges(WorldBuilder::new().checked(true), p, true);
+        assert_eq!(
+            &streamed, reference,
+            "p={p}: streamed edge set diverged from staged oracle"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn streamed_pipeline_matches_staged_under_perturbation(seed in 1u64..u64::MAX / 2) {
+        for &p in &PS {
+            let streamed = run_edges(WorldBuilder::new().perturb(seed), p, true);
+            prop_assert_eq!(
+                &streamed,
+                staged_reference(),
+                "seed {} p {}: perturbed streamed edges diverged",
+                seed,
+                p
+            );
+        }
+    }
+}

@@ -17,6 +17,7 @@ use std::collections::VecDeque;
 pub enum CollKind {
     Barrier,
     Bcast,
+    Ibcast,
     Reduce,
     Allreduce,
     Gather,
@@ -33,6 +34,7 @@ impl CollKind {
         match self {
             CollKind::Barrier => "barrier",
             CollKind::Bcast => "bcast",
+            CollKind::Ibcast => "ibcast",
             CollKind::Reduce => "reduce",
             CollKind::Allreduce => "allreduce",
             CollKind::Gather => "gather",

@@ -142,6 +142,19 @@ impl RankCheck {
         }
     }
 
+    /// Temporarily relabel blocked-wait reports with a collective op. Used by
+    /// nonblocking collectives, whose completing receive runs after the
+    /// recording `enter`/`leave` pair has already unwound: without this, a
+    /// deadlock inside `BcastHandle::wait` would be reported as an anonymous
+    /// point-to-point recv instead of naming the ibcast. Returns the previous
+    /// label so the caller can restore it.
+    pub(crate) fn set_op(
+        &self,
+        op: Option<(&'static str, u64, u64)>,
+    ) -> Option<(&'static str, u64, u64)> {
+        self.cur_op.replace(op)
+    }
+
     /// Barrier-exit ledger check: every member must have recorded this
     /// barrier (and hence everything before it).
     pub(crate) fn barrier_check(&self, comm: u64, seq: u64, group: &[usize]) {

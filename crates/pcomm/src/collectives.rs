@@ -47,6 +47,51 @@ impl Comm {
         self.coll_leave(entry);
     }
 
+    /// Nonblocking broadcast from `root`. Ranks other than `root` pass
+    /// `None`; every rank gets a handle whose [`BcastHandle::wait`] yields
+    /// the broadcast value.
+    ///
+    /// The conformance ledger records the collective here, at post time, and
+    /// the root pushes the payload to every peer immediately (the buffered
+    /// transport never blocks), so compute that runs between `ibcast` and
+    /// `wait` overlaps the broadcast: by wait time the message is usually
+    /// already stashed. A flat tree moves the same `(m−1)·payload` wire
+    /// volume as the blocking binomial [`Comm::bcast`] — it trades the
+    /// root's fan-out serialization for zero forwarding latency on peers
+    /// that are still computing.
+    ///
+    /// Two spans make the trace shape rank-uniform: `pcomm.ibcast.post`
+    /// (carries the root's sends) and `pcomm.ibcast` at wait (carries the
+    /// peers' receives) are both emitted on every rank, empty where that
+    /// rank moves no traffic.
+    pub fn ibcast<T: Payload + Clone>(&self, root: usize, value: Option<T>) -> BcastHandle<T> {
+        let entry = self.coll_enter(CollKind::Ibcast, Some(root), ty::<T>(), vec![]);
+        let seq = entry.as_ref().and_then(|e| e.seq);
+        let tag = self.coll_tag();
+        let state = {
+            let _span = obs::span!("pcomm.ibcast.post");
+            if self.rank() == root {
+                let val = value.expect("root must supply the broadcast value");
+                for dst in 0..self.size() {
+                    if dst != root {
+                        self.send_raw(dst, tag, val.clone());
+                    }
+                }
+                IbcastState::Ready(val)
+            } else {
+                IbcastState::Pending
+            }
+        };
+        self.coll_leave(entry);
+        BcastHandle {
+            comm: self.clone(),
+            root,
+            tag,
+            op_seq: seq,
+            state: Some(state),
+        }
+    }
+
     /// Binomial-tree broadcast from `root`. Ranks other than `root` pass
     /// `None` and receive the broadcast value.
     pub fn bcast<T: Payload + Clone>(&self, root: usize, value: Option<T>) -> T {
@@ -234,5 +279,57 @@ impl Comm {
         }
         self.coll_leave(entry);
         prefix
+    }
+}
+
+enum IbcastState<T> {
+    /// Root side: the value, available without waiting.
+    Ready(T),
+    /// Peer side: the matching receive has not been completed yet.
+    Pending,
+}
+
+/// Handle for an in-flight nonblocking broadcast (see [`Comm::ibcast`]).
+///
+/// Dropping an unawaited handle completes the receive and discards the
+/// value, so a short-circuiting consumer cannot strand the broadcast
+/// message in the stash (which the checked-mode finalize audit would
+/// report as a leak).
+pub struct BcastHandle<T: Payload + Clone> {
+    comm: Comm,
+    root: usize,
+    tag: u64,
+    /// Recorded ledger sequence number, re-attached to the completing
+    /// receive so blocked-wait reports name the ibcast.
+    op_seq: Option<u64>,
+    state: Option<IbcastState<T>>,
+}
+
+impl<T: Payload + Clone> BcastHandle<T> {
+    /// Complete the broadcast and return its value.
+    pub fn wait(mut self) -> T {
+        let _span = obs::span!("pcomm.ibcast");
+        match self.state.take().expect("ibcast handle waited twice") {
+            IbcastState::Ready(val) => val,
+            IbcastState::Pending => {
+                self.comm
+                    .recv_labeled::<T>(self.root, self.tag, "ibcast", self.op_seq)
+            }
+        }
+    }
+
+    /// Root rank this broadcast was posted from.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+}
+
+impl<T: Payload + Clone> Drop for BcastHandle<T> {
+    fn drop(&mut self) {
+        if matches!(self.state, Some(IbcastState::Pending)) && !std::thread::panicking() {
+            let _ = self
+                .comm
+                .recv_labeled::<T>(self.root, self.tag, "ibcast", self.op_seq);
+        }
     }
 }

@@ -405,6 +405,29 @@ impl Comm {
         }
     }
 
+    /// Receive that belongs to an already-recorded collective `(name, seq)`
+    /// on this communicator. Nonblocking collectives complete after their
+    /// `coll_enter`/`coll_leave` pair has unwound, so the blocked-wait label
+    /// must be re-attached here for the deadlock watchdog to name the
+    /// collective instead of an anonymous point-to-point recv.
+    pub(crate) fn recv_labeled<T: Payload>(
+        &self,
+        src: usize,
+        tag: u64,
+        name: &'static str,
+        seq: Option<u64>,
+    ) -> T {
+        let label = match (&self.ctx.check, seq) {
+            (Some(check), Some(s)) => Some((check, check.set_op(Some((name, self.id, s))))),
+            _ => None,
+        };
+        let out = self.recv_raw(src, tag);
+        if let Some((check, prev)) = label {
+            check.set_op(prev);
+        }
+        out
+    }
+
     /// Non-blocking send. The buffered transport makes every send
     /// asynchronous, so this is an alias of [`Comm::send`] kept for symmetry
     /// with the MPI calls PASTIS issues (`MPI_Isend`).

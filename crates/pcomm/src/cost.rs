@@ -578,7 +578,8 @@ pub enum Scope {
 }
 
 impl Scope {
-    fn size(self, p: usize) -> usize {
+    /// Communicator size under `p` total ranks.
+    pub fn size(self, p: usize) -> usize {
         match self {
             Scope::World => p,
             Scope::GridRow => grid_side(p),
@@ -612,9 +613,22 @@ pub struct KindRule {
 /// * `waitall` — the overlapped sequence exchange fence: a rank fetches
 ///   its block's row/column sequences from O(q) owners (calls ∝ q) with
 ///   total bytes ∝ the 2n/q sequences it needs (payload ∝ 1/q).
-pub const KIND_RULES: [(&str, KindRule); 9] = [
+pub const KIND_RULES: [(&str, KindRule); 10] = [
     (
         "pcomm.bcast",
+        KindRule {
+            shape: CollShape::Bcast,
+            scope: Scope::GridRow,
+            calls: Growth::LinearQ,
+            payload: Growth::InvP,
+        },
+    ),
+    (
+        // Nonblocking SUMMA panel broadcast: same traffic pattern and
+        // scaling as the blocking `pcomm.bcast` — only its completion is
+        // deferred, which the overlap dissection (not the per-stage price)
+        // accounts for.
+        "pcomm.ibcast",
         KindRule {
             shape: CollShape::Bcast,
             scope: Scope::GridRow,

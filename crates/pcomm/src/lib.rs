@@ -34,6 +34,7 @@ mod stats;
 pub mod work;
 mod world;
 
+pub use collectives::BcastHandle;
 pub use comm::{Comm, RecvFuture};
 pub use cost::{
     grid_side, kind_names, project, CollAgg, CollShape, CostModel, Growth, KindRule,

@@ -26,7 +26,7 @@ mod triple;
 pub use accum::HashAccumulator;
 pub use csc::Csc;
 pub use dcsc::Dcsc;
-pub use dist::DistMat;
+pub use dist::{DistMat, SummaStream};
 pub use dist3d::{spgemm_3d, Grid3D};
 pub use local_spgemm::{local_spgemm, SpGemmStrategy};
 pub use semiring::{ArithmeticSemiring, MaxPlusSemiring, OrAndSemiring, Semiring};

@@ -45,16 +45,16 @@ fn main() {
             (r.timings, comm.stats(), r.edges.len())
         });
         // Critical-path modeled time: slowest rank per component.
-        let mut crit = runs[0].0;
+        let mut crit = runs[0].0.clone();
         for (t, _, _) in &runs[1..] {
-            crit.fasta = crit.fasta.max(t.fasta);
-            crit.form_a = crit.form_a.max(t.form_a);
-            crit.tr_a = crit.tr_a.max(t.tr_a);
-            crit.form_s = crit.form_s.max(t.form_s);
-            crit.a_s = crit.a_s.max(t.a_s);
-            crit.spgemm_b = crit.spgemm_b.max(t.spgemm_b);
-            crit.symmetricize = crit.symmetricize.max(t.symmetricize);
-            crit.wait = crit.wait.max(t.wait);
+            crit.fasta = crit.fasta.clone().max(t.fasta.clone());
+            crit.form_a = crit.form_a.clone().max(t.form_a.clone());
+            crit.tr_a = crit.tr_a.clone().max(t.tr_a.clone());
+            crit.form_s = crit.form_s.clone().max(t.form_s.clone());
+            crit.a_s = crit.a_s.clone().max(t.a_s.clone());
+            crit.spgemm_b = crit.spgemm_b.clone().max(t.spgemm_b.clone());
+            crit.symmetricize = crit.symmetricize.clone().max(t.symmetricize.clone());
+            crit.wait = crit.wait.clone().max(t.wait.clone());
         }
         let modeled = crit.sparse_modeled_secs(&model);
         let max_sent = runs.iter().map(|(_, s, _)| s.bytes_sent).max().unwrap();

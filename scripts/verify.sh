@@ -14,6 +14,11 @@ cargo test -q
 # Trace-export schema gate: the Perfetto JSON must stay parseable and keep
 # its per-rank track structure.
 cargo test -q -p obs --test perfetto_schema
+# Streamed-pipeline determinism under checked mode: the overlap SpGEMM
+# path must stay bit-identical to the staged oracle with the conformance
+# ledger and finalize audit enforced (release builds default PCHECK off,
+# so force it on here).
+PCHECK=1 cargo test -q --release -p pastis --test stream_equivalence
 cargo clippy --all-targets -- -D warnings
 # Workspace lint gates: SAFETY comments on unsafe, thread-spawn confinement,
 # Instant::now confinement, cost-literal confinement. See crates/xlint.
