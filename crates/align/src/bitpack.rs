@@ -1,0 +1,528 @@
+//! Myers-bitpacked block-DP prefilter gate — the cheapest tier of the
+//! alignment cascade (gate → striped score → striped traceback).
+//!
+//! The gate answers one question: *can this pair possibly reach
+//! `min_score`?* It computes a provable **upper bound** on the affine-gap
+//! Smith–Waterman score and culls the pair only when the bound falls short
+//! — it never wrongly culls, so the cascade's verdicts (and the pipeline's
+//! edge set) are bit-identical to running the exact striped tier on every
+//! pair; the gate only changes how fast a "no" is reached.
+//!
+//! # The bound
+//!
+//! Decompose the scoring matrix once per matrix: let `t_max` be the
+//! largest positive score between *distinct* residues, `d_max` the largest
+//! self score, and `d_extra = max(0, d_max − t_max)`. Every residue pair
+//! then satisfies
+//!
+//! ```text
+//! s(a, b) ≤ t_max·[s(a, b) > 0] + d_extra·[a == b]
+//! ```
+//!
+//! (BLOSUM62 over the 24-letter NCBI alphabet: `t_max = 4` via the B–D /
+//! Z–E ambiguity pairs, `d_extra = 7`). The positively-scoring columns
+//! of any alignment form a monotone matching under the relation
+//! `s(a, b) > 0`, so their count is at most `L⁺`, the LCS-length of the
+//! pair under that relation; the identical columns are likewise bounded by
+//! the ordinary LCS `L=`. Gap columns only subtract. Hence
+//!
+//! ```text
+//! score ≤ B = t_max·L⁺ + d_extra·L=
+//! ```
+//!
+//! Both LCS lengths are computed with the Myers-style bit-parallel
+//! recurrence (Crochemore–Iliopoulos–Pinzon / Hyyrö): one DP cell per
+//! **bit**, 64 cells per machine word, four word operations per word per
+//! text column:
+//!
+//! ```text
+//! u  = V & M[c]                // match bits for this column
+//! V' = (V + u) | (V − u)       // carry/borrow propagate across words
+//! ```
+//!
+//! where bit `q` of `V` is 0 iff the LCS length grows at query row `q`,
+//! and `M[c]` marks the query rows related to text residue `c`. The final
+//! length is the number of zero bits among the low `m` bits of `V`.
+//!
+//! # Block schedule
+//!
+//! The text is processed in cache-sized column blocks on a doubling
+//! schedule (64, 128, 256, … columns). At each block boundary the gate
+//! re-derives two sound facts from the partial counts `L_j` after `j`
+//! columns:
+//!
+//! - **pass early**: `B_j = t_max·L⁺_j + d_extra·L=_j` only grows with
+//!   more columns, so `B_j ≥ min_score` already proves the pair cannot be
+//!   culled — stop and fall through to the exact tier.
+//! - **cull early**: the final lengths satisfy
+//!   `L_final ≤ min(m, L_j + (n − j))`, so if even that optimistic bound
+//!   misses `min_score` the pair is culled without touching the remaining
+//!   columns (the "band": the unprocessed remainder is credited as if
+//!   every column matched, and the credit halves as the processed window
+//!   doubles).
+//!
+//! Before any DP runs, two O(m + n) pre-bounds get the trivial culls for
+//! free: the length bound `(t_max + d_extra)·min(m, n)` and the
+//! composition bound (per-residue occurrence minima bounding `L=`).
+//!
+//! The bound deliberately ignores gap costs (a gap-free bound cannot be
+//! tightened by diagonal banding — see DESIGN.md §12), so it separates
+//! pairs only when `min_score` is a meaningful fraction of
+//! `d_max·min(m, n)`: short or compositionally disjoint pairs against
+//! absolute thresholds. At the pipeline's exactness default
+//! (`min_score = 1`) the gate passes almost everything after one block —
+//! by design, its overhead on passing pairs is a few percent of the
+//! striped tier.
+
+use seqstore::SIGMA;
+
+use crate::matrix::ScoringMatrix;
+use crate::scratch::{with_scratch, AlignScratch};
+use crate::AlignParams;
+
+/// One word of the bitpacked DP holds this many cells.
+pub const CELLS_PER_WORD: usize = 64;
+
+/// First early-exit checkpoint, in text columns; the block doubles after
+/// every checkpoint (64, 128, 256, …) so checkpoint overhead stays
+/// geometric.
+const BLOCK_START: usize = 64;
+
+/// Per-matrix decomposition backing the bound (see module docs). Computed
+/// once per [`ScoringMatrix`] and cached in the scratch arena by matrix
+/// address.
+#[derive(Debug, Clone)]
+pub(crate) struct MatrixBound {
+    /// Largest positive score between distinct residues.
+    pub(crate) t_max: i32,
+    /// `max(0, max self score − t_max)`.
+    pub(crate) d_extra: i32,
+    /// `rel[x]` bit `y` set iff `score(x, y) > 0` — the positive relation.
+    pub(crate) rel: [u32; SIGMA],
+}
+
+impl MatrixBound {
+    pub(crate) fn new(matrix: &ScoringMatrix) -> MatrixBound {
+        let mut t_max = 0i32;
+        let mut d_max = 0i32;
+        let mut rel = [0u32; SIGMA];
+        for (x, rel_x) in rel.iter_mut().enumerate() {
+            for y in 0..SIGMA {
+                let s = matrix.scores[x][y] as i32;
+                if s > 0 {
+                    *rel_x |= 1 << y;
+                }
+                if x == y {
+                    d_max = d_max.max(s);
+                } else {
+                    t_max = t_max.max(s);
+                }
+            }
+        }
+        MatrixBound {
+            t_max,
+            d_extra: (d_max - t_max).max(0),
+            rel,
+        }
+    }
+
+    /// Largest score any single aligned column can contribute.
+    #[inline]
+    fn col_max(&self) -> i32 {
+        self.t_max + self.d_extra
+    }
+}
+
+/// Outcome of the bitpacked gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateVerdict {
+    /// The score upper bound provably misses `min_score`: the exact score
+    /// is `< min_score`, the pair needs no further work.
+    Culled,
+    /// `min_score` may be reachable — fall through to the exact tier.
+    Pass,
+}
+
+/// Scratch state for the gate (lives inside [`AlignScratch`]).
+#[derive(Default)]
+pub(crate) struct BitpackScratch {
+    /// `(query, matrix address)` the match vectors currently describe.
+    pub(crate) key: Option<(Vec<u8>, usize)>,
+    /// Positive-relation match vectors, `SIGMA × words`.
+    pub(crate) m_rel: Vec<u64>,
+    /// Identity match vectors, `SIGMA × words` (built only when
+    /// `d_extra > 0`).
+    pub(crate) m_id: Vec<u64>,
+    /// DP state vectors (all-ones = zero LCS).
+    pub(crate) v_rel: Vec<u64>,
+    pub(crate) v_id: Vec<u64>,
+    /// Per-residue occurrence counts of the query, for the composition
+    /// pre-bound.
+    pub(crate) occ_r: [u32; SIGMA],
+}
+
+/// Count the zero bits among the low `m` bits of `v`.
+#[inline]
+fn zeros_low(v: &[u64], m: usize) -> usize {
+    let mut ones = 0usize;
+    let full = m / CELLS_PER_WORD;
+    for w in &v[..full] {
+        ones += w.count_ones() as usize;
+    }
+    let rem = m % CELLS_PER_WORD;
+    if rem != 0 {
+        ones += (v[full] & ((1u64 << rem) - 1)).count_ones() as usize;
+    }
+    m - ones
+}
+
+/// One bit-parallel LCS column step over all words: `V = (V+u) | (V−u)`
+/// with `u = V & M[c]`, carry and borrow rippling across words.
+#[inline]
+fn lcs_step(v: &mut [u64], m_col: &[u64]) {
+    let mut carry = 0u64;
+    let mut borrow = 0u64;
+    for (vw, &mw) in v.iter_mut().zip(m_col) {
+        let x = *vw;
+        let u = x & mw;
+        let (s1, c1) = x.overflowing_add(u);
+        let (sum, c2) = s1.overflowing_add(carry);
+        let (d1, b1) = x.overflowing_sub(u);
+        let (dif, b2) = d1.overflowing_sub(borrow);
+        *vw = sum | dif;
+        carry = (c1 | c2) as u64;
+        borrow = (b1 | b2) as u64;
+    }
+}
+
+/// Build (or reuse) the match-vector tables for `(r, matrix)`. Mirrors the
+/// striped profile cache: candidate batches arrive grouped by query, so
+/// back-to-back hits are the common case.
+fn build_match_vectors(r: &[u8], mb: &MatrixBound, matrix_addr: usize, s: &mut BitpackScratch) {
+    let words = r.len().div_ceil(CELLS_PER_WORD);
+    let cached = matches!(&s.key, Some((q, ma)) if *ma == matrix_addr && q.as_slice() == r)
+        && s.m_rel.len() == SIGMA * words;
+    if cached {
+        obs::counter!("align.gate_cache_hits", 1);
+        return;
+    }
+    s.m_rel.clear();
+    s.m_rel.resize(SIGMA * words, 0);
+    let build_id = mb.d_extra > 0;
+    s.m_id.clear();
+    s.m_id.resize(if build_id { SIGMA * words } else { 0 }, 0);
+    s.occ_r = [0; SIGMA];
+    for (q, &a) in r.iter().enumerate() {
+        let (w, bit) = (q / CELLS_PER_WORD, 1u64 << (q % CELLS_PER_WORD));
+        s.occ_r[a as usize] += 1;
+        // Set bit q of M[x] for every x related to r[q]; the relation is
+        // symmetric in score terms, so rel[a] lists exactly those x.
+        let mut related = mb.rel[a as usize];
+        while related != 0 {
+            let x = related.trailing_zeros() as usize;
+            related &= related - 1;
+            s.m_rel[x * words + w] |= bit;
+        }
+        if build_id {
+            s.m_id[a as usize * words + w] |= bit;
+        }
+    }
+    match &mut s.key {
+        Some((q, ma)) => {
+            q.clear();
+            q.extend_from_slice(r);
+            *ma = matrix_addr;
+        }
+        None => s.key = Some((r.to_vec(), matrix_addr)),
+    }
+}
+
+/// Upper bound on the affine-gap local alignment score of `(r, c)` under
+/// `params.matrix` (see module docs; independent of the gap costs, valid
+/// for any non-negative gap penalty). Runs the full bit-parallel DP with
+/// no early exits — the tight end of what [`bitpack_gate`] may stop short
+/// of computing.
+pub fn bitpack_bound(r: &[u8], c: &[u8], params: &AlignParams) -> i32 {
+    with_scratch(|s| bitpack_bound_with(r, c, params, s))
+}
+
+/// [`bitpack_bound`] with an explicit scratch arena.
+pub fn bitpack_bound_with(
+    r: &[u8],
+    c: &[u8],
+    params: &AlignParams,
+    scratch: &mut AlignScratch,
+) -> i32 {
+    let (m, n) = (r.len(), c.len());
+    if m == 0 || n == 0 {
+        return 0;
+    }
+    let mb = scratch.matrix_bound(params.matrix).clone();
+    let s = &mut scratch.bp;
+    build_match_vectors(r, &mb, params.matrix as *const _ as usize, s);
+    pcomm::work::record_class((m * n) as u64, pcomm::work::CostClass::BitpackCell);
+    let words = m.div_ceil(CELLS_PER_WORD);
+    s.v_rel.clear();
+    s.v_rel.resize(words, !0u64);
+    s.v_id.clear();
+    s.v_id.resize(if mb.d_extra > 0 { words } else { 0 }, !0u64);
+    for &b in c {
+        let base = b as usize * words;
+        lcs_step(&mut s.v_rel, &s.m_rel[base..base + words]);
+        if mb.d_extra > 0 {
+            lcs_step(&mut s.v_id, &s.m_id[base..base + words]);
+        }
+    }
+    let l_rel = zeros_low(&s.v_rel, m) as i32;
+    let l_id = if mb.d_extra > 0 {
+        zeros_low(&s.v_id, m) as i32
+    } else {
+        0
+    };
+    mb.t_max * l_rel + mb.d_extra * l_id
+}
+
+/// The gate: `Culled` **only if** the exact local alignment score of
+/// `(r, c)` is provably `< min_score`. Sound for any non-negative gap
+/// costs; when `params` carry a negative gap penalty (a reward), the gate
+/// passes everything. Early-exits in both directions on the doubling
+/// block schedule, so passing pairs usually cost one block and hopeless
+/// pairs stop as soon as the remaining columns cannot close the deficit.
+pub fn bitpack_gate(r: &[u8], c: &[u8], params: &AlignParams, min_score: i32) -> GateVerdict {
+    with_scratch(|s| bitpack_gate_with(r, c, params, min_score, s))
+}
+
+/// [`bitpack_gate`] with an explicit scratch arena.
+pub fn bitpack_gate_with(
+    r: &[u8],
+    c: &[u8],
+    params: &AlignParams,
+    min_score: i32,
+    scratch: &mut AlignScratch,
+) -> GateVerdict {
+    let (m, n) = (r.len(), c.len());
+    if min_score <= 0 || params.gap_open < 0 || params.gap_extend < 0 {
+        // A score of 0 (empty alignment) always exists, and with negative
+        // gap costs the gap-free bound is no longer an upper bound.
+        return GateVerdict::Pass;
+    }
+    if m == 0 || n == 0 {
+        return GateVerdict::Culled; // exact score is 0 < min_score
+    }
+    let mb = scratch.matrix_bound(params.matrix).clone();
+    // Length pre-bound: every aligned column contributes at most col_max.
+    let shorter = m.min(n) as i32;
+    if mb.col_max() * shorter < min_score {
+        return GateVerdict::Culled;
+    }
+    let s = &mut scratch.bp;
+    build_match_vectors(r, &mb, params.matrix as *const _ as usize, s);
+    // Composition pre-bound: identical columns are limited by per-residue
+    // occurrence minima, positives by the shorter length.
+    if mb.d_extra > 0 {
+        let mut occ_c = [0u32; SIGMA];
+        for &b in c {
+            occ_c[b as usize] += 1;
+        }
+        let common: u32 = s
+            .occ_r
+            .iter()
+            .zip(occ_c.iter())
+            .map(|(&a, &b)| a.min(b))
+            .sum();
+        if mb.t_max * shorter + mb.d_extra * (common as i32).min(shorter) < min_score {
+            return GateVerdict::Culled;
+        }
+    }
+
+    let words = m.div_ceil(CELLS_PER_WORD);
+    s.v_rel.clear();
+    s.v_rel.resize(words, !0u64);
+    s.v_id.clear();
+    s.v_id.resize(if mb.d_extra > 0 { words } else { 0 }, !0u64);
+    let mut done = 0usize;
+    let mut block = BLOCK_START;
+    while done < n {
+        let end = (done + block).min(n);
+        for &b in &c[done..end] {
+            let base = b as usize * words;
+            lcs_step(&mut s.v_rel, &s.m_rel[base..base + words]);
+            if mb.d_extra > 0 {
+                lcs_step(&mut s.v_id, &s.m_id[base..base + words]);
+            }
+        }
+        pcomm::work::record_class(
+            ((end - done) * m) as u64,
+            pcomm::work::CostClass::BitpackCell,
+        );
+        done = end;
+        block *= 2;
+        let l_rel = zeros_low(&s.v_rel, m) as i32;
+        let l_id = if mb.d_extra > 0 {
+            zeros_low(&s.v_id, m) as i32
+        } else {
+            0
+        };
+        // Pass early: the partial bound only grows with more columns.
+        if mb.t_max * l_rel + mb.d_extra * l_id >= min_score {
+            return GateVerdict::Pass;
+        }
+        // Cull early: credit every unprocessed column as a full match.
+        let credit = (n - done) as i32;
+        let opt =
+            mb.t_max * (l_rel + credit).min(shorter) + mb.d_extra * (l_id + credit).min(shorter);
+        if opt < min_score {
+            return GateVerdict::Culled;
+        }
+    }
+    GateVerdict::Pass
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sw::smith_waterman;
+    use crate::BLOSUM62;
+
+    /// Reference LCS under an arbitrary pair relation.
+    fn lcs_ref(r: &[u8], c: &[u8], related: impl Fn(u8, u8) -> bool) -> usize {
+        let (m, n) = (r.len(), c.len());
+        let mut prev = vec![0usize; n + 1];
+        let mut curr = vec![0usize; n + 1];
+        for i in 1..=m {
+            for j in 1..=n {
+                curr[j] = if related(r[i - 1], c[j - 1]) {
+                    prev[j - 1] + 1
+                } else {
+                    prev[j].max(curr[j - 1])
+                };
+            }
+            std::mem::swap(&mut prev, &mut curr);
+        }
+        prev[n]
+    }
+
+    #[test]
+    fn blosum62_decomposition() {
+        let mb = MatrixBound::new(&BLOSUM62);
+        // 4 via the ambiguity pairs (B–D, Z–E); real residues top out at 3.
+        assert_eq!(mb.t_max, 4, "largest positive off-diagonal of BLOSUM62");
+        assert_eq!(mb.d_extra, 7, "W–W self score 11 minus t_max");
+        // The decomposition dominates every matrix entry.
+        for x in 0..SIGMA {
+            for y in 0..SIGMA {
+                let s = BLOSUM62.scores[x][y] as i32;
+                let dom = mb.t_max * ((mb.rel[x] >> y) & 1) as i32 + mb.d_extra * (x == y) as i32;
+                assert!(s <= dom, "pair ({x},{y}): {s} > {dom}");
+            }
+        }
+    }
+
+    #[test]
+    fn bitparallel_lcs_matches_reference() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(42);
+        let p = AlignParams::default();
+        let mb = MatrixBound::new(&BLOSUM62);
+        for round in 0..40 {
+            // Cross the one-word boundary: lengths up to 200 → 4 words.
+            let m = rng.random_range(1..200);
+            let n = rng.random_range(1..200);
+            let a: Vec<u8> = (0..m).map(|_| rng.random_range(0..24u8)).collect();
+            let b: Vec<u8> = (0..n).map(|_| rng.random_range(0..24u8)).collect();
+            let l_rel = lcs_ref(&a, &b, |x, y| (mb.rel[x as usize] >> y) & 1 == 1);
+            let l_id = lcs_ref(&a, &b, |x, y| x == y);
+            let want = mb.t_max * l_rel as i32 + mb.d_extra * l_id as i32;
+            assert_eq!(bitpack_bound(&a, &b, &p), want, "round {round}");
+        }
+    }
+
+    #[test]
+    fn bound_dominates_exact_score() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(7);
+        for round in 0..60 {
+            // Vary gap costs: the bound is gap-cost independent.
+            let p = AlignParams {
+                gap_open: [11, 0, 5][round % 3],
+                gap_extend: [1, 1, 2][round % 3],
+                ..Default::default()
+            };
+            let m = rng.random_range(1..150);
+            let n = rng.random_range(1..150);
+            let a: Vec<u8> = (0..m).map(|_| rng.random_range(0..24u8)).collect();
+            let b: Vec<u8> = (0..n).map(|_| rng.random_range(0..24u8)).collect();
+            let exact = smith_waterman(&a, &b, &p).score;
+            let bound = bitpack_bound(&a, &b, &p);
+            assert!(bound >= exact, "bound {bound} < exact {exact}");
+        }
+    }
+
+    #[test]
+    fn gate_never_wrongly_culls() {
+        use rand::prelude::*;
+        for seed in 0..16 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let p = AlignParams::default();
+            for _ in 0..30 {
+                let m = rng.random_range(1..120);
+                let n = rng.random_range(1..120);
+                let a: Vec<u8> = (0..m).map(|_| rng.random_range(0..24u8)).collect();
+                let b: Vec<u8> = (0..n).map(|_| rng.random_range(0..24u8)).collect();
+                let min_score = rng.random_range(1..1500);
+                if bitpack_gate(&a, &b, &p, min_score) == GateVerdict::Culled {
+                    let exact = smith_waterman(&a, &b, &p).score;
+                    assert!(
+                        exact < min_score,
+                        "culled pair has score {exact} ≥ {min_score}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gate_is_consistent_with_the_full_bound() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(99);
+        let p = AlignParams::default();
+        for _ in 0..40 {
+            let m = rng.random_range(1..100);
+            let n = rng.random_range(1..100);
+            let a: Vec<u8> = (0..m).map(|_| rng.random_range(0..24u8)).collect();
+            let b: Vec<u8> = (0..n).map(|_| rng.random_range(0..24u8)).collect();
+            let bound = bitpack_bound(&a, &b, &p);
+            // Culling requires the full bound to miss; passing requires it
+            // to be reachable (the early exits only stop sooner, never
+            // flip the verdict past the bound).
+            match bitpack_gate(&a, &b, &p, bound.max(1)) {
+                GateVerdict::Culled => unreachable!("bound is reachable by itself"),
+                GateVerdict::Pass => {}
+            }
+            if bound > 0 {
+                assert_eq!(
+                    bitpack_gate(&a, &b, &p, bound + 1),
+                    GateVerdict::Culled,
+                    "bound {bound} + 1 must cull"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let p = AlignParams::default();
+        assert_eq!(bitpack_bound(b"", b"", &p), 0);
+        assert_eq!(bitpack_gate(&[], &[0, 1, 2], &p, 1), GateVerdict::Culled);
+        assert_eq!(bitpack_gate(&[0], &[0], &p, 0), GateVerdict::Pass);
+        // All-identical tryptophan runs: bound = (3 + 8)·len ≥ exact 11·len,
+        // and long enough to stress multi-word carries.
+        let w = seqstore::encode_seq(b"W")[0];
+        let s = vec![w; 1000];
+        let exact = 11 * 1000;
+        let bound = bitpack_bound(&s, &s, &p);
+        assert!(bound >= exact);
+        assert_eq!(bitpack_gate(&s, &s, &p, exact), GateVerdict::Pass);
+        assert_eq!(bitpack_gate(&s, &s, &p, bound + 1), GateVerdict::Culled);
+    }
+}

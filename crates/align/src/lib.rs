@@ -11,6 +11,8 @@
 //! work-stealing multi-threaded batch driver ([`align_batch`]).
 
 mod batch;
+mod bitpack;
+mod dispatch;
 mod matrix;
 mod scratch;
 mod stats;
@@ -20,12 +22,16 @@ mod ungapped;
 mod xdrop;
 
 pub use batch::align_batch;
+pub use bitpack::{
+    bitpack_bound, bitpack_bound_with, bitpack_gate, bitpack_gate_with, GateVerdict,
+};
+pub use dispatch::{level as simd_level, SimdLevel};
 pub use matrix::{ScoringMatrix, BLOSUM62};
 pub use scratch::{with_scratch, AlignScratch};
 pub use stats::{AlignStats, SimilarityMeasure};
 pub use striped::{
-    striped_align, striped_align_with, striped_score, striped_score_with, striped_traceback,
-    striped_traceback_with,
+    striped_align, striped_align_with, striped_score, striped_score_at_level, striped_score_with,
+    striped_traceback, striped_traceback_with,
 };
 pub use sw::{smith_waterman, smith_waterman_with};
 pub use ungapped::ungapped_xdrop;
@@ -94,20 +100,44 @@ pub fn local_align_with(
     }
 }
 
+/// Which tier of the prefilter cascade decided a pair's fate. The cascade
+/// is sound at every tier: a culled pair's exact score is provably below
+/// `min_score`, so the verdicts (and the surviving stats) are bit-identical
+/// to running the exact engine on every pair — the tiers only change how
+/// fast a "no" is reached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrefilterOutcome {
+    /// The bitpacked gate's score upper bound already misses `min_score`;
+    /// no exact DP ran at all.
+    CulledBitpack,
+    /// The exact score pass (striped score-only pass, or the full DP on
+    /// the scalar engine) came in below `min_score`.
+    CulledScore,
+    /// The pair reaches `min_score`; stats are bit-identical to
+    /// [`local_align`].
+    Passed(AlignStats),
+}
+
 /// Score-gated local alignment: run the traceback only when the optimal
 /// score reaches `min_score`, returning `None` for culled pairs (the
-/// MMseqs2-style prefilter-then-align staging). On the striped engine the
-/// cull decision costs only the O(m)-memory score pass; the scalar engine
-/// has no score-only mode, so it culls after the full DP. For surviving
-/// pairs the stats are bit-identical to [`local_align`].
+/// MMseqs2-style prefilter-then-align staging). Culls cascade through two
+/// tiers: the Myers-bitpacked gate ([`bitpack_gate`]) rejects pairs whose
+/// score *upper bound* provably misses `min_score` without running any
+/// exact DP, and survivors fall through to the exact tier (on the striped
+/// engine the cull decision then costs only the O(m)-memory score pass;
+/// the scalar engine has no score-only mode, so it culls after the full
+/// DP). For surviving pairs the stats are bit-identical to
+/// [`local_align`].
 pub fn prefiltered_align(
     r: &[u8],
     c: &[u8],
     params: &AlignParams,
     min_score: i32,
 ) -> Option<AlignStats> {
-    obs::hist!("align.dp_cells", r.len() * c.len());
-    with_scratch(|s| prefiltered_align_with(r, c, params, min_score, s))
+    match prefiltered_align_outcome(r, c, params, min_score) {
+        PrefilterOutcome::Passed(stats) => Some(stats),
+        _ => None,
+    }
 }
 
 /// [`prefiltered_align`] with an explicit scratch arena.
@@ -118,17 +148,58 @@ pub fn prefiltered_align_with(
     min_score: i32,
     scratch: &mut AlignScratch,
 ) -> Option<AlignStats> {
-    match params.engine {
+    match prefiltered_align_outcome_with(r, c, params, min_score, scratch) {
+        PrefilterOutcome::Passed(stats) => Some(stats),
+        _ => None,
+    }
+}
+
+/// [`prefiltered_align`], reporting *which* cascade tier decided the pair
+/// (for tier-outcome accounting; the pipeline surfaces these as the
+/// `prefilter.*` counter family).
+pub fn prefiltered_align_outcome(
+    r: &[u8],
+    c: &[u8],
+    params: &AlignParams,
+    min_score: i32,
+) -> PrefilterOutcome {
+    obs::hist!("align.dp_cells", r.len() * c.len());
+    with_scratch(|s| prefiltered_align_outcome_with(r, c, params, min_score, s))
+}
+
+/// [`prefiltered_align_outcome`] with an explicit scratch arena.
+pub fn prefiltered_align_outcome_with(
+    r: &[u8],
+    c: &[u8],
+    params: &AlignParams,
+    min_score: i32,
+    scratch: &mut AlignScratch,
+) -> PrefilterOutcome {
+    if bitpack_gate_with(r, c, params, min_score, scratch) == GateVerdict::Culled {
+        obs::counter!("prefilter.bitpack_culled", 1);
+        return PrefilterOutcome::CulledBitpack;
+    }
+    let outcome = match params.engine {
         AlignEngine::Scalar => {
             let stats = smith_waterman_with(r, c, params, scratch);
-            (stats.score >= min_score).then_some(stats)
+            if stats.score >= min_score {
+                PrefilterOutcome::Passed(stats)
+            } else {
+                PrefilterOutcome::CulledScore
+            }
         }
         AlignEngine::Striped => {
             let (score, end) = striped_score_with(r, c, params, scratch);
             if score < min_score {
-                return None;
+                PrefilterOutcome::CulledScore
+            } else {
+                PrefilterOutcome::Passed(striped_traceback_with(r, c, params, score, end, scratch))
             }
-            Some(striped_traceback_with(r, c, params, score, end, scratch))
         }
+    };
+    match &outcome {
+        PrefilterOutcome::Passed(_) => obs::counter!("prefilter.passed", 1),
+        _ => obs::counter!("prefilter.striped_culled", 1),
     }
+    outcome
 }

@@ -12,7 +12,9 @@
 
 use std::cell::RefCell;
 
-use crate::striped::{L16, L32};
+use crate::bitpack::{BitpackScratch, MatrixBound};
+use crate::matrix::ScoringMatrix;
+use crate::striped::{L16, L16W, L32, L32W};
 
 /// Buffers for one in-flight banded x-drop extension.
 #[derive(Default)]
@@ -29,6 +31,26 @@ pub(crate) struct XdropScratch {
     pub(crate) dir_rows: Vec<(usize, usize, usize)>,
 }
 
+/// One lane configuration's worth of striped-kernel state. The profile
+/// caches remember which `(query, matrix)` they hold: in many-vs-one
+/// batches the same query arrives back to back, and the O(Σ·m) profile
+/// build is skipped when the key matches. The key stores a copy of the
+/// query bytes (verified on hit), so a freed-and-reallocated query buffer
+/// at the same address cannot alias a stale profile. Forward and reverse
+/// profiles cache independently — the traceback start-cell pass runs on
+/// the reversed query, and sharing one slot would make the two passes
+/// evict each other on every pair.
+#[derive(Default)]
+pub(crate) struct StripedBufs<T, const L: usize> {
+    pub(crate) prof: Vec<[T; L]>,
+    pub(crate) prof_key: Option<(Vec<u8>, usize)>,
+    pub(crate) rprof: Vec<[T; L]>,
+    pub(crate) rprof_key: Option<(Vec<u8>, usize)>,
+    pub(crate) h_store: Vec<[T; L]>,
+    pub(crate) h_load: Vec<[T; L]>,
+    pub(crate) e: Vec<[T; L]>,
+}
+
 /// Arena of reusable buffers for the alignment kernels. See the module
 /// docs; construct with [`AlignScratch::new`] or use the thread-local via
 /// [`with_scratch`].
@@ -43,26 +65,26 @@ pub struct AlignScratch {
     pub(crate) dirs: Vec<u8>,
     /// Banded direction bytes (striped engine's traceback pass).
     pub(crate) band_dirs: Vec<u8>,
-    // Striped kernel state, i16 lanes. `prof16_key` caches which
-    // `(query, matrix)` the profile currently holds: in many-vs-one
-    // batches the same query arrives back to back, and the O(Σ·m) profile
-    // build is skipped when the key matches. The key stores a copy of the
-    // query bytes (verified on hit), so a freed-and-reallocated query
-    // buffer at the same address cannot alias a stale profile.
-    pub(crate) prof16: Vec<[i16; L16]>,
-    pub(crate) prof16_key: Option<(Vec<u8>, usize)>,
-    pub(crate) h16_store: Vec<[i16; L16]>,
-    pub(crate) h16_load: Vec<[i16; L16]>,
-    pub(crate) e16: Vec<[i16; L16]>,
-    // Striped kernel state, i32 overflow-fallback lanes.
-    pub(crate) prof32: Vec<[i32; L32]>,
-    pub(crate) prof32_key: Option<(Vec<u8>, usize)>,
-    pub(crate) h32_store: Vec<[i32; L32]>,
-    pub(crate) h32_load: Vec<[i32; L32]>,
-    pub(crate) e32: Vec<[i32; L32]>,
+    // Striped kernel state per SIMD dispatch level (see
+    // `dispatch::SimdLevel`): portable SLP lanes, i16 with i32
+    // overflow-fallback.
+    pub(crate) slp16: StripedBufs<i16, L16>,
+    pub(crate) slp32: StripedBufs<i32, L32>,
+    // AVX2 wide lanes.
+    pub(crate) avx16: StripedBufs<i16, L16W>,
+    pub(crate) avx32: StripedBufs<i32, L32W>,
+    // Forced single-lane ("scalar") instantiation.
+    pub(crate) sc16: StripedBufs<i16, 1>,
+    pub(crate) sc32: StripedBufs<i32, 1>,
+    /// Bitpacked prefilter gate state (match vectors + DP words).
+    pub(crate) bp: BitpackScratch,
+    /// Cached scoring-matrix decomposition backing the gate bound, keyed
+    /// by matrix address ('static matrices, so addresses are stable).
+    pub(crate) mb_cache: Option<(usize, MatrixBound)>,
     // X-drop extension state.
     pub(crate) xd: XdropScratch,
-    /// Reversed prefixes for the leftward x-drop extension.
+    /// Reversed prefixes for the leftward x-drop extension and the striped
+    /// traceback's start-cell pass.
     pub(crate) rev_a: Vec<u8>,
     pub(crate) rev_b: Vec<u8>,
 }
@@ -70,6 +92,16 @@ pub struct AlignScratch {
 impl AlignScratch {
     pub fn new() -> Self {
         AlignScratch::default()
+    }
+
+    /// The gate's decomposition of `matrix` (see [`MatrixBound`]), computed
+    /// on first use and cached by matrix address.
+    pub(crate) fn matrix_bound(&mut self, matrix: &'static ScoringMatrix) -> &MatrixBound {
+        let addr = matrix as *const ScoringMatrix as usize;
+        if !matches!(&self.mb_cache, Some((a, _)) if *a == addr) {
+            self.mb_cache = Some((addr, MatrixBound::new(matrix)));
+        }
+        &self.mb_cache.as_ref().unwrap().1
     }
 }
 

@@ -3,10 +3,15 @@
 //!
 //! The query is laid out in `LANES` interleaved segments so the inner loop
 //! updates a whole lane vector of DP cells with straight-line arithmetic on
-//! `[i16; 8]` / `[i32; 4]` arrays; the loops are written so LLVM
-//! autovectorizes them on stable Rust (no intrinsics). Vertical gaps that
-//! cross segment boundaries are repaired by Farrar's lazy-F loop, extended
-//! here with the E update that keeps the recurrence *exactly* the textbook
+//! lane arrays. The same kernel is instantiated at three lane widths and
+//! chosen once per process by [`crate::dispatch`]: AVX2 lanes
+//! (`[i16; 16]` / `[i32; 8]`, compiled under `target_feature(avx2)`),
+//! portable SLP lanes (`[i16; 8]` / `[i32; 4]`, written so LLVM
+//! autovectorizes them on stable Rust — no intrinsics), and a single-lane
+//! fallback. DP values and the argmax scan are lane-layout independent, so
+//! every width returns bit-identical results. Vertical gaps that cross
+//! segment boundaries are repaired by Farrar's lazy-F loop, extended here
+//! with the E update that keeps the recurrence *exactly* the textbook
 //! affine-gap SW (the common SWPS3-style shortcut forbids
 //! insertion-after-deletion and would diverge from the scalar reference).
 //!
@@ -15,27 +20,35 @@
 //! saturation is detected by headroom check, falling back to an i32-lane
 //! pass.
 //!
-//! Tracebacks use two passes: the striped pass is score-only at O(m)
-//! memory and finds the best end cell; a scalar pass then reruns the DP on
-//! the prefix rectangle at that cell, keeping direction bytes only inside
-//! a diagonal band around the end cell's diagonal (doubled until the
-//! optimal path fits). Both the end cell and every direction byte
+//! Tracebacks use two score-only striped passes plus a scalar rerun: the
+//! forward pass finds the best end cell; a reverse pass over the reversed
+//! prefixes locates the alignment *start* cell (the farthest-from-the-end
+//! cell attaining the best score, so the rectangle covers every optimal
+//! path); the scalar pass then reruns the DP only on the start→end
+//! rectangle, keeping direction bytes inside a diagonal band that doubles
+//! until the optimal path fits. Both the end cell and every direction byte
 //! reproduce the scalar engine's choices, so the resulting [`AlignStats`]
 //! is bit-identical to [`crate::smith_waterman`] while traceback memory
-//! drops from O(m·n) to O(band·m).
+//! and rerun work drop from the `best_i × best_j` prefix to the alignment
+//! span.
 
 use seqstore::SIGMA;
 
-use crate::scratch::{with_scratch, AlignScratch};
+use crate::dispatch::{self, SimdLevel};
+use crate::scratch::{with_scratch, AlignScratch, StripedBufs};
 use crate::stats::AlignStats;
 use crate::sw::{E_EXTEND, F_EXTEND, H_DIAG, H_FROM_E, H_SRC_MASK, H_STOP, NEG_INF};
 use crate::AlignParams;
 
-/// Lane counts: 16 bytes of state per vector either way, mirroring one SSE
-/// register — wide enough for autovectorization, small enough to spill
+/// Portable lane counts: 16 bytes of state per vector, mirroring one SSE
+/// register — wide enough for SLP autovectorization, small enough to spill
 /// nowhere.
 pub(crate) const L16: usize = 8;
 pub(crate) const L32: usize = 4;
+
+/// AVX2 lane counts: 32 bytes of state per vector (one YMM register).
+pub(crate) const L16W: usize = 16;
+pub(crate) const L32W: usize = 8;
 
 const NEG16: i16 = i16::MIN / 2;
 const NEG32: i32 = i32::MIN / 4;
@@ -47,6 +60,11 @@ const I16_SAFE: i32 = i16::MAX as i32 - 12;
 
 /// Initial traceback band half-width; doubled until the optimal path fits.
 const BAND_START: usize = 64;
+
+/// Smallest end-cell rectangle (in DP cells) for which the traceback runs
+/// the reverse start-cell pass. Below this the pass's own striped rerun
+/// costs more than the scalar cells it could save.
+const SPAN_PASS_MIN: usize = 16_384;
 
 /// Move each lane's value to the next lane, filling lane 0 with `fill` —
 /// the striped layout's "previous query row" permutation.
@@ -80,12 +98,40 @@ fn min_query_at<T: Copy + PartialEq, const L: usize>(
     None
 }
 
+/// Largest valid query index whose cell in the finished column equals
+/// `target` — the descending-order dual of [`min_query_at`], used by the
+/// reverse start-cell pass.
+#[inline]
+fn max_query_at<T: Copy + PartialEq, const L: usize>(
+    h_store: &[[T; L]],
+    target: T,
+    seg: usize,
+    m: usize,
+) -> Option<usize> {
+    for l in (0..L).rev() {
+        let base = l * seg;
+        if base >= m {
+            continue;
+        }
+        for s in (0..seg.min(m - base)).rev() {
+            if h_store[s][l] == target {
+                return Some(base + s);
+            }
+        }
+    }
+    None
+}
+
 macro_rules! striped_kernel {
-    ($name:ident, $ty:ty, $lanes:expr, $neg:expr) => {
+    ($(#[$attr:meta])* $name:ident, $ty:ty, $lanes:expr, $neg:expr, $rev:literal) => {
         /// Score-only striped pass. Returns `(best, end_i, end_j)` with
-        /// 1-based inclusive ends chosen exactly as the scalar engine's
-        /// row-major argmax would, or `(0, 0, 0)` when nothing scores
-        /// positive.
+        /// 1-based inclusive indices, or `(0, 0, 0)` when nothing scores
+        /// positive. In forward mode (`rev = false`) the end cell is
+        /// chosen exactly as the scalar engine's row-major argmax would;
+        /// in reverse mode it is the *componentwise largest* `(i, j)`
+        /// attaining the best — run on reversed sequences this yields the
+        /// componentwise-smallest start over all optimal paths.
+        $(#[$attr])*
         #[allow(clippy::too_many_arguments)] // scratch arenas threaded explicitly
         fn $name(
             r: &[u8],
@@ -221,29 +267,49 @@ macro_rules! striped_kernel {
                 }
 
                 let mut cmax = v_cmax[0];
+                #[allow(clippy::reversed_empty_ranges)] // L == 1 in the single-lane instantiation
                 for l in 1..L {
                     if v_cmax[l] > cmax {
                         cmax = v_cmax[l];
                     }
                 }
-                // Reproduce the scalar row-major argmax (the first strictly
-                // improving cell = lexicographically smallest (i, j)
-                // attaining the maximum). Columns arrive in j order, so a
-                // strict improvement takes this column's smallest attaining
-                // row, and a tie relocates only if this column attains the
-                // best in a smaller row than recorded.
                 let cmax32 = cmax as i32;
-                if cmax > best {
-                    best = cmax;
-                    let q = min_query_at(h_store, cmax, seg, m)
-                        .expect("column max must come from a valid lane");
-                    best_i = q + 1;
-                    best_j = j + 1;
-                } else if cmax32 > 0 && cmax == best && best_i > 1 {
-                    if let Some(q) = min_query_at(h_store, cmax, seg, m) {
-                        if q + 1 < best_i {
-                            best_i = q + 1;
-                            best_j = j + 1;
+                if $rev {
+                    // Track the componentwise *largest* cell attaining the
+                    // best: on any column that attains it, take the column
+                    // (max j) and lift the max row seen so far.
+                    if cmax > best {
+                        best = cmax;
+                        let q = max_query_at(h_store, cmax, seg, m)
+                            .expect("column max must come from a valid lane");
+                        best_i = q + 1;
+                        best_j = j + 1;
+                    } else if cmax32 > 0 && cmax == best {
+                        if let Some(q) = max_query_at(h_store, cmax, seg, m) {
+                            best_i = best_i.max(q + 1);
+                        }
+                        best_j = j + 1;
+                    }
+                } else {
+                    // Reproduce the scalar row-major argmax (the first
+                    // strictly improving cell = lexicographically smallest
+                    // (i, j) attaining the maximum). Columns arrive in j
+                    // order, so a strict improvement takes this column's
+                    // smallest attaining row, and a tie relocates only if
+                    // this column attains the best in a smaller row than
+                    // recorded.
+                    if cmax > best {
+                        best = cmax;
+                        let q = min_query_at(h_store, cmax, seg, m)
+                            .expect("column max must come from a valid lane");
+                        best_i = q + 1;
+                        best_j = j + 1;
+                    } else if cmax32 > 0 && cmax == best && best_i > 1 {
+                        if let Some(q) = min_query_at(h_store, cmax, seg, m) {
+                            if q + 1 < best_i {
+                                best_i = q + 1;
+                                best_j = j + 1;
+                            }
                         }
                     }
                 }
@@ -253,8 +319,225 @@ macro_rules! striped_kernel {
     };
 }
 
-striped_kernel!(kernel_i16, i16, L16, NEG16);
-striped_kernel!(kernel_i32, i32, L32, NEG32);
+// Portable SLP-lane instantiations (the pre-dispatch kernels).
+striped_kernel!(kernel_i16, i16, L16, NEG16, false);
+striped_kernel!(kernel_i32, i32, L32, NEG32, false);
+striped_kernel!(kernel_i16_rev, i16, L16, NEG16, true);
+striped_kernel!(kernel_i32_rev, i32, L32, NEG32, true);
+
+// Single-lane instantiations for the forced-scalar dispatch level.
+striped_kernel!(kernel_i16_s1, i16, 1, NEG16, false);
+striped_kernel!(kernel_i32_s1, i32, 1, NEG32, false);
+striped_kernel!(kernel_i16_s1_rev, i16, 1, NEG16, true);
+striped_kernel!(kernel_i32_s1_rev, i32, 1, NEG32, true);
+
+// AVX2-width instantiations. `inline(always)` folds each kernel body into
+// its `target_feature(avx2)` wrapper below, so LLVM vectorizes the lane
+// loops at YMM width; the wrappers are the only callers.
+#[cfg(target_arch = "x86_64")]
+striped_kernel!(
+    #[inline(always)]
+    kernel_i16_w,
+    i16,
+    L16W,
+    NEG16,
+    false
+);
+#[cfg(target_arch = "x86_64")]
+striped_kernel!(
+    #[inline(always)]
+    kernel_i32_w,
+    i32,
+    L32W,
+    NEG32,
+    false
+);
+#[cfg(target_arch = "x86_64")]
+striped_kernel!(
+    #[inline(always)]
+    kernel_i16_w_rev,
+    i16,
+    L16W,
+    NEG16,
+    true
+);
+#[cfg(target_arch = "x86_64")]
+striped_kernel!(
+    #[inline(always)]
+    kernel_i32_w_rev,
+    i32,
+    L32W,
+    NEG32,
+    true
+);
+
+/// Run one lane configuration, selecting the forward or reverse profile
+/// cache. Forward and reverse passes run on different query bytes (the
+/// reverse pass reverses the prefix), so each keeps its own cached
+/// profile.
+macro_rules! run_config {
+    ($fwd:ident, $rev:ident, $r:expr, $c:expr, $params:expr, $b:expr, $reverse:expr) => {{
+        let b = $b;
+        if $reverse {
+            $rev(
+                $r,
+                $c,
+                $params,
+                &mut b.rprof,
+                &mut b.rprof_key,
+                &mut b.h_store,
+                &mut b.h_load,
+                &mut b.e,
+            )
+        } else {
+            $fwd(
+                $r,
+                $c,
+                $params,
+                &mut b.prof,
+                &mut b.prof_key,
+                &mut b.h_store,
+                &mut b.h_load,
+                &mut b.e,
+            )
+        }
+    }};
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+// SAFETY: `target_feature` makes this fn unsafe to call; the only callers
+// are the `SimdLevel::Avx2` dispatch arms, reached exclusively after
+// runtime AVX2 detection in `dispatch::level()`.
+unsafe fn avx2_i16(
+    r: &[u8],
+    c: &[u8],
+    params: &AlignParams,
+    b: &mut StripedBufs<i16, L16W>,
+    reverse: bool,
+) -> (i32, usize, usize) {
+    run_config!(kernel_i16_w, kernel_i16_w_rev, r, c, params, b, reverse)
+}
+
+// SAFETY: same contract as `avx2_i16` — called only from the
+// `SimdLevel::Avx2` dispatch arms after runtime detection.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn avx2_i32(
+    r: &[u8],
+    c: &[u8],
+    params: &AlignParams,
+    b: &mut StripedBufs<i32, L32W>,
+    reverse: bool,
+) -> (i32, usize, usize) {
+    run_config!(kernel_i32_w, kernel_i32_w_rev, r, c, params, b, reverse)
+}
+
+/// One striped score pass at the dispatched SIMD level, i16 lanes with
+/// automatic i32 overflow fallback. `reverse = true` selects the
+/// max-attaining argmax (start-cell mode).
+fn striped_pass(
+    r: &[u8],
+    c: &[u8],
+    params: &AlignParams,
+    scratch: &mut AlignScratch,
+    reverse: bool,
+) -> (i32, usize, usize) {
+    striped_pass_at(dispatch::level(), r, c, params, scratch, reverse)
+}
+
+/// [`striped_pass`] pinned to an explicit SIMD level. Benchmarks use this
+/// to compare lanes inside one process (the dispatcher's level is cached
+/// for the process lifetime, so `ALIGN_FORCE` can't toggle mid-run).
+fn striped_pass_at(
+    lv: SimdLevel,
+    r: &[u8],
+    c: &[u8],
+    params: &AlignParams,
+    scratch: &mut AlignScratch,
+    reverse: bool,
+) -> (i32, usize, usize) {
+    let (m, n) = (r.len(), c.len());
+    if m == 0 || n == 0 {
+        return (0, 0, 0);
+    }
+    pcomm::work::record_class((m * n) as u64, pcomm::work::CostClass::SwStripedCell);
+    let (best, bi, bj) = match lv {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: dispatch returns Avx2 only after runtime detection.
+        SimdLevel::Avx2 => unsafe { avx2_i16(r, c, params, &mut scratch.avx16, reverse) },
+        #[cfg(not(target_arch = "x86_64"))]
+        SimdLevel::Avx2 => run_config!(
+            kernel_i16,
+            kernel_i16_rev,
+            r,
+            c,
+            params,
+            &mut scratch.slp16,
+            reverse
+        ),
+        SimdLevel::Slp => run_config!(
+            kernel_i16,
+            kernel_i16_rev,
+            r,
+            c,
+            params,
+            &mut scratch.slp16,
+            reverse
+        ),
+        SimdLevel::Scalar => {
+            run_config!(
+                kernel_i16_s1,
+                kernel_i16_s1_rev,
+                r,
+                c,
+                params,
+                &mut scratch.sc16,
+                reverse
+            )
+        }
+    };
+    if best < I16_SAFE {
+        return (best, bi, bj);
+    }
+    // The i16 lanes may have saturated; redo the whole pass in i32 lanes.
+    pcomm::work::record_class((m * n) as u64, pcomm::work::CostClass::SwStripedCell);
+    match lv {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: dispatch returns Avx2 only after runtime detection.
+        SimdLevel::Avx2 => unsafe { avx2_i32(r, c, params, &mut scratch.avx32, reverse) },
+        #[cfg(not(target_arch = "x86_64"))]
+        SimdLevel::Avx2 => run_config!(
+            kernel_i32,
+            kernel_i32_rev,
+            r,
+            c,
+            params,
+            &mut scratch.slp32,
+            reverse
+        ),
+        SimdLevel::Slp => run_config!(
+            kernel_i32,
+            kernel_i32_rev,
+            r,
+            c,
+            params,
+            &mut scratch.slp32,
+            reverse
+        ),
+        SimdLevel::Scalar => {
+            run_config!(
+                kernel_i32_s1,
+                kernel_i32_s1_rev,
+                r,
+                c,
+                params,
+                &mut scratch.sc32,
+                reverse
+            )
+        }
+    }
+}
 
 /// Striped best score and scalar-identical end cell (1-based inclusive),
 /// with automatic i16 → i32 overflow fallback.
@@ -264,36 +547,7 @@ fn striped_end_with(
     params: &AlignParams,
     scratch: &mut AlignScratch,
 ) -> (i32, usize, usize) {
-    let (m, n) = (r.len(), c.len());
-    if m == 0 || n == 0 {
-        return (0, 0, 0);
-    }
-    pcomm::work::record_class((m * n) as u64, pcomm::work::CostClass::SwStripedCell);
-    let (best, bi, bj) = kernel_i16(
-        r,
-        c,
-        params,
-        &mut scratch.prof16,
-        &mut scratch.prof16_key,
-        &mut scratch.h16_store,
-        &mut scratch.h16_load,
-        &mut scratch.e16,
-    );
-    if best < I16_SAFE {
-        return (best, bi, bj);
-    }
-    // The i16 lanes may have saturated; redo the whole pass in i32 lanes.
-    pcomm::work::record_class((m * n) as u64, pcomm::work::CostClass::SwStripedCell);
-    kernel_i32(
-        r,
-        c,
-        params,
-        &mut scratch.prof32,
-        &mut scratch.prof32_key,
-        &mut scratch.h32_store,
-        &mut scratch.h32_load,
-        &mut scratch.e32,
-    )
+    striped_pass(r, c, params, scratch, false)
 }
 
 /// Score-only striped local alignment: `(score, (r_end, c_end))` with
@@ -314,6 +568,26 @@ pub fn striped_score_with(
     (best, (bi as u32, bj as u32))
 }
 
+/// [`striped_score`] pinned to an explicit SIMD level, ignoring the
+/// process-wide dispatch decision. Requesting [`SimdLevel::Avx2`] on a
+/// host without AVX2 silently runs the SLP lanes instead (same results —
+/// every lane width is bit-identical). Benchmark/test entry point.
+pub fn striped_score_at_level(
+    level: SimdLevel,
+    r: &[u8],
+    c: &[u8],
+    params: &AlignParams,
+) -> (i32, (u32, u32)) {
+    let lv = match level {
+        SimdLevel::Avx2 if !dispatch::avx2_available() => SimdLevel::Slp,
+        other => other,
+    };
+    with_scratch(|s| {
+        let (best, bi, bj) = striped_pass_at(lv, r, c, params, s, false);
+        (best, (bi as u32, bj as u32))
+    })
+}
+
 /// Full local alignment on the striped engine. Returns [`AlignStats`]
 /// bit-identical to [`crate::smith_waterman`].
 pub fn striped_align(r: &[u8], c: &[u8], params: &AlignParams) -> AlignStats {
@@ -329,6 +603,47 @@ pub fn striped_align_with(
 ) -> AlignStats {
     let (best, bi, bj) = striped_end_with(r, c, params, scratch);
     striped_traceback_with(r, c, params, best, (bi as u32, bj as u32), scratch)
+}
+
+/// Reverse start-cell pass: the componentwise-smallest `(i, j)` any
+/// optimal path ending at `(bi, bj)` starts in, found by rerunning the
+/// striped score on the reversed prefixes and taking the componentwise
+/// *largest* cell attaining the best. The rectangle it spans therefore
+/// contains every optimal path — in particular the one the scalar engine
+/// traces — which is what makes the shrunk rerun bit-identical. Returns
+/// `(1, 1)` (no shrink) when the rectangle is too small to pay for the
+/// pass or when the reverse score fails its sanity check.
+fn span_start_with(
+    r: &[u8],
+    c: &[u8],
+    params: &AlignParams,
+    score: i32,
+    bi: usize,
+    bj: usize,
+    scratch: &mut AlignScratch,
+) -> (usize, usize) {
+    if bi * bj < SPAN_PASS_MIN {
+        return (1, 1);
+    }
+    let mut ra = std::mem::take(&mut scratch.rev_a);
+    let mut rb = std::mem::take(&mut scratch.rev_b);
+    ra.clear();
+    ra.extend(r[..bi].iter().rev());
+    rb.clear();
+    rb.extend(c[..bj].iter().rev());
+    let (rbest, ti, tj) = striped_pass(&ra, &rb, params, scratch, true);
+    scratch.rev_a = ra;
+    scratch.rev_b = rb;
+    // The reversed prefix problem has the same optimum (reverse both
+    // members of any path). Guarded at runtime so an impossible mismatch
+    // degrades to the unshrunk rectangle instead of a wrong traceback.
+    debug_assert_eq!(rbest, score, "reverse pass must reproduce the best score");
+    if rbest == score && ti >= 1 && tj >= 1 {
+        obs::counter!("align.span_pass", 1);
+        (bi - ti + 1, bj - tj + 1)
+    } else {
+        (1, 1)
+    }
 }
 
 /// Traceback pass alone: given the `(score, end)` that
@@ -365,26 +680,48 @@ pub fn striped_traceback_with(
     }
     stats.score = score;
     let (bi, bj) = (end.0 as usize, end.1 as usize);
-    // Second pass: scalar DP over the prefix rectangle ending at the best
-    // cell (the recurrence never looks right of or below it), keeping
-    // direction bytes only inside a diagonal band. Growing the band until
-    // the path fits makes the traceback identical to the full-matrix one.
-    let full = bi.max(bj) - 1;
-    let mut w = BAND_START.min(full).max(1);
+    // Third pass: scalar DP over the start→end rectangle (the recurrence
+    // never looks outside it), keeping direction bytes only inside a
+    // diagonal band. Growing the band until the path fits makes the
+    // traceback identical to the full-matrix one.
+    let (mut i_lo, mut j_lo) = span_start_with(r, c, params, score, bi, bj, scratch);
     loop {
-        pcomm::work::record_class((bi * bj) as u64, pcomm::work::CostClass::SwCell);
-        if banded_traceback(r, c, params, bi, bj, w, scratch, &mut stats) {
-            return stats;
+        let (sub_r, sub_c) = (&r[i_lo - 1..bi], &c[j_lo - 1..bj]);
+        let (rbi, rbj) = (bi - i_lo + 1, bj - j_lo + 1);
+        let full = (rbi.max(rbj) - 1).max(1);
+        let mut w = BAND_START.min(full);
+        loop {
+            pcomm::work::record_class((rbi * rbj) as u64, pcomm::work::CostClass::SwCell);
+            if banded_traceback(sub_r, sub_c, params, rbi, rbj, w, scratch, &mut stats) {
+                let (di, dj) = ((i_lo - 1) as u32, (j_lo - 1) as u32);
+                stats.r_span.0 += di;
+                stats.r_span.1 += di;
+                stats.c_span.0 += dj;
+                stats.c_span.1 += dj;
+                return stats;
+            }
+            if w >= full {
+                // A full-width band cannot be escaped, so the start-cell
+                // rectangle itself must have been too small — impossible
+                // per the containment argument, but degrade to the
+                // unshrunk rectangle rather than loop.
+                debug_assert!(i_lo > 1 || j_lo > 1, "full-width band cannot be escaped");
+                if i_lo == 1 && j_lo == 1 {
+                    return stats;
+                }
+                (i_lo, j_lo) = (1, 1);
+                break;
+            }
+            w = (w * 2).min(full);
         }
-        debug_assert!(w < full, "full-width band cannot be escaped");
-        w = (w * 2).min(full.max(1));
     }
 }
 
 /// Rerun the scalar recurrence over rows `1..=bi`, columns `1..=bj`,
 /// recording direction bytes only where `|(i − j) − (bi − bj)| ≤ w`, then
 /// trace back from `(bi, bj)` into `stats`. Returns `false` if the
-/// traceback left the band (caller retries with a wider one).
+/// traceback left the band (caller retries with a wider one) or the rerun
+/// failed to reach `stats.score` (caller retries with a larger rectangle).
 #[allow(clippy::too_many_arguments)]
 fn banded_traceback(
     r: &[u8],
@@ -484,6 +821,9 @@ fn banded_traceback(
         h_prev[bj], stats.score,
         "banded rerun disagrees with striped best"
     );
+    if h_prev[bj] != stats.score {
+        return false; // rectangle too small — caller widens it
+    }
 
     // Traceback, identical to the scalar engine's but over the band; any
     // access outside it aborts the attempt.
@@ -603,6 +943,48 @@ mod tests {
     }
 
     #[test]
+    fn all_lane_widths_match_scalar() {
+        // Drive each kernel instantiation directly (dispatch is cached
+        // per process, so the dispatched path alone cannot cover all
+        // three in one test run; verify.sh additionally runs the whole
+        // suite under each ALIGN_FORCE value).
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(31);
+        let p = AlignParams::default();
+        let mut b16 = StripedBufs::<i16, L16>::default();
+        let mut b1 = StripedBufs::<i16, 1>::default();
+        #[cfg(target_arch = "x86_64")]
+        let mut bw = StripedBufs::<i16, L16W>::default();
+        for _ in 0..25 {
+            let m = rng.random_range(1..120);
+            let n = rng.random_range(1..120);
+            let a: Vec<u8> = (0..m).map(|_| rng.random_range(0..24u8)).collect();
+            let b: Vec<u8> = (0..n).map(|_| rng.random_range(0..24u8)).collect();
+            let st = smith_waterman(&a, &b, &p);
+            let want = (st.score, st.r_span.1 as usize, st.c_span.1 as usize);
+            let got_slp = run_config!(kernel_i16, kernel_i16_rev, &a, &b, &p, &mut b16, false);
+            let got_s1 = run_config!(kernel_i16_s1, kernel_i16_s1_rev, &a, &b, &p, &mut b1, false);
+            if st.score > 0 {
+                assert_eq!(got_slp, want);
+                assert_eq!(got_s1, want);
+            } else {
+                assert_eq!(got_slp.0, 0);
+                assert_eq!(got_s1.0, 0);
+            }
+            #[cfg(target_arch = "x86_64")]
+            if crate::dispatch::level() == SimdLevel::Avx2 {
+                // SAFETY: AVX2 presence just checked via dispatch.
+                let got_w = unsafe { avx2_i16(&a, &b, &p, &mut bw, false) };
+                if st.score > 0 {
+                    assert_eq!(got_w, want);
+                } else {
+                    assert_eq!(got_w.0, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
     fn score_only_matches_full() {
         use rand::prelude::*;
         let mut rng = StdRng::seed_from_u64(13);
@@ -624,7 +1006,8 @@ mod tests {
     #[test]
     fn i16_overflow_falls_back_to_i32() {
         // 3500 tryptophans self-aligned score 3500·11 = 38500 > i16::MAX,
-        // forcing the wide-lane rerun.
+        // forcing the wide-lane rerun (and, at 3500² cells, the reverse
+        // start-cell pass in i32 lanes too).
         let s = vec![seqstore::encode_seq(b"W")[0]; 3500];
         let p = AlignParams::default();
         let (score, _) = striped_score(&s, &s, &p);
@@ -633,6 +1016,25 @@ mod tests {
         assert_eq!(st.score, 38500);
         assert_eq!(st.matches, 3500);
         assert_eq!(st.r_span, (0, 3500));
+    }
+
+    #[test]
+    fn span_pass_keeps_traceback_identical() {
+        // Big enough to trigger the reverse start-cell pass (> 128×128
+        // end rectangle), with the alignment confined to a small shared
+        // core so the rectangle actually shrinks.
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(53);
+        let p = AlignParams::default();
+        let core: Vec<u8> = (0..60).map(|_| rng.random_range(0..20u8)).collect();
+        for _ in 0..8 {
+            let mut a: Vec<u8> = (0..200).map(|_| rng.random_range(0..20u8)).collect();
+            let mut b: Vec<u8> = (0..200).map(|_| rng.random_range(0..20u8)).collect();
+            let (ia, ib) = (rng.random_range(100..180), rng.random_range(100..180));
+            a.splice(ia..ia, core.iter().copied());
+            b.splice(ib..ib, core.iter().copied());
+            assert_eq!(striped_align(&a, &b, &p), smith_waterman(&a, &b, &p));
+        }
     }
 
     #[test]

@@ -1,9 +1,11 @@
 //! Property-based tests of the alignment kernels: score bounds, symmetry,
-//! statistics consistency, the SW ≥ XD dominance relation, and
-//! striped-engine ↔ scalar-engine bit-identity.
+//! statistics consistency, the SW ≥ XD dominance relation,
+//! striped-engine ↔ scalar-engine bit-identity, and prefilter-cascade
+//! soundness (a culled pair is provably below the threshold).
 
 use align::{
-    smith_waterman, striped_align, striped_score, ungapped_xdrop, xdrop_align, AlignParams,
+    bitpack_bound, local_align, prefiltered_align_outcome, smith_waterman, striped_align,
+    striped_score, ungapped_xdrop, xdrop_align, AlignEngine, AlignParams, PrefilterOutcome,
 };
 use proptest::prelude::*;
 
@@ -129,6 +131,45 @@ proptest! {
     }
 
     #[test]
+    fn bitpack_bound_dominates_exact_score(
+        a in proptest::collection::vec(0u8..24, 0..150),
+        b in proptest::collection::vec(0u8..24, 0..150),
+        open in 0i32..14,
+        ext in 0i32..4,
+    ) {
+        // The gate's upper bound must dominate the exact score under any
+        // non-negative gap costs (it ignores gaps entirely).
+        let p = AlignParams { gap_open: open, gap_extend: ext, ..Default::default() };
+        let exact = smith_waterman(&a, &b, &p).score;
+        let bound = bitpack_bound(&a, &b, &p);
+        prop_assert!(bound >= exact, "bound {} < exact {}", bound, exact);
+    }
+
+    #[test]
+    fn cascade_cull_is_sound(
+        a in proptest::collection::vec(0u8..24, 0..120),
+        b in proptest::collection::vec(0u8..24, 0..120),
+        min_score in 1i32..900,
+        scalar in 0u32..2,
+    ) {
+        // Whatever tier culls a pair, the exact score must really miss the
+        // threshold; whatever passes must match the exact stats.
+        let engine = if scalar == 1 { AlignEngine::Scalar } else { AlignEngine::Striped };
+        let p = AlignParams { engine, ..Default::default() };
+        let full = local_align(&a, &b, &p);
+        match prefiltered_align_outcome(&a, &b, &p, min_score) {
+            PrefilterOutcome::Passed(st) => {
+                prop_assert!(full.score >= min_score);
+                prop_assert_eq!(st, full);
+            }
+            PrefilterOutcome::CulledBitpack | PrefilterOutcome::CulledScore => {
+                prop_assert!(full.score < min_score,
+                    "culled pair scores {} >= {}", full.score, min_score);
+            }
+        }
+    }
+
+    #[test]
     fn xdrop_score_monotone_in_x(
         a in proptest::collection::vec(0u8..20, 12..50),
         b in proptest::collection::vec(0u8..20, 12..50),
@@ -139,5 +180,71 @@ proptest! {
         let s_hi = xdrop_align(&a, &b, 0, 0, 4, &hi).score;
         // A wider band can only find an equal or better extension.
         prop_assert!(s_hi >= s_lo, "hi {} < lo {}", s_hi, s_lo);
+    }
+}
+
+/// Cascade soundness across 16 fixed seeds: every culled pair's exact
+/// scalar score really misses the threshold, and every passing pair's
+/// stats are bit-identical to the scalar engine's.
+#[test]
+fn cascade_sound_across_16_seeds() {
+    use rand::prelude::*;
+    for seed in 0..16u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = AlignParams::default();
+        for _ in 0..25 {
+            let m = rng.random_range(1..140);
+            let n = rng.random_range(1..140);
+            let a: Vec<u8> = (0..m).map(|_| rng.random_range(0..24u8)).collect();
+            let b: Vec<u8> = (0..n).map(|_| rng.random_range(0..24u8)).collect();
+            let min_score = rng.random_range(1..1200);
+            let full = smith_waterman(&a, &b, &p);
+            match prefiltered_align_outcome(&a, &b, &p, min_score) {
+                PrefilterOutcome::Passed(st) => {
+                    assert!(full.score >= min_score, "seed {seed}");
+                    assert_eq!(st, full, "seed {seed}");
+                }
+                _ => assert!(
+                    full.score < min_score,
+                    "seed {seed}: culled pair scores {} >= {min_score}",
+                    full.score
+                ),
+            }
+        }
+    }
+}
+
+/// i16-saturation edge cases: max-length all-identical-residue pairs push
+/// the exact score (and the gate's partial bounds) far past `i16::MAX`,
+/// forcing the striped engine's i32 fallback while the gate must still
+/// neither wrongly cull nor wrongly pass around the exact boundary.
+#[test]
+fn cascade_sound_under_i16_saturation() {
+    let p = AlignParams::default();
+    // Tryptophan self-alignment: exact score 11·len, far beyond i16.
+    let trp = seqstore::encode_seq(&b"W".repeat(4000));
+    let exact = 11 * 4000;
+    match prefiltered_align_outcome(&trp, &trp, &p, exact) {
+        PrefilterOutcome::Passed(st) => {
+            assert_eq!(st.score, exact);
+            assert_eq!(st.matches, 4000);
+        }
+        other => panic!("saturating self-pair wrongly culled: {other:?}"),
+    }
+    // Just past the bound: must cull (bound = (t_max + d_extra)·len).
+    let bound = bitpack_bound(&trp, &trp, &p);
+    assert!(bound >= exact);
+    assert!(matches!(
+        prefiltered_align_outcome(&trp, &trp, &p, bound + 1),
+        PrefilterOutcome::CulledBitpack
+    ));
+    // Identical long mixed-residue pair (max-length case): passes at its
+    // exact score, stats bit-identical to scalar.
+    let mixed: Vec<u8> = (0..6000).map(|i| (i % 20) as u8).collect();
+    let full = smith_waterman(&mixed, &mixed, &p);
+    assert!(full.score > i16::MAX as i32);
+    match prefiltered_align_outcome(&mixed, &mixed, &p, full.score) {
+        PrefilterOutcome::Passed(st) => assert_eq!(st, full),
+        other => panic!("saturating mixed pair wrongly culled: {other:?}"),
     }
 }

@@ -10,13 +10,28 @@
 //! - `striped_score`: [`align::striped_score`] (score + end cell only —
 //!   what score-threshold prefilters would use)
 //!
+//! A `cascade` section measures the prefilter-cascade tiers on workloads
+//! built to exercise them:
+//!
+//! - `bitpack_gate`: effective cull throughput (DP cells *avoided* per
+//!   second) of the Myers-bitpacked gate on short unrelated pairs at a
+//!   threshold every pair's upper bound provably misses
+//! - `striped_avx2`: the striped score pass pinned to the AVX2 lanes vs
+//!   pinned to the SLP lanes (only meaningful where AVX2 is detected)
+//! - `traceback_span`: full traceback on long pairs sharing only a short
+//!   homologous core, where the reverse start-cell pass shrinks the
+//!   traceback rectangle
+//!
 //! Writes `BENCH_align.json` to the working directory (override with
 //! `OUT=<path>`); `SCALE=<f64>` multiplies pair counts.
 
 use obs::Stopwatch;
 use std::fmt::Write as _;
 
-use align::{smith_waterman, striped_align, striped_score, AlignParams};
+use align::{
+    bitpack_bound, bitpack_gate, simd_level, smith_waterman, striped_align, striped_score,
+    striped_score_at_level, AlignParams, GateVerdict, SimdLevel,
+};
 use datagen::random_protein;
 use rand::prelude::*;
 
@@ -183,6 +198,137 @@ fn main() {
         score / scalar
     );
 
+    // ---- prefilter cascade tiers ----
+    let n = |base: usize| ((base as f64 * scale).round() as usize).max(2);
+    let mut rng = StdRng::seed_from_u64(4040);
+
+    // bitpack_gate: unrelated pairs at a threshold just above the loosest
+    // pair's upper bound, so the gate culls every pair the expensive way
+    // (the O(min(m,n)) length pre-bound must NOT fire — assert it can't —
+    // leaving the bit-parallel block loop to do the culling).
+    let gate_pairs: Vec<_> = (0..n(80)).map(|_| pair(&mut rng, 300, 1.0)).collect();
+    let max_bound = gate_pairs
+        .iter()
+        .map(|(a, b)| bitpack_bound(a, b, &p))
+        .max()
+        .expect("non-empty family");
+    let gate_min_score = max_bound + 1;
+    let len_bound = 11 * 300; // (t_max + d_extra) · min(m, n) for BLOSUM62
+    assert!(
+        gate_min_score < len_bound,
+        "gate threshold {gate_min_score} would trip the length pre-bound {len_bound}"
+    );
+    let gate_cells: u64 = gate_pairs
+        .iter()
+        .map(|(a, b)| (a.len() * b.len()) as u64)
+        .sum();
+    for (a, b) in &gate_pairs {
+        assert!(
+            matches!(bitpack_gate(a, b, &p, gate_min_score), GateVerdict::Culled),
+            "gate must cull every pair of this family"
+        );
+    }
+    let t_gate = time_best(reps, || {
+        gate_pairs
+            .iter()
+            .filter(|(a, b)| matches!(bitpack_gate(a, b, &p, gate_min_score), GateVerdict::Culled))
+            .count()
+    });
+    let t_gate_score = time_best(reps, || {
+        gate_pairs
+            .iter()
+            .map(|(a, b)| striped_score(a, b, &p).0 as i64)
+            .sum::<i64>()
+    });
+    let gate_cups = gate_cells as f64 / t_gate;
+    let gate_vs_score = t_gate_score / t_gate;
+    println!(
+        "\nbitpack_gate: {} culled pairs, {gate_cups:.3e} cells/s avoided ({gate_vs_score:.2}x striped_score)",
+        gate_pairs.len()
+    );
+
+    // striped_avx2: the score pass pinned to each lane width. The ratio is
+    // only emitted where AVX2 is actually detected (on other hosts both
+    // pins run the SLP lanes and the ratio would be noise around 1).
+    let avx2_detected = matches!(simd_level(), SimdLevel::Avx2);
+    let lane_pairs: Vec<_> = (0..n(40)).map(|_| pair(&mut rng, 800, 0.12)).collect();
+    let lane_cells: u64 = lane_pairs
+        .iter()
+        .map(|(a, b)| (a.len() * b.len()) as u64)
+        .sum();
+    for (a, b) in &lane_pairs {
+        assert_eq!(
+            striped_score_at_level(SimdLevel::Slp, a, b, &p),
+            striped_score_at_level(SimdLevel::Avx2, a, b, &p),
+            "lane widths disagree"
+        );
+    }
+    let t_slp = time_best(reps, || {
+        lane_pairs
+            .iter()
+            .map(|(a, b)| striped_score_at_level(SimdLevel::Slp, a, b, &p).0 as i64)
+            .sum::<i64>()
+    });
+    let t_avx2 = time_best(reps, || {
+        lane_pairs
+            .iter()
+            .map(|(a, b)| striped_score_at_level(SimdLevel::Avx2, a, b, &p).0 as i64)
+            .sum::<i64>()
+    });
+    let (slp_cups, avx2_cups) = (lane_cells as f64 / t_slp, lane_cells as f64 / t_avx2);
+    println!(
+        "striped_avx2: slp {slp_cups:.3e}  avx2 {avx2_cups:.3e} ({:.2}x){}",
+        avx2_cups / slp_cups,
+        if avx2_detected {
+            ""
+        } else {
+            "  [avx2 not detected: both pins ran slp]"
+        }
+    );
+
+    // traceback_span: long flanked pairs sharing an identical 80-residue
+    // core — the reverse start-cell pass confines the traceback rerun to
+    // the core's rectangle instead of the full prefix rectangle.
+    let span_pairs: Vec<_> = (0..n(40))
+        .map(|_| {
+            let core = random_protein(&mut rng, 80);
+            let mut a = random_protein(&mut rng, 600);
+            let mut b = random_protein(&mut rng, 600);
+            let (ra, rb) = (rng.random_range(100..420), rng.random_range(100..420));
+            a.splice(ra..ra + 80, core.iter().copied());
+            b.splice(rb..rb + 80, core.iter().copied());
+            (a, b)
+        })
+        .collect();
+    let span_cells: u64 = span_pairs
+        .iter()
+        .map(|(a, b)| (a.len() * b.len()) as u64)
+        .sum();
+    for (a, b) in &span_pairs {
+        assert_eq!(
+            striped_align(a, b, &p),
+            smith_waterman(a, b, &p),
+            "span-pass traceback must stay bit-identical"
+        );
+    }
+    let t_span = time_best(reps, || {
+        span_pairs
+            .iter()
+            .map(|(a, b)| striped_align(a, b, &p).score as i64)
+            .sum::<i64>()
+    });
+    let t_span_scalar = time_best(reps, || {
+        span_pairs
+            .iter()
+            .map(|(a, b)| smith_waterman(a, b, &p).score as i64)
+            .sum::<i64>()
+    });
+    let span_cups = span_cells as f64 / t_span;
+    println!(
+        "traceback_span: {span_cups:.3e} cells/s ({:.2}x scalar)",
+        t_span_scalar / t_span
+    );
+
     let mut json = String::from("{\n  \"bench\": \"align_engines\",\n  \"unit\": \"dp_cells_per_sec\",\n  \"families\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(
@@ -201,9 +347,30 @@ fn main() {
     }
     let _ = write!(
         json,
-        "  ],\n  \"aggregate\": {{\"scalar\": {scalar:.1}, \"striped\": {striped:.1}, \"striped_score\": {score:.1}, \"speedup_striped\": {:.3}, \"speedup_striped_score\": {:.3}}}\n}}\n",
+        "  ],\n  \"aggregate\": {{\"scalar\": {scalar:.1}, \"striped\": {striped:.1}, \"striped_score\": {score:.1}, \"speedup_striped\": {:.3}, \"speedup_striped_score\": {:.3}}},\n",
         striped / scalar,
         score / scalar
+    );
+    let _ = writeln!(
+        json,
+        "  \"cascade\": {{\n    \"bitpack_gate\": {{\"pairs\": {}, \"cells\": {gate_cells}, \"min_score\": {gate_min_score}, \"cells_per_sec\": {gate_cups:.1}, \"vs_striped_score\": {gate_vs_score:.3}}},",
+        gate_pairs.len()
+    );
+    let vs_slp = if avx2_detected {
+        format!(", \"vs_slp\": {:.3}", avx2_cups / slp_cups)
+    } else {
+        String::new()
+    };
+    let _ = writeln!(
+        json,
+        "    \"striped_avx2\": {{\"pairs\": {}, \"cells\": {lane_cells}, \"avx2_detected\": {avx2_detected}, \"slp\": {slp_cups:.1}, \"avx2\": {avx2_cups:.1}{vs_slp}}},",
+        lane_pairs.len()
+    );
+    let _ = writeln!(
+        json,
+        "    \"traceback_span\": {{\"pairs\": {}, \"cells\": {span_cells}, \"cells_per_sec\": {span_cups:.1}, \"vs_scalar\": {:.3}}}\n  }}\n}}",
+        span_pairs.len(),
+        t_span_scalar / t_span
     );
     std::fs::write(&out_path, json).expect("write BENCH_align.json");
     println!("wrote {out_path}");

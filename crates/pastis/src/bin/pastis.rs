@@ -182,6 +182,28 @@ fn main() {
         let model = pcomm::CostModel::default();
         let rows = obs::dissect::dissect(&traces, &Timings::STAGE_SPANS, model.alpha, model.beta);
         eprintln!("{}", obs::dissect::render_dissection(&rows));
+        // Prefilter cascade tier outcomes, merged across ranks: how many
+        // pairs each tier absorbed (the bitpacked gate is ~20× cheaper per
+        // cell than the striped score pass, so its cull share is the win).
+        let metrics = obs::MetricsSnapshot::merged(
+            &traces.iter().map(|t| t.metrics.clone()).collect::<Vec<_>>(),
+        );
+        let tier = |k: &str| metrics.counters.get(k).copied().unwrap_or(0);
+        let (bp, sc, ok) = (
+            tier("prefilter.bitpack_culled"),
+            tier("prefilter.striped_culled"),
+            tier("prefilter.passed"),
+        );
+        if bp + sc + ok > 0 {
+            let total = (bp + sc + ok) as f64;
+            eprintln!(
+                "pastis: prefilter cascade: {bp} bitpack-culled ({:.1}%), \
+                 {sc} score-culled ({:.1}%), {ok} passed ({:.1}%)",
+                100.0 * bp as f64 / total,
+                100.0 * sc as f64 / total,
+                100.0 * ok as f64 / total,
+            );
+        }
         eprintln!("pastis: wrote Perfetto trace to {path} (open at https://ui.perfetto.dev)");
     }
 

@@ -9,7 +9,8 @@
 use std::rc::Rc;
 
 use align::{
-    align_batch, prefiltered_align, striped_score, xdrop_align, AlignStats, SimilarityMeasure,
+    align_batch, bitpack_gate, prefiltered_align_outcome, striped_score, xdrop_align, AlignStats,
+    GateVerdict, PrefilterOutcome, SimilarityMeasure,
 };
 use pcomm::{Comm, CommStats, Grid};
 use seqstore::DistSeqStore;
@@ -301,11 +302,21 @@ pub struct Counters {
     pub candidates_local: u64,
     /// Alignments this rank performed (after the CK threshold).
     pub alignments_local: u64,
-    /// Pairs this rank's score-only prefilter culled before traceback
-    /// (`min_score`; always 0 in x-drop mode unless opted in).
-    pub prefilter_culled_local: u64,
-    /// Total prefilter-culled pairs across ranks.
-    pub prefilter_culled_global: u64,
+    /// Pairs the bitpacked gate tier culled on this rank — the score
+    /// *upper bound* already missed `min_score`, so no exact DP ran
+    /// (always 0 in x-drop mode unless `min_score > 1` opts the prefilter
+    /// in).
+    pub prefilter_bitpack_culled_local: u64,
+    /// Pairs the exact score tier culled on this rank after the gate
+    /// passed them (striped score-only pass, or the full DP on the scalar
+    /// engine).
+    pub prefilter_striped_culled_local: u64,
+    /// Pairs that survived the whole prefilter cascade on this rank.
+    pub prefilter_passed_local: u64,
+    /// Cascade tier totals across ranks.
+    pub prefilter_bitpack_culled_global: u64,
+    pub prefilter_striped_culled_global: u64,
+    pub prefilter_passed_global: u64,
     /// Total alignments across ranks.
     pub alignments_global: u64,
     /// Total surviving edges across ranks.
@@ -490,8 +501,12 @@ pub fn run_pipeline(comm: &Comm, fasta: &[u8], params: &PastisParams) -> PastisR
         };
 
         counters.alignments_global = comm.allreduce(counters.alignments_local, |a, b| a + b);
-        counters.prefilter_culled_global =
-            comm.allreduce(counters.prefilter_culled_local, |a, b| a + b);
+        counters.prefilter_bitpack_culled_global =
+            comm.allreduce(counters.prefilter_bitpack_culled_local, |a, b| a + b);
+        counters.prefilter_striped_culled_global =
+            comm.allreduce(counters.prefilter_striped_culled_local, |a, b| a + b);
+        counters.prefilter_passed_global =
+            comm.allreduce(counters.prefilter_passed_local, |a, b| a + b);
         counters.edges_global = comm.allreduce(edges.len() as u64, |a, b| a + b);
         (edges, counters)
     };
@@ -550,15 +565,20 @@ fn batch_threads(params: &PastisParams, grid: &Grid) -> usize {
     }
 }
 
-/// Outcome of one candidate pair's alignment attempt. `Culled` is distinct
-/// from `Skipped` because a culled pair under `min_score > 1` may still
-/// have a positive score — statistics must not conflate "prefilter said
-/// no" with "nothing aligned".
+/// Outcome of one candidate pair's alignment attempt. The culled variants
+/// are distinct from `Skipped` because a culled pair under `min_score > 1`
+/// may still have a positive score — statistics must not conflate
+/// "prefilter said no" with "nothing aligned" — and distinct from each
+/// other so the dissection can report how much work each cascade tier
+/// absorbed.
 enum PairVerdict {
     /// Alignment ran to completion.
     Stats(AlignStats),
-    /// The score-only prefilter culled the pair before traceback.
-    Culled,
+    /// The bitpacked gate culled the pair on its score upper bound; no
+    /// exact DP ran.
+    CulledBitpack,
+    /// The exact score tier culled the pair before traceback.
+    CulledScore,
     /// No alignment attempted (mode `None`) or no usable seed.
     Skipped,
 }
@@ -577,9 +597,10 @@ fn align_pair(
         AlignMode::SmithWaterman => {
             let r = &store.row_seq(gi).expect("row sequence prefetched").data;
             let c = &store.col_seq(gj).expect("col sequence prefetched").data;
-            match prefiltered_align(r, c, ap, params.min_score) {
-                Some(st) => PairVerdict::Stats(st),
-                None => PairVerdict::Culled,
+            match prefiltered_align_outcome(r, c, ap, params.min_score) {
+                PrefilterOutcome::Passed(st) => PairVerdict::Stats(st),
+                PrefilterOutcome::CulledBitpack => PairVerdict::CulledBitpack,
+                PrefilterOutcome::CulledScore => PairVerdict::CulledScore,
             }
         }
         AlignMode::XDrop => {
@@ -588,12 +609,20 @@ fn align_pair(
             // Score-only pre-cull is opt-in for x-drop (`min_score > 1`):
             // the full-matrix score pass costs O(m·n), which x-drop exists
             // to avoid, but a high threshold can still pay for itself by
-            // skipping whole seed loops.
+            // skipping whole seed loops. The bitpacked gate runs first —
+            // its cull implies the exact score misses the threshold, so
+            // the verdict matches what the score pass would have returned.
             if params.min_score > 1 {
+                if let GateVerdict::Culled = bitpack_gate(r, c, ap, params.min_score) {
+                    obs::counter!("prefilter.bitpack_culled", 1);
+                    return PairVerdict::CulledBitpack;
+                }
                 let (score, _) = striped_score(r, c, ap);
                 if score < params.min_score {
-                    return PairVerdict::Culled;
+                    obs::counter!("prefilter.striped_culled", 1);
+                    return PairVerdict::CulledScore;
                 }
+                obs::counter!("prefilter.passed", 1);
             }
             // Extend from each stored seed, keeping the best score
             // (paper §IV-E). Seeds on the same diagonal extend through
@@ -666,20 +695,24 @@ fn align_tasks(
             }
             _ => match verdict {
                 PairVerdict::Skipped => {}
-                PairVerdict::Culled => counters.prefilter_culled_local += 1,
-                PairVerdict::Stats(st) => match params.measure {
-                    SimilarityMeasure::Ani => {
-                        if st.passes_filter(params.min_ani, params.min_coverage) {
-                            edges.push((lo, hi, st.ani()));
+                PairVerdict::CulledBitpack => counters.prefilter_bitpack_culled_local += 1,
+                PairVerdict::CulledScore => counters.prefilter_striped_culled_local += 1,
+                PairVerdict::Stats(st) => {
+                    counters.prefilter_passed_local += 1;
+                    match params.measure {
+                        SimilarityMeasure::Ani => {
+                            if st.passes_filter(params.min_ani, params.min_coverage) {
+                                edges.push((lo, hi, st.ani()));
+                            }
+                        }
+                        SimilarityMeasure::NormalizedScore => {
+                            // The paper applies no cut-off under NS (§VI-B).
+                            if st.score > 0 {
+                                edges.push((lo, hi, st.normalized_score()));
+                            }
                         }
                     }
-                    SimilarityMeasure::NormalizedScore => {
-                        // The paper applies no cut-off under NS (§VI-B).
-                        if st.score > 0 {
-                            edges.push((lo, hi, st.normalized_score()));
-                        }
-                    }
-                },
+                }
             },
         }
     }

@@ -1,6 +1,6 @@
 //! `xlint` — repository-specific lint gates that `clippy` cannot express.
 //!
-//! Four rules, chosen because each guards an invariant another layer of
+//! Five rules, chosen because each guards an invariant another layer of
 //! this workspace depends on:
 //!
 //! - **safety-comment** — every `unsafe` token must have a `// SAFETY:`
@@ -21,6 +21,11 @@
 //!   `work::record_class`, so every cost constant lives in the `CostClass`
 //!   table and stays overridable by a calibrated machine profile; an
 //!   inline literal elsewhere would silently escape calibration.
+//! - **feature-detect** — `is_x86_feature_detected!` is confined to
+//!   `crates/align/src/dispatch.rs`. Runtime CPU dispatch must go through
+//!   one cached, `ALIGN_FORCE`-overridable decision point; a stray probe
+//!   elsewhere would fork the dispatch policy and escape the forced-lane
+//!   test matrix.
 //!
 //! `tests/` and `benches/` directories are exempt from the confinement
 //! rules (not from safety-comment). A finding can be waived in place with a
@@ -35,11 +40,12 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const RULES: [&str; 4] = [
+const RULES: [&str; 5] = [
     "safety-comment",
     "thread-spawn",
     "instant-now",
     "cost-literal",
+    "feature-detect",
 ];
 
 /// How many lines above an `unsafe` token a `SAFETY:` comment may sit.
@@ -58,6 +64,9 @@ const INSTANT_ALLOWED: [&str; 3] = ["crates/obs/", "crates/pcomm/", "shims/crite
 
 const COST_TOKEN: &str = "work::record";
 const COST_ALLOWED: [&str; 1] = ["crates/pcomm/src/work.rs"];
+
+const FEATURE_TOKEN: &str = "is_x86_feature_detected";
+const FEATURE_ALLOWED: [&str; 1] = ["crates/align/src/dispatch.rs"];
 
 #[derive(Debug, PartialEq, Eq)]
 struct Finding {
@@ -294,6 +303,22 @@ fn scan_source(rel: &str, src: &str) -> Vec<Finding> {
                     ),
                 ));
             }
+
+            if !FEATURE_ALLOWED.iter().any(|p| rel.starts_with(p))
+                && has_token(cl, FEATURE_TOKEN)
+                && !waived(&raw, i, "feature-detect")
+            {
+                findings.push(finding(
+                    i,
+                    "feature-detect",
+                    format!(
+                        "is_x86_feature_detected! outside {} — dispatch \
+                         through align::simd_level so ALIGN_FORCE and the \
+                         forced-lane tests stay authoritative",
+                        FEATURE_ALLOWED.join(", ")
+                    ),
+                ));
+            }
         }
     }
     findings
@@ -441,6 +466,25 @@ mod tests {
         // In-place waiver.
         let waived = "fn f() { pcomm::work::record(1, 1); } // xlint: allow(cost-literal)\n";
         assert!(scan_source("crates/align/src/engine.rs", waived).is_empty());
+    }
+
+    #[test]
+    fn feature_detect_confinement() {
+        let src = "fn f() -> bool { std::arch::is_x86_feature_detected!(\"avx2\") }\n";
+        let f = scan_source("crates/align/src/striped.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "feature-detect");
+        // The dispatch module owns runtime CPU probing.
+        assert!(scan_source("crates/align/src/dispatch.rs", src).is_empty());
+        // Test trees are exempt.
+        assert!(scan_source("crates/align/tests/t.rs", src).is_empty());
+        // Doc comments never trip the rule.
+        let doc = "/// is_x86_feature_detected! lives in dispatch\nfn f() {}\n";
+        assert!(scan_source("crates/align/src/striped.rs", doc).is_empty());
+        // In-place waiver.
+        let waived = "fn f() { std::arch::is_x86_feature_detected!(\"avx2\"); } \
+                      // xlint: allow(feature-detect)\n";
+        assert!(scan_source("crates/align/src/striped.rs", waived).is_empty());
     }
 
     #[test]

@@ -19,6 +19,13 @@ cargo test -q -p obs --test perfetto_schema
 # ledger and finalize audit enforced (release builds default PCHECK off,
 # so force it on here).
 PCHECK=1 cargo test -q --release -p pastis --test stream_equivalence
+# Forced-dispatch matrix: the striped kernels and the prefilter cascade
+# must be bit-identical to the scalar oracle under every SIMD lane the
+# dispatcher can pick (ALIGN_FORCE pins the lane; avx2 silently degrades
+# to slp on hosts without it, so the lane is exercised wherever possible).
+for lane in scalar slp avx2; do
+    ALIGN_FORCE="$lane" cargo test -q --release -p align --test proptest_align
+done
 cargo clippy --all-targets -- -D warnings
 # Workspace lint gates: SAFETY comments on unsafe, thread-spawn confinement,
 # Instant::now confinement, cost-literal confinement. See crates/xlint.
