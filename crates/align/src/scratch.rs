@@ -89,6 +89,50 @@ pub struct AlignScratch {
     pub(crate) rev_b: Vec<u8>,
 }
 
+impl<T, const L: usize> StripedBufs<T, L> {
+    fn heap_bytes(&self) -> usize {
+        let lane = std::mem::size_of::<[T; L]>();
+        (self.prof.capacity()
+            + self.rprof.capacity()
+            + self.h_store.capacity()
+            + self.h_load.capacity()
+            + self.e.capacity())
+            * lane
+            + self.prof_key.as_ref().map_or(0, |(k, _)| k.capacity())
+            + self.rprof_key.as_ref().map_or(0, |(k, _)| k.capacity())
+    }
+}
+
+impl obs::HeapSize for AlignScratch {
+    fn heap_bytes(&self) -> usize {
+        let i32s = |v: &Vec<i32>| v.capacity() * 4;
+        let xd = &self.xd;
+        let bp = &self.bp;
+        i32s(&self.h_prev)
+            + i32s(&self.h_curr)
+            + i32s(&self.f_row)
+            + self.dirs.capacity()
+            + self.band_dirs.capacity()
+            + self.slp16.heap_bytes()
+            + self.slp32.heap_bytes()
+            + self.avx16.heap_bytes()
+            + self.avx32.heap_bytes()
+            + self.sc16.heap_bytes()
+            + self.sc32.heap_bytes()
+            + i32s(&xd.row_h)
+            + i32s(&xd.row_f)
+            + i32s(&xd.spare_h)
+            + i32s(&xd.spare_f)
+            + xd.dir_flat.capacity()
+            + xd.dir_rows.capacity() * std::mem::size_of::<(usize, usize, usize)>()
+            + bp.key.as_ref().map_or(0, |(k, _)| k.capacity())
+            + (bp.m_rel.capacity() + bp.m_id.capacity() + bp.v_rel.capacity() + bp.v_id.capacity())
+                * 8
+            + self.rev_a.capacity()
+            + self.rev_b.capacity()
+    }
+}
+
 impl AlignScratch {
     pub fn new() -> Self {
         AlignScratch::default()
@@ -111,6 +155,14 @@ thread_local! {
 
 /// Run `f` with this thread's alignment scratch arena. The arena persists
 /// for the thread's lifetime, so repeated kernel calls reuse its buffers.
+/// Every call re-probes the arena's footprint into the `align.scratch`
+/// watermark gauge (an O(1) capacity sum; no-op without a recorder), so
+/// the memory observatory sees the arena at its largest.
 pub fn with_scratch<R>(f: impl FnOnce(&mut AlignScratch) -> R) -> R {
-    TLS_SCRATCH.with(|s| f(&mut s.borrow_mut()))
+    TLS_SCRATCH.with(|s| {
+        let arena = &mut *s.borrow_mut();
+        let r = f(arena);
+        obs::alloc::probe("mem.watermark.align.scratch", arena);
+        r
+    })
 }

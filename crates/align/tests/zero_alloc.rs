@@ -3,41 +3,10 @@
 //! Once the thread-local scratch arenas have seen the largest task of a
 //! batch, re-running the batch must not touch the heap beyond the single
 //! output vector — per-task allocations would dominate the runtime of
-//! small alignments. This file holds exactly one test so no concurrent
-//! test can perturb the global counter.
-
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
-
-struct CountingAlloc;
-
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
-
-// SAFETY: pure pass-through to `System` plus a relaxed counter bump; every
-// GlobalAlloc contract obligation is delegated unchanged.
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        // SAFETY: forwarding the caller's layout to the system allocator.
-        unsafe { System.alloc(layout) }
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        // SAFETY: `ptr`/`layout` come from a matching `alloc` per the
-        // GlobalAlloc contract and are forwarded unchanged.
-        unsafe { System.dealloc(ptr, layout) }
-    }
-
-    // SAFETY: same contract forwarding as `dealloc`.
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        // SAFETY: see the impl-level comment.
-        unsafe { System.realloc(ptr, layout, new_size) }
-    }
-}
-
-#[global_allocator]
-static COUNTER: CountingAlloc = CountingAlloc;
+//! small alignments. Counting goes through the workspace-wide tracking
+//! allocator in `obs::alloc` (the only `#[global_allocator]` in the
+//! workspace). This file holds exactly one test so no concurrent test can
+//! perturb the global counter.
 
 #[test]
 fn steady_state_batch_does_not_allocate_per_task() {
@@ -81,12 +50,16 @@ fn steady_state_batch_does_not_allocate_per_task() {
         })
     };
 
+    // Count through the workspace tracking allocator; forced on so the
+    // test also holds in release builds (`ALLOC_TRACK` defaults off there).
+    obs::alloc::set_tracking(true);
+
     // Warm-up pass grows every arena buffer to the batch's high-water mark.
     let want = run(&tasks);
 
-    let before = ALLOCS.load(Ordering::Relaxed);
+    let before = obs::alloc::total_allocs();
     let got = run(&tasks);
-    let after = ALLOCS.load(Ordering::Relaxed);
+    let after = obs::alloc::total_allocs();
     assert_eq!(got, want);
 
     // The only permitted allocation is the output Vec of align_batch (its

@@ -11,7 +11,9 @@
 //!   BENCH_scale.json`; additionally diff any current `BENCH_align.json`
 //!   / `BENCH_obs.json` present in the working directory (those are
 //!   wall-clock benches, so they are only compared when freshly
-//!   produced). Skips with a note when no baseline is committed.
+//!   produced). Skips with a note when no baseline is committed, and
+//!   likewise when a committed baseline predates the current document
+//!   schema (rerun the bench bins to re-arm those checks).
 //!
 //! `BASELINE=<dir>` overrides the baseline directory (default
 //! `results/baseline`).
@@ -50,6 +52,11 @@ fn run_schema() -> Result<(), String> {
             continue;
         }
         let doc = read_doc(&path)?;
+        if let Some(note) = gate::schema_age(file, &doc) {
+            println!("schema STALE: {} — {note}", path.display());
+            checked += 1;
+            continue;
+        }
         gate::validate(file, &doc).map_err(|e| format!("{}: {e}", dir.display()))?;
         println!("schema OK: {}", path.display());
         checked += 1;
@@ -79,6 +86,10 @@ fn run_gate() -> Result<bool, String> {
             continue;
         }
         let doc = read_doc(&path)?;
+        if let Some(note) = gate::schema_age(file, &doc) {
+            println!("bench_gate: {file} baseline {note}; skipping its checks");
+            continue;
+        }
         gate::validate(file, &doc)?;
         if file == "BENCH_scale.json" {
             // Deterministic: regenerate under the committed profile.

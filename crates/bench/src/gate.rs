@@ -72,6 +72,15 @@ pub const CHECKS: &[Check] = &[
         direction: Direction::AbsDelta,
         tolerance: 2.0,
     },
+    // Flight-recorder macro overhead on the pipeline: the on/off wall-time
+    // ratio sits at ~1.0, so LowerBetter with a 3% band enforces the
+    // "< 3% overhead" promise as long as the baseline itself is honest.
+    Check {
+        file: "BENCH_obs.json",
+        path: &["blackbox", "overhead_ratio"],
+        direction: Direction::LowerBetter,
+        tolerance: 0.03,
+    },
     Check {
         file: "BENCH_scale.json",
         path: &["summary", "total_secs"],
@@ -249,6 +258,30 @@ pub fn run(
     (outcomes, all_ok)
 }
 
+/// Whether `doc` predates the current schema for `file`, returning the
+/// human-readable reason when it does. `bench_gate` treats a stale
+/// *baseline* as skip-with-note rather than failure — a schema bump would
+/// otherwise turn every checkout red until someone reruns the bench bins —
+/// while freshly produced documents always validate against the current
+/// schema.
+pub fn schema_age(file: &str, doc: &JsonValue) -> Option<String> {
+    match file {
+        "BENCH_scale.json" => {
+            let v = doc.get("version").and_then(JsonValue::as_u64).unwrap_or(0);
+            (v < crate::SCALE_SCHEMA_VERSION).then(|| {
+                format!(
+                    "schema v{v} predates v{} (no memory section) — regenerate with the `scale` bin",
+                    crate::SCALE_SCHEMA_VERSION
+                )
+            })
+        }
+        "BENCH_obs.json" => doc.get("blackbox").is_none().then(|| {
+            "predates the flight-recorder section — regenerate with the `obsperf` bin".into()
+        }),
+        _ => None,
+    }
+}
+
 /// Schema validation for one bench document by file name. Unknown file
 /// names are an error (the gate only reads files it understands).
 pub fn validate(file: &str, doc: &JsonValue) -> Result<(), String> {
@@ -288,7 +321,12 @@ pub fn validate(file: &str, doc: &JsonValue) -> Result<(), String> {
         }
         "BENCH_obs.json" => {
             expect_bench("obs_overhead")?;
-            expect_num(&["overhead_pct"])
+            expect_num(&["overhead_pct"])?;
+            expect_num(&["blackbox", "overhead_ratio"])?;
+            if lookup(doc, &["blackbox", "overhead_ratio"]).unwrap_or(0.0) <= 0.0 {
+                return Err(format!("{file}: blackbox.overhead_ratio must be positive"));
+            }
+            Ok(())
         }
         "BENCH_scale.json" => {
             expect_bench("scale_projection")?;
@@ -428,16 +466,26 @@ mod tests {
     fn schema_validation_catches_bad_documents() {
         assert!(validate("BENCH_align.json", &align_doc(1.0e9)).is_ok());
         assert!(validate("BENCH_align.json", &align_doc(-1.0)).is_err());
-        assert!(validate(
-            "BENCH_obs.json",
-            &JsonValue::parse("{\"bench\":\"obs_overhead\",\"overhead_pct\":0.4}").unwrap()
-        )
-        .is_ok());
+        let obs_doc = "{\"bench\":\"obs_overhead\",\"overhead_pct\":0.4,\
+             \"blackbox\":{\"overhead_ratio\":1.004}}";
+        assert!(validate("BENCH_obs.json", &JsonValue::parse(obs_doc).unwrap()).is_ok());
         assert!(validate(
             "BENCH_obs.json",
             &JsonValue::parse("{\"bench\":\"align_engines\",\"overhead_pct\":0.4}").unwrap()
         )
         .is_err());
+        // Missing flight-recorder section: invalid as a *current* document…
+        let old_obs =
+            JsonValue::parse("{\"bench\":\"obs_overhead\",\"overhead_pct\":0.4}").unwrap();
+        assert!(validate("BENCH_obs.json", &old_obs).is_err());
+        // …but recognizably *stale* rather than malformed, so the gate can
+        // skip an old baseline with a note.
+        assert!(schema_age("BENCH_obs.json", &old_obs).is_some());
+        assert!(schema_age("BENCH_obs.json", &JsonValue::parse(obs_doc).unwrap()).is_none());
+        let old_scale = JsonValue::parse("{\"schema\":\"bench_scale\",\"version\":2}").unwrap();
+        assert!(schema_age("BENCH_scale.json", &old_scale)
+            .unwrap()
+            .contains("v2"));
         assert!(validate("BENCH_other.json", &align_doc(1.0)).is_err());
     }
 }

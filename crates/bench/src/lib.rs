@@ -130,8 +130,9 @@ pub const SCALE_RECORD_P: usize = 16;
 pub const SCALE_KSEQS: f64 = 2.0;
 /// Dataset seed of the reference recording.
 pub const SCALE_SEED: u64 = 14;
-/// Schema version of the BENCH_scale document.
-pub const SCALE_SCHEMA_VERSION: u64 = 2;
+/// Schema version of the BENCH_scale document. v3 added the memory
+/// section (`watermarks` + `mem` projections).
+pub const SCALE_SCHEMA_VERSION: u64 = 3;
 
 /// Pipeline parameters of the reference scaling recording: the paper's
 /// PASTIS-XD fast mode, one thread per rank so the recording itself is
@@ -229,6 +230,47 @@ pub fn render_share_table(projections: &[Projection]) -> String {
             }
         );
     }
+    out
+}
+
+/// Render the projected per-rank peak-memory table: one row per target
+/// rank count, one column per watermarked structure, plus the summed
+/// per-rank upper bound. The first row is the recording itself (growth
+/// factor 1 everywhere).
+pub fn render_mem_table(
+    p_recorded: usize,
+    watermarks: &[(String, u64)],
+    mem: &[pcomm::MemProjection],
+) -> String {
+    use obs::dissect::human_bytes;
+    use std::fmt::Write as _;
+    let mut names: Vec<&str> = watermarks.iter().map(|(n, _)| n.as_str()).collect();
+    names.sort_unstable();
+    let mut out = String::new();
+    let _ = write!(out, "{:>8}", "p");
+    for n in &names {
+        let _ = write!(out, "{n:>18}");
+    }
+    let _ = writeln!(out, "{:>14}", "peak (bound)");
+    let row = |out: &mut String, label: String, by: &[(String, u64)], peak: u64| {
+        let _ = write!(out, "{label:>8}");
+        for n in &names {
+            let cell = by
+                .iter()
+                .find(|(k, _)| k == n)
+                .map(|&(_, b)| human_bytes(b))
+                .unwrap_or_else(|| "-".into());
+            let _ = write!(out, "{cell:>18}");
+        }
+        let _ = writeln!(out, "{:>14}", human_bytes(peak));
+    };
+    let recorded: Vec<(String, u64)> = watermarks.to_vec();
+    let rec_peak: u64 = watermarks.iter().map(|&(_, b)| b).sum();
+    row(&mut out, format!("{p_recorded}*"), &recorded, rec_peak);
+    for m in mem {
+        row(&mut out, m.p.to_string(), &m.by_structure, m.peak_bytes);
+    }
+    out.push_str("(* = recorded; peak is the sum of structure peaks, an upper bound)\n");
     out
 }
 
@@ -352,6 +394,12 @@ pub struct ScaleReport {
     pub whatif: Vec<WhatIfOverlap>,
     /// Overlap measured from the streamed recording at `p_recorded`.
     pub overlap: MeasuredOverlap,
+    /// Per-structure peak heap bytes measured by the recording's
+    /// `HeapSize` watermark probes (max across ranks, prefix stripped).
+    pub watermarks: Vec<(String, u64)>,
+    /// Per-rank peak-memory projections, one per entry of [`FIG14_NODES`],
+    /// from the profile's byte-growth laws applied to `watermarks`.
+    pub mem: Vec<pcomm::MemProjection>,
 }
 
 impl ScaleReport {
@@ -368,12 +416,20 @@ impl ScaleReport {
             .map(|p| p.whatif_overlap(&model, "(AS)AT", "align"))
             .collect();
         let overlap = MeasuredOverlap::measure(&runs, &model);
+        let traces: Vec<obs::RankTrace> = runs.iter().map(|r| r.trace.clone()).collect();
+        let watermarks = obs::project::extract_mem_watermarks(&traces);
+        let mem = FIG14_NODES
+            .iter()
+            .map(|&p| pcomm::project_mem(&watermarks, runs.len(), profile, p))
+            .collect();
         ScaleReport {
             p_recorded: runs.len(),
             profile_host: profile.host.clone(),
             projections,
             whatif,
             overlap,
+            watermarks,
+            mem,
         }
     }
 
@@ -410,6 +466,12 @@ impl ScaleReport {
                 w.saved_pct()
             );
         }
+        out.push_str("\n== projected per-rank peak memory (growth laws) ==\n");
+        out.push_str(&render_mem_table(
+            self.p_recorded,
+            &self.watermarks,
+            &self.mem,
+        ));
         let o = &self.overlap;
         out.push_str("\n== measured overlap (streamed pipeline, recorded grid) ==\n");
         let _ = writeln!(
@@ -466,6 +528,19 @@ impl ScaleReport {
             ),
         );
         o.insert("overlap".into(), self.overlap.to_json());
+        o.insert(
+            "watermarks".into(),
+            JsonValue::Obj(
+                self.watermarks
+                    .iter()
+                    .map(|(k, b)| (k.clone(), JsonValue::Num(*b as f64)))
+                    .collect(),
+            ),
+        );
+        o.insert(
+            "mem".into(),
+            JsonValue::Arr(self.mem.iter().map(pcomm::MemProjection::to_json).collect()),
+        );
         let mut summary = BTreeMap::new();
         summary.insert("p_max".into(), JsonValue::Num(headline.p as f64));
         summary.insert("total_secs".into(), JsonValue::Num(headline.total_secs()));
@@ -476,6 +551,10 @@ impl ScaleReport {
         summary.insert(
             "overlap_hidden_secs".into(),
             JsonValue::Num(self.overlap.hidden_secs),
+        );
+        summary.insert(
+            "mem_peak_bytes".into(),
+            JsonValue::Num(self.mem.last().map_or(0, |m| m.peak_bytes) as f64),
         );
         o.insert("summary".into(), JsonValue::Obj(summary));
         JsonValue::Obj(o)
@@ -524,7 +603,31 @@ impl ScaleReport {
         };
         let overlap =
             MeasuredOverlap::from_json(v.get("overlap").ok_or("bench_scale: missing `overlap`")?)?;
-        for key in ["p_max", "total_secs", "align_share", "overlap_hidden_secs"] {
+        let watermarks = match v.get("watermarks") {
+            Some(JsonValue::Obj(m)) => m
+                .iter()
+                .map(|(k, x)| {
+                    x.as_u64()
+                        .map(|b| (k.clone(), b))
+                        .ok_or_else(|| format!("bench_scale: watermarks.{k} not a number"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("bench_scale: missing `watermarks` object".into()),
+        };
+        let mem = match v.get("mem") {
+            Some(JsonValue::Arr(a)) if !a.is_empty() => a
+                .iter()
+                .map(pcomm::MemProjection::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("bench_scale: missing non-empty `mem` array".into()),
+        };
+        for key in [
+            "p_max",
+            "total_secs",
+            "align_share",
+            "overlap_hidden_secs",
+            "mem_peak_bytes",
+        ] {
             v.get("summary")
                 .and_then(|s| s.get(key))
                 .and_then(JsonValue::as_f64)
@@ -543,6 +646,8 @@ impl ScaleReport {
             projections,
             whatif,
             overlap,
+            watermarks,
+            mem,
         })
     }
 }

@@ -1,0 +1,60 @@
+//! Memory-observatory acceptance: structure watermarks recorded at one
+//! grid size, pushed through the profile's byte-growth laws, must predict
+//! the watermarks actually measured on a larger grid.
+//!
+//! The total (the projected per-rank peak, an upper bound summing every
+//! structure's peak) must land within 1.5× of the measured total in either
+//! direction. Individual structures get a looser 3× band: the SpGEMM hash
+//! accumulator grows by power-of-two doubling, so its measured watermark is
+//! quantized and a projection can sit almost a factor of two off without
+//! the growth law being wrong.
+
+use obs::project::extract_mem_watermarks;
+use pastis_bench::{metaclust_dataset, run_on, scale_params};
+use pcomm::{project_mem, MachineProfile};
+
+fn watermarks_at(fasta: &[u8], p: usize) -> Vec<(String, u64)> {
+    let runs = run_on(fasta, p, &scale_params());
+    let traces: Vec<obs::RankTrace> = runs.iter().map(|r| r.trace.clone()).collect();
+    extract_mem_watermarks(&traces)
+}
+
+#[test]
+fn growth_laws_predict_measured_watermarks() {
+    let fasta = metaclust_dataset(0.2, 14);
+    let recorded = watermarks_at(&fasta, 4);
+    assert!(
+        !recorded.is_empty(),
+        "no watermarks recorded — are the HeapSize probes wired?"
+    );
+    let measured = watermarks_at(&fasta, 16);
+    let profile = MachineProfile::defaults();
+    let proj = project_mem(&recorded, 4, &profile, 16);
+    assert_eq!(proj.p, 16);
+    assert_eq!(proj.p_recorded, 4);
+
+    let measured_total: u64 = measured.iter().map(|&(_, b)| b).sum();
+    let ratio = proj.peak_bytes as f64 / measured_total as f64;
+    assert!(
+        (1.0 / 1.5..=1.5).contains(&ratio),
+        "projected per-rank peak {} vs measured {} (ratio {ratio:.2}) \
+         outside the 1.5x acceptance band",
+        proj.peak_bytes,
+        measured_total
+    );
+
+    // Every structure recorded at p=4 must exist at p=16 too, and its
+    // projection must be in the right ballpark.
+    for (name, projected) in &proj.by_structure {
+        let actual = measured
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("structure {name} missing from the p=16 recording"))
+            .1;
+        let r = *projected as f64 / actual as f64;
+        assert!(
+            (1.0 / 3.0..=3.0).contains(&r),
+            "structure {name}: projected {projected} vs measured {actual} (ratio {r:.2})"
+        );
+    }
+}

@@ -158,6 +158,12 @@ fn whatif_and_report_round_trip() {
     // The implemented overlap also hides broadcasts under the local
     // multiplies, so it can only beat (or match) the align-only what-if.
     assert!(overlap.hidden_secs >= overlap.whatif_hidden_secs - 1e-12);
+    let traces: Vec<obs::RankTrace> = runs.iter().map(|r| r.trace.clone()).collect();
+    let watermarks = obs::project::extract_mem_watermarks(&traces);
+    let mem: Vec<pcomm::MemProjection> = [256usize, 1024]
+        .iter()
+        .map(|&p| pcomm::project_mem(&watermarks, runs.len(), &profile, p))
+        .collect();
     let report = ScaleReport {
         p_recorded: runs.len(),
         profile_host: profile.host.clone(),
@@ -167,6 +173,8 @@ fn whatif_and_report_round_trip() {
             .collect(),
         projections,
         overlap,
+        watermarks,
+        mem,
     };
     let text = report.to_json().to_string();
     let back = ScaleReport::from_json(&obs::JsonValue::parse(&text).unwrap()).unwrap();

@@ -1,0 +1,474 @@
+//! Per-rank black-box flight recorder.
+//!
+//! A fixed-size ring buffer per rank thread, recording span open/close
+//! events, counter deltas, and the runtime's send/recv/collective records
+//! at always-on cost (one uncontended mutex lock plus a clock read —
+//! tens of nanoseconds per event, measured in `obsperf`). When a run
+//! aborts — deadlock watchdog, rank panic, finalize leak audit — the
+//! runtime calls [`dump_once`] and every registered ring is written to
+//! `blackbox-rank{r}.json`: the last N events, the allocator's current
+//! live-bytes-by-subsystem, and the rank's last completed pipeline stage.
+//! "Rank 3 hung" becomes a readable straggler/progress report.
+//!
+//! Rings are installed per thread ([`install`], RAII like the span
+//! recorder) and double-registered in a process-global registry so a
+//! *different* thread — the one that detected the abort — can dump all of
+//! them. Recording locks only the thread's own ring; the lock is
+//! uncontended except during a dump, which is the last thing a process
+//! does.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::json::JsonValue;
+
+/// Default ring capacity (events retained per rank). Sized to hold the
+/// tail of a pipeline run — a few stages of spans plus their messages —
+/// while keeping a ring under 200 KiB.
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+/// What a ring event records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BbKind {
+    /// A span opened; `a` = nesting depth.
+    SpanOpen,
+    /// A span closed; `a` = nesting depth.
+    SpanClose,
+    /// A counter was bumped; `a` = the delta.
+    Counter,
+    /// A point-to-point send; `a` = payload bytes, `b` = destination rank.
+    Send,
+    /// A point-to-point receive; `a` = payload bytes, `b` = source rank.
+    Recv,
+    /// A collective entered; `a`/`b` are caller-defined (comm id, seq).
+    Coll,
+    /// A free-form marker from the runtime.
+    Mark,
+}
+
+impl BbKind {
+    /// Stable lowercase name used in dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            BbKind::SpanOpen => "span_open",
+            BbKind::SpanClose => "span_close",
+            BbKind::Counter => "counter",
+            BbKind::Send => "send",
+            BbKind::Recv => "recv",
+            BbKind::Coll => "coll",
+            BbKind::Mark => "mark",
+        }
+    }
+}
+
+/// One recorded event. `seq` is a per-ring logical sequence number (total
+/// events ever recorded, so `seq` of the oldest retained event tells how
+/// many wrapped away); `t_ns` is wall-clock since ring installation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BbEvent {
+    /// Logical sequence number (monotonic per ring, survives wrapping).
+    pub seq: u64,
+    /// Nanoseconds since the ring was installed.
+    pub t_ns: u64,
+    /// Event kind.
+    pub kind: BbKind,
+    /// Static name (span/counter name, payload type, comm scope).
+    pub name: &'static str,
+    /// Kind-specific value (see [`BbKind`]).
+    pub a: u64,
+    /// Kind-specific value (see [`BbKind`]).
+    pub b: u64,
+}
+
+struct Ring {
+    rank: usize,
+    epoch: Instant,
+    cap: usize,
+    next_seq: u64,
+    /// Ring storage; once `events.len() == cap`, `head` is the index of
+    /// the oldest event and new events overwrite from there.
+    events: Vec<BbEvent>,
+    head: usize,
+}
+
+impl Ring {
+    fn push(&mut self, kind: BbKind, name: &'static str, a: u64, b: u64) {
+        if self.cap == 0 {
+            return;
+        }
+        let ev = BbEvent {
+            seq: self.next_seq,
+            t_ns: self.epoch.elapsed().as_nanos() as u64,
+            kind,
+            name,
+            a,
+            b,
+        };
+        self.next_seq += 1;
+        if self.events.len() < self.cap {
+            self.events.push(ev);
+        } else {
+            self.events[self.head] = ev;
+            self.head = (self.head + 1) % self.cap;
+        }
+    }
+
+    /// Events oldest → newest.
+    fn snapshot(&self) -> Vec<BbEvent> {
+        let mut out = Vec::with_capacity(self.events.len());
+        out.extend_from_slice(&self.events[self.head..]);
+        out.extend_from_slice(&self.events[..self.head]);
+        out
+    }
+}
+
+type Shared = Arc<Mutex<Ring>>;
+
+/// All live rings, readable by whichever thread detects an abort.
+static REGISTRY: Mutex<Vec<Shared>> = Mutex::new(Vec::new());
+
+thread_local! {
+    /// Stack of rings installed on this thread; events go to the
+    /// innermost.
+    static HANDLE: RefCell<Vec<Shared>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII handle for an installed ring; uninstalls (and unregisters) on
+/// drop. Call [`BlackboxGuard::finish`] to keep the recording.
+pub struct BlackboxGuard {
+    ring: Shared,
+}
+
+/// Install a flight-recorder ring on this thread with
+/// [`DEFAULT_RING_CAPACITY`]. Stacks over any existing ring (the
+/// innermost receives events), so a test can interpose its own ring under
+/// a runtime-installed one.
+pub fn install(rank: usize) -> BlackboxGuard {
+    install_with_capacity(rank, DEFAULT_RING_CAPACITY)
+}
+
+/// [`install`] with an explicit ring capacity.
+pub fn install_with_capacity(rank: usize, cap: usize) -> BlackboxGuard {
+    let ring = Arc::new(Mutex::new(Ring {
+        rank,
+        epoch: Instant::now(),
+        cap,
+        next_seq: 0,
+        events: Vec::with_capacity(cap.min(1024)),
+        head: 0,
+    }));
+    REGISTRY.lock().unwrap().push(ring.clone());
+    HANDLE.with(|h| h.borrow_mut().push(ring.clone()));
+    BlackboxGuard { ring }
+}
+
+impl BlackboxGuard {
+    /// Events recorded so far, oldest → newest, without uninstalling.
+    pub fn snapshot(&self) -> Vec<BbEvent> {
+        self.ring.lock().unwrap().snapshot()
+    }
+
+    /// Uninstall and return the recording.
+    pub fn finish(self) -> Vec<BbEvent> {
+        self.snapshot()
+    }
+}
+
+impl Drop for BlackboxGuard {
+    fn drop(&mut self) {
+        HANDLE.with(|h| {
+            let mut stack = h.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|r| Arc::ptr_eq(r, &self.ring)) {
+                stack.remove(pos);
+            }
+        });
+        let mut reg = REGISTRY.lock().unwrap();
+        if let Some(pos) = reg.iter().rposition(|r| Arc::ptr_eq(r, &self.ring)) {
+            reg.remove(pos);
+        }
+    }
+}
+
+/// True when a ring is installed on this thread.
+pub fn bb_enabled() -> bool {
+    HANDLE.try_with(|h| !h.borrow().is_empty()).unwrap_or(false)
+}
+
+/// Global recording switch. Rings stay installed (dumps still work) but
+/// [`record`] becomes a no-op while off. Exists for `obsperf`'s paired
+/// overhead measurement — the runtime installs rings unconditionally, so
+/// the bench needs a way to time the same run with and without the
+/// per-event cost — and doubles as an escape hatch for latency-critical
+/// runs.
+static RECORDING: AtomicBool = AtomicBool::new(true);
+
+/// Turn event recording on or off process-wide (default on). Installed
+/// rings keep whatever they already hold.
+pub fn set_recording(on: bool) {
+    RECORDING.store(on, Relaxed);
+}
+
+/// Record one event into this thread's innermost ring, if any. The no-ring
+/// fast path is one atomic load plus one thread-local check.
+#[inline]
+pub fn record(kind: BbKind, name: &'static str, a: u64, b: u64) {
+    if !RECORDING.load(Relaxed) {
+        return;
+    }
+    let _ = HANDLE.try_with(|h| {
+        if let Some(ring) = h.borrow().last() {
+            ring.lock().unwrap().push(kind, name, a, b);
+        }
+    });
+}
+
+// --- dumps -----------------------------------------------------------------
+
+static DUMP_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
+static DUMPED: AtomicBool = AtomicBool::new(false);
+
+/// Set the directory black-box dumps are written to (overrides the
+/// `BLACKBOX_DIR` environment variable; default is
+/// `$TMPDIR/pastis-blackbox` so deliberate aborts in test suites never
+/// litter the working directory — the `pastis` binary redirects dumps
+/// next to its other outputs).
+pub fn set_dump_dir(dir: impl Into<PathBuf>) {
+    *DUMP_DIR.lock().unwrap() = Some(dir.into());
+}
+
+fn dump_dir() -> PathBuf {
+    if let Some(d) = DUMP_DIR.lock().unwrap().clone() {
+        return d;
+    }
+    std::env::var_os("BLACKBOX_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("pastis-blackbox"))
+}
+
+/// Re-arm [`dump_once`] (tests that force several aborts in one process).
+pub fn reset_dump_once() {
+    DUMPED.store(false, Relaxed);
+}
+
+/// Dump every registered ring, once per process: the first abort path to
+/// get here wins and later calls are no-ops (secondary panics cascade
+/// behind a primary abort; one postmortem is the readable one). Returns
+/// the paths written, empty when already dumped or nothing is installed.
+pub fn dump_once(reason: &str) -> Vec<PathBuf> {
+    if DUMPED.swap(true, Relaxed) {
+        return Vec::new();
+    }
+    dump_all(reason)
+}
+
+/// The rank's most recently completed pipeline stage, read from the ring:
+/// the newest `SpanClose` of a `pastis.*` stage span (the `pastis.run`
+/// root doesn't count — it closes only when everything is done).
+pub fn last_completed_stage(events: &[BbEvent]) -> Option<&'static str> {
+    events
+        .iter()
+        .rev()
+        .find(|e| {
+            e.kind == BbKind::SpanClose && e.name.starts_with("pastis.") && e.name != "pastis.run"
+        })
+        .map(|e| e.name)
+}
+
+fn rank_doc(rank: usize, events: &[BbEvent], reason: &str) -> JsonValue {
+    let mut doc = BTreeMap::new();
+    doc.insert("schema".into(), JsonValue::Str("blackbox".into()));
+    doc.insert("version".into(), JsonValue::Num(1.0));
+    doc.insert("rank".into(), JsonValue::Num(rank as f64));
+    doc.insert("reason".into(), JsonValue::Str(reason.into()));
+    let wrapped = events.first().map(|e| e.seq).unwrap_or(0);
+    doc.insert("events_wrapped".into(), JsonValue::Num(wrapped as f64));
+    doc.insert(
+        "last_completed_stage".into(),
+        match last_completed_stage(events) {
+            Some(name) => JsonValue::Str(name.into()),
+            None => JsonValue::Null,
+        },
+    );
+    let alloc = crate::alloc::stats();
+    doc.insert("alloc_tracking".into(), JsonValue::Bool(alloc.tracking));
+    let mut live = BTreeMap::new();
+    for (i, name) in crate::alloc::SUBSYSTEMS.iter().enumerate() {
+        live.insert(
+            (*name).into(),
+            JsonValue::Num(alloc.per[i].live_bytes as f64),
+        );
+    }
+    doc.insert("live_bytes_by_subsystem".into(), JsonValue::Obj(live));
+    doc.insert(
+        "live_bytes_total".into(),
+        JsonValue::Num(alloc.live_total as f64),
+    );
+    doc.insert(
+        "peak_bytes_total".into(),
+        JsonValue::Num(alloc.peak_total as f64),
+    );
+    let evs = events
+        .iter()
+        .map(|e| {
+            let mut o = BTreeMap::new();
+            o.insert("seq".into(), JsonValue::Num(e.seq as f64));
+            o.insert("t_ns".into(), JsonValue::Num(e.t_ns as f64));
+            o.insert("kind".into(), JsonValue::Str(e.kind.name().into()));
+            o.insert("name".into(), JsonValue::Str(e.name.into()));
+            o.insert("a".into(), JsonValue::Num(e.a as f64));
+            o.insert("b".into(), JsonValue::Num(e.b as f64));
+            JsonValue::Obj(o)
+        })
+        .collect();
+    doc.insert("events".into(), JsonValue::Arr(evs));
+    JsonValue::Obj(doc)
+}
+
+/// Dump every registered ring unconditionally (prefer [`dump_once`] from
+/// abort paths). One `blackbox-rank{r}.json` per ring; a write failure
+/// skips that ring (the process is aborting — best effort).
+pub fn dump_all(reason: &str) -> Vec<PathBuf> {
+    let rings: Vec<Shared> = REGISTRY.lock().unwrap().clone();
+    let dir = dump_dir();
+    let _ = std::fs::create_dir_all(&dir); // best effort — we are aborting
+    let mut written = Vec::new();
+    for ring in rings {
+        let (rank, events) = {
+            let r = ring.lock().unwrap();
+            (r.rank, r.snapshot())
+        };
+        let path = dir.join(format!("blackbox-rank{rank}.json"));
+        let doc = rank_doc(rank, &events, reason);
+        if std::fs::write(&path, format!("{doc}\n")).is_ok() {
+            written.push(path);
+        }
+    }
+    written
+}
+
+/// Canonical signature of a ring's event *structure*: `kind:name` tokens
+/// with timestamps, sequence numbers, and payload values stripped, and
+/// runs of identical consecutive tokens collapsed (the same collapsing
+/// rule as [`crate::structure_signature`]), so the signature is invariant
+/// to wall-clock perturbation and to cardinality that scales with the
+/// grid.
+pub fn signature(events: &[BbEvent]) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    for e in events {
+        let tok = format!("{}:{}", e.kind.name(), e.name);
+        if parts.last() != Some(&tok) {
+            parts.push(tok);
+        }
+    }
+    parts.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_wraps_and_keeps_newest() {
+        let g = install_with_capacity(0, 4);
+        for i in 0..10u64 {
+            record(BbKind::Mark, "m", i, 0);
+        }
+        let evs = g.finish();
+        assert_eq!(evs.len(), 4);
+        let seqs: Vec<u64> = evs.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        assert_eq!(evs[3].a, 9);
+    }
+
+    #[test]
+    fn no_ring_records_are_noops() {
+        assert!(!bb_enabled());
+        record(BbKind::Mark, "nowhere", 1, 2);
+    }
+
+    #[test]
+    fn stacked_rings_innermost_wins() {
+        let outer = install(0);
+        let inner = install_with_capacity(0, 8);
+        record(BbKind::Mark, "inner_only", 0, 0);
+        let got = inner.finish();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].name, "inner_only");
+        record(BbKind::Mark, "outer_now", 0, 0);
+        let got = outer.finish();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].name, "outer_now");
+    }
+
+    #[test]
+    fn last_stage_skips_run_root_and_opens() {
+        let g = install(3);
+        record(BbKind::SpanOpen, "pastis.run", 0, 0);
+        record(BbKind::SpanOpen, "pastis.fasta", 1, 0);
+        record(BbKind::SpanClose, "pastis.fasta", 1, 0);
+        record(BbKind::SpanOpen, "pastis.form_a", 1, 0);
+        let evs = g.finish();
+        assert_eq!(last_completed_stage(&evs), Some("pastis.fasta"));
+        assert_eq!(last_completed_stage(&[]), None);
+    }
+
+    #[test]
+    fn signature_collapses_runs_and_strips_values() {
+        let mk = |seq, kind, name: &'static str, a| BbEvent {
+            seq,
+            t_ns: seq * 1000,
+            kind,
+            name,
+            a,
+            b: 0,
+        };
+        let evs = [
+            mk(0, BbKind::SpanOpen, "s", 0),
+            mk(1, BbKind::Send, "u32", 40),
+            mk(2, BbKind::Send, "u32", 80),
+            mk(3, BbKind::SpanClose, "s", 0),
+        ];
+        assert_eq!(signature(&evs), "span_open:s send:u32 span_close:s");
+        // Different timestamps/payloads, same structure.
+        let evs2 = [
+            mk(7, BbKind::SpanOpen, "s", 0),
+            mk(9, BbKind::Send, "u32", 8),
+            mk(11, BbKind::SpanClose, "s", 0),
+        ];
+        assert_eq!(signature(&evs), signature(&evs2));
+    }
+
+    #[test]
+    fn dump_writes_rank_files() {
+        let dir = std::env::temp_dir().join(format!("bbtest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        set_dump_dir(&dir);
+        let g = install(5);
+        record(BbKind::SpanOpen, "pastis.run", 0, 0);
+        record(BbKind::SpanOpen, "pastis.fasta", 1, 0);
+        record(BbKind::SpanClose, "pastis.fasta", 1, 0);
+        let paths = dump_all("test abort");
+        drop(g);
+        let mine = paths
+            .iter()
+            .find(|p| p.ends_with("blackbox-rank5.json"))
+            .expect("rank 5 dump written");
+        let text = std::fs::read_to_string(mine).unwrap();
+        let doc = JsonValue::parse(&text).expect("dump parses");
+        assert_eq!(doc.get("schema").and_then(|v| v.as_str()), Some("blackbox"));
+        assert_eq!(
+            doc.get("last_completed_stage").and_then(|v| v.as_str()),
+            Some("pastis.fasta")
+        );
+        assert!(doc.get("live_bytes_by_subsystem").is_some());
+        assert_eq!(
+            doc.get("reason").and_then(|v| v.as_str()),
+            Some("test abort")
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -9,6 +9,7 @@
 //! callers pass latency/bandwidth coefficients (e.g. from
 //! `pcomm::CostModel`) when they want a modeled comm column.
 
+use crate::metrics::MetricsSnapshot;
 use crate::span::{span_forest, CounterSet, RankTrace, SpanNode};
 
 /// One rank's aggregate over all spans of one name.
@@ -171,8 +172,11 @@ pub fn render_dissection(rows: &[DissectionRow]) -> String {
         "component", "%", "crit", "secs", "compute", "comm", "wait", "bytes"
     );
     for r in rows {
+        // `r.secs` can be IEEE −0.0 when a caller derives it by exclusive-
+        // time subtraction (overlap accounting); `+ 0.0` normalizes the
+        // sign so an empty stage renders `0.0%`, not `-0.0%`.
         let pct = if total > 0.0 {
-            100.0 * r.secs / total
+            100.0 * r.secs / total + 0.0
         } else {
             0.0
         };
@@ -194,6 +198,102 @@ pub fn render_dissection(rows: &[DissectionRow]) -> String {
         "{:<14}{:>6.1}%{:>6}{:>11.4}",
         "total", 100.0, "", total
     );
+    out
+}
+
+/// Prefix of the per-stage memory gauges the pipeline's allocator windows
+/// record (`mem.stage.<stage-span>.<subsystem|total>`).
+pub const MEM_STAGE_PREFIX: &str = "mem.stage.";
+
+/// Humanize a byte count in binary units, one decimal (`1.5 MiB`).
+pub fn human_bytes(b: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = b as f64;
+    let mut u = 0;
+    while v >= 1024.0 && u + 1 < UNITS.len() {
+        v /= 1024.0;
+        u += 1;
+    }
+    if u == 0 {
+        format!("{b} B")
+    } else {
+        format!("{v:.1} {}", UNITS[u])
+    }
+}
+
+/// Render the per-stage peak-live-bytes table from merged metrics: one row
+/// per stage that recorded a `mem.stage.<stage>.<subsystem>` gauge (rows
+/// follow `stage_order`; stages not listed are appended alphabetically),
+/// one column per subsystem that ever peaked above zero, plus `total`.
+/// Returns `None` when no stage recorded a memory window — i.e. the run
+/// had allocation tracking off.
+pub fn render_stage_memory(metrics: &MetricsSnapshot, stage_order: &[&str]) -> Option<String> {
+    use std::collections::BTreeMap;
+    use std::fmt::Write as _;
+    // stage -> column -> bytes, where column is a subsystem name or "total".
+    let mut rows: BTreeMap<&str, BTreeMap<&str, u64>> = BTreeMap::new();
+    for (name, &v) in &metrics.gauges {
+        let Some(rest) = name.strip_prefix(MEM_STAGE_PREFIX) else {
+            continue;
+        };
+        let Some((stage, col)) = rest.rsplit_once('.') else {
+            continue;
+        };
+        if col != "total" && !crate::alloc::SUBSYSTEMS.contains(&col) {
+            continue;
+        }
+        let e = rows.entry(stage).or_default().entry(col).or_insert(0);
+        *e = (*e).max(v.max(0) as u64);
+    }
+    if rows.is_empty() {
+        return None;
+    }
+    let mut order: Vec<&str> = stage_order
+        .iter()
+        .copied()
+        .filter(|s| rows.contains_key(s))
+        .collect();
+    for s in rows.keys() {
+        if !order.contains(s) {
+            order.push(s);
+        }
+    }
+    let cols: Vec<&str> = crate::alloc::SUBSYSTEMS
+        .iter()
+        .copied()
+        .filter(|sub| rows.values().any(|r| r.get(sub).is_some_and(|&v| v > 0)))
+        .collect();
+    let mut out = String::new();
+    let _ = write!(out, "{:<22}", "stage");
+    for c in cols.iter().chain(std::iter::once(&"total")) {
+        let _ = write!(out, "{c:>11}");
+    }
+    out.push('\n');
+    for stage in order {
+        let r = &rows[stage];
+        let _ = write!(out, "{stage:<22}");
+        for c in cols.iter().chain(std::iter::once(&"total")) {
+            let cell = r
+                .get(c)
+                .map(|&v| human_bytes(v))
+                .unwrap_or_else(|| "-".into());
+            let _ = write!(out, "{cell:>11}");
+        }
+        out.push('\n');
+    }
+    Some(out)
+}
+
+/// Render structure watermarks (`(structure, peak heap bytes)` pairs, as
+/// produced by [`crate::project::extract_mem_watermarks`]) as a two-column
+/// table.
+pub fn render_watermarks(watermarks: &[(String, u64)]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<22}{:>12}", "structure", "peak");
+    for (name, bytes) in watermarks {
+        let _ = writeln!(out, "{name:<22}{:>12}", human_bytes(*bytes));
+    }
     out
 }
 
@@ -292,6 +392,28 @@ mod tests {
     }
 
     #[test]
+    fn negative_zero_share_renders_as_plain_zero() {
+        // Overlap accounting derives some rows' seconds by f64 subtraction,
+        // which can leave an empty stage at IEEE −0.0; the rendered share
+        // column must read `0.0%`, never `-0.0%`.
+        let mk = |label, secs| DissectionRow {
+            label,
+            span: "s",
+            crit_rank: 0,
+            secs,
+            compute_secs: 0.0,
+            comm_secs: 0.0,
+            wait_secs: 0.0,
+            counters: CounterSet::default(),
+            per_rank_secs: vec![secs],
+        };
+        let rows = vec![mk("busy", 2.0), mk("empty", -0.0)];
+        let table = render_dissection(&rows);
+        assert!(!table.contains("-0.0%"), "table renders -0.0%:\n{table}");
+        assert!(table.contains("0.0%"), "empty stage row missing:\n{table}");
+    }
+
+    #[test]
     fn nested_stage_spans_count_once() {
         // summa(align) overlap shape: align's time belongs to the align
         // row only, and summa's row shows its exclusive remainder.
@@ -322,5 +444,51 @@ mod tests {
         assert!((rows[1].compute_secs - 30e-9).abs() < 1e-18);
         let total: f64 = rows.iter().map(|r| r.secs).sum();
         assert!((total - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stage_memory_table_renders_in_pipeline_order() {
+        let mut m = MetricsSnapshot::default();
+        m.gauges.insert("mem.stage.pastis.wait.sparse".into(), 2048);
+        m.gauges.insert("mem.stage.pastis.wait.total".into(), 4096);
+        m.gauges
+            .insert("mem.stage.pastis.fasta.seqstore".into(), 1 << 20);
+        m.gauges
+            .insert("mem.stage.pastis.fasta.total".into(), 1 << 20);
+        m.gauges.insert("unrelated.gauge".into(), 99);
+        let order = ["pastis.fasta", "pastis.wait"];
+        let t = render_stage_memory(&m, &order).expect("gauges present");
+        let fasta = t.find("pastis.fasta").unwrap();
+        let wait = t.find("pastis.wait").unwrap();
+        assert!(fasta < wait, "rows must follow pipeline order:\n{t}");
+        assert!(t.contains("1.0 MiB"), "{t}");
+        assert!(t.contains("seqstore") && t.contains("total"), "{t}");
+        assert!(!t.contains("unrelated"), "{t}");
+        // Subsystems that never peaked are not shown as columns.
+        assert!(!t.contains("mcl"), "{t}");
+    }
+
+    #[test]
+    fn stage_memory_table_absent_without_windows() {
+        let m = MetricsSnapshot::default();
+        assert!(render_stage_memory(&m, &["pastis.fasta"]).is_none());
+    }
+
+    #[test]
+    fn human_bytes_units() {
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(1536), "1.5 KiB");
+        assert_eq!(human_bytes(3 << 20), "3.0 MiB");
+    }
+
+    #[test]
+    fn watermark_table_lists_structures() {
+        let wm = vec![
+            ("seqstore.store".to_string(), (2u64) << 20),
+            ("sparse.accum".to_string(), 4096u64),
+        ];
+        let t = render_watermarks(&wm);
+        assert!(t.contains("seqstore.store") && t.contains("2.0 MiB"), "{t}");
+        assert!(t.contains("sparse.accum") && t.contains("4.0 KiB"), "{t}");
     }
 }

@@ -41,6 +41,8 @@
 //! assert!(json.contains("\"traceEvents\""));
 //! ```
 
+pub mod alloc;
+pub mod blackbox;
 pub mod dissect;
 mod json;
 mod metrics;
@@ -48,13 +50,16 @@ mod perfetto;
 pub mod project;
 mod span;
 
+pub use alloc::{AllocStats, HeapSize, SubsystemUsage, TrackingAlloc, SUBSYSTEMS};
+pub use blackbox::{BbEvent, BbKind, BlackboxGuard};
 pub use json::JsonValue;
 pub use metrics::{Histogram, MetricsSnapshot, HIST_BUCKETS};
 pub use perfetto::perfetto_json;
 pub use span::{
-    absorb_metrics, counter_add, emit_span, enabled, epoch, gauge_set, hist_record, rank,
-    set_thread_counter_provider, snapshot, span_forest, span_start, structure_signature,
-    CounterSet, RankTrace, Recorder, RecorderGuard, SpanEvent, SpanGuard, SpanNode, Stopwatch,
+    absorb_metrics, counter_add, emit_span, enabled, epoch, gauge_max, gauge_max_owned, gauge_set,
+    hist_record, rank, set_thread_counter_provider, snapshot, span_forest, span_start,
+    structure_signature, CounterSet, RankTrace, Recorder, RecorderGuard, SpanEvent, SpanGuard,
+    SpanNode, Stopwatch,
 };
 
 /// Open a span recording into the current thread's recorder; returns an

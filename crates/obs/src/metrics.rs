@@ -174,6 +174,25 @@ impl MetricsRegistry {
         self.gauges.insert(name, v);
     }
 
+    /// Raise gauge `name` to at least `v` (local max, matching the
+    /// cross-rank merge rule) — the watermark-probe primitive.
+    pub(crate) fn gauge_max(&mut self, name: &'static str, v: i64) {
+        let e = self.gauges.entry(name).or_insert(i64::MIN);
+        *e = (*e).max(v);
+    }
+
+    /// [`MetricsRegistry::gauge_max`] for dynamically built names (the
+    /// per-stage memory table crosses stage × subsystem); interns on
+    /// first sight, so the leak is bounded by the name-space size.
+    pub(crate) fn gauge_max_owned(&mut self, name: &str, v: i64) {
+        match self.gauges.get_mut(name) {
+            Some(slot) => *slot = (*slot).max(v),
+            None => {
+                self.gauges.insert(intern(name), v);
+            }
+        }
+    }
+
     pub(crate) fn hist_record(&mut self, name: &'static str, v: u64) {
         self.hists.entry(name).or_default().record(v);
     }

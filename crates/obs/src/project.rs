@@ -136,6 +136,28 @@ pub fn extract_stages(
         .collect()
 }
 
+/// Prefix of the gauges the watermark probes record
+/// ([`crate::alloc::watermark`]).
+pub const MEM_WATERMARK_PREFIX: &str = "mem.watermark.";
+
+/// Reduce per-rank traces to per-structure memory watermarks: every gauge
+/// named `mem.watermark.<structure>` maxed across ranks (the projector
+/// wants the *critical* rank's footprint, and gauges already merge by
+/// max). Keys are returned without the prefix, sorted.
+pub fn extract_mem_watermarks(traces: &[RankTrace]) -> Vec<(String, u64)> {
+    let mut out: BTreeMap<String, u64> = BTreeMap::new();
+    for trace in traces {
+        for (name, &v) in &trace.metrics.gauges {
+            if let Some(key) = name.strip_prefix(MEM_WATERMARK_PREFIX) {
+                let bytes = v.max(0) as u64;
+                let e = out.entry(key.to_string()).or_insert(0);
+                *e = (*e).max(bytes);
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
 /// Find stage spans anywhere below `node` and fold them into `acc`,
 /// attributing exclusively: topmost *other*-stage spans nested inside a
 /// match are subtracted from it (they are folded when their own stage is

@@ -215,6 +215,10 @@ impl Recorder {
 
     /// [`Recorder::install`] with an explicit event-buffer capacity.
     pub fn with_capacity(rank: usize, cap: usize) -> RecorderGuard {
+        // First recorder of the process resolves the allocation-tracking
+        // switch (reading the environment allocates, so the allocator
+        // itself never can).
+        crate::alloc::init_from_env();
         REC.with(|r| {
             r.borrow_mut().push(State {
                 rank,
@@ -277,6 +281,7 @@ pub struct SpanGuard {
     arg: Option<(&'static str, i64)>,
     seq: u32,
     depth: u16,
+    prev_tag: u8,
     start_ns: u64,
     at_enter: CounterSet,
 }
@@ -292,6 +297,7 @@ pub fn span_start(name: &'static str, arg: Option<(&'static str, i64)>) -> SpanG
                 arg: None,
                 seq: 0,
                 depth: 0,
+                prev_tag: 0,
                 start_ns: 0,
                 at_enter: CounterSet::default(),
             },
@@ -300,6 +306,11 @@ pub fn span_start(name: &'static str, arg: Option<(&'static str, i64)>) -> SpanG
                 s.next_seq += 1;
                 let depth = s.depth;
                 s.depth += 1;
+                // Retag the thread's allocations to this span's subsystem
+                // and note the entry in the flight recorder; the guard
+                // restores/closes both on drop, keeping them balanced.
+                let prev_tag = crate::alloc::swap_tag(crate::alloc::subsystem_id(name));
+                crate::blackbox::record(crate::blackbox::BbKind::SpanOpen, name, depth as u64, 0);
                 let start_ns = s.epoch.elapsed().as_nanos() as u64;
                 SpanGuard {
                     active: true,
@@ -307,6 +318,7 @@ pub fn span_start(name: &'static str, arg: Option<(&'static str, i64)>) -> SpanG
                     arg,
                     seq,
                     depth,
+                    prev_tag,
                     start_ns,
                     at_enter: read_counters(),
                 }
@@ -320,6 +332,13 @@ impl Drop for SpanGuard {
         if !self.active {
             return;
         }
+        crate::alloc::set_tag(self.prev_tag);
+        crate::blackbox::record(
+            crate::blackbox::BbKind::SpanClose,
+            self.name,
+            self.depth as u64,
+            0,
+        );
         let at_exit = read_counters();
         REC.with(|r| {
             let mut stack = r.borrow_mut();
@@ -390,6 +409,7 @@ pub fn counter_add(name: &'static str, n: u64) {
     REC.with(|r| {
         if let Some(s) = r.borrow_mut().last_mut() {
             s.metrics.counter_add(name, n);
+            crate::blackbox::record(crate::blackbox::BbKind::Counter, name, n, 0);
         }
     });
 }
@@ -399,6 +419,26 @@ pub fn gauge_set(name: &'static str, v: i64) {
     REC.with(|r| {
         if let Some(s) = r.borrow_mut().last_mut() {
             s.metrics.gauge_set(name, v);
+        }
+    });
+}
+
+/// Raise gauge `name` to at least `v` in the current recorder — the
+/// watermark-probe primitive (locally max, like the cross-rank merge).
+pub fn gauge_max(name: &'static str, v: i64) {
+    REC.with(|r| {
+        if let Some(s) = r.borrow_mut().last_mut() {
+            s.metrics.gauge_max(name, v);
+        }
+    });
+}
+
+/// [`gauge_max`] for names built at runtime (interned on first sight,
+/// bounded by the name-space size — stage × subsystem in practice).
+pub fn gauge_max_owned(name: &str, v: i64) {
+    REC.with(|r| {
+        if let Some(s) = r.borrow_mut().last_mut() {
+            s.metrics.gauge_max_owned(name, v);
         }
     });
 }

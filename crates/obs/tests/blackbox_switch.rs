@@ -1,0 +1,25 @@
+//! The process-wide flight-recorder switch: rings stay installed while
+//! recording is off, and events resume when it comes back on. Lives in its
+//! own integration binary because the switch is global — flipping it inside
+//! the unit-test binary would race other blackbox tests.
+
+use obs::blackbox;
+use obs::BbKind;
+
+#[test]
+fn recording_switch_gates_events() {
+    let guard = blackbox::install(0);
+    blackbox::set_recording(false);
+    blackbox::record(BbKind::Mark, "while_off", 1, 0);
+    blackbox::set_recording(true);
+    blackbox::record(BbKind::Mark, "while_on", 2, 0);
+    let events = guard.finish();
+    assert!(
+        events.iter().all(|e| e.name != "while_off"),
+        "event recorded while the switch was off"
+    );
+    assert!(
+        events.iter().any(|e| e.name == "while_on"),
+        "recording did not resume when switched back on"
+    );
+}

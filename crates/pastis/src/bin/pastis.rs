@@ -113,8 +113,44 @@ fn parse_cli() -> Cli {
     }
 }
 
+/// Stage spans of the per-stage memory table, in pipeline order (the nine
+/// `stage()` wrappers of `run_pipeline`; the streamed shape folds alignment
+/// into `pastis.spgemm_b`, so its `pastis.align` row is empty).
+const MEM_STAGE_ORDER: [&str; 9] = [
+    "pastis.fasta",
+    "pastis.form_a",
+    "pastis.tr_a",
+    "pastis.form_s",
+    "pastis.a_s",
+    "pastis.spgemm_b",
+    "pastis.symmetricize",
+    "pastis.wait",
+    "pastis.align",
+];
+
 fn main() {
     let cli = parse_cli();
+    // Resolve the allocation-tracking switch before any rank starts
+    // (default on in debug, `ALLOC_TRACK=1` opts release builds in).
+    obs::alloc::init_from_env();
+    // Abort postmortems land next to the output (cwd when writing stdout)
+    // rather than the tmpdir default.
+    let dump_dir = cli
+        .output
+        .as_ref()
+        .and_then(|p| std::path::Path::new(p).parent())
+        .filter(|d| !d.as_os_str().is_empty())
+        .map(|d| d.to_path_buf())
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    obs::blackbox::set_dump_dir(&dump_dir);
+    // The pcomm runtime dumps on its own abort paths (watchdog,
+    // conformance, rank panics); this hook covers everything else —
+    // panics on the main thread, before or after the world runs.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        obs::blackbox::dump_once(&format!("panic: {info}"));
+        default_hook(info);
+    }));
     let fasta = match std::fs::read(&cli.input) {
         Ok(b) => b,
         Err(e) => {
@@ -202,6 +238,24 @@ fn main() {
                 100.0 * bp as f64 / total,
                 100.0 * sc as f64 / total,
                 100.0 * ok as f64 / total,
+            );
+        }
+        // Memory observatory: per-stage peak live bytes (allocator
+        // windows) and per-structure watermarks (HeapSize probes).
+        match obs::dissect::render_stage_memory(&metrics, &MEM_STAGE_ORDER) {
+            Some(table) => {
+                eprintln!("pastis: per-stage peak live bytes by subsystem:\n{table}")
+            }
+            None => eprintln!(
+                "pastis: allocation tracking off — run with ALLOC_TRACK=1 \
+                 for the per-stage memory table"
+            ),
+        }
+        let watermarks = obs::project::extract_mem_watermarks(&traces);
+        if !watermarks.is_empty() {
+            eprintln!(
+                "pastis: structure watermarks (peak heap bytes):\n{}",
+                obs::dissect::render_watermarks(&watermarks)
             );
         }
         eprintln!("pastis: wrote Perfetto trace to {path} (open at https://ui.perfetto.dev)");

@@ -340,9 +340,31 @@ pub struct PastisRun {
     pub trace: obs::RankTrace,
 }
 
+/// Run one pipeline stage under its span, bracketed by an allocator peak
+/// window when tracking is on: the window's per-subsystem peaks land in
+/// `mem.stage.<span>.<subsystem>` gauges (merged by max across ranks), the
+/// rows of the `--trace` per-stage memory table. Windows are process-global
+/// (see [`obs::alloc::begin_window`]) — with several ranks in flight the
+/// peaks are a cross-rank aggregate, i.e. the per-node footprint.
 fn stage<R>(name: &'static str, f: impl FnOnce() -> R) -> R {
-    let _span = obs::span_start(name, None);
-    f()
+    let track = obs::alloc::tracking();
+    if track {
+        obs::alloc::begin_window();
+    }
+    let r = {
+        let _span = obs::span_start(name, None);
+        f()
+    };
+    if track {
+        let peaks = obs::alloc::window_peaks();
+        for (i, sub) in obs::SUBSYSTEMS.iter().enumerate() {
+            if peaks.per[i] > 0 {
+                obs::gauge_max_owned(&format!("mem.stage.{name}.{sub}"), peaks.per[i]);
+            }
+        }
+        obs::gauge_max_owned(&format!("mem.stage.{name}.total"), peaks.total);
+    }
+    r
 }
 
 /// Run the full PASTIS pipeline on this rank. Collective over `comm`, whose
@@ -822,6 +844,9 @@ fn stream_overlap_align(
                 }
             }
         }
+        // The pending map is fullest right after a stage's triples fold in,
+        // before finalized entries drain — probe it here.
+        obs::alloc::probe("mem.watermark.pastis.pending", &pending);
         // Drain the entries that can no longer change. (row, col) order
         // groups this chunk's tasks by query row, maximizing the striped
         // profile-cache hit rate.

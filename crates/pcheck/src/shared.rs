@@ -82,6 +82,9 @@ pub struct CheckShared {
     canon: Mutex<HashMap<(u64, u64), (usize, CollRecord)>>,
     /// Comm id → member world ranks (first recorder wins).
     members: Mutex<HashMap<u64, Vec<usize>>>,
+    /// Comm id → human scope name ("world", "row1", "split", …), registered
+    /// by the runtime at communicator creation (first registrar wins).
+    comm_names: Mutex<HashMap<u64, String>>,
     /// Per-rank bounded ledger history for diff rendering.
     histories: Vec<Mutex<History>>,
     /// Per-rank `comm → collectives recorded` counts.
@@ -109,6 +112,7 @@ impl CheckShared {
             tick_ms: (watchdog_ms / 4).clamp(5, 100),
             canon: Mutex::new(HashMap::new()),
             members: Mutex::new(HashMap::new()),
+            comm_names: Mutex::new(HashMap::new()),
             histories: (0..p).map(|_| Mutex::new(History::new())).collect(),
             counts: (0..p).map(|_| Mutex::new(HashMap::new())).collect(),
             states: (0..p).map(|_| Mutex::new(RankState::Running)).collect(),
@@ -137,6 +141,24 @@ impl CheckShared {
             format!("coll+{}", tag - self.coll_tag_base)
         } else {
             tag.to_string()
+        }
+    }
+
+    /// Register a human-readable scope name for a communicator id (the
+    /// runtime calls this from `Comm::world` / `subcomm_named`). First
+    /// registrar wins, so every member rank may call it redundantly.
+    pub fn name_comm(&self, comm: u64, name: &str) {
+        lock(&self.comm_names)
+            .entry(comm)
+            .or_insert_with(|| name.to_string());
+    }
+
+    /// Render a communicator for diagnostics: `comm 0x1234 (row1)` when a
+    /// scope name was registered, bare `comm 0x1234` otherwise.
+    fn comm_str(&self, comm: u64) -> String {
+        match lock(&self.comm_names).get(&comm) {
+            Some(name) => format!("comm {comm:#x} ({name})"),
+            None => format!("comm {comm:#x}"),
         }
     }
 
@@ -340,16 +362,16 @@ impl CheckShared {
                 RankState::Blocked(w) => {
                     let ctx = match w.op {
                         Some((name, comm, seq)) => {
-                            format!("in {name} (comm {comm:#x}, seq {seq}) ")
+                            format!("in {name} ({}, seq {seq}) ", self.comm_str(comm))
                         }
                         None => String::new(),
                     };
                     format!(
-                        "blocked {ctx}waiting on recv(src={}, tag={}, type={}) on comm {:#x}",
+                        "blocked {ctx}waiting on recv(src={}, tag={}, type={}) on {}",
                         w.src,
                         self.tag_str(w.tag),
                         w.type_name,
-                        w.comm
+                        self.comm_str(w.comm)
                     )
                 }
             };
@@ -373,8 +395,9 @@ impl CheckShared {
             let m = lock(&self.stash[dst]);
             for (&(comm, src, tag, ty), &(count, bytes)) in m.iter() {
                 lines.push(format!(
-                    "    rank {dst} <- rank {src}  comm {comm:#x} tag {} type {ty}: \
+                    "    rank {dst} <- rank {src}  {} tag {} type {ty}: \
                      {count} msg(s), {bytes} bytes",
+                    self.comm_str(comm),
                     self.tag_str(tag)
                 ));
             }
@@ -507,8 +530,9 @@ impl CheckShared {
                 let ha = lock(&self.histories[hi_rank]).clone();
                 let hb = lock(&self.histories[lo_rank]).clone();
                 return Err(format!(
-                    "{PRIMARY_PREFIX}collective count mismatch at finalize on comm {comm:#x}: \
+                    "{PRIMARY_PREFIX}collective count mismatch at finalize on {}: \
                      rank {hi_rank} recorded {max} collective(s), rank {lo_rank} recorded {lo}\n{}",
+                    self.comm_str(comm),
                     ledger_diff(comm, lo, (hi_rank, &ha), (lo_rank, &hb)),
                 ));
             }
@@ -520,10 +544,10 @@ impl CheckShared {
                 .iter()
                 .map(|l| {
                     format!(
-                        "    rank {} -> rank {}  comm {:#x} tag {} type {}: {} msg(s), {} bytes",
+                        "    rank {} -> rank {}  {} tag {} type {}: {} msg(s), {} bytes",
                         l.src,
                         l.dst,
-                        l.comm,
+                        self.comm_str(l.comm),
                         self.tag_str(l.tag),
                         l.type_name,
                         l.count,
@@ -705,6 +729,32 @@ mod tests {
         s.finalize_rank(0);
         s.finalize_rank(1);
         assert_eq!(s.try_verdict(), Some(Ok(())));
+    }
+
+    #[test]
+    fn comm_scope_names_render_in_reports() {
+        let s = CheckShared::new(2, 1 << 30, 40);
+        s.name_comm(0, "world");
+        s.name_comm(0x5a5a, "row1");
+        s.name_comm(0x5a5a, "col0"); // first registrar wins
+        s.finalize_rank(0);
+        let mut w = wait(0, 5);
+        w.comm = 0x5a5a;
+        s.block_on(1, w);
+        let report = s.deadlock_scan().expect("deadlock must be detected");
+        assert!(report.contains("comm 0x5a5a (row1)"), "{report}");
+        s.report_leak(LeakRecord {
+            src: 0,
+            dst: 1,
+            comm: 0,
+            tag: 3,
+            type_name: "u64",
+            bytes: 8,
+            count: 1,
+        });
+        s.finalize_rank(1);
+        let v = s.try_verdict().unwrap().unwrap_err();
+        assert!(v.contains("comm 0x0 (world)"), "{v}");
     }
 
     #[test]

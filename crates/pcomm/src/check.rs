@@ -77,9 +77,12 @@ impl RankCheck {
     }
 
     /// Abort the world with `report` and panic. First caller's report wins
-    /// and becomes the primary diagnostic.
+    /// and becomes the primary diagnostic. Every checker abort (deadlock
+    /// watchdog, conformance violation, barrier ledger) funnels through
+    /// here, so this is where the flight-recorder rings are dumped.
     pub(crate) fn abort(&self, report: String) -> ! {
         let msg = self.shared.abort_with(report);
+        crate::dump_blackbox(&msg);
         panic!("{msg}");
     }
 

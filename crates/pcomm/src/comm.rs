@@ -109,6 +109,7 @@ impl RankCtx {
         loop {
             if let Some(v) = check.shared.try_verdict() {
                 if let Err(msg) = v {
+                    crate::dump_blackbox(&msg);
                     panic!("{msg}");
                 }
                 return;
@@ -152,6 +153,11 @@ pub struct Comm {
     my: usize,
     /// Identifier separating traffic of different communicators.
     id: u64,
+    /// Human scope name ("world", "row1", "col0", "split", "sub"), carried
+    /// for diagnostics and registered with the checker so watchdog and
+    /// leak-audit reports can name the communicator instead of showing a
+    /// bare hash id.
+    scope: Rc<str>,
     /// Sequence number for collective operations (shared among clones so the
     /// reserved tags stay in sync across all copies held by this rank).
     pub(crate) coll_seq: Rc<Cell<u64>>,
@@ -166,6 +172,7 @@ impl Clone for Comm {
             group: Arc::clone(&self.group),
             my: self.my,
             id: self.id,
+            scope: Rc::clone(&self.scope),
             coll_seq: Rc::clone(&self.coll_seq),
             split_seq: Rc::clone(&self.split_seq),
         }
@@ -185,11 +192,15 @@ fn mix(mut h: u64, v: u64) -> u64 {
 impl Comm {
     pub(crate) fn world(ctx: Rc<RankCtx>, size: usize) -> Comm {
         let me = ctx.world_rank;
+        if let Some(check) = &ctx.check {
+            check.shared.name_comm(0, "world");
+        }
         Comm {
             ctx,
             group: Arc::new((0..size).collect()),
             my: me,
             id: 0,
+            scope: Rc::from("world"),
             coll_seq: Rc::new(Cell::new(0)),
             split_seq: Rc::new(Cell::new(0)),
         }
@@ -199,6 +210,12 @@ impl Comm {
     #[inline]
     pub fn rank(&self) -> usize {
         self.my
+    }
+
+    /// Human scope name of this communicator ("world", "row1", "split", …).
+    #[inline]
+    pub fn scope_name(&self) -> &str {
+        &self.scope
     }
 
     /// Number of ranks in this communicator.
@@ -228,6 +245,12 @@ impl Comm {
         payload: Option<(std::any::TypeId, &'static str)>,
         detail: Vec<usize>,
     ) -> Option<CollEntry> {
+        obs::blackbox::record(
+            obs::BbKind::Coll,
+            kind.name(),
+            self.group.len() as u64,
+            self.id,
+        );
         self.ctx.check.as_ref().map(|c| {
             c.enter(
                 self.id,
@@ -271,9 +294,15 @@ impl Comm {
             check.check_abort();
         }
         let bytes = value.payload_bytes();
+        let dst_world = self.group[dst];
         stats::on_send(bytes);
         obs::hist!("pcomm.msg_bytes", bytes);
-        let dst_world = self.group[dst];
+        obs::blackbox::record(
+            obs::BbKind::Send,
+            std::any::type_name::<T>(),
+            bytes as u64,
+            dst_world as u64,
+        );
         let pkt = Packet {
             comm: self.id,
             src: self.ctx.world_rank,
@@ -315,6 +344,7 @@ impl Comm {
         if let Some(q) = self.ctx.stash.borrow_mut().get_mut(&key) {
             if let Some((payload, bytes, ty)) = q.pop_front() {
                 stats::on_recv(bytes);
+                obs::blackbox::record(obs::BbKind::Recv, ty, bytes as u64, src_world as u64);
                 if let Some(check) = &self.ctx.check {
                     check.shared.stash_pop(
                         self.ctx.world_rank,
@@ -346,6 +376,12 @@ impl Comm {
                 stats::on_wait(waited);
                 obs::hist!("pcomm.wait_ns", waited);
                 stats::on_recv(pkt.bytes);
+                obs::blackbox::record(
+                    obs::BbKind::Recv,
+                    pkt.type_name,
+                    pkt.bytes as u64,
+                    key.1 as u64,
+                );
                 return take_payload::<T>(pkt.payload, pkt.type_name, key.1, key.2);
             }
             self.ctx.stash_put(pkt);
@@ -382,6 +418,12 @@ impl Comm {
                         stats::on_wait(waited);
                         obs::hist!("pcomm.wait_ns", waited);
                         stats::on_recv(pkt.bytes);
+                        obs::blackbox::record(
+                            obs::BbKind::Recv,
+                            pkt.type_name,
+                            pkt.bytes as u64,
+                            src_world as u64,
+                        );
                         return take_payload::<T>(pkt.payload, pkt.type_name, src_world, tag);
                     }
                     self.ctx.stash_put(pkt);
@@ -462,6 +504,13 @@ impl Comm {
     /// rank — per-rank singleton groups are an accepted pattern). Returns
     /// `None` on ranks not in `members`.
     pub fn subcomm(&self, members: &[usize]) -> Option<Comm> {
+        self.subcomm_named(members, "sub")
+    }
+
+    /// [`Comm::subcomm`] with a human scope name ("row1", "col0", …) that
+    /// shows up in checker diagnostics — watchdog deadlock reports and the
+    /// finalize leak audit name the communicator instead of a bare hash id.
+    pub fn subcomm_named(&self, members: &[usize], name: &str) -> Option<Comm> {
         let entry = self.coll_enter(CollKind::Subcomm, None, None, members.to_vec());
         let seq = self.split_seq.get();
         self.split_seq.set(seq + 1);
@@ -475,11 +524,15 @@ impl Comm {
                 mix(self.id, seq),
                 group[0] as u64 ^ (group.len() as u64) << 32,
             );
+            if let Some(check) = &self.ctx.check {
+                check.shared.name_comm(id, name);
+            }
             Comm {
                 ctx: Rc::clone(&self.ctx),
                 group: Arc::new(group),
                 my,
                 id,
+                scope: Rc::from(name),
                 coll_seq: Rc::new(Cell::new(0)),
                 split_seq: Rc::new(Cell::new(0)),
             }
@@ -521,7 +574,7 @@ impl Comm {
         // Keep split_seq consistent across colors: every rank made the same
         // number of subcomm calls regardless of its color.
         let sub = self
-            .subcomm(&sorted)
+            .subcomm_named(&sorted, "split")
             .expect("self must be a member of its own color group");
         debug_assert_eq!(
             sorted, members,

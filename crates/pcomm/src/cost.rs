@@ -35,7 +35,31 @@ use crate::stats::CommStats;
 use crate::work::{self, CostClass, COST_CLASSES};
 
 /// Schema version of the machine-profile JSON (bump on layout changes).
-pub const PROFILE_SCHEMA_VERSION: u64 = 1;
+/// v2 added `mem_growth`: per-structure byte-growth laws mirroring the
+/// time-growth laws, so the projector can report per-rank peak RSS.
+pub const PROFILE_SCHEMA_VERSION: u64 = 2;
+
+/// The default per-structure memory growth laws, keyed by the watermark
+/// names probed via `obs::alloc::watermark` (the `mem.watermark.` gauge
+/// prefix stripped):
+///
+/// * `seqstore.store` — a rank holds the sequences of its grid row and
+///   column, 2n/q of them: bytes ∝ 1/q.
+/// * `sparse.accum` — SpGEMM hash accumulators cover a C block row slab,
+///   a 1/q vertical slice of the output: bytes ∝ 1/q.
+/// * `sparse.triples` — a rank's 1/p share of the globally fixed triple
+///   volume (PSG construction / transpose shuffles): bytes ∝ 1/p.
+/// * `pastis.pending` — the pending alignment-pair pool over this rank's
+///   C block, a 1/p share of the nnz: bytes ∝ 1/p.
+/// * `align.scratch` — thread-local DP scratch sized by the longest
+///   sequence pair, not the grid: constant.
+pub const MEM_GROWTH_DEFAULTS: [(&str, Growth); 5] = [
+    ("seqstore.store", Growth::InvQ),
+    ("sparse.accum", Growth::InvQ),
+    ("sparse.triples", Growth::InvP),
+    ("pastis.pending", Growth::InvP),
+    ("align.scratch", Growth::Const),
+];
 
 /// A calibrated description of the host: postal parameters plus the per-op
 /// nanosecond cost of every compute [`CostClass`]. Serialized as JSON
@@ -58,6 +82,10 @@ pub struct MachineProfile {
     /// Keys of the classes that were actually measured; the rest carry
     /// the documented defaults.
     pub calibrated: Vec<String>,
+    /// Per-structure byte-growth laws, keyed by watermark name (schema
+    /// v2; see [`MEM_GROWTH_DEFAULTS`]). Structures not listed project
+    /// conservatively as [`Growth::Const`].
+    pub mem_growth: BTreeMap<String, Growth>,
 }
 
 impl MachineProfile {
@@ -76,6 +104,10 @@ impl MachineProfile {
                 .map(|c| (c.key().to_string(), c.default_milli_ns() as f64 * 1e-3))
                 .collect(),
             calibrated: Vec::new(),
+            mem_growth: MEM_GROWTH_DEFAULTS
+                .iter()
+                .map(|&(k, g)| (k.to_string(), g))
+                .collect(),
         }
     }
 
@@ -120,6 +152,15 @@ impl MachineProfile {
                 self.calibrated
                     .iter()
                     .map(|k| JsonValue::Str(k.clone()))
+                    .collect(),
+            ),
+        );
+        o.insert(
+            "mem_growth".into(),
+            JsonValue::Obj(
+                self.mem_growth
+                    .iter()
+                    .map(|(k, g)| (k.clone(), JsonValue::Str(g.key().into())))
                     .collect(),
             ),
         );
@@ -188,6 +229,19 @@ impl MachineProfile {
             None => Vec::new(),
             _ => return Err("machine profile: `calibrated` must be an array".into()),
         };
+        let mut mem_growth = BTreeMap::new();
+        match v.get("mem_growth") {
+            Some(JsonValue::Obj(m)) => {
+                for (k, x) in m {
+                    let g = x
+                        .as_str()
+                        .and_then(Growth::from_key)
+                        .ok_or_else(|| format!("machine profile: mem_growth.{k} has bad law"))?;
+                    mem_growth.insert(k.clone(), g);
+                }
+            }
+            _ => return Err("machine profile: missing `mem_growth` object (schema v2)".into()),
+        }
         Ok(MachineProfile {
             version,
             host,
@@ -196,6 +250,7 @@ impl MachineProfile {
             compute_scale,
             cost_ns,
             calibrated,
+            mem_growth,
         })
     }
 
@@ -555,6 +610,23 @@ pub enum Growth {
 }
 
 impl Growth {
+    /// Stable serde key (the `mem_growth` values of the profile JSON).
+    pub fn key(self) -> &'static str {
+        match self {
+            Growth::Const => "const",
+            Growth::LinearQ => "linear_q",
+            Growth::InvQ => "inv_q",
+            Growth::InvP => "inv_p",
+        }
+    }
+
+    /// Inverse of [`Growth::key`].
+    pub fn from_key(k: &str) -> Option<Growth> {
+        [Growth::Const, Growth::LinearQ, Growth::InvQ, Growth::InvP]
+            .into_iter()
+            .find(|g| g.key() == k)
+    }
+
     /// Multiplier taking a per-rank quantity from grid `p_from` to
     /// `p_to` (both perfect squares).
     pub fn factor(self, p_from: usize, p_to: usize) -> f64 {
@@ -1036,6 +1108,101 @@ pub fn project(
     }
 }
 
+/// Per-rank peak-memory projection at a target grid (the memory analogue
+/// of [`Projection`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemProjection {
+    /// Target rank count.
+    pub p: usize,
+    /// Rank count of the recording.
+    pub p_recorded: usize,
+    /// Sum of the projected per-structure peaks — an upper bound on the
+    /// per-rank peak RSS (individual peaks need not coincide in time).
+    pub peak_bytes: u64,
+    /// Projected per-rank peak bytes per structure, sorted by name (the
+    /// JSON round-trip is order-preserving that way).
+    pub by_structure: Vec<(String, u64)>,
+}
+
+impl MemProjection {
+    pub fn to_json(&self) -> JsonValue {
+        let mut o = BTreeMap::new();
+        o.insert("p".into(), JsonValue::Num(self.p as f64));
+        o.insert("p_recorded".into(), JsonValue::Num(self.p_recorded as f64));
+        o.insert("peak_bytes".into(), JsonValue::Num(self.peak_bytes as f64));
+        o.insert(
+            "by_structure".into(),
+            JsonValue::Obj(
+                self.by_structure
+                    .iter()
+                    .map(|(k, b)| (k.clone(), JsonValue::Num(*b as f64)))
+                    .collect(),
+            ),
+        );
+        JsonValue::Obj(o)
+    }
+
+    pub fn from_json(v: &JsonValue) -> Result<MemProjection, String> {
+        let num = |k: &str| {
+            v.get(k)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("mem projection: missing `{k}`"))
+        };
+        let by_structure = match v.get("by_structure") {
+            Some(JsonValue::Obj(m)) => m
+                .iter()
+                .map(|(k, x)| {
+                    x.as_u64()
+                        .map(|b| (k.clone(), b))
+                        .ok_or_else(|| format!("mem projection: by_structure.{k} not a number"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("mem projection: missing `by_structure` object".into()),
+        };
+        Ok(MemProjection {
+            p: num("p")? as usize,
+            p_recorded: num("p_recorded")? as usize,
+            peak_bytes: num("peak_bytes")? as u64,
+            by_structure,
+        })
+    }
+}
+
+/// Project per-rank peak memory watermarks recorded at `p_recorded` to
+/// `p_target` using the profile's per-structure byte-growth laws.
+///
+/// `watermarks` is the output of `obs::project::extract_mem_watermarks`:
+/// per-structure max-across-ranks peak bytes (the `mem.watermark.` gauge
+/// prefix already stripped). Structures without a law in the profile are
+/// held constant — the conservative choice, since unmodeled memory that
+/// *does* shrink with p only makes the bound looser, never optimistic.
+pub fn project_mem(
+    watermarks: &[(String, u64)],
+    p_recorded: usize,
+    profile: &MachineProfile,
+    p_target: usize,
+) -> MemProjection {
+    let mut by_structure = Vec::with_capacity(watermarks.len());
+    let mut total = 0u64;
+    for (name, bytes) in watermarks {
+        let growth = profile
+            .mem_growth
+            .get(name)
+            .copied()
+            .unwrap_or(Growth::Const);
+        let projected = (*bytes as f64 * growth.factor(p_recorded, p_target)).round() as u64;
+        total += projected;
+        by_structure.push((name.clone(), projected));
+    }
+    by_structure.sort();
+    MemProjection {
+        p: p_target,
+        p_recorded,
+        peak_bytes: total,
+        by_structure,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1170,8 +1337,48 @@ mod tests {
         // Unknown cost keys and bad versions are rejected.
         let bad = text.replace("sw_cell", "not_a_class");
         assert!(MachineProfile::from_json(&JsonValue::parse(&bad).unwrap()).is_err());
-        let bad = text.replace("\"version\":1", "\"version\":99");
+        let bad = text.replace("\"version\":2", "\"version\":99");
+        assert_ne!(bad, text, "version literal must appear in the JSON");
         assert!(MachineProfile::from_json(&JsonValue::parse(&bad).unwrap()).is_err());
+        // v2 requires the mem_growth section with known laws.
+        let bad = text.replace("inv_q", "quadratic");
+        assert!(MachineProfile::from_json(&JsonValue::parse(&bad).unwrap()).is_err());
+    }
+
+    #[test]
+    fn growth_keys_round_trip() {
+        for g in [Growth::Const, Growth::LinearQ, Growth::InvQ, Growth::InvP] {
+            assert_eq!(Growth::from_key(g.key()), Some(g));
+        }
+        assert_eq!(Growth::from_key("cubic"), None);
+    }
+
+    #[test]
+    fn mem_projection_applies_growth_laws() {
+        let profile = MachineProfile::defaults();
+        let watermarks = vec![
+            ("seqstore.store".to_string(), 1_000_000u64), // InvQ: q 4 → 8
+            ("sparse.triples".to_string(), 4_000_000u64), // InvP: 16 → 64
+            ("align.scratch".to_string(), 300_000u64),    // Const
+            ("unmodeled.thing".to_string(), 700u64),      // Const fallback
+        ];
+        let m = project_mem(&watermarks, 16, &profile, 64);
+        assert_eq!(m.p, 64);
+        assert_eq!(m.p_recorded, 16);
+        let by: BTreeMap<&str, u64> = m
+            .by_structure
+            .iter()
+            .map(|(k, b)| (k.as_str(), *b))
+            .collect();
+        assert_eq!(by["seqstore.store"], 500_000);
+        assert_eq!(by["sparse.triples"], 1_000_000);
+        assert_eq!(by["align.scratch"], 300_000);
+        assert_eq!(by["unmodeled.thing"], 700);
+        assert_eq!(m.peak_bytes, 500_000 + 1_000_000 + 300_000 + 700);
+        // JSON round-trip.
+        let back =
+            MemProjection::from_json(&JsonValue::parse(&m.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(back, m);
     }
 
     #[test]

@@ -36,7 +36,7 @@ impl Grid {
         let mut row = None;
         for r in 0..q {
             let members: Vec<usize> = (0..q).map(|c| r * q + c).collect();
-            if let Some(c) = comm.subcomm(&members) {
+            if let Some(c) = comm.subcomm_named(&members, &format!("row{r}")) {
                 debug_assert_eq!(r, myrow);
                 row = Some(c);
             }
@@ -44,7 +44,7 @@ impl Grid {
         let mut col = None;
         for c in 0..q {
             let members: Vec<usize> = (0..q).map(|r| r * q + c).collect();
-            if let Some(cm) = comm.subcomm(&members) {
+            if let Some(cm) = comm.subcomm_named(&members, &format!("col{c}")) {
                 debug_assert_eq!(c, mycol);
                 col = Some(cm);
             }

@@ -37,9 +37,9 @@ mod world;
 pub use collectives::BcastHandle;
 pub use comm::{Comm, RecvFuture};
 pub use cost::{
-    grid_side, kind_names, project, CollAgg, CollShape, CostModel, Growth, KindRule,
-    MachineProfile, ProjectedStage, Projection, Scope, StageCost, WhatIfOverlap, KIND_RULES,
-    PROFILE_SCHEMA_VERSION,
+    grid_side, kind_names, project, project_mem, CollAgg, CollShape, CostModel, Growth, KindRule,
+    MachineProfile, MemProjection, ProjectedStage, Projection, Scope, StageCost, WhatIfOverlap,
+    KIND_RULES, MEM_GROWTH_DEFAULTS, PROFILE_SCHEMA_VERSION,
 };
 pub use grid::Grid;
 pub use payload::Payload;
@@ -49,3 +49,18 @@ pub use world::{World, WorldBuilder};
 /// Tags below this bound are available to users; larger values are reserved
 /// for collectives.
 pub const MAX_USER_TAG: u64 = 1 << 30;
+
+/// Dump every rank's flight-recorder ring (first abort path wins; see
+/// [`obs::blackbox::dump_once`]) and tell the user where the postmortems
+/// landed. Called from every abort path of the runtime: the deadlock
+/// watchdog, conformance violations, rank panics, and the finalize leak
+/// audit.
+pub(crate) fn dump_blackbox(reason: &str) {
+    let paths = obs::blackbox::dump_once(reason);
+    if !paths.is_empty() {
+        eprintln!("pcomm: black-box flight-recorder dumps written:");
+        for p in &paths {
+            eprintln!("  {}", p.display());
+        }
+    }
+}

@@ -129,6 +129,11 @@ impl WorldBuilder {
                     .stack_size(RANK_STACK)
                     .spawn_scoped(scope, move || {
                         crate::install_obs_provider();
+                        // Flight recorder: every rank thread gets a bounded
+                        // event ring for the postmortem dumps written on
+                        // abort (deadlock, panic, leak audit). RAII-dropped
+                        // with the thread, so clean runs cost only the ring.
+                        let _blackbox = obs::blackbox::install(rank);
                         let check = check_shared
                             .as_ref()
                             .map(|cs| RankCheck::new(Arc::clone(cs), rank, perturb));
@@ -148,6 +153,11 @@ impl WorldBuilder {
                                     }
                                     Err(e) => {
                                         cs.mark_dead(rank);
+                                        // Checker aborts dumped already (the
+                                        // panicking rank went through
+                                        // RankCheck::abort); this catches
+                                        // plain user panics.
+                                        crate::dump_blackbox(&format!("rank {rank} panicked"));
                                         std::panic::resume_unwind(e);
                                     }
                                 }

@@ -12,6 +12,7 @@
 
 use std::collections::BTreeMap;
 
+use obs::HeapSize;
 use pcomm::{Comm, Grid, Payload, RecvFuture};
 
 use crate::fasta::{partition_fasta, FastaRecord};
@@ -30,6 +31,12 @@ pub struct SeqRecord {
 impl Payload for SeqRecord {
     fn payload_bytes(&self) -> usize {
         8 + self.name.len() + self.data.len()
+    }
+}
+
+impl HeapSize for SeqRecord {
+    fn heap_bytes(&self) -> usize {
+        self.name.capacity() + self.data.capacity()
     }
 }
 
@@ -90,14 +97,16 @@ impl DistSeqStore {
             prev = e;
         }
         let n_global = prev;
-        DistSeqStore {
+        let store = DistSeqStore {
             n_global,
             owned_start,
             owned,
             intervals,
             row_seqs: BTreeMap::new(),
             col_seqs: BTreeMap::new(),
-        }
+        };
+        obs::alloc::probe("mem.watermark.seqstore.store", &store);
+        store
     }
 
     /// Total number of sequences.
@@ -206,6 +215,7 @@ impl DistSeqStore {
                 self.insert_fetched(s);
             }
         }
+        obs::alloc::probe("mem.watermark.seqstore.store", self);
         n
     }
 
@@ -230,6 +240,28 @@ impl DistSeqStore {
     fn owned_lookup(&self, gid: u64) -> Option<&SeqRecord> {
         let (lo, hi) = self.owned_range();
         (gid >= lo && gid < hi).then(|| &self.owned[(gid - lo) as usize])
+    }
+}
+
+impl HeapSize for DistSeqStore {
+    fn heap_bytes(&self) -> usize {
+        // The store is the growth-law structure `seqstore.store`: owned
+        // sequences (~n/p of the input) plus the fetched row/column block
+        // views (~2n/√p), which dominate at scale.
+        let fetched = |m: &BTreeMap<u64, SeqRecord>| {
+            m.values()
+                .map(|s| {
+                    8 + std::mem::size_of::<SeqRecord>()
+                        + obs::alloc::BTREE_ENTRY_OVERHEAD
+                        + s.heap_bytes()
+                })
+                .sum::<usize>()
+        };
+        self.owned.capacity() * std::mem::size_of::<SeqRecord>()
+            + self.owned.iter().map(HeapSize::heap_bytes).sum::<usize>()
+            + self.intervals.heap_bytes()
+            + fetched(&self.row_seqs)
+            + fetched(&self.col_seqs)
     }
 }
 

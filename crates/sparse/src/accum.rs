@@ -97,6 +97,14 @@ impl<C> HashAccumulator<C> {
         }
     }
 
+    /// Heap footprint of the table (the growth-law structure
+    /// `sparse.accum`; capacity only grows, so the final size is the
+    /// invocation's high-water mark).
+    pub fn heap_bytes(&self) -> usize {
+        self.keys.capacity() * std::mem::size_of::<u32>()
+            + self.vals.capacity() * std::mem::size_of::<Option<C>>()
+    }
+
     /// Drain all `(key, value)` pairs sorted by key, leaving the accumulator
     /// empty and ready for the next column.
     pub fn drain_sorted(&mut self, out: &mut Vec<(u32, C)>) {
@@ -109,6 +117,12 @@ impl<C> HashAccumulator<C> {
         }
         self.len = 0;
         out[start..].sort_unstable_by_key(|&(k, _)| k);
+    }
+}
+
+impl<C> obs::HeapSize for HashAccumulator<C> {
+    fn heap_bytes(&self) -> usize {
+        HashAccumulator::heap_bytes(self)
     }
 }
 

@@ -78,6 +78,7 @@ impl<V: Payload + Clone> DistMat<V> {
             .flatten()
             .map(|(r, c, v)| ((r - r0) as u32, c - c0, v))
             .collect();
+        obs::alloc::probe("mem.watermark.sparse.triples", &local_triples);
         let local = Dcsc::from_triples(
             Self::local_rows(nrows, q, grid.myrow()),
             Self::local_cols(ncols, q, grid.mycol()),
@@ -218,6 +219,9 @@ impl<V: Payload + Clone> DistMat<V> {
         stream.for_each_stage(|_t, triples| acc.extend(triples));
         // Stable sort keeps stage order for duplicates, so the add fold is
         // in ascending global inner index — identical for every grid size.
+        // The fully accumulated partial-triple buffer is the PSG's
+        // peak-footprint moment on the staged path.
+        obs::alloc::probe("mem.watermark.sparse.triples", &acc);
         let _fold = obs::span!("summa.fold", triples = acc.len());
         let local = Dcsc::from_triples(
             Self::local_rows(self.nrows, q, grid.myrow()),

@@ -86,6 +86,9 @@ pub fn local_spgemm<SR: Semiring>(
             merge_heap(&lists, sr, jcol, &mut out);
         }
     }
+    // The table only ever grows, so its final capacity is this multiply's
+    // accumulator high-water mark.
+    obs::alloc::probe("mem.watermark.sparse.accum", &hash_acc);
     out
 }
 

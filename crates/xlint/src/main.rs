@@ -1,6 +1,6 @@
 //! `xlint` — repository-specific lint gates that `clippy` cannot express.
 //!
-//! Five rules, chosen because each guards an invariant another layer of
+//! Six rules, chosen because each guards an invariant another layer of
 //! this workspace depends on:
 //!
 //! - **safety-comment** — every `unsafe` token must have a `// SAFETY:`
@@ -26,6 +26,12 @@
 //!   one cached, `ALIGN_FORCE`-overridable decision point; a stray probe
 //!   elsewhere would fork the dispatch policy and escape the forced-lane
 //!   test matrix.
+//! - **alloc-confinement** — `#[global_allocator]` and raw `std::alloc`
+//!   machinery are confined to `crates/obs/src/alloc.rs`. The memory
+//!   observatory's accounting is only sound if every allocation flows
+//!   through its one tagging allocator; a second allocator (or direct
+//!   `std::alloc` calls) would leak bytes past the per-subsystem ledgers
+//!   and the window peaks.
 //!
 //! `tests/` and `benches/` directories are exempt from the confinement
 //! rules (not from safety-comment). A finding can be waived in place with a
@@ -40,12 +46,13 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const RULES: [&str; 5] = [
+const RULES: [&str; 6] = [
     "safety-comment",
     "thread-spawn",
     "instant-now",
     "cost-literal",
     "feature-detect",
+    "alloc-confinement",
 ];
 
 /// How many lines above an `unsafe` token a `SAFETY:` comment may sit.
@@ -67,6 +74,9 @@ const COST_ALLOWED: [&str; 1] = ["crates/pcomm/src/work.rs"];
 
 const FEATURE_TOKEN: &str = "is_x86_feature_detected";
 const FEATURE_ALLOWED: [&str; 1] = ["crates/align/src/dispatch.rs"];
+
+const ALLOC_TOKENS: [&str; 2] = ["global_allocator", "std::alloc"];
+const ALLOC_ALLOWED: [&str; 1] = ["crates/obs/src/alloc.rs"];
 
 #[derive(Debug, PartialEq, Eq)]
 struct Finding {
@@ -319,6 +329,22 @@ fn scan_source(rel: &str, src: &str) -> Vec<Finding> {
                     ),
                 ));
             }
+
+            if !ALLOC_ALLOWED.iter().any(|p| rel.starts_with(p))
+                && ALLOC_TOKENS.iter().any(|t| has_token(cl, t))
+                && !waived(&raw, i, "alloc-confinement")
+            {
+                findings.push(finding(
+                    i,
+                    "alloc-confinement",
+                    format!(
+                        "allocator machinery outside {} — the tagging \
+                         allocator must see every allocation or the memory \
+                         observatory's ledgers lie",
+                        ALLOC_ALLOWED.join(", ")
+                    ),
+                ));
+            }
         }
     }
     findings
@@ -485,6 +511,29 @@ mod tests {
         let waived = "fn f() { std::arch::is_x86_feature_detected!(\"avx2\"); } \
                       // xlint: allow(feature-detect)\n";
         assert!(scan_source("crates/align/src/striped.rs", waived).is_empty());
+    }
+
+    #[test]
+    fn alloc_confinement() {
+        let attr = "#[global_allocator]\nstatic A: MyAlloc = MyAlloc;\n";
+        let f = scan_source("crates/sparse/src/lib.rs", attr);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "alloc-confinement");
+        let raw = "fn f() { let p = unsafe { std::alloc::alloc(layout) }; }\n";
+        let f = scan_source("crates/align/src/scratch.rs", raw);
+        // Flags both the missing SAFETY comment and the stray allocator call.
+        assert!(f.iter().any(|x| x.rule == "alloc-confinement"));
+        // The tagging allocator module owns this machinery.
+        assert!(scan_source("crates/obs/src/alloc.rs", attr).is_empty());
+        // Test trees are exempt.
+        assert!(scan_source("crates/sparse/tests/t.rs", attr).is_empty());
+        // Doc comments never trip the rule.
+        let doc = "/// the only #[global_allocator] lives in obs\nfn f() {}\n";
+        assert!(scan_source("crates/sparse/src/lib.rs", doc).is_empty());
+        // In-place waiver.
+        let waived = "#[global_allocator] // xlint: allow(alloc-confinement)\n\
+                      static A: MyAlloc = MyAlloc;\n";
+        assert!(scan_source("crates/sparse/src/lib.rs", waived).is_empty());
     }
 
     #[test]

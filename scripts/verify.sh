@@ -26,9 +26,14 @@ PCHECK=1 cargo test -q --release -p pastis --test stream_equivalence
 for lane in scalar slp avx2; do
     ALIGN_FORCE="$lane" cargo test -q --release -p align --test proptest_align
 done
+# Memory-observatory lane: release builds default allocation tracking OFF,
+# so force it on and rerun the obs suite — the allocator ledgers, window
+# peaks, and per-stage tables must hold under the release optimizer too.
+ALLOC_TRACK=1 cargo test -q --release -p obs
 cargo clippy --all-targets -- -D warnings
 # Workspace lint gates: SAFETY comments on unsafe, thread-spawn confinement,
-# Instant::now confinement, cost-literal confinement. See crates/xlint.
+# Instant::now confinement, cost-literal confinement, allocator confinement.
+# See crates/xlint.
 cargo run -q -p xlint -- .
 # Bench document schemas (machine profile + committed baselines) and the
 # regression gate: BENCH_scale is regenerated deterministically from the
