@@ -1,0 +1,43 @@
+//! mkfasta — write a deterministic metaclust-style FASTA to disk.
+//!
+//! ```text
+//! mkfasta <out.fasta> [kilo_seqs] [seed]
+//! ```
+//!
+//! A tiny wrapper over [`pastis_bench::metaclust_dataset`] so shell
+//! lanes (`scripts/verify.sh`'s monitor lane, manual `pastis --monitor`
+//! smoke runs) can generate the same planted-family workloads the bench
+//! harness uses, without a Python dependency. Defaults: 0.06 kseqs,
+//! seed 7.
+
+use pastis_bench::metaclust_dataset;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(out) = args.next() else {
+        eprintln!("usage: mkfasta <out.fasta> [kilo_seqs] [seed]");
+        std::process::exit(2);
+    };
+    let kseqs: f64 = args.next().map_or(0.06, |v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("mkfasta: kilo_seqs `{v}` is not a number");
+            std::process::exit(2);
+        })
+    });
+    let seed: u64 = args.next().map_or(7, |v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("mkfasta: seed `{v}` is not an integer");
+            std::process::exit(2);
+        })
+    });
+    let fasta = metaclust_dataset(kseqs, seed);
+    let n = fasta.iter().filter(|&&b| b == b'>').count();
+    if let Err(e) = std::fs::write(&out, &fasta) {
+        eprintln!("mkfasta: cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "mkfasta: wrote {n} sequences ({} bytes, kseqs {kseqs}, seed {seed}) to {out}",
+        fasta.len()
+    );
+}

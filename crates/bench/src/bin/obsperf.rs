@@ -13,9 +13,13 @@
 //! align batch never crosses): the same `run_on` workload with the global
 //! recording switch off vs on, plus the per-push micro cost.
 //!
+//! A third macro section measures the live monitor plane (heartbeat
+//! cells + the snapshot thread `pastis --monitor` arms) the same way:
+//! pipeline with the plane configured vs disarmed.
+//!
 //! Writes `BENCH_obs.json` (override with `OUT=<path>`); `SCALE=<f64>`
 //! multiplies pair counts. Targets: < 2% recorder macro overhead, < 3%
-//! flight-recorder overhead.
+//! flight-recorder overhead, < 2% monitor-plane overhead.
 
 use obs::Stopwatch;
 use std::fmt::Write as _;
@@ -205,6 +209,70 @@ fn main() {
     });
     drop(bb_guard);
 
+    // Monitor plane: live heartbeat cells plus the snapshot thread. A
+    // pipeline run with `--monitor` armed (cells enabled, snapshot
+    // thread sampling at the default interval, snapshots kept in memory
+    // so disk jitter stays out of the measurement) vs the plane fully
+    // disarmed, paired and median'd as above. The workload is larger
+    // than the flight-recorder one: the plane's only fixed cost is the
+    // monitor thread's spawn/final-snapshot handshake, which a
+    // too-short run would overstate against the 2% target (and a ~25ms
+    // run cannot resolve 2% against single-core scheduler jitter at
+    // all). Target: < 2% (ratio ≤ 1.02).
+    let mon_reps = 15;
+    let mon_fasta = metaclust_dataset(0.5 * scale, 7);
+    let mon_run = || {
+        run_on(&mon_fasta, 4, &bb_params)
+            .iter()
+            .map(|r| r.edges.len())
+            .sum::<usize>()
+    };
+    let mon_cfg = pcomm::monitor::MonitorConfig {
+        path: None,
+        render: false,
+        ..Default::default()
+    };
+    let mut mon_off = Vec::new();
+    let mut mon_on = Vec::new();
+    let mon_sample = |samples: &mut Vec<f64>, on: bool| {
+        if on {
+            pcomm::monitor::configure(mon_cfg.clone());
+        } else {
+            pcomm::monitor::deconfigure();
+        }
+        let t0 = Stopwatch::start();
+        std::hint::black_box(mon_run());
+        samples.push(t0.elapsed_secs());
+    };
+    std::hint::black_box(mon_run()); // warmup the larger dataset
+    for rep in 0..mon_reps {
+        if rep % 2 == 0 {
+            mon_sample(&mut mon_off, false);
+            mon_sample(&mut mon_on, true);
+        } else {
+            mon_sample(&mut mon_on, true);
+            mon_sample(&mut mon_off, false);
+        }
+    }
+    pcomm::monitor::deconfigure();
+    let mon_secs_off = median(&mut mon_off.clone());
+    let mon_secs_on = median(&mut mon_on.clone());
+    let mut mon_ratios: Vec<f64> = mon_on
+        .iter()
+        .zip(&mon_off)
+        .map(|(on, off)| on / off)
+        .collect();
+    let mon_ratio = median(&mut mon_ratios);
+    let mon_pct = 100.0 * (mon_ratio - 1.0);
+    // Micro: one heartbeat touch with the plane off (a relaxed load) vs
+    // on with a cell installed (clock read + allocator sample + stores).
+    let touch_off = ns_per_op(1_000_000, reps, obs::live::touch);
+    let live_guard = obs::live::install(0);
+    obs::live::set_enabled(true);
+    let touch_on = ns_per_op(1_000_000, reps, obs::live::touch);
+    obs::live::set_enabled(false);
+    drop(live_guard);
+
     println!(
         "== obs recorder overhead (align batch, {} pairs, {cells} cells) ==",
         tasks.len()
@@ -223,6 +291,14 @@ fn main() {
     println!("bb record ns/op: no ring {bb_rec_off:.1}  ring {bb_rec_on:.1}");
     let bb_verdict = if bb_ratio < 1.03 { "PASS" } else { "FAIL" };
     println!("target < 3%: {bb_verdict}");
+    println!("== monitor plane overhead (pipeline, p=4) ==");
+    println!(
+        "monitor off: {mon_secs_off:.4}s   on: {mon_secs_on:.4}s   \
+         overhead: {mon_pct:+.2}% (ratio {mon_ratio:.4})"
+    );
+    println!("live touch ns/op: off {touch_off:.1}  on {touch_on:.1}");
+    let mon_verdict = if mon_ratio < 1.02 { "PASS" } else { "FAIL" };
+    println!("target < 2%: {mon_verdict}");
 
     let mut json = String::from("{\n  \"bench\": \"obs_overhead\",\n");
     let _ = writeln!(json, "  \"workload\": \"align_batch/local_align\",");
@@ -244,8 +320,16 @@ fn main() {
         "  \"blackbox\": {{\"secs_off\": {bb_secs_off:.6}, \"secs_on\": {bb_secs_on:.6}, \
          \"overhead_pct\": {bb_pct:.3}, \"overhead_ratio\": {bb_ratio:.5}, \
          \"target_pct\": 3.0, \"pass\": {}, \
-         \"record_ns_no_ring\": {bb_rec_off:.2}, \"record_ns_ring\": {bb_rec_on:.2}}}",
+         \"record_ns_no_ring\": {bb_rec_off:.2}, \"record_ns_ring\": {bb_rec_on:.2}}},",
         bb_ratio < 1.03
+    );
+    let _ = writeln!(
+        json,
+        "  \"monitor\": {{\"secs_off\": {mon_secs_off:.6}, \"secs_on\": {mon_secs_on:.6}, \
+         \"overhead_pct\": {mon_pct:.3}, \"overhead_ratio\": {mon_ratio:.5}, \
+         \"target_pct\": 2.0, \"pass\": {}, \
+         \"touch_ns_off\": {touch_off:.2}, \"touch_ns_on\": {touch_on:.2}}}",
+        mon_ratio < 1.02
     );
     json.push_str("}\n");
     std::fs::write(&out_path, json).expect("write BENCH_obs.json");

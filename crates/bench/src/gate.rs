@@ -81,11 +81,31 @@ pub const CHECKS: &[Check] = &[
         direction: Direction::LowerBetter,
         tolerance: 0.03,
     },
+    // Monitor-plane macro overhead: live heartbeat cells + the snapshot
+    // thread against the same pipeline with the plane disabled. The
+    // ISSUE-level promise is < 2%; every hook is one relaxed atomic load
+    // when the plane is off, so the on/off ratio should sit at ~1.0.
+    Check {
+        file: "BENCH_obs.json",
+        path: &["monitor", "overhead_ratio"],
+        direction: Direction::LowerBetter,
+        tolerance: 0.02,
+    },
     Check {
         file: "BENCH_scale.json",
         path: &["summary", "total_secs"],
         direction: Direction::LowerBetter,
         tolerance: 0.20,
+    },
+    // Measured per-stage work imbalance of the reference recording.
+    // Deterministic (work ledgers, not wall clock), so drift means the
+    // partitioning or the workload itself changed; the band absorbs
+    // intentional retuning of either.
+    Check {
+        file: "BENCH_scale.json",
+        path: &["summary", "max_stage_lambda"],
+        direction: Direction::AbsDelta,
+        tolerance: 0.25,
     },
     Check {
         file: "BENCH_scale.json",
@@ -270,14 +290,25 @@ pub fn schema_age(file: &str, doc: &JsonValue) -> Option<String> {
             let v = doc.get("version").and_then(JsonValue::as_u64).unwrap_or(0);
             (v < crate::SCALE_SCHEMA_VERSION).then(|| {
                 format!(
-                    "schema v{v} predates v{} (no memory section) — regenerate with the `scale` bin",
+                    "schema v{v} predates v{} (no skew section) — regenerate with the `scale` bin",
                     crate::SCALE_SCHEMA_VERSION
                 )
             })
         }
-        "BENCH_obs.json" => doc.get("blackbox").is_none().then(|| {
-            "predates the flight-recorder section — regenerate with the `obsperf` bin".into()
-        }),
+        "BENCH_obs.json" => {
+            if doc.get("blackbox").is_none() {
+                Some(
+                    "predates the flight-recorder section — regenerate with the `obsperf` bin"
+                        .into(),
+                )
+            } else if doc.get("monitor").is_none() {
+                Some(
+                    "predates the monitor-plane section — regenerate with the `obsperf` bin".into(),
+                )
+            } else {
+                None
+            }
+        }
         _ => None,
     }
 }
@@ -325,6 +356,10 @@ pub fn validate(file: &str, doc: &JsonValue) -> Result<(), String> {
             expect_num(&["blackbox", "overhead_ratio"])?;
             if lookup(doc, &["blackbox", "overhead_ratio"]).unwrap_or(0.0) <= 0.0 {
                 return Err(format!("{file}: blackbox.overhead_ratio must be positive"));
+            }
+            expect_num(&["monitor", "overhead_ratio"])?;
+            if lookup(doc, &["monitor", "overhead_ratio"]).unwrap_or(0.0) <= 0.0 {
+                return Err(format!("{file}: monitor.overhead_ratio must be positive"));
             }
             Ok(())
         }
@@ -467,7 +502,8 @@ mod tests {
         assert!(validate("BENCH_align.json", &align_doc(1.0e9)).is_ok());
         assert!(validate("BENCH_align.json", &align_doc(-1.0)).is_err());
         let obs_doc = "{\"bench\":\"obs_overhead\",\"overhead_pct\":0.4,\
-             \"blackbox\":{\"overhead_ratio\":1.004}}";
+             \"blackbox\":{\"overhead_ratio\":1.004},\
+             \"monitor\":{\"overhead_ratio\":1.002}}";
         assert!(validate("BENCH_obs.json", &JsonValue::parse(obs_doc).unwrap()).is_ok());
         assert!(validate(
             "BENCH_obs.json",
@@ -481,6 +517,15 @@ mod tests {
         // …but recognizably *stale* rather than malformed, so the gate can
         // skip an old baseline with a note.
         assert!(schema_age("BENCH_obs.json", &old_obs).is_some());
+        // A doc with the flight recorder but no monitor plane is stale too.
+        let pre_monitor = JsonValue::parse(
+            "{\"bench\":\"obs_overhead\",\"overhead_pct\":0.4,\
+             \"blackbox\":{\"overhead_ratio\":1.004}}",
+        )
+        .unwrap();
+        assert!(schema_age("BENCH_obs.json", &pre_monitor)
+            .unwrap()
+            .contains("monitor"));
         assert!(schema_age("BENCH_obs.json", &JsonValue::parse(obs_doc).unwrap()).is_none());
         let old_scale = JsonValue::parse("{\"schema\":\"bench_scale\",\"version\":2}").unwrap();
         assert!(schema_age("BENCH_scale.json", &old_scale)

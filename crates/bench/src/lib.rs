@@ -131,8 +131,10 @@ pub const SCALE_KSEQS: f64 = 2.0;
 /// Dataset seed of the reference recording.
 pub const SCALE_SEED: u64 = 14;
 /// Schema version of the BENCH_scale document. v3 added the memory
-/// section (`watermarks` + `mem` projections).
-pub const SCALE_SCHEMA_VERSION: u64 = 3;
+/// section (`watermarks` + `mem` projections); v4 added the measured
+/// per-stage skew section (`skew` + `summary.max_stage_lambda`) and the
+/// per-stage `lambda` the projector now applies to compute time.
+pub const SCALE_SCHEMA_VERSION: u64 = 4;
 
 /// Pipeline parameters of the reference scaling recording: the paper's
 /// PASTIS-XD fast mode, one thread per rank so the recording itself is
@@ -400,6 +402,10 @@ pub struct ScaleReport {
     /// Per-rank peak-memory projections, one per entry of [`FIG14_NODES`],
     /// from the profile's byte-growth laws applied to `watermarks`.
     pub mem: Vec<pcomm::MemProjection>,
+    /// Measured per-stage skew of the recording (deterministic work λ,
+    /// Gini, critical rank) — the distributions whose λ the projections
+    /// apply instead of the balanced-compute assumption.
+    pub skew: Vec<obs::imbalance::StageSkew>,
 }
 
 impl ScaleReport {
@@ -410,6 +416,7 @@ impl ScaleReport {
         profile.install();
         let runs = scale_runs();
         let model = CostModel::from_profile(profile);
+        let skew = obs::imbalance::skew_from_extracts(&extract_runs(&runs));
         let projections = project_runs(&runs, &model, &FIG14_NODES);
         let whatif = projections
             .iter()
@@ -430,6 +437,7 @@ impl ScaleReport {
             overlap,
             watermarks,
             mem,
+            skew,
         }
     }
 
@@ -438,6 +446,16 @@ impl ScaleReport {
         self.projections
             .last()
             .expect("report has at least one projection")
+    }
+
+    /// Largest measured per-stage work λ (1.0 when no stage recorded
+    /// work) — the headline imbalance number the gate pins.
+    pub fn max_stage_lambda(&self) -> f64 {
+        self.skew
+            .iter()
+            .filter(|s| s.work_ns_mean > 0.0)
+            .map(|s| s.lambda_work)
+            .fold(1.0, f64::max)
     }
 
     pub fn render(&self) -> String {
@@ -466,6 +484,8 @@ impl ScaleReport {
                 w.saved_pct()
             );
         }
+        out.push_str("\n== measured per-stage skew (recorded grid) ==\n");
+        out.push_str(&obs::imbalance::render_skew_table(&self.skew));
         out.push_str("\n== projected per-rank peak memory (growth laws) ==\n");
         out.push_str(&render_mem_table(
             self.p_recorded,
@@ -541,6 +561,15 @@ impl ScaleReport {
             "mem".into(),
             JsonValue::Arr(self.mem.iter().map(pcomm::MemProjection::to_json).collect()),
         );
+        o.insert(
+            "skew".into(),
+            JsonValue::Arr(
+                self.skew
+                    .iter()
+                    .map(obs::imbalance::StageSkew::to_json)
+                    .collect(),
+            ),
+        );
         let mut summary = BTreeMap::new();
         summary.insert("p_max".into(), JsonValue::Num(headline.p as f64));
         summary.insert("total_secs".into(), JsonValue::Num(headline.total_secs()));
@@ -555,6 +584,10 @@ impl ScaleReport {
         summary.insert(
             "mem_peak_bytes".into(),
             JsonValue::Num(self.mem.last().map_or(0, |m| m.peak_bytes) as f64),
+        );
+        summary.insert(
+            "max_stage_lambda".into(),
+            JsonValue::Num(self.max_stage_lambda()),
         );
         o.insert("summary".into(), JsonValue::Obj(summary));
         JsonValue::Obj(o)
@@ -621,12 +654,20 @@ impl ScaleReport {
                 .collect::<Result<Vec<_>, _>>()?,
             _ => return Err("bench_scale: missing non-empty `mem` array".into()),
         };
+        let skew = match v.get("skew") {
+            Some(JsonValue::Arr(a)) if !a.is_empty() => a
+                .iter()
+                .map(obs::imbalance::StageSkew::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("bench_scale: missing non-empty `skew` array".into()),
+        };
         for key in [
             "p_max",
             "total_secs",
             "align_share",
             "overlap_hidden_secs",
             "mem_peak_bytes",
+            "max_stage_lambda",
         ] {
             v.get("summary")
                 .and_then(|s| s.get(key))
@@ -648,6 +689,7 @@ impl ScaleReport {
             overlap,
             watermarks,
             mem,
+            skew,
         })
     }
 }

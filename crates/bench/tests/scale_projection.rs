@@ -164,6 +164,8 @@ fn whatif_and_report_round_trip() {
         .iter()
         .map(|&p| pcomm::project_mem(&watermarks, runs.len(), &profile, p))
         .collect();
+    let skew = obs::imbalance::skew_from_extracts(&extract_runs(&runs));
+    assert!(!skew.is_empty(), "recording produced no skew rows");
     let report = ScaleReport {
         p_recorded: runs.len(),
         profile_host: profile.host.clone(),
@@ -175,7 +177,9 @@ fn whatif_and_report_round_trip() {
         overlap,
         watermarks,
         mem,
+        skew,
     };
+    assert!(report.max_stage_lambda() >= 1.0);
     let text = report.to_json().to_string();
     let back = ScaleReport::from_json(&obs::JsonValue::parse(&text).unwrap()).unwrap();
     assert_eq!(back, report);

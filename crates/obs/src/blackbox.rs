@@ -93,6 +93,9 @@ struct Ring {
     /// the oldest event and new events overwrite from there.
     events: Vec<BbEvent>,
     head: usize,
+    /// Events overwritten by the wrap — lost to the postmortem. Reported
+    /// as `events_dropped` in the dump instead of vanishing silently.
+    dropped: u64,
 }
 
 impl Ring {
@@ -114,6 +117,7 @@ impl Ring {
         } else {
             self.events[self.head] = ev;
             self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
         }
     }
 
@@ -160,6 +164,7 @@ pub fn install_with_capacity(rank: usize, cap: usize) -> BlackboxGuard {
         next_seq: 0,
         events: Vec::with_capacity(cap.min(1024)),
         head: 0,
+        dropped: 0,
     }));
     REGISTRY.lock().unwrap().push(ring.clone());
     HANDLE.with(|h| h.borrow_mut().push(ring.clone()));
@@ -170,6 +175,11 @@ impl BlackboxGuard {
     /// Events recorded so far, oldest → newest, without uninstalling.
     pub fn snapshot(&self) -> Vec<BbEvent> {
         self.ring.lock().unwrap().snapshot()
+    }
+
+    /// Events lost to ring wrap so far.
+    pub fn dropped(&self) -> u64 {
+        self.ring.lock().unwrap().dropped
     }
 
     /// Uninstall and return the recording.
@@ -278,14 +288,16 @@ pub fn last_completed_stage(events: &[BbEvent]) -> Option<&'static str> {
         .map(|e| e.name)
 }
 
-fn rank_doc(rank: usize, events: &[BbEvent], reason: &str) -> JsonValue {
+fn rank_doc(rank: usize, events: &[BbEvent], dropped: u64, reason: &str) -> JsonValue {
     let mut doc = BTreeMap::new();
     doc.insert("schema".into(), JsonValue::Str("blackbox".into()));
-    doc.insert("version".into(), JsonValue::Num(1.0));
+    doc.insert("version".into(), JsonValue::Num(1.1));
     doc.insert("rank".into(), JsonValue::Num(rank as f64));
     doc.insert("reason".into(), JsonValue::Str(reason.into()));
     let wrapped = events.first().map(|e| e.seq).unwrap_or(0);
     doc.insert("events_wrapped".into(), JsonValue::Num(wrapped as f64));
+    // The ring's own overwrite count: how many events the postmortem lost.
+    doc.insert("events_dropped".into(), JsonValue::Num(dropped as f64));
     doc.insert(
         "last_completed_stage".into(),
         match last_completed_stage(events) {
@@ -337,12 +349,12 @@ pub fn dump_all(reason: &str) -> Vec<PathBuf> {
     let _ = std::fs::create_dir_all(&dir); // best effort — we are aborting
     let mut written = Vec::new();
     for ring in rings {
-        let (rank, events) = {
+        let (rank, events, dropped) = {
             let r = ring.lock().unwrap();
-            (r.rank, r.snapshot())
+            (r.rank, r.snapshot(), r.dropped)
         };
         let path = dir.join(format!("blackbox-rank{rank}.json"));
-        let doc = rank_doc(rank, &events, reason);
+        let doc = rank_doc(rank, &events, dropped, reason);
         if std::fs::write(&path, format!("{doc}\n")).is_ok() {
             written.push(path);
         }
@@ -377,6 +389,7 @@ mod tests {
         for i in 0..10u64 {
             record(BbKind::Mark, "m", i, 0);
         }
+        assert_eq!(g.dropped(), 6, "10 events into a 4-slot ring drop 6");
         let evs = g.finish();
         assert_eq!(evs.len(), 4);
         let seqs: Vec<u64> = evs.iter().map(|e| e.seq).collect();
@@ -468,6 +481,11 @@ mod tests {
         assert_eq!(
             doc.get("reason").and_then(|v| v.as_str()),
             Some("test abort")
+        );
+        assert_eq!(
+            doc.get("events_dropped").and_then(|v| v.as_f64()),
+            Some(0.0),
+            "unwrapped ring reports zero drops"
         );
         let _ = std::fs::remove_dir_all(&dir);
     }

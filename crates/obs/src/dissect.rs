@@ -205,12 +205,20 @@ pub fn render_dissection(rows: &[DissectionRow]) -> String {
 /// record (`mem.stage.<stage-span>.<subsystem|total>`).
 pub const MEM_STAGE_PREFIX: &str = "mem.stage.";
 
-/// Humanize a byte count in binary units, one decimal (`1.5 MiB`).
+/// Humanize a byte count in binary units, one decimal (`1.5 MiB`). The
+/// single unit table shared by the dissection tables, the monitor
+/// renderer (`pcomm::monitor`), and `pastis-top`.
 pub fn human_bytes(b: u64) -> String {
     const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
     let mut v = b as f64;
     let mut u = 0;
     while v >= 1024.0 && u + 1 < UNITS.len() {
+        v /= 1024.0;
+        u += 1;
+    }
+    // Boundary rounding: a value like 1023.96 KiB renders as "1024.0 KiB"
+    // under `{:.1}` — promote to the next unit instead when one exists.
+    if u + 1 < UNITS.len() && format!("{v:.1}") == "1024.0" {
         v /= 1024.0;
         u += 1;
     }
@@ -479,6 +487,18 @@ mod tests {
         assert_eq!(human_bytes(512), "512 B");
         assert_eq!(human_bytes(1536), "1.5 KiB");
         assert_eq!(human_bytes(3 << 20), "3.0 MiB");
+    }
+
+    /// Values that round to 1024.0 of their unit must promote to the next
+    /// unit rather than render an impossible "1024.0 KiB".
+    #[test]
+    fn human_bytes_boundary_promotes() {
+        assert_eq!(human_bytes((1 << 20) - 30), "1.0 MiB"); // 1023.97 KiB
+        assert_eq!(human_bytes((1 << 30) - 1024), "1.0 GiB");
+        assert_eq!(human_bytes(1023), "1023 B");
+        // The top unit has nowhere to promote; keep the raw rendering.
+        let top = human_bytes(u64::MAX);
+        assert!(top.ends_with("TiB"), "{top}");
     }
 
     #[test]

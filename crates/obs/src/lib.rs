@@ -44,7 +44,9 @@
 pub mod alloc;
 pub mod blackbox;
 pub mod dissect;
+pub mod imbalance;
 mod json;
+pub mod live;
 mod metrics;
 mod perfetto;
 pub mod project;

@@ -38,6 +38,22 @@ pub struct KindAgg {
     pub counters_total: CounterSet,
 }
 
+/// One rank's exclusive slice of a stage — the unit of the imbalance
+/// observatory (`crate::imbalance`): per-rank distributions of time, work,
+/// and wire bytes feed λ / Gini / log₂-histogram skew dissection and the
+/// imbalance-adjusted critical paths in `pcomm::cost::project`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankSlice {
+    /// World rank the slice belongs to (from the trace, not fold order).
+    pub rank: usize,
+    /// Stage-exclusive wall-clock seconds on this rank.
+    pub secs: f64,
+    /// Stage-exclusive deterministic work nanoseconds on this rank.
+    pub work_ns: u64,
+    /// Stage-exclusive bytes sent by this rank (wire-volume skew).
+    pub bytes_sent: u64,
+}
+
 /// One pipeline stage reduced to projector inputs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StageExtract {
@@ -58,6 +74,8 @@ pub struct StageExtract {
     /// Per-kind aggregates, in the order of the `kinds` argument
     /// (kinds with no spans in the stage are omitted).
     pub kinds: Vec<(String, KindAgg)>,
+    /// One slice per rank that recorded the stage, in trace order.
+    pub per_rank: Vec<RankSlice>,
 }
 
 /// Per-rank scratch for one stage.
@@ -69,6 +87,7 @@ struct StageAcc {
     work_max: u64,
     counters: CounterSet,
     kinds: BTreeMap<String, KindAgg>,
+    per_rank: Vec<RankSlice>,
     /// calls per kind for the rank currently being folded.
     rank_calls: BTreeMap<String, u64>,
 }
@@ -90,7 +109,7 @@ pub fn extract_stages(
         for (si, &(span, _)) in stages.iter().enumerate() {
             let acc = &mut accs[si];
             let mut rank_secs = 0.0f64;
-            let mut rank_work = 0u64;
+            let mut rank_counters = CounterSet::default();
             let mut found = false;
             acc.rank_calls.clear();
             for root in &forest {
@@ -101,15 +120,23 @@ pub fn extract_stages(
                     kinds,
                     acc,
                     &mut rank_secs,
-                    &mut rank_work,
+                    &mut rank_counters,
                     &mut found,
                 );
             }
             if found {
+                let rank_work = rank_counters.work_ns;
                 acc.ranks += 1;
                 acc.secs_max = acc.secs_max.max(rank_secs);
                 acc.work_total += rank_work;
                 acc.work_max = acc.work_max.max(rank_work);
+                acc.counters = acc.counters.merge(rank_counters);
+                acc.per_rank.push(RankSlice {
+                    rank: trace.rank,
+                    secs: rank_secs,
+                    work_ns: rank_work,
+                    bytes_sent: rank_counters.bytes_sent,
+                });
                 for (kind, calls) in std::mem::take(&mut acc.rank_calls) {
                     let agg = acc.kinds.entry(kind).or_default();
                     agg.calls_max = agg.calls_max.max(calls);
@@ -132,6 +159,7 @@ pub fn extract_stages(
                 .iter()
                 .filter_map(|&k| acc.kinds.get(k).map(|&a| (k.to_string(), a)))
                 .collect(),
+            per_rank: acc.per_rank,
         })
         .collect()
 }
@@ -170,7 +198,7 @@ fn visit(
     kinds: &[&str],
     acc: &mut StageAcc,
     rank_secs: &mut f64,
-    rank_work: &mut u64,
+    rank_counters: &mut CounterSet,
     found: &mut bool,
 ) {
     if node.event.name == span {
@@ -181,8 +209,7 @@ fn visit(
             exclude_nested_stages(child, stage_names, &mut dur_ns, &mut counters);
         }
         *rank_secs += dur_ns as f64 * 1e-9;
-        *rank_work += counters.work_ns;
-        acc.counters = acc.counters.merge(counters);
+        *rank_counters = rank_counters.merge(counters);
         for child in &node.children {
             collect_kinds(child, stage_names, kinds, acc);
         }
@@ -196,7 +223,7 @@ fn visit(
             kinds,
             acc,
             rank_secs,
-            rank_work,
+            rank_counters,
             found,
         );
     }
@@ -329,6 +356,15 @@ mod tests {
         assert_eq!(agg.calls_total, 3);
         assert_eq!(agg.calls_max, 2);
         assert_eq!(agg.counters_total.bytes_sent, 35);
+        // Per-rank slices carry the skew inputs in trace order.
+        assert_eq!(s.per_rank.len(), 2);
+        assert_eq!(s.per_rank[0].rank, 0);
+        assert_eq!(s.per_rank[0].work_ns, 100);
+        assert_eq!(s.per_rank[0].bytes_sent, 30);
+        assert!((s.per_rank[0].secs - 5.0).abs() < 1e-12);
+        assert_eq!(s.per_rank[1].rank, 1);
+        assert_eq!(s.per_rank[1].work_ns, 300);
+        assert_eq!(s.per_rank[1].bytes_sent, 5);
     }
 
     #[test]

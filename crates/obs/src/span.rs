@@ -311,6 +311,10 @@ pub fn span_start(name: &'static str, arg: Option<(&'static str, i64)>) -> SpanG
                 // restores/closes both on drop, keeping them balanced.
                 let prev_tag = crate::alloc::swap_tag(crate::alloc::subsystem_id(name));
                 crate::blackbox::record(crate::blackbox::BbKind::SpanOpen, name, depth as u64, 0);
+                // Live telemetry plane: publish the stage and bump the
+                // rank's progress epoch (a relaxed-load no-op when the
+                // plane is disabled).
+                crate::live::span_open(name);
                 let start_ns = s.epoch.elapsed().as_nanos() as u64;
                 SpanGuard {
                     active: true,
@@ -339,6 +343,7 @@ impl Drop for SpanGuard {
             self.depth as u64,
             0,
         );
+        crate::live::span_close();
         let at_exit = read_counters();
         REC.with(|r| {
             let mut stack = r.borrow_mut();

@@ -5,7 +5,7 @@
 //! pastis --input proteins.fasta [--output psg.tsv] [--ranks 4] [--k 6]
 //!        [--subs 25] [--mode xd|sw] [--ck N] [--measure ani|ns]
 //!        [--min-ani 0.3] [--min-cov 0.7] [--max-kmer-freq N] [--threads N] [--reduced]
-//!        [--trace trace.json] [--cluster]
+//!        [--trace trace.json] [--cluster] [--monitor]
 //! ```
 //!
 //! Output: one `name_i <TAB> name_j <TAB> weight` line per similarity edge
@@ -14,9 +14,16 @@
 //!
 //! `--trace <path>` records every rank's spans and writes a Perfetto
 //! `traceEvents` JSON (load it at <https://ui.perfetto.dev>), plus a
-//! critical-path dissection table on stderr. `--cluster` feeds the graph to
-//! distributed Markov clustering, whose per-iteration spans land in the
-//! same trace.
+//! critical-path dissection table and per-stage rank-skew tables on
+//! stderr. `--cluster` feeds the graph to distributed Markov clustering,
+//! whose per-iteration spans land in the same trace.
+//!
+//! `--monitor` arms the live telemetry plane: a heartbeat thread appends
+//! per-rank progress snapshots to `status.json` next to the output
+//! (`PASTIS_MONITOR_MS` sets the period, default 200), renders a
+//! refreshing per-rank table to stderr unless `--quiet`, and the document
+//! is schema-validated and reconciled against the run totals on exit
+//! (watch it live from another terminal with `pastis-top`).
 
 use std::io::Write as _;
 use std::process::exit;
@@ -34,6 +41,7 @@ struct Cli {
     quiet: bool,
     trace: Option<String>,
     cluster: bool,
+    monitor: bool,
 }
 
 fn usage() -> ! {
@@ -41,7 +49,7 @@ fn usage() -> ! {
         "usage: pastis --input <fasta> [--output <tsv>] [--ranks N] [--k N] \
          [--subs N] [--mode xd|sw] [--ck N] [--measure ani|ns] [--min-ani F] \
          [--min-cov F] [--max-kmer-freq N] [--threads N] [--reduced] [--quiet] \
-         [--trace <json>] [--cluster]"
+         [--trace <json>] [--cluster] [--monitor]"
     );
     exit(2);
 }
@@ -54,6 +62,7 @@ fn parse_cli() -> Cli {
     let mut quiet = false;
     let mut trace = None;
     let mut cluster = false;
+    let mut monitor = false;
     let mut params = PastisParams::default();
     while let Some(flag) = args.next() {
         let mut val = || args.next().unwrap_or_else(|| usage());
@@ -89,6 +98,7 @@ fn parse_cli() -> Cli {
             "--quiet" => quiet = true,
             "--trace" => trace = Some(val()),
             "--cluster" => cluster = true,
+            "--monitor" => monitor = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
@@ -110,6 +120,7 @@ fn parse_cli() -> Cli {
         quiet,
         trace,
         cluster,
+        monitor,
     }
 }
 
@@ -128,6 +139,43 @@ const MEM_STAGE_ORDER: [&str; 9] = [
     "pastis.align",
 ];
 
+/// Monitor self-check: parse and schema-validate `status.json`, then
+/// reconcile the final snapshot against the finished run — every rank
+/// present and retired, and the per-rank `done` items summing to the
+/// run's global alignment count (the trace-total consistency the verify
+/// lane gates on).
+fn check_status(
+    path: &std::path::Path,
+    p: usize,
+    runs: &[pastis::PastisRun],
+) -> Result<(), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let doc = obs::JsonValue::parse(&text).map_err(|e| format!("status.json: {e}"))?;
+    pcomm::monitor::validate_status(&doc, true)?;
+    let rows = match doc.get("final").and_then(|f| f.get("ranks")) {
+        Some(obs::JsonValue::Arr(rows)) => rows,
+        _ => return Err("final snapshot missing ranks".into()),
+    };
+    if rows.len() != p {
+        return Err(format!(
+            "final snapshot has {} ranks, expected {p}",
+            rows.len()
+        ));
+    }
+    let done: u64 = rows
+        .iter()
+        .filter_map(|r| r.get("done").and_then(|v| v.as_u64()))
+        .sum();
+    let expect = runs[0].counters.alignments_global;
+    if done != expect {
+        return Err(format!(
+            "final snapshot retired {done} alignments, run counted {expect}"
+        ));
+    }
+    Ok(())
+}
+
 fn main() {
     let cli = parse_cli();
     // Resolve the allocation-tracking switch before any rank starts
@@ -143,6 +191,21 @@ fn main() {
         .map(|d| d.to_path_buf())
         .unwrap_or_else(|| std::path::PathBuf::from("."));
     obs::blackbox::set_dump_dir(&dump_dir);
+    // Live telemetry plane: heartbeat snapshots land next to the output,
+    // like the black-box dumps.
+    let status_path = dump_dir.join("status.json");
+    if cli.monitor {
+        let interval_ms = std::env::var("PASTIS_MONITOR_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(200);
+        pcomm::monitor::configure(pcomm::monitor::MonitorConfig {
+            path: Some(status_path.clone()),
+            interval_ms,
+            render: !cli.quiet,
+            ..Default::default()
+        });
+    }
     // The pcomm runtime dumps on its own abort paths (watchdog,
     // conformance, rank panics); this hook covers everything else —
     // panics on the main thread, before or after the world runs.
@@ -186,6 +249,23 @@ fn main() {
     let (runs, rest): (Vec<_>, Vec<_>) = results.into_iter().map(|(r, l, t)| (r, (l, t))).unzip();
     let (labels, traces): (Vec<_>, Vec<_>) = rest.into_iter().unzip();
 
+    if cli.monitor {
+        pcomm::monitor::deconfigure();
+        // The status document must parse, satisfy the schema, and its
+        // final snapshot must reconcile with the run totals — the monitor
+        // lane of verify.sh rides on this self-check.
+        if let Err(e) = check_status(&status_path, cli.ranks, &runs) {
+            eprintln!("pastis: monitor self-check FAILED: {e}");
+            exit(1);
+        }
+        if !cli.quiet {
+            eprintln!(
+                "pastis: monitor snapshots validated ({})",
+                status_path.display()
+            );
+        }
+    }
+
     let mut edges: Vec<(u64, u64, f64)> = runs.iter().flat_map(|r| r.edges.clone()).collect();
     edges.sort_by(|a, b| a.partial_cmp(b).unwrap());
 
@@ -218,6 +298,27 @@ fn main() {
         let model = pcomm::CostModel::default();
         let rows = obs::dissect::dissect(&traces, &Timings::STAGE_SPANS, model.alpha, model.beta);
         eprintln!("{}", obs::dissect::render_dissection(&rows));
+        // Imbalance observatory: fig11-style per-stage rank skew (λ, Gini,
+        // critical-rank attribution) plus per-rank metric distributions
+        // (DP cells, nnz, task counts).
+        let extracts =
+            obs::project::extract_stages(&traces, &Timings::STAGE_SPANS, &pcomm::kind_names());
+        let skews = obs::imbalance::skew_from_extracts(&extracts);
+        if !skews.is_empty() {
+            eprintln!("{}", obs::imbalance::render_skew_table(&skews));
+        }
+        let metric_rows = obs::imbalance::metric_skew(
+            &traces,
+            &[
+                "align.dp_cells",
+                "align.xdrop_cells",
+                "align.batch.tasks",
+                "pastis.nnz_b",
+            ],
+        );
+        if !metric_rows.is_empty() {
+            eprintln!("{}", obs::imbalance::render_metric_skew(&metric_rows));
+        }
         // Prefilter cascade tier outcomes, merged across ranks: how many
         // pairs each tier absorbed (the bitpacked gate is ~20× cheaper per
         // cell than the striped score pass, so its cull share is the win).

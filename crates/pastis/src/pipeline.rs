@@ -699,13 +699,20 @@ fn align_tasks(
     // chunk for all of `B`) and the streamed path (one chunk per SUMMA
     // stage) attribute alignment time the same way.
     let _chunk = obs::span!("align.overlap", tasks = tasks.len());
-    counters.alignments_local += match params.mode {
+    let aligned = match params.mode {
         AlignMode::None => 0,
         _ => tasks.len() as u64,
     };
+    counters.alignments_local += aligned;
+    // Live telemetry: announce the chunk's alignments before the batch
+    // runs so the monitor shows an in-flight progress bar, retire them
+    // after. Mirrors `alignments_local` exactly, so the final snapshot's
+    // per-rank `done` totals reconcile against the trace counters.
+    obs::live::add_items(0, aligned);
     let verdicts = align_batch(&tasks, threads, |&(gi, gj, ref pair)| {
         align_pair(gi, gj, pair, store, params)
     });
+    obs::live::add_items(aligned, 0);
 
     let mut edges = Vec::new();
     for ((gi, gj, pair), verdict) in tasks.into_iter().zip(verdicts) {

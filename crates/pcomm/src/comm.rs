@@ -251,6 +251,11 @@ impl Comm {
             self.group.len() as u64,
             self.id,
         );
+        // Heartbeat piggyback: every collective entry stamps the rank's
+        // live cell, so a rank stuck inside a long exchange still reads
+        // as alive on the monitor (shared memory only — invisible to the
+        // conformance ledger).
+        obs::live::touch();
         self.ctx.check.as_ref().map(|c| {
             c.enter(
                 self.id,

@@ -806,10 +806,16 @@ pub fn grid_side(p: usize) -> usize {
 pub struct ProjectedStage {
     /// Paper component label (e.g. `(AS)AT`).
     pub label: String,
-    /// Modeled compute seconds per rank at the target p.
+    /// Modeled compute seconds on the *critical* rank at the target p:
+    /// the balanced share inflated by the stage's measured λ.
     pub compute_secs: f64,
     /// Modeled communication seconds per rank at the target p.
     pub comm_secs: f64,
+    /// Measured per-stage work imbalance at recording time, max/mean of
+    /// the per-rank deterministic work (1.0 when the stage recorded no
+    /// work). The projection assumes the recorded skew persists at the
+    /// target grid — partitioning is data-driven, not p-driven.
+    pub lambda: f64,
     /// The shaped stage cost the seconds were priced from.
     pub cost: StageCost,
 }
@@ -823,8 +829,8 @@ pub struct Projection {
     pub p_recorded: usize,
     /// Measured compute imbalance at recording time: max-rank work /
     /// mean-rank work over the whole run (1.0 = perfectly balanced).
-    /// The projection assumes balance; this reports how optimistic that
-    /// is.
+    /// Stage compute is additionally scaled by each stage's own λ (see
+    /// [`ProjectedStage::lambda`]); this scalar is the run-level summary.
     pub imbalance: f64,
     /// Stages in pipeline order.
     pub stages: Vec<ProjectedStage>,
@@ -914,6 +920,7 @@ impl Projection {
                         so.insert("label".into(), JsonValue::Str(s.label.clone()));
                         so.insert("compute_secs".into(), JsonValue::Num(s.compute_secs));
                         so.insert("comm_secs".into(), JsonValue::Num(s.comm_secs));
+                        so.insert("lambda".into(), JsonValue::Num(s.lambda));
                         so.insert("cost".into(), s.cost.to_json());
                         JsonValue::Obj(so)
                     })
@@ -948,6 +955,10 @@ impl Projection {
                             .get("comm_secs")
                             .and_then(JsonValue::as_f64)
                             .ok_or("projection stage: missing comm_secs")?,
+                        lambda: s
+                            .get("lambda")
+                            .and_then(JsonValue::as_f64)
+                            .ok_or("projection stage: missing lambda")?,
                         cost: StageCost::from_json(
                             s.get("cost").ok_or("projection stage: missing cost")?,
                         )?,
@@ -992,13 +1003,20 @@ impl WhatIfOverlap {
 /// Replay per-stage trace extracts at `p_target` ranks.
 ///
 /// Compute: a stage's total recorded work is divided evenly over the
-/// target ranks (the measured imbalance is reported, not projected).
+/// target ranks and then inflated by the stage's measured λ (max/mean of
+/// the per-rank deterministic work), so the critical path carries the
+/// recorded imbalance instead of assuming balance. λ is held constant
+/// across p — PASTIS partitions by data, not by grid, so the skew a
+/// dataset induces at the recorded p is the best available estimate at
+/// the target p.
 /// Communication: each collective kind's recorded calls and recovered
 /// per-call payload are scaled by its [`KindRule`] growth laws and priced
 /// at the target communicator size; counter traffic not covered by a kind
 /// span is charged flat with its total volume split over the target
-/// ranks. Projections from recordings at different p therefore agree
-/// wherever the growth laws hold — the cross-p invariance the tests pin.
+/// ranks. λ-normalized projections from recordings at different p agree
+/// wherever the growth laws hold — the cross-p invariance the tests pin
+/// (λ itself is a property of the recording, so only the skew *ranking*
+/// is expected to transfer between recordings).
 pub fn project(
     extracts: &[obs::project::StageExtract],
     p_recorded: usize,
@@ -1012,7 +1030,14 @@ pub fn project(
     for ex in extracts {
         work_total += ex.work_ns_total;
         work_max += ex.work_ns_max;
-        let compute_secs = ex.work_ns_total as f64 * 1e-9 / p_tgt / model.compute_scale;
+        // Measured per-stage imbalance: critical rank over mean rank of
+        // the deterministic work ledger (see `obs::imbalance::lambda`).
+        let lambda = if ex.work_ns_total == 0 || ex.ranks == 0 {
+            1.0
+        } else {
+            ex.work_ns_max as f64 * ex.ranks as f64 / ex.work_ns_total as f64
+        };
+        let compute_secs = ex.work_ns_total as f64 * 1e-9 / p_tgt / model.compute_scale * lambda;
         let mut colls: Vec<CollAgg> = Vec::new();
         let mut covered_msgs = 0u64;
         let mut covered_bytes = 0u64;
@@ -1092,6 +1117,7 @@ pub fn project(
             label: ex.label.clone(),
             compute_secs,
             comm_secs: (total - compute_secs).max(0.0),
+            lambda,
             cost,
         });
     }
@@ -1425,6 +1451,7 @@ mod tests {
                 label: "(AS)AT".into(),
                 compute_secs: 1.5,
                 comm_secs: 0.5,
+                lambda: 1.75,
                 cost,
             }],
         };
@@ -1457,6 +1484,7 @@ mod tests {
                     label: "(AS)AT".into(),
                     compute_secs: 1.0,
                     comm_secs: 6.0,
+                    lambda: 1.0,
                     cost: StageCost {
                         compute_secs: 1.0,
                         comm: CommStats::default(),
@@ -1467,6 +1495,7 @@ mod tests {
                     label: "align".into(),
                     compute_secs: 4.0,
                     comm_secs: 0.0,
+                    lambda: 1.0,
                     cost: StageCost::default(),
                 },
             ],

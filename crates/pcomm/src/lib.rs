@@ -29,6 +29,7 @@ mod collectives;
 mod comm;
 pub mod cost;
 mod grid;
+pub mod monitor;
 mod payload;
 mod stats;
 pub mod work;
@@ -61,6 +62,13 @@ pub(crate) fn dump_blackbox(reason: &str) {
         eprintln!("pcomm: black-box flight-recorder dumps written:");
         for p in &paths {
             eprintln!("  {}", p.display());
+        }
+        // The telemetry plane's last gather rides along: per-rank stage,
+        // progress, and heartbeat ages as of just before the abort.
+        if let Some(dir) = paths[0].parent() {
+            if let Some(status) = monitor::dump_latest_snapshot(dir) {
+                eprintln!("  {}", status.display());
+            }
         }
     }
 }

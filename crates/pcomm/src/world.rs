@@ -120,6 +120,17 @@ impl WorldBuilder {
         let f = &f;
 
         std::thread::scope(|scope| {
+            // Heartbeat channel: when armed, one monitor thread per world
+            // samples the ranks' progress cells out-of-band (see
+            // `crate::monitor`). Spawned inside the scope and always
+            // stopped before the join results are triaged, so the scope
+            // can close even when a rank panicked.
+            let monitor = crate::monitor::active_config().map(|cfg| {
+                // Drop any cells a previous world left behind; sampling
+                // them would show stale (higher-epoch) progress.
+                obs::live::reset();
+                crate::monitor::spawn_monitor(scope, p, cfg)
+            });
             let mut handles = Vec::with_capacity(p);
             for (rank, rx) in receivers.into_iter().enumerate() {
                 let shared = Arc::clone(&shared);
@@ -134,6 +145,10 @@ impl WorldBuilder {
                         // abort (deadlock, panic, leak audit). RAII-dropped
                         // with the thread, so clean runs cost only the ring.
                         let _blackbox = obs::blackbox::install(rank);
+                        // Live telemetry cell: stage/epoch/progress for
+                        // the monitor thread. Installing is cheap and the
+                        // hooks are no-ops unless the plane is enabled.
+                        let _live = obs::live::install(rank);
                         let check = check_shared
                             .as_ref()
                             .map(|cs| RankCheck::new(Arc::clone(cs), rank, perturb));
@@ -169,6 +184,12 @@ impl WorldBuilder {
             }
             let results: Vec<Result<R, Box<dyn Any + Send>>> =
                 handles.into_iter().map(|h| h.join()).collect();
+            // All ranks are joined; ask the monitor for its final snapshot
+            // *before* triage — collect_or_unwind may resume a panic, and
+            // the scope would otherwise wait on a monitor nobody stopped.
+            if let Some(m) = monitor {
+                m.finish();
+            }
             collect_or_unwind(results)
         })
     }

@@ -1,0 +1,116 @@
+//! Heartbeat-channel integration: a monitored world must leave behind a
+//! schema-valid `status.json` whose final snapshot covers every rank, the
+//! in-memory latest snapshot must feed the abort path, and a checked
+//! (pcheck) world must stay ledger-clean with the heartbeat thread active
+//! — the monitor gathers progress through shared memory only, so the
+//! conformance ledger and the finalize leak audit never see it.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+use obs::JsonValue;
+use pcomm::monitor::{self, MonitorConfig};
+use pcomm::{Comm, WorldBuilder};
+
+/// `configure`/`deconfigure` arm a process-global plane; tests in this
+/// binary must not interleave them.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("pcomm-monitor-{}-{name}", std::process::id()))
+}
+
+/// A checked world with the monitor armed: the run completes (leak audit
+/// clean), the document validates as complete, and every rank appears in
+/// the final snapshot with its progress accounted.
+#[test]
+fn monitored_checked_world_writes_valid_status() {
+    let _s = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let path = tmp("status.json");
+    let _ = std::fs::remove_file(&path);
+    monitor::configure(MonitorConfig {
+        path: Some(path.clone()),
+        interval_ms: 5,
+        ..Default::default()
+    });
+    let p = 4;
+    let sums = WorldBuilder::new().checked(true).run(p, |comm: Comm| {
+        let _span = obs::span!("pastis.fasta");
+        obs::live::add_items(0, 8);
+        for chunk in 0..8u64 {
+            let sum: u64 = comm.allreduce(comm.rank() as u64 + chunk, |a, b| a + b);
+            obs::live::add_items(1, 0);
+            std::hint::black_box(sum);
+        }
+        comm.barrier();
+        8u64
+    });
+    monitor::deconfigure();
+    assert_eq!(sums, vec![8; p]);
+
+    let doc = JsonValue::parse(&std::fs::read_to_string(&path).expect("status.json written"))
+        .expect("status.json parses");
+    monitor::validate_status(&doc, true).expect("complete document validates");
+    let finals = doc.get("final").expect("final snapshot");
+    let rows = match finals.get("ranks") {
+        Some(JsonValue::Arr(rows)) => rows.clone(),
+        _ => panic!("final snapshot has no ranks"),
+    };
+    assert_eq!(rows.len(), p);
+    for (rank, row) in rows.iter().enumerate() {
+        assert_eq!(
+            row.get("rank").and_then(JsonValue::as_u64),
+            Some(rank as u64)
+        );
+        // Every rank ran the same program: one span, 8 progress items.
+        assert_eq!(row.get("done").and_then(JsonValue::as_u64), Some(8));
+        assert_eq!(row.get("total").and_then(JsonValue::as_u64), Some(8));
+        assert_eq!(row.get("active"), Some(&JsonValue::Bool(false)));
+        assert_eq!(row.get("straggler"), Some(&JsonValue::Bool(false)));
+    }
+    // The abort feed saw the same world.
+    let latest = monitor::latest_snapshot().expect("latest snapshot retained");
+    assert!(matches!(latest.get("ranks"), Some(JsonValue::Arr(_))));
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A watchdog abort with the monitor armed must leave `status-abort.json`
+/// next to the black-box dumps: the postmortem carries the last known
+/// per-rank progress.
+#[test]
+fn abort_dumps_last_snapshot() {
+    let _s = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = tmp("abortdir");
+    std::fs::create_dir_all(&dir).unwrap();
+    obs::blackbox::set_dump_dir(&dir);
+    obs::blackbox::reset_dump_once();
+    monitor::configure(MonitorConfig {
+        interval_ms: 5,
+        ..Default::default()
+    });
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        WorldBuilder::new()
+            .checked(true)
+            .watchdog_ms(80)
+            .run(2, |comm: Comm| {
+                let _span = obs::span!("pastis.fasta");
+                if comm.rank() == 1 {
+                    // Straggler: this message never arrives.
+                    let _: u64 = comm.recv(0, 9);
+                    unreachable!("recv above can never complete");
+                }
+                comm.barrier();
+            })
+    }));
+    monitor::deconfigure();
+    assert!(err.is_err(), "world must abort");
+    let status = dir.join("status-abort.json");
+    let doc = JsonValue::parse(&std::fs::read_to_string(&status).expect("status-abort written"))
+        .expect("status-abort parses");
+    assert_eq!(
+        doc.get("schema").and_then(JsonValue::as_str),
+        Some("pastis_status")
+    );
+    assert!(doc.get("last_snapshot").is_some());
+    let _ = std::fs::remove_dir_all(&dir);
+}

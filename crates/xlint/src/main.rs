@@ -1,6 +1,6 @@
 //! `xlint` — repository-specific lint gates that `clippy` cannot express.
 //!
-//! Six rules, chosen because each guards an invariant another layer of
+//! Seven rules, chosen because each guards an invariant another layer of
 //! this workspace depends on:
 //!
 //! - **safety-comment** — every `unsafe` token must have a `// SAFETY:`
@@ -32,6 +32,11 @@
 //!   through its one tagging allocator; a second allocator (or direct
 //!   `std::alloc` calls) would leak bytes past the per-subsystem ledgers
 //!   and the window peaks.
+//! - **monitor-spawn** — the heartbeat/snapshot thread entry point
+//!   `spawn_monitor` is confined to `crates/pcomm/`. The monitor thread
+//!   must live inside the world's scope (stopped before panic triage,
+//!   ledger-clean under the checker); spawning it anywhere else would
+//!   detach it from that lifecycle.
 //!
 //! `tests/` and `benches/` directories are exempt from the confinement
 //! rules (not from safety-comment). A finding can be waived in place with a
@@ -46,13 +51,14 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const RULES: [&str; 6] = [
+const RULES: [&str; 7] = [
     "safety-comment",
     "thread-spawn",
     "instant-now",
     "cost-literal",
     "feature-detect",
     "alloc-confinement",
+    "monitor-spawn",
 ];
 
 /// How many lines above an `unsafe` token a `SAFETY:` comment may sit.
@@ -77,6 +83,9 @@ const FEATURE_ALLOWED: [&str; 1] = ["crates/align/src/dispatch.rs"];
 
 const ALLOC_TOKENS: [&str; 2] = ["global_allocator", "std::alloc"];
 const ALLOC_ALLOWED: [&str; 1] = ["crates/obs/src/alloc.rs"];
+
+const MONITOR_TOKEN: &str = "spawn_monitor";
+const MONITOR_ALLOWED: [&str; 1] = ["crates/pcomm/"];
 
 #[derive(Debug, PartialEq, Eq)]
 struct Finding {
@@ -345,6 +354,22 @@ fn scan_source(rel: &str, src: &str) -> Vec<Finding> {
                     ),
                 ));
             }
+
+            if !MONITOR_ALLOWED.iter().any(|p| rel.starts_with(p))
+                && has_token(cl, MONITOR_TOKEN)
+                && !waived(&raw, i, "monitor-spawn")
+            {
+                findings.push(finding(
+                    i,
+                    "monitor-spawn",
+                    format!(
+                        "spawn_monitor outside {} — the heartbeat thread \
+                         must live inside the world's scope so shutdown \
+                         and panic triage stay ordered",
+                        MONITOR_ALLOWED.join(", ")
+                    ),
+                ));
+            }
         }
     }
     findings
@@ -547,5 +572,16 @@ mod tests {
         // Doc comments never trip the rule.
         let doc = "/// call Instant::now() here\nfn f() {}\n";
         assert!(scan_source("crates/align/src/x.rs", doc).is_empty());
+    }
+
+    #[test]
+    fn monitor_spawn_confinement() {
+        let src = "fn f(s: &S) { crate::monitor::spawn_monitor(s, 4, cfg); }\n";
+        let f = scan_source("crates/pastis/src/pipeline.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "monitor-spawn");
+        assert!(scan_source("crates/pcomm/src/world.rs", src).is_empty());
+        // Tests are exempt, like the other confinement rules.
+        assert!(scan_source("crates/pastis/tests/monitor_live.rs", src).is_empty());
     }
 }

@@ -30,6 +30,18 @@ done
 # so force it on and rerun the obs suite — the allocator ledgers, window
 # peaks, and per-stage tables must hold under the release optimizer too.
 ALLOC_TRACK=1 cargo test -q --release -p obs
+# Monitor lane: heartbeat-snapshot structure must stay deterministic under
+# the conformance checker in release too (debug runs it via `cargo test -q`),
+# and a real `pastis --monitor` run must pass its own status.json self-check
+# (schema, monotone epochs, done-sum == global alignment counter).
+PCHECK=1 cargo test -q --release -p pastis --test monitor_live
+monitor_tmp="$(mktemp -d)"
+cargo run --release -q -p pastis-bench --bin mkfasta -- "$monitor_tmp/monitor.fasta" 0.06 7
+PASTIS_MONITOR_MS=20 cargo run --release -q -p pastis --bin pastis -- \
+    --input "$monitor_tmp/monitor.fasta" --output "$monitor_tmp/out.tsv" \
+    --ranks 4 --k 5 --monitor --quiet
+test -s "$monitor_tmp/status.json" || { echo "verify: pastis --monitor left no status.json"; exit 1; }
+rm -rf "$monitor_tmp"
 cargo clippy --all-targets -- -D warnings
 # Workspace lint gates: SAFETY comments on unsafe, thread-spawn confinement,
 # Instant::now confinement, cost-literal confinement, allocator confinement.
