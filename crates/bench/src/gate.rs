@@ -132,6 +132,24 @@ pub const CHECKS: &[Check] = &[
         direction: Direction::LowerBetter,
         tolerance: 0.25,
     },
+    // Out-of-core price of fitting in half the reducible memory at the
+    // largest projected grid: batched/monolithic makespan. Deterministic
+    // (model over recorded ledgers); creeping up means the A-rebroadcast
+    // term grew or the batch-scaled structures stopped shrinking.
+    Check {
+        file: "BENCH_scale.json",
+        path: &["ooc", "batch_overhead_ratio"],
+        direction: Direction::LowerBetter,
+        tolerance: 0.20,
+    },
+    // The batched per-rank peak under the same budget policy: growing
+    // means either the resident floor or a batch's share got fatter.
+    Check {
+        file: "BENCH_scale.json",
+        path: &["ooc", "mem_peak_bytes"],
+        direction: Direction::LowerBetter,
+        tolerance: 0.25,
+    },
     // Prefilter-cascade floors. The bitpacked gate typically culls at
     // 4–5× the striped score pass's cells/s on this class of workload;
     // the floor sits below the noise band of a shared single-core host
@@ -290,7 +308,8 @@ pub fn schema_age(file: &str, doc: &JsonValue) -> Option<String> {
             let v = doc.get("version").and_then(JsonValue::as_u64).unwrap_or(0);
             (v < crate::SCALE_SCHEMA_VERSION).then(|| {
                 format!(
-                    "schema v{v} predates v{} (no skew section) — regenerate with the `scale` bin",
+                    "schema v{v} predates v{} (no out-of-core section) — regenerate with the \
+                     `scale` bin",
                     crate::SCALE_SCHEMA_VERSION
                 )
             })

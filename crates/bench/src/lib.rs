@@ -133,8 +133,19 @@ pub const SCALE_SEED: u64 = 14;
 /// Schema version of the BENCH_scale document. v3 added the memory
 /// section (`watermarks` + `mem` projections); v4 added the measured
 /// per-stage skew section (`skew` + `summary.max_stage_lambda`) and the
-/// per-stage `lambda` the projector now applies to compute time.
-pub const SCALE_SCHEMA_VERSION: u64 = 4;
+/// per-stage `lambda` the projector now applies to compute time; v5 added
+/// the out-of-core section (`ooc`: memory-vs-makespan rows at a
+/// half-of-monolithic-peak budget, plus the headline
+/// `batch_overhead_ratio` / `mem_peak_bytes` scalars the gate pins).
+pub const SCALE_SCHEMA_VERSION: u64 = 5;
+
+/// Budget policy of the report's out-of-core rows: the resident floor
+/// (sequence store, alignment scratch — memory no batch count frees) plus
+/// the batch-scalable footprint divided by this, i.e. "what does halving
+/// the reducible memory cost in makespan". Keyed off the split rather
+/// than the raw peak because at large p the resident floor dominates the
+/// projected peak and a flat `peak/2` budget would be infeasible.
+pub const OOC_BUDGET_DIVISOR: u64 = 2;
 
 /// Pipeline parameters of the reference scaling recording: the paper's
 /// PASTIS-XD fast mode, one thread per rank so the recording itself is
@@ -406,6 +417,31 @@ pub struct ScaleReport {
     /// Gini, critical rank) — the distributions whose λ the projections
     /// apply instead of the balanced-compute assumption.
     pub skew: Vec<obs::imbalance::StageSkew>,
+    /// Out-of-core memory-vs-makespan rows, one per entry of
+    /// [`FIG14_NODES`]: the batch count, per-rank peak, and A-rebroadcast
+    /// overhead of running each grid under the [`OOC_BUDGET_DIVISOR`]
+    /// budget policy.
+    pub ooc: Vec<pcomm::OocProjection>,
+}
+
+/// A-side panel-broadcast seconds of one projected grid: each extra
+/// out-of-core batch replays the stationary matrix's SUMMA broadcasts,
+/// which are half of the `(AS)AT` stage's priced broadcast traffic (the
+/// other half is the B panels, paid once — the batches tile B's columns).
+fn rebcast_secs(proj: &Projection, model: &CostModel) -> f64 {
+    proj.stages
+        .iter()
+        .find(|s| s.label == "(AS)AT")
+        .map(|s| {
+            s.cost
+                .colls
+                .iter()
+                .filter(|c| c.shape == pcomm::CollShape::Bcast)
+                .map(|c| model.coll_seconds(c))
+                .sum::<f64>()
+        })
+        .unwrap_or(0.0)
+        * 0.5
 }
 
 impl ScaleReport {
@@ -425,9 +461,18 @@ impl ScaleReport {
         let overlap = MeasuredOverlap::measure(&runs, &model);
         let traces: Vec<obs::RankTrace> = runs.iter().map(|r| r.trace.clone()).collect();
         let watermarks = obs::project::extract_mem_watermarks(&traces);
-        let mem = FIG14_NODES
+        let mem: Vec<pcomm::MemProjection> = FIG14_NODES
             .iter()
             .map(|&p| pcomm::project_mem(&watermarks, runs.len(), profile, p))
+            .collect();
+        let ooc = mem
+            .iter()
+            .zip(&projections)
+            .map(|(m, proj)| {
+                let (resident, scaled) = pcomm::ooc_split(m);
+                let budget = resident + (scaled / OOC_BUDGET_DIVISOR).max(1);
+                pcomm::project_ooc(m, budget, proj.total_secs(), rebcast_secs(proj, &model))
+            })
             .collect();
         ScaleReport {
             p_recorded: runs.len(),
@@ -438,6 +483,7 @@ impl ScaleReport {
             watermarks,
             mem,
             skew,
+            ooc,
         }
     }
 
@@ -492,6 +538,25 @@ impl ScaleReport {
             &self.watermarks,
             &self.mem,
         ));
+        out.push_str("\n== projected out-of-core batching (half the reducible memory) ==\n");
+        let _ = writeln!(
+            out,
+            "{:>6}{:>14}{:>9}{:>14}{:>12}{:>12}{:>10}",
+            "p", "budget", "batches", "peak", "base", "batched", "overhead"
+        );
+        for r in &self.ooc {
+            let _ = writeln!(
+                out,
+                "{:>6}{:>14}{:>9}{:>14}{:>12}{:>12}{:>9.1}%",
+                r.p,
+                obs::dissect::human_bytes(r.budget_bytes),
+                r.n_batches,
+                obs::dissect::human_bytes(r.mem_peak_bytes),
+                fmt_secs(r.base_secs),
+                fmt_secs(r.ooc_secs),
+                100.0 * (r.batch_overhead_ratio() - 1.0)
+            );
+        }
         let o = &self.overlap;
         out.push_str("\n== measured overlap (streamed pipeline, recorded grid) ==\n");
         let _ = writeln!(
@@ -570,6 +635,32 @@ impl ScaleReport {
                     .collect(),
             ),
         );
+        // The headline row (largest grid) is lifted to scalars next to the
+        // rows so the bench gate can address them by key path.
+        let mut ooc = BTreeMap::new();
+        ooc.insert(
+            "rows".into(),
+            JsonValue::Arr(self.ooc.iter().map(pcomm::OocProjection::to_json).collect()),
+        );
+        ooc.insert(
+            "budget_divisor".into(),
+            JsonValue::Num(OOC_BUDGET_DIVISOR as f64),
+        );
+        if let Some(head) = self.ooc.last() {
+            ooc.insert(
+                "batch_overhead_ratio".into(),
+                JsonValue::Num(head.batch_overhead_ratio()),
+            );
+            ooc.insert(
+                "mem_peak_bytes".into(),
+                JsonValue::Num(head.mem_peak_bytes as f64),
+            );
+            ooc.insert(
+                "budget_bytes".into(),
+                JsonValue::Num(head.budget_bytes as f64),
+            );
+        }
+        o.insert("ooc".into(), JsonValue::Obj(ooc));
         let mut summary = BTreeMap::new();
         summary.insert("p_max".into(), JsonValue::Num(headline.p as f64));
         summary.insert("total_secs".into(), JsonValue::Num(headline.total_secs()));
@@ -661,6 +752,19 @@ impl ScaleReport {
                 .collect::<Result<Vec<_>, _>>()?,
             _ => return Err("bench_scale: missing non-empty `skew` array".into()),
         };
+        let ooc = match v.get("ooc").and_then(|o| o.get("rows")) {
+            Some(JsonValue::Arr(a)) if !a.is_empty() => a
+                .iter()
+                .map(pcomm::OocProjection::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("bench_scale: missing non-empty `ooc.rows` array".into()),
+        };
+        for key in ["batch_overhead_ratio", "mem_peak_bytes", "budget_bytes"] {
+            v.get("ooc")
+                .and_then(|s| s.get(key))
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("bench_scale: missing ooc.{key}"))?;
+        }
         for key in [
             "p_max",
             "total_secs",
@@ -690,6 +794,7 @@ impl ScaleReport {
             watermarks,
             mem,
             skew,
+            ooc,
         })
     }
 }

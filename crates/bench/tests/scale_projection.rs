@@ -166,6 +166,21 @@ fn whatif_and_report_round_trip() {
         .collect();
     let skew = obs::imbalance::skew_from_extracts(&extract_runs(&runs));
     assert!(!skew.is_empty(), "recording produced no skew rows");
+    // Out-of-core plans use the report builder's budget policy: the
+    // resident floor survives batching, so budget the scaled share only.
+    let ooc: Vec<pcomm::OocProjection> = mem
+        .iter()
+        .zip(&projections)
+        .map(|(m, proj)| {
+            let (resident, scaled) = pcomm::ooc_split(m);
+            let budget = resident + (scaled / pastis_bench::OOC_BUDGET_DIVISOR).max(1);
+            pcomm::project_ooc(m, budget, proj.total_secs(), proj.total_secs() * 0.01)
+        })
+        .collect();
+    for o in &ooc {
+        assert!(o.mem_peak_bytes <= o.budget_bytes);
+        assert!(o.batch_overhead_ratio() >= 1.0);
+    }
     let report = ScaleReport {
         p_recorded: runs.len(),
         profile_host: profile.host.clone(),
@@ -178,6 +193,7 @@ fn whatif_and_report_round_trip() {
         watermarks,
         mem,
         skew,
+        ooc,
     };
     assert!(report.max_stage_lambda() >= 1.0);
     let text = report.to_json().to_string();

@@ -259,6 +259,15 @@ fn dump_dir() -> PathBuf {
         .unwrap_or_else(|| std::env::temp_dir().join("pastis-blackbox"))
 }
 
+/// Create the dump directory ahead of time. Called once at world launch
+/// (and by [`set_dump_dir`]'s callers when they redirect dumps) so the
+/// abort paths never create directories themselves — several rank threads
+/// can race into [`dump_once`], and an abort-time mkdir is both a race
+/// and a syscall a dying process may not get to finish.
+pub fn ensure_dump_dir() {
+    let _ = std::fs::create_dir_all(dump_dir());
+}
+
 /// Re-arm [`dump_once`] (tests that force several aborts in one process).
 pub fn reset_dump_once() {
     DUMPED.store(false, Relaxed);
@@ -345,8 +354,10 @@ fn rank_doc(rank: usize, events: &[BbEvent], dropped: u64, reason: &str) -> Json
 /// skips that ring (the process is aborting — best effort).
 pub fn dump_all(reason: &str) -> Vec<PathBuf> {
     let rings: Vec<Shared> = REGISTRY.lock().unwrap().clone();
+    // The directory was created at world launch ([`ensure_dump_dir`]);
+    // creating it here, per dump call, raced when several ranks aborted
+    // at once.
     let dir = dump_dir();
-    let _ = std::fs::create_dir_all(&dir); // best effort — we are aborting
     let mut written = Vec::new();
     for ring in rings {
         let (rank, events, dropped) = {

@@ -6,6 +6,7 @@
 //!        [--subs 25] [--mode xd|sw] [--ck N] [--measure ani|ns]
 //!        [--min-ani 0.3] [--min-cov 0.7] [--max-kmer-freq N] [--threads N] [--reduced]
 //!        [--trace trace.json] [--cluster] [--monitor]
+//!        [--mem-budget SIZE] [--ckpt-dir DIR]
 //! ```
 //!
 //! Output: one `name_i <TAB> name_j <TAB> weight` line per similarity edge
@@ -24,6 +25,12 @@
 //! refreshing per-rank table to stderr unless `--quiet`, and the document
 //! is schema-validated and reconciled against the run totals on exit
 //! (watch it live from another terminal with `pastis-top`).
+//!
+//! `--mem-budget SIZE` (bytes, `k`/`m`/`g` suffixes) arms the out-of-core
+//! driver: B's columns are computed in budget-sized batches (DESIGN.md
+//! §15) with a bit-identical edge set. `--ckpt-dir DIR` checkpoints each
+//! completed batch there; rerunning the same command resumes after the
+//! last complete batch.
 
 use std::io::Write as _;
 use std::process::exit;
@@ -49,7 +56,8 @@ fn usage() -> ! {
         "usage: pastis --input <fasta> [--output <tsv>] [--ranks N] [--k N] \
          [--subs N] [--mode xd|sw] [--ck N] [--measure ani|ns] [--min-ani F] \
          [--min-cov F] [--max-kmer-freq N] [--threads N] [--reduced] [--quiet] \
-         [--trace <json>] [--cluster] [--monitor]"
+         [--trace <json>] [--cluster] [--monitor] [--mem-budget SIZE[k|m|g]] \
+         [--ckpt-dir <dir>]"
     );
     exit(2);
 }
@@ -95,6 +103,10 @@ fn parse_cli() -> Cli {
             }
             "--threads" => params.threads = val().parse().unwrap_or_else(|_| usage()),
             "--reduced" => params.reduced_alphabet = true,
+            "--mem-budget" => {
+                params.mem_budget_bytes = Some(parse_size(&val()).unwrap_or_else(|| usage()))
+            }
+            "--ckpt-dir" => params.ckpt_dir = Some(std::path::PathBuf::from(val())),
             "--quiet" => quiet = true,
             "--trace" => trace = Some(val()),
             "--cluster" => cluster = true,
@@ -122,6 +134,18 @@ fn parse_cli() -> Cli {
         cluster,
         monitor,
     }
+}
+
+/// Parse a byte size with optional `k`/`m`/`g` (binary) suffix.
+fn parse_size(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let (num, mult) = match s.as_bytes().last()? {
+        b'k' | b'K' => (&s[..s.len() - 1], 1u64 << 10),
+        b'm' | b'M' => (&s[..s.len() - 1], 1 << 20),
+        b'g' | b'G' => (&s[..s.len() - 1], 1 << 30),
+        _ => (s, 1),
+    };
+    num.parse::<u64>().ok().map(|n| n.saturating_mul(mult))
 }
 
 /// Stage spans of the per-stage memory table, in pipeline order (the nine
@@ -191,6 +215,14 @@ fn main() {
         .map(|d| d.to_path_buf())
         .unwrap_or_else(|| std::path::PathBuf::from("."));
     obs::blackbox::set_dump_dir(&dump_dir);
+    // Checkpoint directory, like the dump directory, exists before any
+    // rank starts — per-rank shard writes never race on mkdir.
+    if let Some(dir) = &cli.params.ckpt_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create checkpoint dir {}: {e}", dir.display());
+            exit(1);
+        }
+    }
     // Live telemetry plane: heartbeat snapshots land next to the output,
     // like the black-box dumps.
     let status_path = dump_dir.join("status.json");
@@ -351,6 +383,28 @@ fn main() {
                 "pastis: allocation tracking off — run with ALLOC_TRACK=1 \
                  for the per-stage memory table"
             ),
+        }
+        // Out-of-core runs: per-batch peak live bytes, one allocator
+        // window per column batch (DESIGN.md §15) — the number the batch
+        // sizer's budget bounds.
+        let mut batch_rows: Vec<(usize, i64)> = metrics
+            .gauges
+            .iter()
+            .filter_map(|(name, &v)| {
+                let rest = name.strip_prefix("mem.batch.")?;
+                let (k, field) = rest.split_once('.')?;
+                if field != "total" {
+                    return None;
+                }
+                Some((k.parse::<usize>().ok()?, v))
+            })
+            .collect();
+        if !batch_rows.is_empty() {
+            batch_rows.sort_unstable();
+            eprintln!("pastis: per-batch peak live bytes (out-of-core windows):");
+            for (k, v) in batch_rows {
+                eprintln!("  batch {k:>4}  {v:>14} B");
+            }
         }
         let watermarks = obs::project::extract_mem_watermarks(&traces);
         if !watermarks.is_empty() {

@@ -9,8 +9,10 @@
 //! to its output and renders the latest per-rank snapshot (the same table
 //! `--monitor` prints from inside the run: stage, progress bar, live
 //! bytes, heartbeat age, straggler flags). `--watch` refreshes until the
-//! document carries a final snapshot; one-shot otherwise. Exit status 1
-//! when the document is missing or fails schema validation.
+//! document carries a final snapshot, tolerating partially-written
+//! documents (the heartbeat writer is not atomic — a torn read that fails
+//! to parse or validate just retries next tick); one-shot invocations
+//! exit 1 when the document is missing or fails schema validation.
 
 use std::process::exit;
 
@@ -72,6 +74,13 @@ fn main() {
             }
         };
         if let Err(e) = pcomm::monitor::validate_status(&doc, false) {
+            // Same torn-read race as the parse failure above: a rewrite
+            // can be caught with, e.g., a truncated snapshots array that
+            // parses but fails the schema. Retry next tick in watch mode.
+            if watch {
+                std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+                continue;
+            }
             eprintln!("pastis-top: {path} failed validation: {e}");
             exit(1);
         }

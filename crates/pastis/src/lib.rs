@@ -34,6 +34,8 @@
 //! assert!(edges > 0);
 //! ```
 
+pub mod batch;
+pub mod ckpt;
 mod matrices;
 mod output;
 mod params;

@@ -73,6 +73,25 @@ pub struct PastisParams {
     /// SW mode always; in XDrop mode only when > 1 (opt-in — the score
     /// pass is O(mn), which x-drop exists to avoid).
     pub min_score: i32,
+    /// Per-rank memory budget in bytes for the overlap product. When set,
+    /// the streaming pipeline partitions B's columns into batches sized so
+    /// the estimated per-rank footprint of any one batch stays under the
+    /// budget (out-of-core driver, DESIGN.md §15): the SUMMA stream runs
+    /// once per batch against a column-restricted `Aᵀ`, and the per-batch
+    /// edges concatenate into an edge set bit-identical to the monolithic
+    /// run. `None` = single pass. Only the exact streaming layout batches;
+    /// the substitute and staged layouts ignore the budget. A good value
+    /// on a recorded machine is the `pcomm::project_mem` peak at the
+    /// current grid scaled by the desired headroom (see
+    /// [`crate::batch::budget_from_projection`]).
+    pub mem_budget_bytes: Option<u64>,
+    /// Checkpoint directory for streaming runs: each completed batch
+    /// writes per-rank PSG shards plus a versioned manifest here
+    /// (checksummed, committed tmp-then-rename — see `pastis::ckpt`), and
+    /// a rerun pointed at the same directory resumes after the last
+    /// complete batch instead of restarting. `None` disables
+    /// checkpointing.
+    pub ckpt_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for PastisParams {
@@ -92,6 +111,8 @@ impl Default for PastisParams {
             threads: 1,
             streaming: true,
             min_score: 1,
+            mem_budget_bytes: None,
+            ckpt_dir: None,
         }
     }
 }

@@ -17,6 +17,8 @@ use seqstore::DistSeqStore;
 use sparse::{DistMat, Semiring};
 use subkmer::ExpenseTable;
 
+use crate::batch::{self, BatchPlan};
+use crate::ckpt;
 use crate::matrices::{build_a_triples, build_s_dist, distinct_kmers, kmer_space};
 use crate::params::{AlignMode, PastisParams};
 use crate::seedpair::SeedPair;
@@ -483,7 +485,7 @@ pub fn run_pipeline(comm: &Comm, fasta: &[u8], params: &PastisParams) -> PastisR
             counters.nnz_a = a_mat.nnz();
             stage("pastis.wait", || store.finish_exchange(exchange));
             let edges = stage("pastis.spgemm_b", || {
-                stream_overlap_align(
+                run_streaming_batches(
                     &a_mat,
                     &a_t,
                     &store,
@@ -491,6 +493,7 @@ pub fn run_pipeline(comm: &Comm, fasta: &[u8], params: &PastisParams) -> PastisR
                     &grid,
                     row_range,
                     col_range,
+                    fasta,
                     &mut counters,
                 )
             });
@@ -776,6 +779,216 @@ fn align_owned_pairs(
     align_tasks(tasks, store, params, batch_threads(params, grid), counters)
 }
 
+/// Read an out-of-core test hook: `Some(k)` when the environment variable
+/// names batch `k`.
+fn env_batch(name: &str) -> Option<usize> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+/// Counter deltas accumulated by one batch on this rank (checkpointed in
+/// the shard header so resumed runs reproduce the statistics).
+fn counter_delta(now: &Counters, before: &Counters, nnz_b: u64) -> ckpt::CounterDelta {
+    ckpt::CounterDelta {
+        candidates: now.candidates_local - before.candidates_local,
+        alignments: now.alignments_local - before.alignments_local,
+        bitpack_culled: now.prefilter_bitpack_culled_local - before.prefilter_bitpack_culled_local,
+        striped_culled: now.prefilter_striped_culled_local - before.prefilter_striped_culled_local,
+        passed: now.prefilter_passed_local - before.prefilter_passed_local,
+        nnz_b,
+    }
+}
+
+/// The streaming layout's driver: monolithic when neither a memory budget
+/// nor a checkpoint directory is configured (byte-for-byte the former
+/// behavior), otherwise the out-of-core batch loop of DESIGN.md §15 —
+/// size column batches against the budget, run the SUMMA stream once per
+/// batch on a column-restricted `Aᵀ`, concatenate the per-batch edges
+/// (bit-identical to the monolithic set: batches tile `B`'s columns and
+/// per-entry fold order is unchanged), and checkpoint each completed
+/// batch so a killed run resumes instead of restarting.
+#[allow(clippy::too_many_arguments)]
+fn run_streaming_batches(
+    a_mat: &DistMat<u32>,
+    a_t: &DistMat<u32>,
+    store: &DistSeqStore,
+    params: &PastisParams,
+    grid: &Grid,
+    row_range: (u64, u64),
+    col_range: (u64, u64),
+    fasta: &[u8],
+    counters: &mut Counters,
+) -> Vec<(u64, u64, f64)> {
+    let world = grid.world();
+    if params.mem_budget_bytes.is_none() && params.ckpt_dir.is_none() {
+        let (edges, nnz_b_local) = stream_overlap_align(
+            a_mat, a_t, store, params, grid, row_range, col_range, counters,
+        );
+        counters.nnz_b = world.allreduce(nnz_b_local, |a, b| a + b);
+        return edges;
+    }
+
+    let n = a_mat.nrows();
+    let plan = match params.mem_budget_bytes {
+        Some(budget) => batch::plan(grid, a_t, budget),
+        // Checkpointing without a budget: a single full-width batch still
+        // gets a durable shard + manifest.
+        None => BatchPlan {
+            budget_bytes: u64::MAX,
+            ranges: vec![(0, n)],
+            est_bytes: vec![0],
+        },
+    };
+    let rank = world.rank();
+    let p = world.size();
+    let ck = params.ckpt_dir.as_deref();
+
+    // Resume state: the manifest's completed batches, keyed by index.
+    // Every rank reads the same file with no writer active, so all ranks
+    // derive the same map and the restore decisions below stay uniform —
+    // the final word is still the collective shard-verification vote.
+    let mut completed: std::collections::BTreeMap<usize, ckpt::BatchRecord> = Default::default();
+    let mut fp = 0u64;
+    if let Some(dir) = ck {
+        if rank == 0 {
+            // Created up front (and again at world launch by the binary)
+            // so per-rank shard writes never race on mkdir.
+            let _ = std::fs::create_dir_all(dir);
+        }
+        fp = ckpt::fingerprint(ckpt::fnv1a(fasta), &format!("{params:?}"), p, &plan.ranges);
+        if let Some(m) = ckpt::load_manifest(dir) {
+            if m.fingerprint == fp && m.p == p && m.n_batches == plan.ranges.len() {
+                for b in m.completed {
+                    completed.insert(b.index, b);
+                }
+            }
+        }
+    }
+
+    let track = obs::alloc::tracking();
+    let mut edges: Vec<(u64, u64, f64)> = Vec::new();
+    let mut nnz_b_local = 0u64;
+    for (k, &range) in plan.ranges.iter().enumerate() {
+        let _batch = obs::span!("pastis.batch", batch = k);
+        // Restore when the manifest lists the batch and *every* rank's
+        // shard verifies; any corrupt shard votes the whole grid back to
+        // recomputing the batch, keeping the SUMMA collectives uniform.
+        let mut restored: Option<ckpt::Shard> = None;
+        if let (Some(dir), Some(rec)) = (ck, completed.get(&k)) {
+            let mine = rec
+                .shard(rank)
+                .and_then(|sr| ckpt::read_shard(dir, k, sr).ok());
+            let all_ok = world.allreduce(mine.is_some() as u64, |a, b| a.min(b)) == 1;
+            if all_ok {
+                restored = mine;
+            }
+        }
+        match restored {
+            Some(shard) => {
+                let d = &shard.delta;
+                counters.candidates_local += d.candidates;
+                counters.alignments_local += d.alignments;
+                counters.prefilter_bitpack_culled_local += d.bitpack_culled;
+                counters.prefilter_striped_culled_local += d.striped_culled;
+                counters.prefilter_passed_local += d.passed;
+                nnz_b_local += d.nnz_b;
+                // Announce the restored alignments as instantly done so
+                // the monitor's per-rank totals still reconcile against
+                // the trace counters.
+                obs::live::add_items(d.alignments, d.alignments);
+                edges.extend(shard.edges);
+            }
+            None => {
+                if track {
+                    obs::alloc::begin_window();
+                }
+                let before = *counters;
+                let a_t_k = a_t.restrict_cols(range);
+                let (batch_edges, batch_nnz) = stream_overlap_align(
+                    a_mat, &a_t_k, store, params, grid, row_range, col_range, counters,
+                );
+                nnz_b_local += batch_nnz;
+                if track {
+                    // Per-batch peaks for the `--trace` batch-memory
+                    // table. Windows are process-global and reset on
+                    // `begin_window`, so the enclosing stage window now
+                    // only covers this batch — re-emitting the peaks
+                    // under the stage gauges (max-merged) keeps the
+                    // per-stage row equal to the max over batch windows,
+                    // which is exactly the stage peak (each window's
+                    // baseline includes everything still live from
+                    // earlier batches).
+                    let peaks = obs::alloc::window_peaks();
+                    for (i, sub) in obs::SUBSYSTEMS.iter().enumerate() {
+                        if peaks.per[i] > 0 {
+                            obs::gauge_max_owned(&format!("mem.batch.{k}.{sub}"), peaks.per[i]);
+                            obs::gauge_max_owned(
+                                &format!("mem.stage.pastis.spgemm_b.{sub}"),
+                                peaks.per[i],
+                            );
+                        }
+                    }
+                    obs::gauge_max_owned(&format!("mem.batch.{k}.total"), peaks.total);
+                    obs::gauge_max_owned("mem.stage.pastis.spgemm_b.total", peaks.total);
+                }
+                if let Some(dir) = ck {
+                    let delta = counter_delta(counters, &before, batch_nnz);
+                    let rec = ckpt::write_shard(dir, k, rank, &batch_edges, &delta)
+                        .expect("checkpoint shard write failed");
+                    // Rank 0 learns every shard's record, then commits the
+                    // manifest; the allgather doubles as the barrier that
+                    // guarantees all shards are durable first.
+                    let recs = world.allgather((rec.rank as u64, rec.len, rec.checksum));
+                    if rank == 0 {
+                        completed.insert(
+                            k,
+                            ckpt::BatchRecord {
+                                index: k,
+                                shards: recs
+                                    .into_iter()
+                                    .map(|(r, len, checksum)| ckpt::ShardRecord {
+                                        rank: r as usize,
+                                        len,
+                                        checksum,
+                                    })
+                                    .collect(),
+                            },
+                        );
+                        let m = ckpt::Manifest {
+                            version: ckpt::CKPT_SCHEMA_VERSION,
+                            fingerprint: fp,
+                            p,
+                            n_batches: plan.ranges.len(),
+                            completed: completed.values().cloned().collect(),
+                        };
+                        ckpt::write_manifest(dir, &m).expect("checkpoint manifest write failed");
+                    }
+                }
+                edges.extend(batch_edges);
+            }
+        }
+        // Kill-test hooks for verify.sh and the resume proptest: die (or
+        // hang, awaiting an external SIGKILL) only after batch k's
+        // manifest commit is visible on every rank.
+        if ck.is_some() {
+            if env_batch("PASTIS_KILL_AFTER_BATCH") == Some(k) {
+                world.barrier();
+                if rank == 0 {
+                    eprintln!("PASTIS_KILL_AFTER_BATCH={k}: aborting after batch {k}");
+                }
+                std::process::abort();
+            }
+            if env_batch("PASTIS_HANG_AFTER_BATCH") == Some(k) {
+                world.barrier();
+                loop {
+                    std::thread::sleep(std::time::Duration::from_secs(1));
+                }
+            }
+        }
+    }
+    counters.nnz_b = world.allreduce(nnz_b_local, |a, b| a + b);
+    edges
+}
+
 /// Streamed overlap SpGEMM + per-stage alignment: `A·Aᵀ` runs as a
 /// [`sparse::SummaStream`] and candidate pairs are filtered and aligned as
 /// soon as their entry can no longer change, while the next stage's panel
@@ -789,6 +1002,12 @@ fn align_owned_pairs(
 /// order the staged path's stable sort produces — so the extracted
 /// [`SeedPair`]s, and with them the edge set, are bit-identical to the
 /// staged path.
+///
+/// `a_t` may be a column-restricted view ([`DistMat::restrict_cols`]): the
+/// finality bounds then derive from the restricted occupancy, and only the
+/// batch's columns ever enter the pending map. Returns the edges plus this
+/// rank's drained-nonzero count (the caller sums it across batches before
+/// the global reduction).
 #[allow(clippy::too_many_arguments)]
 fn stream_overlap_align(
     a_mat: &DistMat<u32>,
@@ -799,7 +1018,7 @@ fn stream_overlap_align(
     row_range: (u64, u64),
     col_range: (u64, u64),
     counters: &mut Counters,
-) -> Vec<(u64, u64, f64)> {
+) -> (Vec<(u64, u64, f64)>, u64) {
     use std::collections::btree_map::Entry;
     use std::collections::BTreeMap;
 
@@ -875,8 +1094,7 @@ fn stream_overlap_align(
         edges.extend(align_tasks(tasks, store, params, threads, counters));
     });
     debug_assert!(pending.is_empty(), "stage-finality left undrained entries");
-    counters.nnz_b = grid.world().allreduce(nnz_b_local, |a, b| a + b);
-    edges
+    (edges, nnz_b_local)
 }
 
 #[cfg(test)]

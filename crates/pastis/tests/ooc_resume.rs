@@ -1,0 +1,203 @@
+//! Kill-safe checkpoint/resume (DESIGN.md §15): a batched run checkpoints
+//! every completed batch (per-rank shards + rank-0 manifest, committed
+//! tmp-then-rename), so a run killed mid-flight resumes after the last
+//! complete batch and still produces the monolithic output byte for byte.
+//!
+//! Exercised against the real `pastis` binary: the `PASTIS_HANG_AFTER_BATCH`
+//! hook parks every rank after batch k's manifest commit, the test SIGKILLs
+//! the parked process (the hard-failure mode `kill -9` / OOM-killer
+//! deliver), and the resumed invocation must converge to the reference.
+//! The corruption case flips one byte in a durable shard and checks both
+//! that the checksum rejects it and that the resumed run recomputes the
+//! batch rather than trusting the manifest.
+
+use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use datagen::{metaclust_like, MetaclustConfig};
+use pastis::ckpt;
+use proptest::prelude::*;
+use seqstore::write_fasta;
+
+const RANKS: &str = "4";
+const BUDGET: &str = "96k";
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_pastis")
+}
+
+/// Scratch directory for this test process (removed best-effort on rerun).
+fn scratch() -> &'static Path {
+    static D: OnceLock<PathBuf> = OnceLock::new();
+    D.get_or_init(|| {
+        let d = std::env::temp_dir().join(format!("pastis-ooc-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).expect("create scratch dir");
+        d
+    })
+}
+
+fn fasta_path() -> &'static Path {
+    static F: OnceLock<PathBuf> = OnceLock::new();
+    F.get_or_init(|| {
+        let fasta = write_fasta(&metaclust_like(
+            50,
+            &MetaclustConfig {
+                seed: 9,
+                len_range: (100, 300),
+                related_fraction: 0.3,
+                mutation_rate: 0.12,
+            },
+        ));
+        let p = scratch().join("input.fasta");
+        std::fs::write(&p, fasta).expect("write fasta");
+        p
+    })
+}
+
+/// Base invocation; every run is unchecked (`PCHECK=0`) — the resume
+/// protocol is what is under test, and checked-mode collective conformance
+/// of the batched driver is covered in-process by `ooc_equivalence.rs`.
+fn cmd(out: &Path) -> Command {
+    let mut c = Command::new(bin());
+    c.arg("--input")
+        .arg(fasta_path())
+        .arg("--output")
+        .arg(out)
+        .args(["--ranks", RANKS, "--k", "5", "--quiet"])
+        .env("PCHECK", "0");
+    c
+}
+
+/// Monolithic reference output (no budget, no checkpointing).
+fn reference() -> &'static Vec<u8> {
+    static R: OnceLock<Vec<u8>> = OnceLock::new();
+    R.get_or_init(|| {
+        let out = scratch().join("mono.tsv");
+        let st = cmd(&out).status().expect("run monolithic pastis");
+        assert!(st.success(), "monolithic run failed: {st}");
+        let bytes = std::fs::read(&out).expect("read monolithic output");
+        assert!(!bytes.is_empty(), "monolithic run produced no edges");
+        bytes
+    })
+}
+
+/// Poll until the manifest lists batch `k` as complete (its commit
+/// strictly precedes the hang hook, so this always terminates while the
+/// hung process is still alive).
+fn wait_for_batch(dir: &Path, k: usize) -> ckpt::Manifest {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        if let Some(m) = ckpt::load_manifest(dir) {
+            if m.completed.iter().any(|b| b.index == k) {
+                return m;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "batch {k} never reached the manifest in {}",
+            dir.display()
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn resume_and_compare(ckpt_dir: &Path, out: &Path) {
+    let st = cmd(out)
+        .args(["--mem-budget", BUDGET])
+        .arg("--ckpt-dir")
+        .arg(ckpt_dir)
+        .status()
+        .expect("run resumed pastis");
+    assert!(st.success(), "resumed run failed: {st}");
+    assert_eq!(
+        std::fs::read(out).expect("read resumed output"),
+        *reference(),
+        "resumed output diverged from the monolithic reference"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    #[test]
+    fn sigkill_after_any_batch_resumes_bit_identically(k in 0usize..4) {
+        let dir = scratch().join(format!("kill-{k}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = scratch().join(format!("kill-{k}.tsv"));
+        // Proptest may revisit the same k; drop the previous case's output.
+        let _ = std::fs::remove_file(&out);
+        // Launch a budgeted run that parks itself after batch k commits,
+        // then deliver the SIGKILL a crash would.
+        let mut child = cmd(&out)
+            .args(["--mem-budget", BUDGET])
+            .arg("--ckpt-dir")
+            .arg(&dir)
+            .env("PASTIS_HANG_AFTER_BATCH", k.to_string())
+            .spawn()
+            .expect("spawn hanging pastis");
+        let manifest = wait_for_batch(&dir, k);
+        prop_assert!(
+            manifest.n_batches > k + 1,
+            "recipe must leave work after batch {k} (plan has {})",
+            manifest.n_batches
+        );
+        child.kill().expect("SIGKILL hung pastis");
+        let _ = child.wait();
+        // The killed run never wrote its output.
+        prop_assert!(!out.exists(), "killed run must not have produced output");
+        resume_and_compare(&dir, &out);
+    }
+}
+
+#[test]
+fn corrupted_shard_is_rejected_and_recomputed() {
+    let dir = scratch().join("corrupt");
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = scratch().join("corrupt.tsv");
+    // The abort flavor of the hook: the process dies by its own hand right
+    // after batch 1 commits (covers the `std::process::abort` path).
+    let st = cmd(&out)
+        .args(["--mem-budget", BUDGET])
+        .arg("--ckpt-dir")
+        .arg(&dir)
+        .env("PASTIS_KILL_AFTER_BATCH", "1")
+        .status()
+        .expect("run aborting pastis");
+    assert!(!st.success(), "PASTIS_KILL_AFTER_BATCH run must die");
+    let manifest = ckpt::load_manifest(&dir).expect("manifest survives the abort");
+    let rec = manifest
+        .completed
+        .iter()
+        .find(|b| b.index == 0)
+        .expect("batch 0 committed")
+        .clone();
+
+    // Flip one byte mid-file in rank 2's batch-0 shard.
+    let shard = ckpt::shard_path(&dir, 0, 2);
+    let mut f = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(&shard)
+        .expect("open shard");
+    let len = f.metadata().expect("stat shard").len();
+    assert!(len > 0, "shard is empty");
+    let mut byte = [0u8];
+    f.seek(SeekFrom::Start(len / 2)).unwrap();
+    f.read_exact(&mut byte).unwrap();
+    f.seek(SeekFrom::Start(len / 2)).unwrap();
+    f.write_all(&[byte[0] ^ 0x01]).unwrap();
+    drop(f);
+
+    // The checksum rejects the tampered shard outright…
+    let sr = rec.shard(2).expect("rank 2 shard record");
+    assert!(
+        ckpt::read_shard(&dir, 0, sr).is_err(),
+        "tampered shard must fail its checksum"
+    );
+    // …and the resumed run recomputes the batch instead of trusting the
+    // manifest, converging to the reference anyway.
+    resume_and_compare(&dir, &out);
+}

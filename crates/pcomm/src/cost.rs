@@ -1194,6 +1194,150 @@ impl MemProjection {
     }
 }
 
+/// Watermarked structures whose per-rank footprint scales with the width
+/// of the out-of-core column batch being processed: the SpGEMM output
+/// triples and accumulator cover only the batch's columns of B, and the
+/// pending seed-pair queue holds only the batch's candidates. Everything
+/// else (sequence store, alignment scratch) is resident regardless of
+/// batching and prices as a constant floor.
+pub const OOC_BATCH_SCALED: [&str; 3] = ["pastis.pending", "sparse.accum", "sparse.triples"];
+
+/// Split a projected per-rank footprint into its (resident floor,
+/// batch-scaled bytes): the second component shrinks `∝ 1/n_batches`
+/// under column batching, the first does not. Budget policies must keep
+/// the budget above the floor — no batch count frees resident memory.
+pub fn ooc_split(mem: &MemProjection) -> (u64, u64) {
+    let scaled: u64 = mem
+        .by_structure
+        .iter()
+        .filter(|(n, _)| OOC_BATCH_SCALED.contains(&n.as_str()))
+        .map(|&(_, b)| b)
+        .sum();
+    (mem.peak_bytes - scaled, scaled)
+}
+
+/// Out-of-core batching projection at one target grid: how many column
+/// batches the sizer would cut to fit the projected monolithic footprint
+/// under `budget_bytes`, the resulting per-rank peak, and the makespan
+/// after paying the A-panel re-broadcasts every extra batch costs (the
+/// restricted-B panels tile the column space, so B traffic is paid once
+/// regardless of the batch count).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OocProjection {
+    /// Target rank count.
+    pub p: usize,
+    /// Per-rank memory budget the sizer was given.
+    pub budget_bytes: u64,
+    /// Batches the model cuts (1 = the monolithic plan already fits).
+    pub n_batches: usize,
+    /// Projected per-rank peak under that plan: the constant floor plus
+    /// an even `1/n_batches` share of the batch-scaled structures.
+    pub mem_peak_bytes: u64,
+    /// Monolithic projected peak ([`MemProjection::peak_bytes`]), for the
+    /// memory-vs-makespan comparison.
+    pub mono_peak_bytes: u64,
+    /// Monolithic modeled makespan at this grid.
+    pub base_secs: f64,
+    /// Batched modeled makespan: `base_secs` plus `(n_batches − 1)` times
+    /// the A-side panel-broadcast seconds.
+    pub ooc_secs: f64,
+}
+
+impl OocProjection {
+    /// Batched / monolithic makespan (≥ 1; the price of fitting in RAM).
+    pub fn batch_overhead_ratio(&self) -> f64 {
+        if self.base_secs > 0.0 {
+            self.ooc_secs / self.base_secs
+        } else {
+            1.0
+        }
+    }
+
+    pub fn to_json(&self) -> JsonValue {
+        let mut o = BTreeMap::new();
+        o.insert("p".into(), JsonValue::Num(self.p as f64));
+        o.insert(
+            "budget_bytes".into(),
+            JsonValue::Num(self.budget_bytes as f64),
+        );
+        o.insert("n_batches".into(), JsonValue::Num(self.n_batches as f64));
+        o.insert(
+            "mem_peak_bytes".into(),
+            JsonValue::Num(self.mem_peak_bytes as f64),
+        );
+        o.insert(
+            "mono_peak_bytes".into(),
+            JsonValue::Num(self.mono_peak_bytes as f64),
+        );
+        o.insert("base_secs".into(), JsonValue::Num(self.base_secs));
+        o.insert("ooc_secs".into(), JsonValue::Num(self.ooc_secs));
+        o.insert(
+            "batch_overhead_ratio".into(),
+            JsonValue::Num(self.batch_overhead_ratio()),
+        );
+        JsonValue::Obj(o)
+    }
+
+    pub fn from_json(v: &JsonValue) -> Result<OocProjection, String> {
+        let num = |k: &str| {
+            v.get(k)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("ooc projection: missing `{k}`"))
+        };
+        let out = OocProjection {
+            p: num("p")? as usize,
+            budget_bytes: num("budget_bytes")? as u64,
+            n_batches: num("n_batches")? as usize,
+            mem_peak_bytes: num("mem_peak_bytes")? as u64,
+            mono_peak_bytes: num("mono_peak_bytes")? as u64,
+            base_secs: num("base_secs")?,
+            ooc_secs: num("ooc_secs")?,
+        };
+        if out.mem_peak_bytes > out.budget_bytes {
+            return Err(format!(
+                "ooc projection: p={} peak {} exceeds budget {}",
+                out.p, out.mem_peak_bytes, out.budget_bytes
+            ));
+        }
+        Ok(out)
+    }
+}
+
+/// Project the out-of-core batch plan at `mem`'s grid. `base_secs` is the
+/// monolithic modeled makespan at the same grid and `rebcast_secs` the
+/// A-side panel-broadcast seconds one extra pass over the stationary
+/// matrix costs (the caller extracts it from the SUMMA stage's priced
+/// collectives). The split between batch-scaled and resident structures
+/// follows [`OOC_BATCH_SCALED`].
+pub fn project_ooc(
+    mem: &MemProjection,
+    budget_bytes: u64,
+    base_secs: f64,
+    rebcast_secs: f64,
+) -> OocProjection {
+    let (resident, scaled) = ooc_split(mem);
+    let avail = budget_bytes.saturating_sub(resident);
+    let n_batches = if scaled <= avail {
+        1
+    } else if avail == 0 {
+        // Infeasible budget (the resident floor alone overflows it): the
+        // sizer's one-column floor still applies, modeled here as one
+        // byte per batch so the overhead term stays finite and damning.
+        scaled.max(1) as usize
+    } else {
+        scaled.div_ceil(avail) as usize
+    };
+    OocProjection {
+        p: mem.p,
+        budget_bytes,
+        n_batches,
+        mem_peak_bytes: resident + scaled.div_ceil(n_batches.max(1) as u64),
+        mono_peak_bytes: mem.peak_bytes,
+        base_secs,
+        ooc_secs: base_secs + (n_batches.saturating_sub(1)) as f64 * rebcast_secs,
+    }
+}
+
 /// Project per-rank peak memory watermarks recorded at `p_recorded` to
 /// `p_target` using the profile's per-structure byte-growth laws.
 ///
@@ -1405,6 +1549,51 @@ mod tests {
         let back =
             MemProjection::from_json(&JsonValue::parse(&m.to_json().to_string()).unwrap()).unwrap();
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn ooc_projection_cuts_batches_and_prices_rebroadcasts() {
+        let mem = MemProjection {
+            p: 64,
+            p_recorded: 16,
+            peak_bytes: 1_000_000,
+            by_structure: vec![
+                ("align.scratch".to_string(), 100_000),
+                ("pastis.pending".to_string(), 150_000),
+                ("seqstore.store".to_string(), 300_000),
+                ("sparse.accum".to_string(), 50_000),
+                ("sparse.triples".to_string(), 400_000),
+            ],
+        };
+        assert_eq!(ooc_split(&mem), (400_000, 600_000));
+        // Fits outright: one batch, no overhead.
+        let o = project_ooc(&mem, 1_000_000, 10.0, 2.0);
+        assert_eq!(o.n_batches, 1);
+        assert_eq!(o.mem_peak_bytes, 1_000_000);
+        assert_eq!(o.ooc_secs, 10.0);
+        assert_eq!(o.batch_overhead_ratio(), 1.0);
+        // 200k over the scaled portion → ⌈600k/200k⌉ = 3 batches, two
+        // extra passes over the stationary matrix's broadcasts.
+        let o = project_ooc(&mem, 600_000, 10.0, 2.0);
+        assert_eq!(o.n_batches, 3);
+        assert_eq!(o.mem_peak_bytes, 400_000 + 200_000);
+        assert_eq!(o.ooc_secs, 14.0);
+        assert!((o.batch_overhead_ratio() - 1.4).abs() < 1e-12);
+        assert_eq!(o.mono_peak_bytes, 1_000_000);
+        // JSON round-trip; a peak claimed above its own budget is rejected
+        // (that is the validate() hook the gated document leans on).
+        let back =
+            OocProjection::from_json(&JsonValue::parse(&o.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(back, o);
+        let mut bad = o.to_json();
+        if let JsonValue::Obj(m) = &mut bad {
+            m.insert("budget_bytes".into(), JsonValue::Num(1.0));
+        }
+        assert!(OocProjection::from_json(&bad).is_err());
+        // Budget below the resident floor: finite but punitive plan.
+        let o = project_ooc(&mem, 300_000, 10.0, 2.0);
+        assert_eq!(o.n_batches, 600_000);
+        assert!(o.mem_peak_bytes > 300_000);
     }
 
     #[test]

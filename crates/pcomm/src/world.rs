@@ -119,6 +119,12 @@ impl WorldBuilder {
         let shared = Arc::new(WorldShared { senders });
         let f = &f;
 
+        // Abort/checkpoint dump directories are created once here, before
+        // any rank thread exists: the black-box dump path runs inside
+        // panic/abort handlers where a per-rank `create_dir_all` race can
+        // lose a dump to a sibling's concurrent mkdir failure.
+        obs::blackbox::ensure_dump_dir();
+
         std::thread::scope(|scope| {
             // Heartbeat channel: when armed, one monitor thread per world
             // samples the ranks' progress cells out-of-band (see

@@ -196,6 +196,37 @@ impl<V: Payload + Clone> DistMat<V> {
         }
     }
 
+    /// Column-restricted view for the out-of-core batch driver: same
+    /// global shape and grid distribution, but only entries whose *global*
+    /// column lies in `[range.0, range.1)` survive. Local (no
+    /// communication) — batch `k` of a batched multiply reuses the
+    /// already-distributed operand without re-shuffling anything, and
+    /// because the block boundaries are unchanged, every surviving entry
+    /// reaches the same SUMMA stage, in the same fold order, as in the
+    /// unrestricted product — which is what makes batched edge sets
+    /// bit-identical to monolithic ones.
+    pub fn restrict_cols(&self, range: (u64, u64)) -> DistMat<V> {
+        let (c0, _) = self.col_range();
+        let triples: Vec<(u32, u64, V)> = self
+            .local
+            .iter()
+            .filter(|&(_, c, _)| {
+                let g = c0 + c;
+                g >= range.0 && g < range.1
+            })
+            .map(|(r, c, v)| (r, c, v.clone()))
+            .collect();
+        let local = Dcsc::from_triples(self.local.nrows(), self.local.ncols(), triples, |_, _| {
+            unreachable!("restriction cannot create duplicates")
+        });
+        DistMat {
+            grid: Rc::clone(&self.grid),
+            nrows: self.nrows,
+            ncols: self.ncols,
+            local,
+        }
+    }
+
     /// Distributed SpGEMM `C = self · b` over `sr`, using the 2D Sparse
     /// SUMMA schedule: at stage `t`, the owners of `A(·,t)` broadcast along
     /// grid rows and the owners of `B(t,·)` along grid columns; every rank

@@ -1,6 +1,6 @@
 //! `xlint` — repository-specific lint gates that `clippy` cannot express.
 //!
-//! Seven rules, chosen because each guards an invariant another layer of
+//! Eight rules, chosen because each guards an invariant another layer of
 //! this workspace depends on:
 //!
 //! - **safety-comment** — every `unsafe` token must have a `// SAFETY:`
@@ -37,6 +37,12 @@
 //!   must live inside the world's scope (stopped before panic triage,
 //!   ledger-clean under the checker); spawning it anywhere else would
 //!   detach it from that lifecycle.
+//! - **ckpt-confinement** — the atomic-commit primitive `fs::rename` is
+//!   confined to `crates/pastis/src/ckpt.rs`. The checkpoint protocol's
+//!   durability argument (tmp-then-rename, checksum before manifest) only
+//!   holds if every persistent-state write goes through the one audited
+//!   commit path; a stray rename elsewhere would create files a resumed
+//!   run trusts without a checksum.
 //!
 //! `tests/` and `benches/` directories are exempt from the confinement
 //! rules (not from safety-comment). A finding can be waived in place with a
@@ -51,7 +57,7 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const RULES: [&str; 7] = [
+const RULES: [&str; 8] = [
     "safety-comment",
     "thread-spawn",
     "instant-now",
@@ -59,6 +65,7 @@ const RULES: [&str; 7] = [
     "feature-detect",
     "alloc-confinement",
     "monitor-spawn",
+    "ckpt-confinement",
 ];
 
 /// How many lines above an `unsafe` token a `SAFETY:` comment may sit.
@@ -86,6 +93,9 @@ const ALLOC_ALLOWED: [&str; 1] = ["crates/obs/src/alloc.rs"];
 
 const MONITOR_TOKEN: &str = "spawn_monitor";
 const MONITOR_ALLOWED: [&str; 1] = ["crates/pcomm/"];
+
+const CKPT_TOKEN: &str = "fs::rename";
+const CKPT_ALLOWED: [&str; 1] = ["crates/pastis/src/ckpt.rs"];
 
 #[derive(Debug, PartialEq, Eq)]
 struct Finding {
@@ -370,6 +380,22 @@ fn scan_source(rel: &str, src: &str) -> Vec<Finding> {
                     ),
                 ));
             }
+
+            if !CKPT_ALLOWED.iter().any(|p| rel.starts_with(p))
+                && has_token(cl, CKPT_TOKEN)
+                && !waived(&raw, i, "ckpt-confinement")
+            {
+                findings.push(finding(
+                    i,
+                    "ckpt-confinement",
+                    format!(
+                        "fs::rename outside {} — persistent-state commits \
+                         must go through the checkpoint module's audited \
+                         tmp-then-rename path",
+                        CKPT_ALLOWED.join(", ")
+                    ),
+                ));
+            }
         }
     }
     findings
@@ -583,5 +609,23 @@ mod tests {
         assert!(scan_source("crates/pcomm/src/world.rs", src).is_empty());
         // Tests are exempt, like the other confinement rules.
         assert!(scan_source("crates/pastis/tests/monitor_live.rs", src).is_empty());
+    }
+
+    #[test]
+    fn ckpt_confinement() {
+        let src = "fn f() { std::fs::rename(&tmp, &path).unwrap(); }\n";
+        let f = scan_source("crates/pcomm/src/monitor.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "ckpt-confinement");
+        // The checkpoint module owns the commit primitive.
+        assert!(scan_source("crates/pastis/src/ckpt.rs", src).is_empty());
+        // Test trees are exempt.
+        assert!(scan_source("crates/pastis/tests/ooc_resume.rs", src).is_empty());
+        // Doc comments never trip the rule.
+        let doc = "/// commits via fs::rename in ckpt.rs\nfn f() {}\n";
+        assert!(scan_source("crates/pcomm/src/monitor.rs", doc).is_empty());
+        // In-place waiver.
+        let waived = "fn f() { std::fs::rename(&a, &b); } // xlint: allow(ckpt-confinement)\n";
+        assert!(scan_source("crates/pcomm/src/monitor.rs", waived).is_empty());
     }
 }

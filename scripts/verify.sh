@@ -42,6 +42,29 @@ PASTIS_MONITOR_MS=20 cargo run --release -q -p pastis --bin pastis -- \
     --ranks 4 --k 5 --monitor --quiet
 test -s "$monitor_tmp/status.json" || { echo "verify: pastis --monitor left no status.json"; exit 1; }
 rm -rf "$monitor_tmp"
+# Out-of-core lane (DESIGN.md §15). In-process: the batched driver must be
+# bit-identical to the monolithic stream under the conformance checker, and
+# the allocator-measured per-batch peak must respect the budget bound with
+# tracking forced on in release. End-to-end: a tiny-budget checkpointed run
+# is killed mid-flight, resumed, and the resumed output must match a
+# single-shot run byte for byte.
+PCHECK=1 cargo test -q --release -p pastis --test ooc_equivalence
+ALLOC_TRACK=1 cargo test -q --release -p pastis --test ooc_budget
+ooc_tmp="$(mktemp -d)"
+cargo run --release -q -p pastis-bench --bin mkfasta -- "$ooc_tmp/ooc.fasta" 0.05 9
+cargo run --release -q -p pastis --bin pastis -- \
+    --input "$ooc_tmp/ooc.fasta" --output "$ooc_tmp/mono.tsv" --ranks 4 --k 5 --quiet
+PASTIS_KILL_AFTER_BATCH=1 cargo run --release -q -p pastis --bin pastis -- \
+    --input "$ooc_tmp/ooc.fasta" --output "$ooc_tmp/ooc.tsv" --ranks 4 --k 5 --quiet \
+    --mem-budget 96k --ckpt-dir "$ooc_tmp/ckpt" && \
+    { echo "verify: PASTIS_KILL_AFTER_BATCH run did not die"; exit 1; } || true
+test -s "$ooc_tmp/ckpt/manifest.json" || { echo "verify: killed run left no checkpoint manifest"; exit 1; }
+test ! -e "$ooc_tmp/ooc.tsv" || { echo "verify: killed run left a premature output"; exit 1; }
+cargo run --release -q -p pastis --bin pastis -- \
+    --input "$ooc_tmp/ooc.fasta" --output "$ooc_tmp/ooc.tsv" --ranks 4 --k 5 --quiet \
+    --mem-budget 96k --ckpt-dir "$ooc_tmp/ckpt"
+cmp "$ooc_tmp/mono.tsv" "$ooc_tmp/ooc.tsv" || { echo "verify: resumed out-of-core output diverged"; exit 1; }
+rm -rf "$ooc_tmp"
 cargo clippy --all-targets -- -D warnings
 # Workspace lint gates: SAFETY comments on unsafe, thread-spawn confinement,
 # Instant::now confinement, cost-literal confinement, allocator confinement.
